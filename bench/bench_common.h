@@ -1,0 +1,94 @@
+// Shared infrastructure for the figure benches.
+//
+// Every figure bench sweeps the same axis as the paper (number of processes
+// in the current application, on a base of 400 existing processes) and
+// prints a numeric table, a CSV block, and an ASCII rendition of the
+// figure. The IDES_BENCH_SCALE environment variable selects the effort:
+//   smoke   — 1 seed, short SA, coarse axis (CI-friendly, ~tens of seconds)
+//   default — 3 seeds, medium SA (a few minutes per figure)
+//   full    — 5 seeds, long SA (paper-style patience)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/incremental_designer.h"
+#include "tgen/benchmark_suite.h"
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+
+namespace ides::bench {
+
+struct BenchScale {
+  std::string name = "default";
+  int seeds = 3;
+  int saIterations = 12000;
+  std::vector<std::size_t> sizes{40, 80, 160, 240, 320};
+  std::size_t futureAppsPerInstance = 5;
+};
+
+inline BenchScale benchScale() {
+  BenchScale s;
+  const char* env = std::getenv("IDES_BENCH_SCALE");
+  const std::string v = env == nullptr ? "default" : env;
+  if (v == "smoke") {
+    s = {"smoke", 1, 4000, {40, 160, 320}, 3};
+  } else if (v == "full") {
+    s = {"full", 5, 30000, {40, 80, 160, 240, 320}, 10};
+  }
+  return s;
+}
+
+/// The paper-scale experiment instance (slides 15-17): 10 nodes, 400
+/// processes of existing applications, current application of `current`
+/// processes. tneed is pinned to 12000 ticks per Tmin window — the "most
+/// demanding future application" — which puts the transition where naive
+/// mapping starts starving the periodic slack inside the sweep range (see
+/// DESIGN.md section 3 and EXPERIMENTS.md).
+inline SuiteConfig paperConfig(std::size_t current,
+                               std::size_t futureApps = 0) {
+  SuiteConfig cfg;
+  cfg.nodeCount = 10;
+  cfg.existingProcesses = 400;
+  cfg.currentProcesses = current;
+  cfg.futureAppCount = futureApps;
+  cfg.futureProcesses = 80;
+  cfg.tneedOverride = 12000;
+  return cfg;
+}
+
+inline DesignerOptions designerOptions(const BenchScale& scale,
+                                       std::uint64_t saSeed = 1) {
+  DesignerOptions opts;
+  opts.sa.iterations = scale.saIterations;
+  opts.sa.seed = saSeed;
+  return opts;
+}
+
+/// Percent deviation from the reference cost, clamped at 0 and guarded
+/// against a near-zero reference.
+inline double deviationPercent(double cost, double reference) {
+  const double ref = reference < 1.0 ? 1.0 : reference;
+  const double dev = (cost - ref) / ref * 100.0;
+  return dev < 0.0 ? 0.0 : dev;
+}
+
+inline void printHeader(const char* figure, const char* question,
+                        const BenchScale& scale) {
+  std::printf("=== %s ===\n%s\n", figure, question);
+  std::printf(
+      "scale=%s (seeds per point: %d, SA iterations: %d)  "
+      "[set IDES_BENCH_SCALE=smoke|default|full]\n\n",
+      scale.name.c_str(), scale.seeds, scale.saIterations);
+}
+
+inline void printTableAndCsv(const CsvTable& table) {
+  table.writePretty(std::cout);
+  std::printf("\nCSV:\n");
+  table.writeCsv(std::cout);
+}
+
+}  // namespace ides::bench

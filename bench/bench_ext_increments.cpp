@@ -1,0 +1,80 @@
+// Extension experiment E-INC: platform lifetime under successive
+// increments.
+//
+// The paper's one-step experiment (figure F3) asks whether ONE future
+// application still fits. This extension plays the whole process: a queue
+// of candidate applications is implemented version after version, each
+// increment mapped with the policy under test and then frozen. The
+// platform's "lifetime" is how many increments it absorbs. Future-aware
+// mapping (MH) should keep the platform alive for more versions than
+// naive mapping (AH).
+#include "bench_common.h"
+
+#include "core/multi_increment.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ides;
+  using namespace ides::bench;
+
+  const BenchScale scale = benchScale();
+  printHeader("Extension E-INC — platform lifetime under successive "
+              "increments",
+              "How many queued increments (16 processes each) are absorbed "
+              "under AH vs MH?", scale);
+
+  SuiteConfig cfg;
+  cfg.nodeCount = 4;
+  cfg.basePeriod = 6000;
+  cfg.tmin = 3000;
+  cfg.existingProcesses = 40;
+  cfg.currentProcesses = 16;
+  cfg.futureAppCount = 8;  // the queue of version N+1, N+2, ...
+  cfg.futureProcesses = 16;
+  cfg.futureGraphSize = 16;
+  cfg.tneedOverride = 2 * 16 * 69;
+
+  CsvTable table({"policy", "avg_accepted", "min", "max", "queue"});
+  StatAccumulator ahAcc, mhAcc;
+
+  for (int s = 0; s < scale.seeds; ++s) {
+    const Suite suite = buildSuite(cfg, 7000 + static_cast<std::uint64_t>(s));
+    std::vector<ApplicationId> queue =
+        suite.system.applicationsOfKind(AppKind::Current);
+    const auto futures = suite.system.applicationsOfKind(AppKind::Future);
+    queue.insert(queue.end(), futures.begin(), futures.end());
+
+    MultiIncrementOptions ahOpts;
+    ahOpts.strategy = Strategy::AdHoc;
+    MultiIncrementOptions mhOpts;
+    mhOpts.strategy = Strategy::MappingHeuristic;
+    const MultiIncrementResult ah =
+        runIncrementSequence(suite.system, suite.profile, queue, ahOpts);
+    const MultiIncrementResult mh =
+        runIncrementSequence(suite.system, suite.profile, queue, mhOpts);
+    ahAcc.add(static_cast<double>(ah.accepted));
+    mhAcc.add(static_cast<double>(mh.accepted));
+    std::printf("  [seed=%d] absorbed: AH %zu/%zu  MH %zu/%zu\n", s,
+                ah.accepted, queue.size(), mh.accepted, queue.size());
+  }
+
+  const auto queueSize = static_cast<long long>(1 + cfg.futureAppCount);
+  table.addRow({"AH", CsvTable::num(ahAcc.mean(), 2),
+                CsvTable::num(ahAcc.min(), 0), CsvTable::num(ahAcc.max(), 0),
+                CsvTable::num(queueSize)});
+  table.addRow({"MH", CsvTable::num(mhAcc.mean(), 2),
+                CsvTable::num(mhAcc.min(), 0), CsvTable::num(mhAcc.max(), 0),
+                CsvTable::num(queueSize)});
+
+  std::printf("\n");
+  printTableAndCsv(table);
+  std::printf(
+      "\nShape check: both policies saturate the small platform at a similar\n"
+      "number of increments; per-seed winners vary. The greedy per-version\n"
+      "MH protects against the *profile's* hypothetical demand, which only\n"
+      "sometimes coincides with the next concrete increment in the queue —\n"
+      "an honest neutral result that sharpens F3's positive one: the\n"
+      "future-aware advantage shows when the future is characterized well\n"
+      "(F3's profile-matched apps at paper scale), not unconditionally.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension experiment E-MOD (the paper's CODES 2001 follow-up): what does
+// allowing modifications of the existing applications buy, and at what
+// engineering cost?
+//
+// Setup: instances whose existing base is badly phased (all applications
+// released at phase 0 — the situation that motivates re-design), current
+// application of 24 processes on a 4-node platform. We sweep the cost
+// weight lambda and report the strict design's C, the modification-aware
+// design's C, how many applications were modified, and the paid cost.
+#include "bench_common.h"
+
+#include "core/modification.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ides;
+  using namespace ides::bench;
+
+  const BenchScale scale = benchScale();
+  printHeader("Extension E-MOD — modification-aware incremental design",
+              "Objective C and modification cost vs cost weight lambda "
+              "(badly-phased existing base)", scale);
+
+  SuiteConfig cfg;
+  cfg.nodeCount = 4;
+  cfg.basePeriod = 6000;
+  cfg.tmin = 1500;
+  cfg.existingProcesses = 60;
+  cfg.existingGraphSize = 20;  // several independently modifiable apps
+  cfg.currentProcesses = 24;
+  cfg.offsetPhases = 1;        // unstaggered legacy base
+
+  CsvTable table({"lambda", "C_strict", "C_modified", "apps_modified",
+                  "cost_paid"});
+
+  const std::vector<double> lambdas = {0.0, 2.0, 10.0, 50.0};
+  for (const double lambda : lambdas) {
+    StatAccumulator cStrict, cMod, nMod, paid;
+    for (int s = 0; s < scale.seeds; ++s) {
+      const Suite suite =
+          buildSuite(cfg, 6000 + static_cast<std::uint64_t>(s));
+      // Strict reference: Omega forced empty via prohibitive costs.
+      ModificationOptions strictOpts;
+      strictOpts.costWeight = 1e12;
+      const std::vector<std::int64_t> costs(
+          suite.system.applications().size(), 3);
+      const ModificationResult strict = designWithModifications(
+          suite.system, suite.profile, costs, strictOpts);
+
+      ModificationOptions opts;
+      opts.costWeight = lambda;
+      opts.maxModifiedApps = 3;
+      const ModificationResult mod = designWithModifications(
+          suite.system, suite.profile, costs, opts);
+
+      if (!strict.feasible || !mod.feasible) continue;
+      cStrict.add(strict.objective);
+      cMod.add(mod.objective);
+      nMod.add(static_cast<double>(mod.modifiedApps.size()));
+      paid.add(static_cast<double>(mod.modificationCost));
+    }
+    table.addRow({CsvTable::num(lambda, 1), CsvTable::num(cStrict.mean()),
+                  CsvTable::num(cMod.mean()), CsvTable::num(nMod.mean(), 2),
+                  CsvTable::num(paid.mean(), 2)});
+    std::printf("  [lambda=%5.1f] C: strict=%7.2f modified=%7.2f  "
+                "apps=%.2f cost=%.2f\n",
+                lambda, cStrict.mean(), cMod.mean(), nMod.mean(),
+                paid.mean());
+  }
+
+  std::printf("\n");
+  printTableAndCsv(table);
+  std::printf(
+      "\nShape check: at lambda=0 the search modifies freely and C drops\n"
+      "far below the strict design; as lambda grows the paid cost shrinks\n"
+      "to zero and C returns to the strict value — the knob trades design\n"
+      "quality against re-validation effort, which is the CODES'01 thesis.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure F1 (paper slide 15): average percentage deviation of the AH and MH
+// objective C from the near-optimal SA reference, versus the number of
+// processes in the current application (existing base: 400 processes).
+//
+// Expected shape (paper): AH far above MH at every size where the current
+// application actually stresses the system; MH within a few percent of SA.
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ides;
+  using namespace ides::bench;
+
+  const BenchScale scale = benchScale();
+  printHeader("Figure F1 — quality of the mapping strategies",
+              "Avg % deviation of AH and MH cost C from near-optimal (SA)",
+              scale);
+
+  CsvTable table({"current_processes", "dev_AH_pct", "dev_MH_pct",
+                  "C_AH", "C_MH", "C_SA"});
+  std::vector<double> xs, ahSeries, mhSeries;
+
+  for (const std::size_t size : scale.sizes) {
+    StatAccumulator devAh, devMh, cAh, cMh, cSa;
+    for (int s = 0; s < scale.seeds; ++s) {
+      const Suite suite =
+          buildSuite(paperConfig(size), 1000 + static_cast<std::uint64_t>(s));
+      IncrementalDesigner designer(
+          suite.system, suite.profile,
+          designerOptions(scale, static_cast<std::uint64_t>(s) + 1));
+      const DesignResult ah = designer.run(Strategy::AdHoc);
+      const DesignResult mh = designer.run(Strategy::MappingHeuristic);
+      const DesignResult sa = designer.run(Strategy::SimulatedAnnealing);
+      devAh.add(deviationPercent(ah.objective, sa.objective));
+      devMh.add(deviationPercent(mh.objective, sa.objective));
+      cAh.add(ah.objective);
+      cMh.add(mh.objective);
+      cSa.add(sa.objective);
+      std::printf("  [n=%zu seed=%d] C: AH=%.2f MH=%.2f SA=%.2f\n", size, s,
+                  ah.objective, mh.objective, sa.objective);
+    }
+    table.addRow({CsvTable::num(static_cast<long long>(size)),
+                  CsvTable::num(devAh.mean()), CsvTable::num(devMh.mean()),
+                  CsvTable::num(cAh.mean()), CsvTable::num(cMh.mean()),
+                  CsvTable::num(cSa.mean())});
+    xs.push_back(static_cast<double>(size));
+    ahSeries.push_back(devAh.mean());
+    mhSeries.push_back(devMh.mean());
+  }
+
+  std::printf("\n");
+  printTableAndCsv(table);
+
+  AsciiChart chart("Avg % deviation from near-optimal (SA = 0 by definition)",
+                   "processes in current application", "% deviation");
+  chart.setXAxis(xs);
+  chart.addSeries("AH", ahSeries);
+  chart.addSeries("MH", mhSeries);
+  chart.render(std::cout);
+
+  std::printf(
+      "\nPaper shape check: AH should sit far above MH wherever the current\n"
+      "application loads the system; MH should stay within a few %% of SA.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure F2 (paper slide 16): average execution time of AH, MH and SA
+// versus the number of processes in the current application.
+//
+// Expected shape (paper): SA orders of magnitude above MH, MH above AH,
+// all growing with the application size. Absolute values differ from the
+// paper (2001 workstation, paper-scale SA budgets); the ordering and the
+// growth are the reproduced claims.
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace ides;
+  using namespace ides::bench;
+
+  const BenchScale scale = benchScale();
+  printHeader("Figure F2 — execution time of the mapping strategies",
+              "Avg strategy runtime [s] vs size of the current application",
+              scale);
+
+  CsvTable table({"current_processes", "AH_seconds", "MH_seconds",
+                  "SA_seconds", "MH_evals", "SA_evals"});
+  std::vector<double> xs, ahSeries, mhSeries, saSeries;
+
+  for (const std::size_t size : scale.sizes) {
+    StatAccumulator tAh, tMh, tSa, eMh, eSa;
+    for (int s = 0; s < scale.seeds; ++s) {
+      const Suite suite =
+          buildSuite(paperConfig(size), 2000 + static_cast<std::uint64_t>(s));
+      IncrementalDesigner designer(
+          suite.system, suite.profile,
+          designerOptions(scale, static_cast<std::uint64_t>(s) + 1));
+      const DesignResult ah = designer.run(Strategy::AdHoc);
+      const DesignResult mh = designer.run(Strategy::MappingHeuristic);
+      const DesignResult sa = designer.run(Strategy::SimulatedAnnealing);
+      tAh.add(ah.seconds);
+      tMh.add(mh.seconds);
+      tSa.add(sa.seconds);
+      eMh.add(static_cast<double>(mh.evaluations));
+      eSa.add(static_cast<double>(sa.evaluations));
+    }
+    table.addRow({CsvTable::num(static_cast<long long>(size)),
+                  CsvTable::num(tAh.mean(), 4), CsvTable::num(tMh.mean(), 3),
+                  CsvTable::num(tSa.mean(), 3), CsvTable::num(eMh.mean(), 0),
+                  CsvTable::num(eSa.mean(), 0)});
+    xs.push_back(static_cast<double>(size));
+    ahSeries.push_back(tAh.mean());
+    mhSeries.push_back(tMh.mean());
+    saSeries.push_back(tSa.mean());
+    std::printf("  [n=%zu] avg seconds: AH=%.4f MH=%.3f SA=%.3f\n", size,
+                tAh.mean(), tMh.mean(), tSa.mean());
+  }
+
+  std::printf("\n");
+  printTableAndCsv(table);
+
+  AsciiChart chart("Average execution time", "processes in current application",
+                   "seconds");
+  chart.setXAxis(xs);
+  chart.addSeries("SA", saSeries);
+  chart.addSeries("MH", mhSeries);
+  chart.addSeries("AH", ahSeries);
+  chart.render(std::cout);
+
+  std::printf(
+      "\nPaper shape check: runtime(SA) >> runtime(MH) >> runtime(AH), all\n"
+      "increasing with the current application size.\n");
+  return 0;
+}

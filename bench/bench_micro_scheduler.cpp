@@ -1,0 +1,96 @@
+// Micro-benchmarks of the evaluation inner loop (ablation A3 in DESIGN.md):
+// platform-state copy, list scheduling, slack extraction. These dominate
+// the runtime of MH and SA, so their throughput is what makes the paper's
+// heuristics tractable at 400+320 processes.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/initial_mapping.h"
+#include "model/system_model.h"
+#include "sched/slack.h"
+#include "tgen/benchmark_suite.h"
+
+namespace {
+
+using namespace ides;
+
+SuiteConfig configFor(std::size_t currentProcesses) {
+  SuiteConfig cfg;
+  cfg.nodeCount = 10;
+  cfg.existingProcesses = 400;
+  cfg.currentProcesses = currentProcesses;
+  cfg.futureAppCount = 0;
+  return cfg;
+}
+
+struct Instance {
+  Suite suite;
+  FrozenBase frozen;
+  MappingSolution mapping;
+
+  explicit Instance(std::size_t current)
+      : suite(buildSuite(configFor(current), 1)),
+        frozen(freezeExistingApplications(suite.system)) {
+    PlatformState state = frozen.state;
+    mapping = initialMapping(suite.system, state).mapping;
+  }
+};
+
+Instance& instanceFor(std::size_t current) {
+  static std::map<std::size_t, std::unique_ptr<Instance>> cache;
+  auto& slot = cache[current];
+  if (!slot) slot = std::make_unique<Instance>(current);
+  return *slot;
+}
+
+void BM_PlatformStateCopy(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    PlatformState copy = inst.frozen.state;
+    benchmark::DoNotOptimize(copy.totalNodeSlack());
+  }
+}
+BENCHMARK(BM_PlatformStateCopy)->Arg(80)->Arg(320);
+
+void BM_ScheduleCurrentApplication(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<std::size_t>(state.range(0)));
+  const SystemModel& sys = inst.suite.system;
+  ScheduleRequest req;
+  req.graphs = sys.graphsOfKind(AppKind::Current);
+  req.mapping = &inst.mapping;
+  for (auto _ : state) {
+    PlatformState copy = inst.frozen.state;
+    ScheduleOutcome out = scheduleGraphs(sys, req, copy);
+    benchmark::DoNotOptimize(out.feasible);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_ScheduleCurrentApplication)->Arg(40)->Arg(80)->Arg(160)->Arg(320);
+
+void BM_SlackExtraction(benchmark::State& state) {
+  Instance& inst = instanceFor(80);
+  for (auto _ : state) {
+    SlackInfo slack = extractSlack(inst.frozen.state);
+    benchmark::DoNotOptimize(slack.totalNodeSlack());
+  }
+}
+BENCHMARK(BM_SlackExtraction);
+
+void BM_FullEvaluation(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<std::size_t>(state.range(0)));
+  SolutionEvaluator eval(inst.suite.system, inst.frozen.state,
+                         inst.suite.profile, MetricWeights{});
+  for (auto _ : state) {
+    EvalResult r = eval.evaluate(inst.mapping);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_FullEvaluation)->Arg(40)->Arg(80)->Arg(160)->Arg(320);
+
+}  // namespace
+
+BENCHMARK_MAIN();

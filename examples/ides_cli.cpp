@@ -1,0 +1,217 @@
+// ides_cli — command-line driver for the library.
+//
+// Subcommands:
+//   stats    [--nodes N --existing E --current C --seed S]
+//            generate a suite and print its statistics report
+//   design   [--strategy AH|MH|SA] [suite flags]
+//            run one strategy, print metrics and validation
+//   schedule [--out FILE] [suite flags]
+//            run MH and dump the merged schedule (CSV form, stdout or file)
+//   dot      [suite flags]
+//            emit the current application's process graphs as Graphviz DOT
+//
+// All flags have defaults; every run is deterministic for a given --seed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/incremental_designer.h"
+#include "model/dot_export.h"
+#include "model/model_io.h"
+#include "model/system_stats.h"
+#include "sched/schedule_io.h"
+#include "sched/validate.h"
+#include "tgen/benchmark_suite.h"
+#include "tgen/profile_presets.h"
+
+namespace {
+
+using namespace ides;
+
+struct CliArgs {
+  std::string command;
+  std::size_t nodes = 10;
+  std::size_t existing = 400;
+  std::size_t current = 160;
+  std::uint64_t seed = 1;
+  std::string strategy = "MH";
+  std::string outFile;
+  std::string modelFile;  // load a hand-written model instead of generating
+  Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
+  Time tneed = 0;
+  std::int64_t bneed = 0;
+};
+
+void usage() {
+  std::puts(
+      "usage: ides_cli <stats|design|schedule|dot> [options]\n"
+      "  --nodes N      architecture size        (default 10)\n"
+      "  --existing E   existing processes       (default 400)\n"
+      "  --current C    current-app processes    (default 160)\n"
+      "  --seed S       generator seed           (default 1)\n"
+      "  --strategy X   AH | MH | SA             (default MH)\n"
+      "  --out FILE     write schedule to FILE   (schedule command)\n"
+      "  --model FILE   load an 'ides model v1' file instead of generating\n"
+      "  --tmin T --tneed T --bneed B  future profile for --model runs");
+}
+
+bool parse(int argc, char** argv, CliArgs& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--nodes") {
+      args.nodes = std::stoul(value);
+    } else if (flag == "--existing") {
+      args.existing = std::stoul(value);
+    } else if (flag == "--current") {
+      args.current = std::stoul(value);
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(value);
+    } else if (flag == "--strategy") {
+      args.strategy = value;
+    } else if (flag == "--out") {
+      args.outFile = value;
+    } else if (flag == "--model") {
+      args.modelFile = value;
+    } else if (flag == "--tmin") {
+      args.tmin = std::stoll(value);
+    } else if (flag == "--tneed") {
+      args.tneed = std::stoll(value);
+    } else if (flag == "--bneed") {
+      args.bneed = std::stoll(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Suite makeSuite(const CliArgs& args) {
+  if (!args.modelFile.empty()) {
+    std::ifstream in(args.modelFile);
+    if (!in) {
+      throw std::invalid_argument("cannot open model file " +
+                                  args.modelFile);
+    }
+    Suite suite{readModel(in), FutureProfile{}, args.seed, 1};
+    const Time tmin =
+        args.tmin > 0 ? args.tmin : std::max<Time>(1,
+                                                   suite.system.hyperperiod() /
+                                                       4);
+    suite.profile = paperFutureProfile(
+        tmin, args.tneed > 0 ? args.tneed : tmin / 4,
+        args.bneed > 0 ? args.bneed : 64);
+    return suite;
+  }
+  SuiteConfig cfg;
+  cfg.nodeCount = args.nodes;
+  cfg.existingProcesses = args.existing;
+  cfg.currentProcesses = args.current;
+  cfg.tneedOverride = 12000;
+  std::fprintf(stderr, "generating suite (seed %llu)...\n",
+               static_cast<unsigned long long>(args.seed));
+  return buildSuite(cfg, args.seed);
+}
+
+Strategy parseStrategy(const std::string& name) {
+  if (name == "AH") return Strategy::AdHoc;
+  if (name == "MH") return Strategy::MappingHeuristic;
+  if (name == "SA") return Strategy::SimulatedAnnealing;
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+int cmdStats(const CliArgs& args) {
+  const Suite suite = makeSuite(args);
+  std::fputs(statsReport(suite.system).c_str(), stdout);
+  std::printf("future profile: Tmin=%lld tneed=%lld bneed=%lldB\n",
+              static_cast<long long>(suite.profile.tmin),
+              static_cast<long long>(suite.profile.tneed),
+              static_cast<long long>(suite.profile.bneedBytes));
+  return 0;
+}
+
+int cmdDesign(const CliArgs& args) {
+  const Suite suite = makeSuite(args);
+  IncrementalDesigner designer(suite.system, suite.profile);
+  const DesignResult r = designer.run(parseStrategy(args.strategy));
+  std::printf("strategy: %s\nfeasible: %s\nobjective C: %.2f\n",
+              toString(r.strategy), r.feasible ? "yes" : "no", r.objective);
+  std::printf("metrics: C1P=%.2f%% C1m=%.2f%% C2P=%lld C2m=%lldB\n",
+              r.metrics.c1p, r.metrics.c1m,
+              static_cast<long long>(r.metrics.c2p),
+              static_cast<long long>(r.metrics.c2mBytes));
+  std::printf("evaluations: %zu  runtime: %.3fs\n", r.evaluations,
+              r.seconds);
+
+  Schedule all;
+  all.merge(designer.frozenSchedule());
+  all.merge(r.schedule);
+  std::vector<GraphId> graphs = suite.system.graphsOfKind(AppKind::Existing);
+  const auto cur = suite.system.graphsOfKind(AppKind::Current);
+  graphs.insert(graphs.end(), cur.begin(), cur.end());
+  const ValidationReport report =
+      validateSchedule(suite.system, all, graphs);
+  std::printf("validation: %s\n", report.ok() ? "ok" : "FAILED");
+  if (!report.ok()) std::fputs(report.summary().c_str(), stdout);
+  return report.ok() && r.feasible ? 0 : 1;
+}
+
+int cmdSchedule(const CliArgs& args) {
+  const Suite suite = makeSuite(args);
+  IncrementalDesigner designer(suite.system, suite.profile);
+  const DesignResult r = designer.run(parseStrategy(args.strategy));
+  if (!r.feasible) {
+    std::fputs("no feasible design\n", stderr);
+    return 1;
+  }
+  Schedule all;
+  all.merge(designer.frozenSchedule());
+  all.merge(r.schedule);
+  if (args.outFile.empty()) {
+    writeSchedule(std::cout, suite.system, all);
+  } else {
+    std::ofstream out(args.outFile);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.outFile.c_str());
+      return 1;
+    }
+    writeSchedule(out, suite.system, all);
+    std::fprintf(stderr, "schedule written to %s\n", args.outFile.c_str());
+  }
+  return 0;
+}
+
+int cmdDot(const CliArgs& args) {
+  const Suite suite = makeSuite(args);
+  DotOptions opts;
+  opts.application = suite.system.applicationsOfKind(AppKind::Current)
+                         .front();
+  writeDot(std::cout, suite.system, opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (args.command == "stats") return cmdStats(args);
+    if (args.command == "design") return cmdDesign(args);
+    if (args.command == "schedule") return cmdSchedule(args);
+    if (args.command == "dot") return cmdDot(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

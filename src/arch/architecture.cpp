@@ -1,0 +1,46 @@
+#include "arch/architecture.h"
+
+#include <stdexcept>
+
+namespace ides {
+
+Architecture::Architecture(std::vector<Node> nodes, TdmaBus bus)
+    : nodes_(std::move(nodes)), bus_(std::move(bus)) {
+  if (nodes_.empty()) throw std::invalid_argument("Architecture: no nodes");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id.index() != i) {
+      throw std::invalid_argument("Architecture: node ids must be dense");
+    }
+    if (!bus_.nodeHasSlot(nodes_[i].id)) {
+      throw std::invalid_argument("Architecture: node without a bus slot");
+    }
+  }
+  if (bus_.slotCount() != nodes_.size()) {
+    throw std::invalid_argument("Architecture: slot count != node count");
+  }
+}
+
+Architecture makeUniformArchitecture(std::size_t count, Time slotLength,
+                                     std::int64_t bytesPerTick,
+                                     const std::vector<double>& speedFactors) {
+  if (count == 0) {
+    throw std::invalid_argument("makeUniformArchitecture: count == 0");
+  }
+  if (speedFactors.empty()) {
+    throw std::invalid_argument("makeUniformArchitecture: no speed factors");
+  }
+  std::vector<Node> nodes;
+  std::vector<TdmaSlot> slots;
+  nodes.reserve(count);
+  slots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId id{static_cast<std::int32_t>(i)};
+    nodes.push_back(
+        {id, "N" + std::to_string(i), speedFactors[i % speedFactors.size()]});
+    slots.push_back({id, slotLength});
+  }
+  return Architecture{std::move(nodes), TdmaBus{std::move(slots),
+                                                bytesPerTick}};
+}
+
+}  // namespace ides

@@ -1,0 +1,37 @@
+// The target hardware platform: heterogeneous nodes + one TDMA bus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/node.h"
+#include "arch/tdma_bus.h"
+
+namespace ides {
+
+class Architecture {
+ public:
+  Architecture() = default;
+  /// Every node must own exactly one bus slot.
+  Architecture(std::vector<Node> nodes, TdmaBus bus);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    return nodes_.at(id.index());
+  }
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+  [[nodiscard]] const TdmaBus& bus() const { return bus_; }
+
+ private:
+  std::vector<Node> nodes_;
+  TdmaBus bus_;
+};
+
+/// Convenience builder: `count` nodes with the given speed factors (cycled),
+/// equal slot lengths, slots in node order.
+Architecture makeUniformArchitecture(std::size_t count, Time slotLength,
+                                     std::int64_t bytesPerTick,
+                                     const std::vector<double>& speedFactors = {
+                                         1.0});
+
+}  // namespace ides

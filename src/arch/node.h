@@ -1,0 +1,25 @@
+// Processing node of the distributed architecture.
+//
+// The paper's architecture (slide 4) is a set of heterogeneous nodes, each
+// with CPU, RAM/ROM, optionally an ASIC, and a communication controller
+// attached to the shared TDMA bus. For mapping and scheduling, all that
+// matters per node is its identity and a relative speed class: process WCETs
+// are stored per (process, node), so heterogeneity is fully general — the
+// speed class only drives the synthetic generators.
+#pragma once
+
+#include <string>
+
+#include "util/ids.h"
+
+namespace ides {
+
+struct Node {
+  NodeId id;
+  std::string name;
+  /// Relative speed class used by generators to derive per-node WCETs
+  /// (1.0 = reference CPU; 0.5 = twice as fast; 2.0 = twice as slow).
+  double speedFactor = 1.0;
+};
+
+}  // namespace ides

@@ -1,0 +1,53 @@
+#include "arch/tdma_bus.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ides {
+
+TdmaBus::TdmaBus(std::vector<TdmaSlot> slots, std::int64_t bytesPerTick)
+    : slots_(std::move(slots)), bytesPerTick_(bytesPerTick) {
+  if (slots_.empty()) throw std::invalid_argument("TdmaBus: no slots");
+  if (bytesPerTick_ <= 0) {
+    throw std::invalid_argument("TdmaBus: bytesPerTick must be positive");
+  }
+  slotOffset_.reserve(slots_.size());
+  std::unordered_set<NodeId> owners;
+  Time offset = 0;
+  for (const TdmaSlot& s : slots_) {
+    if (s.length <= 0) {
+      throw std::invalid_argument("TdmaBus: slot length must be positive");
+    }
+    if (!s.owner.valid()) {
+      throw std::invalid_argument("TdmaBus: slot owner invalid");
+    }
+    if (!owners.insert(s.owner).second) {
+      throw std::invalid_argument("TdmaBus: duplicate slot owner");
+    }
+    slotOffset_.push_back(offset);
+    offset += s.length;
+  }
+  roundLength_ = offset;
+}
+
+std::size_t TdmaBus::slotOfNode(NodeId node) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].owner == node) return i;
+  }
+  throw std::out_of_range("TdmaBus: node has no slot");
+}
+
+bool TdmaBus::nodeHasSlot(NodeId node) const {
+  for (const TdmaSlot& s : slots_) {
+    if (s.owner == node) return true;
+  }
+  return false;
+}
+
+std::int64_t TdmaBus::firstRoundAtOrAfter(std::size_t i, Time t) const {
+  if (t <= slotOffset_[i]) return 0;
+  // slotStart(r, i) = r*roundLength + offset[i] >= t
+  return ceilDiv(t - slotOffset_[i], roundLength_);
+}
+
+}  // namespace ides

@@ -1,0 +1,73 @@
+#include "core/evaluator.h"
+
+#include "model/graph_algos.h"
+#include "model/system_model.h"
+
+namespace ides {
+
+SolutionEvaluator::SolutionEvaluator(const SystemModel& sys,
+                                     PlatformState baseline,
+                                     FutureProfile profile,
+                                     MetricWeights weights,
+                                     std::vector<GraphId> movableGraphs)
+    : sys_(&sys),
+      baseline_(std::move(baseline)),
+      profile_(std::move(profile)),
+      weights_(weights),
+      currentGraphs_(movableGraphs.empty()
+                         ? sys.graphsOfKind(AppKind::Current)
+                         : std::move(movableGraphs)) {
+  profile_.validate();
+  priorities_.reserve(currentGraphs_.size());
+  for (GraphId g : currentGraphs_) {
+    priorities_.push_back(criticalPathPriorities(sys, g));
+  }
+}
+
+EvalResult SolutionEvaluator::evaluate(const MappingSolution& solution) const {
+  return evaluate(solution, nullptr, nullptr);
+}
+
+EvalResult SolutionEvaluator::evaluate(const MappingSolution& solution,
+                                       ScheduleOutcome* outcomeOut,
+                                       SlackInfo* slackOut) const {
+  PlatformState state = baseline_;
+  ScheduleRequest req;
+  req.graphs = currentGraphs_;
+  req.mapping = &solution;
+  req.priorities = &priorities_;
+  ScheduleOutcome outcome = scheduleGraphs(*sys_, req, state);
+
+  EvalResult result;
+  result.placed = outcome.placed;
+  result.feasible = outcome.feasible;
+  result.deadlineMisses = outcome.deadlineMisses;
+  result.lateness = outcome.totalLateness;
+
+  if (!outcome.placed) {
+    result.cost = kUnplacedPenalty;
+  } else if (!outcome.feasible) {
+    result.cost = kMissPenalty + static_cast<double>(outcome.totalLateness);
+  } else {
+    const SlackInfo slack = extractSlack(state);
+    result.metrics = computeMetrics(slack, profile_);
+    result.objective = objectiveValue(result.metrics, profile_, weights_);
+    result.cost = result.objective;
+    if (slackOut != nullptr) *slackOut = slack;
+  }
+  if (outcomeOut != nullptr) *outcomeOut = std::move(outcome);
+  return result;
+}
+
+PlatformState SolutionEvaluator::stateWith(
+    const MappingSolution& solution) const {
+  PlatformState state = baseline_;
+  ScheduleRequest req;
+  req.graphs = currentGraphs_;
+  req.mapping = &solution;
+  req.priorities = &priorities_;
+  scheduleGraphs(*sys_, req, state);
+  return state;
+}
+
+}  // namespace ides

@@ -1,0 +1,88 @@
+// SolutionEvaluator: the single evaluation pipeline shared by AH, MH and SA.
+//
+// Holds the frozen baseline (existing applications already committed to the
+// platform) and, for a candidate MappingSolution of the current application:
+//   1. copies the baseline platform state,
+//   2. list-schedules the current application under the candidate mapping,
+//   3. extracts the remaining slack,
+//   4. computes the design metrics and the objective C.
+//
+// Infeasible candidates get a penalty cost far above any feasible objective,
+// graded by lateness so simulated annealing can still climb out.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/future_profile.h"
+#include "core/metrics.h"
+#include "sched/list_scheduler.h"
+#include "sched/mapping.h"
+#include "sched/platform_state.h"
+#include "sched/slack.h"
+
+namespace ides {
+
+class SystemModel;
+
+struct EvalResult {
+  bool placed = false;
+  bool feasible = false;
+  int deadlineMisses = 0;
+  Time lateness = 0;
+  DesignMetrics metrics;
+  /// Objective C (valid when feasible).
+  double objective = 0.0;
+  /// What the strategies minimize: objective if feasible, penalty otherwise.
+  double cost = 0.0;
+};
+
+class SolutionEvaluator {
+ public:
+  /// Cost assigned when the schedule misses deadlines (plus lateness).
+  static constexpr double kMissPenalty = 1e6;
+  /// Cost when the application cannot even be placed inside the horizon.
+  static constexpr double kUnplacedPenalty = 1e7;
+
+  /// `baseline` must already contain the frozen existing applications.
+  /// `movableGraphs` is the set of graphs (re)scheduled per evaluation; the
+  /// default — empty — means the AppKind::Current graphs. The modification
+  /// extension passes current + unfrozen existing graphs instead.
+  SolutionEvaluator(const SystemModel& sys, PlatformState baseline,
+                    FutureProfile profile, MetricWeights weights,
+                    std::vector<GraphId> movableGraphs = {});
+
+  /// Cheap evaluation used in optimization inner loops.
+  [[nodiscard]] EvalResult evaluate(const MappingSolution& solution) const;
+
+  /// Full evaluation, optionally exposing the schedule and slack snapshot
+  /// (used for final results and MH's potential analysis).
+  [[nodiscard]] EvalResult evaluate(const MappingSolution& solution,
+                                    ScheduleOutcome* outcomeOut,
+                                    SlackInfo* slackOut) const;
+
+  /// Baseline copy with the given solution committed on top; the starting
+  /// point for future-fit experiments.
+  [[nodiscard]] PlatformState stateWith(const MappingSolution& solution) const;
+
+  [[nodiscard]] const SystemModel& system() const { return *sys_; }
+  [[nodiscard]] const PlatformState& baseline() const { return baseline_; }
+  [[nodiscard]] const std::vector<GraphId>& currentGraphs() const {
+    return currentGraphs_;
+  }
+  [[nodiscard]] const FutureProfile& profile() const { return profile_; }
+  [[nodiscard]] const MetricWeights& weights() const { return weights_; }
+  [[nodiscard]] const std::vector<std::vector<double>>& priorities() const {
+    return priorities_;
+  }
+
+ private:
+  const SystemModel* sys_;
+  PlatformState baseline_;
+  FutureProfile profile_;
+  MetricWeights weights_;
+  std::vector<GraphId> currentGraphs_;
+  std::vector<std::vector<double>> priorities_;  // per current graph
+};
+
+}  // namespace ides

@@ -1,0 +1,27 @@
+#include "core/future_fit.h"
+
+#include <stdexcept>
+
+#include "model/system_model.h"
+
+namespace ides {
+
+FutureFitResult tryMapFutureApplication(const SystemModel& sys,
+                                        ApplicationId futureApp,
+                                        const PlatformState& base) {
+  const Application& app = sys.application(futureApp);
+  if (app.kind != AppKind::Future) {
+    throw std::invalid_argument(
+        "tryMapFutureApplication: application is not AppKind::Future");
+  }
+  PlatformState state = base;
+  ScheduleRequest req;
+  req.graphs = app.graphs;
+  req.chooseNodes = true;
+  FutureFitResult result;
+  result.outcome = scheduleGraphs(sys, req, state);
+  result.fits = result.outcome.feasible;
+  return result;
+}
+
+}  // namespace ides

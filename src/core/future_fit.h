@@ -1,0 +1,30 @@
+// Future-fit check: can a concrete future application be implemented on the
+// system after the current application has been committed?
+//
+// This is the paper's third experiment (slide 17): generate future
+// applications, then try to map and schedule them — with the existing AND
+// current applications frozen — using the same Initial Mapping construction.
+// A future application "fits" iff IM finds a valid schedule.
+#pragma once
+
+#include "sched/list_scheduler.h"
+#include "sched/platform_state.h"
+#include "util/ids.h"
+
+namespace ides {
+
+class SystemModel;
+
+struct FutureFitResult {
+  bool fits = false;
+  ScheduleOutcome outcome;
+};
+
+/// Try to map + schedule one AppKind::Future application on top of `base`
+/// (typically SolutionEvaluator::stateWith(committed solution)). The base is
+/// copied; nothing is mutated.
+FutureFitResult tryMapFutureApplication(const SystemModel& sys,
+                                        ApplicationId futureApp,
+                                        const PlatformState& base);
+
+}  // namespace ides

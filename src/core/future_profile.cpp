@@ -1,0 +1,25 @@
+#include "core/future_profile.h"
+
+#include <stdexcept>
+
+namespace ides {
+
+void FutureProfile::validate() const {
+  if (tmin <= 0) throw std::invalid_argument("FutureProfile: tmin <= 0");
+  if (tneed <= 0) throw std::invalid_argument("FutureProfile: tneed <= 0");
+  if (bneedBytes <= 0) {
+    throw std::invalid_argument("FutureProfile: bneed <= 0");
+  }
+  if (wcetDistribution.empty()) {
+    throw std::invalid_argument("FutureProfile: empty WCET distribution");
+  }
+  if (messageSizeDistribution.empty()) {
+    throw std::invalid_argument("FutureProfile: empty message distribution");
+  }
+  if (wcetDistribution.minValue() <= 0 ||
+      messageSizeDistribution.minValue() <= 0) {
+    throw std::invalid_argument("FutureProfile: non-positive sample values");
+  }
+}
+
+}  // namespace ides

@@ -1,0 +1,31 @@
+// Characterization of the family of future applications (paper slide 10).
+//
+// Future applications do not exist yet at design time; the designer only
+// knows, from experience with the product line:
+//   * Tmin   — the smallest expected period of any future process graph;
+//   * tneed  — the processor time the most demanding future application is
+//              expected to need inside every Tmin window (ticks);
+//   * bneed  — the bus bandwidth it is expected to need inside every Tmin
+//              window (bytes);
+//   * histograms of typical future process WCETs and message sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ides {
+
+struct FutureProfile {
+  Time tmin = 0;
+  Time tneed = 0;
+  std::int64_t bneedBytes = 0;
+  DiscreteDistribution wcetDistribution;
+  DiscreteDistribution messageSizeDistribution;
+
+  /// Throws std::invalid_argument if any field is non-positive/empty.
+  void validate() const;
+};
+
+}  // namespace ides

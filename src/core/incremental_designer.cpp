@@ -1,0 +1,83 @@
+#include "core/incremental_designer.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "model/system_model.h"
+
+namespace ides {
+
+const char* toString(Strategy s) {
+  switch (s) {
+    case Strategy::AdHoc: return "AH";
+    case Strategy::MappingHeuristic: return "MH";
+    case Strategy::SimulatedAnnealing: return "SA";
+  }
+  return "?";
+}
+
+IncrementalDesigner::IncrementalDesigner(const SystemModel& sys,
+                                         FutureProfile profile,
+                                         DesignerOptions options)
+    : sys_(&sys),
+      options_(options),
+      frozen_(freezeExistingApplications(sys)) {
+  if (!frozen_.feasible) {
+    throw std::runtime_error(
+        "IncrementalDesigner: existing applications are not schedulable");
+  }
+  evaluator_ = std::make_unique<SolutionEvaluator>(
+      sys, frozen_.state, std::move(profile), options_.weights);
+}
+
+DesignResult IncrementalDesigner::run(Strategy strategy) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  DesignResult result;
+  result.strategy = strategy;
+
+  // All strategies start from the same Initial Mapping.
+  PlatformState state = frozen_.state;
+  const ScheduleOutcome im = initialMapping(*sys_, state);
+  result.evaluations = 1;
+  if (!im.feasible) {
+    result.feasible = false;
+    result.seconds = std::chrono::duration<double>(Clock::now() - start)
+                         .count();
+    return result;
+  }
+
+  MappingSolution solution = im.mapping;
+  switch (strategy) {
+    case Strategy::AdHoc:
+      // AH stops at the first valid solution.
+      break;
+    case Strategy::MappingHeuristic: {
+      MhResult mh = runMappingHeuristic(*evaluator_, solution, options_.mh);
+      solution = std::move(mh.solution);
+      result.evaluations += mh.evaluations;
+      break;
+    }
+    case Strategy::SimulatedAnnealing: {
+      SaResult sa = runSimulatedAnnealing(*evaluator_, solution, options_.sa);
+      solution = std::move(sa.solution);
+      result.evaluations += sa.evaluations;
+      break;
+    }
+  }
+
+  ScheduleOutcome outcome;
+  const EvalResult eval = evaluator_->evaluate(solution, &outcome, nullptr);
+  ++result.evaluations;
+  result.feasible = eval.feasible;
+  result.mapping = std::move(solution);
+  result.schedule = std::move(outcome.schedule);
+  result.metrics = eval.metrics;
+  result.objective = eval.cost;
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace ides

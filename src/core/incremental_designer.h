@@ -1,0 +1,85 @@
+// IncrementalDesigner: the library facade.
+//
+// Wires the whole flow of the paper together: freeze the existing
+// applications, construct the initial mapping, then improve it with the
+// chosen strategy and report the design metrics, the objective C, and the
+// wall-clock runtime. One designer instance can run several strategies on
+// the same frozen baseline, which is how the benchmark harness compares
+// AH / MH / SA on identical instances.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/evaluator.h"
+#include "core/future_profile.h"
+#include "core/initial_mapping.h"
+#include "core/mapping_heuristic.h"
+#include "core/metrics.h"
+#include "core/simulated_annealing.h"
+#include "sched/schedule.h"
+
+namespace ides {
+
+class SystemModel;
+
+enum class Strategy {
+  AdHoc,               ///< AH: stop at the first valid solution (IM)
+  MappingHeuristic,    ///< MH: the paper's iterative improvement
+  SimulatedAnnealing,  ///< SA: near-optimal reference
+};
+
+const char* toString(Strategy s);
+
+struct DesignerOptions {
+  MetricWeights weights;
+  MhOptions mh;
+  SaOptions sa;
+};
+
+struct DesignResult {
+  Strategy strategy = Strategy::AdHoc;
+  bool feasible = false;
+  MappingSolution mapping;
+  /// Schedule of the current application only (frozen part excluded).
+  Schedule schedule;
+  DesignMetrics metrics;
+  /// Objective C of the final solution.
+  double objective = 0.0;
+  /// Wall-clock strategy runtime in seconds (includes IM).
+  double seconds = 0.0;
+  std::size_t evaluations = 0;
+};
+
+class IncrementalDesigner {
+ public:
+  /// Freezes the existing applications immediately; throws
+  /// std::runtime_error if they cannot be feasibly scheduled.
+  IncrementalDesigner(const SystemModel& sys, FutureProfile profile,
+                      DesignerOptions options = {});
+
+  /// Run one strategy from a fresh IM start.
+  DesignResult run(Strategy strategy);
+
+  [[nodiscard]] const SolutionEvaluator& evaluator() const {
+    return *evaluator_;
+  }
+  /// Frozen schedule of the existing applications.
+  [[nodiscard]] const Schedule& frozenSchedule() const {
+    return frozen_.schedule;
+  }
+  [[nodiscard]] const FrozenBase& frozenBase() const { return frozen_; }
+
+  /// Platform state with a result committed; input for future-fit checks.
+  [[nodiscard]] PlatformState stateWith(const DesignResult& result) const {
+    return evaluator_->stateWith(result.mapping);
+  }
+
+ private:
+  const SystemModel* sys_;
+  DesignerOptions options_;
+  FrozenBase frozen_;
+  std::unique_ptr<SolutionEvaluator> evaluator_;
+};
+
+}  // namespace ides

@@ -1,0 +1,136 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ides {
+
+std::vector<std::int64_t> largestFutureDemand(const DiscreteDistribution& dist,
+                                              std::int64_t totalSlack) {
+  if (totalSlack <= 0) return {};
+  // Upper bound on how many items could possibly fit, then trim the
+  // deterministic stream greedily (it is emitted largest-value-first).
+  const double expected = dist.expectedValue();
+  const auto bound = static_cast<std::size_t>(
+      static_cast<double>(totalSlack) / std::max(1.0, expected) +
+      static_cast<double>(dist.entries().size()) + 8);
+  std::vector<std::int64_t> stream = dist.deterministicStream(bound);
+  std::vector<std::int64_t> out;
+  std::int64_t sum = 0;
+  for (std::int64_t v : stream) {
+    if (sum + v > totalSlack) continue;  // skip items too big, keep filling
+    sum += v;
+    out.push_back(v);
+  }
+  return out;  // still descending: skipped items only remove elements
+}
+
+std::int64_t bestFitUnpacked(const std::vector<std::int64_t>& itemsDesc,
+                             std::vector<std::int64_t> containers) {
+  // Best-fit: place each item into the fullest container that still takes
+  // it. A multiset over remaining capacities gives O(n log n).
+  std::multimap<std::int64_t, std::size_t> byRemaining;
+  for (std::size_t i = 0; i < containers.size(); ++i) {
+    if (containers[i] > 0) byRemaining.emplace(containers[i], i);
+  }
+  std::int64_t unpacked = 0;
+  for (std::int64_t item : itemsDesc) {
+    auto it = byRemaining.lower_bound(item);
+    if (it == byRemaining.end()) {
+      unpacked += item;
+      continue;
+    }
+    const std::size_t ci = it->second;
+    byRemaining.erase(it);
+    containers[ci] -= item;
+    if (containers[ci] > 0) byRemaining.emplace(containers[ci], ci);
+  }
+  return unpacked;
+}
+
+namespace {
+
+/// C1 for one resource class: slack containers vs. the deterministic
+/// largest-future-application demand. Returns percent unpacked.
+double c1Percent(const std::vector<std::int64_t>& containers,
+                 const DiscreteDistribution& dist) {
+  std::int64_t total = 0;
+  for (std::int64_t c : containers) total += c;
+  const std::vector<std::int64_t> items = largestFutureDemand(dist, total);
+  std::int64_t demand = 0;
+  for (std::int64_t v : items) demand += v;
+  if (demand == 0) {
+    // No future item fits even in contiguous slack: the design alternative
+    // leaves no usable slack at all.
+    return total > 0 ? 0.0 : 100.0;
+  }
+  const std::int64_t unpacked = bestFitUnpacked(items, containers);
+  return 100.0 * static_cast<double>(unpacked) / static_cast<double>(demand);
+}
+
+}  // namespace
+
+DesignMetrics computeMetrics(const SlackInfo& slack,
+                             const FutureProfile& profile) {
+  profile.validate();
+  DesignMetrics m;
+
+  // ---- C1P: processor slack intervals as containers ----------------------
+  std::vector<std::int64_t> procContainers;
+  for (const IntervalSet& free : slack.nodeFree) {
+    for (const Interval& iv : free.intervals()) {
+      procContainers.push_back(iv.length());
+    }
+  }
+  m.c1p = c1Percent(procContainers, profile.wcetDistribution);
+
+  // ---- C1m: per-slot-occurrence free bytes as containers -----------------
+  std::vector<std::int64_t> busContainers;
+  busContainers.reserve(slack.busChunks.size());
+  for (const SlackInfo::BusChunk& c : slack.busChunks) {
+    busContainers.push_back(c.freeTicks * slack.busBytesPerTick);
+  }
+  m.c1m = c1Percent(busContainers, profile.messageSizeDistribution);
+
+  // ---- C2: minimum slack inside any Tmin window ---------------------------
+  const std::int64_t windows = slack.horizon / profile.tmin;
+  if (windows > 0) {
+    Time sumOfMins = 0;
+    for (std::size_t n = 0; n < slack.nodeFree.size(); ++n) {
+      Time nodeMin = kTimeMax;
+      for (std::int64_t w = 0; w < windows; ++w) {
+        nodeMin = std::min(
+            nodeMin, slack.nodeSlackInWindow(n, w * profile.tmin,
+                                             (w + 1) * profile.tmin));
+      }
+      sumOfMins += nodeMin;
+    }
+    m.c2p = sumOfMins;
+
+    Time busMin = kTimeMax;
+    for (std::int64_t w = 0; w < windows; ++w) {
+      busMin = std::min(busMin, slack.busSlackInWindow(
+                                    w * profile.tmin, (w + 1) * profile.tmin));
+    }
+    m.c2mBytes = busMin * slack.busBytesPerTick;
+  }
+  return m;
+}
+
+double objectiveValue(const DesignMetrics& metrics,
+                      const FutureProfile& profile,
+                      const MetricWeights& weights) {
+  const double p2p =
+      100.0 *
+      static_cast<double>(std::max<Time>(0, profile.tneed - metrics.c2p)) /
+      static_cast<double>(profile.tneed);
+  const double p2m =
+      100.0 *
+      static_cast<double>(
+          std::max<std::int64_t>(0, profile.bneedBytes - metrics.c2mBytes)) /
+      static_cast<double>(profile.bneedBytes);
+  return weights.w1p * metrics.c1p + weights.w1m * metrics.c1m +
+         weights.w2p * p2p + weights.w2m * p2m;
+}
+
+}  // namespace ides

@@ -1,0 +1,66 @@
+// Design criteria and metrics (paper slides 12-14).
+//
+// Criterion 1 — slack *size*: the slack left by the current design should be
+// able to swallow the largest future application. We synthesize that
+// application from the profile's histograms (the biggest one that would fit
+// if all slack were contiguous) and best-fit pack it into the real slack
+// fragments. C1P / C1m report the percentage (by demand) that does NOT fit:
+// 0% for perfectly contiguous slack, large for fragmented slack.
+//
+// Criterion 2 — slack *distribution*: a future application with period Tmin
+// needs tneed processor ticks and bneed bus bytes inside EVERY window of
+// length Tmin. C2P is the sum over processors of the minimum in-window
+// slack; C2m the same for the bus (in bytes).
+//
+// Objective (slide 14):
+//   C = w1P*C1P + w1m*C1m
+//     + w2P*max(0, tneed - C2P)/tneed*100
+//     + w2m*max(0, bneed - C2m)/bneed*100
+// The penalty terms are normalized to percent of the need so all four terms
+// share a scale; the paper gives the un-normalized form and leaves weights
+// unspecified (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "core/future_profile.h"
+#include "sched/slack.h"
+
+namespace ides {
+
+struct MetricWeights {
+  double w1p = 1.0;
+  double w1m = 1.0;
+  double w2p = 2.0;
+  double w2m = 2.0;
+};
+
+struct DesignMetrics {
+  double c1p = 0.0;          ///< % of future processor demand left unpacked
+  double c1m = 0.0;          ///< % of future bus demand left unpacked
+  Time c2p = 0;              ///< sum of per-node min slack in a Tmin window
+  std::int64_t c2mBytes = 0; ///< min bus slack in a Tmin window (bytes)
+};
+
+/// Compute all four metrics from a slack snapshot.
+DesignMetrics computeMetrics(const SlackInfo& slack,
+                             const FutureProfile& profile);
+
+/// The paper's objective function C.
+double objectiveValue(const DesignMetrics& metrics,
+                      const FutureProfile& profile,
+                      const MetricWeights& weights);
+
+/// C1 building block, exposed for tests and the ablation benches:
+/// best-fit-decreasing packing of `items` into `containers`; returns the
+/// total size of items that do not fit. Items must be sorted descending.
+std::int64_t bestFitUnpacked(const std::vector<std::int64_t>& itemsDesc,
+                             std::vector<std::int64_t> containers);
+
+/// The deterministic "largest future application" demand stream for a given
+/// amount of total slack: values drawn from `dist` whose sum does not exceed
+/// `totalSlack` (descending). Exposed for tests.
+std::vector<std::int64_t> largestFutureDemand(const DiscreteDistribution& dist,
+                                              std::int64_t totalSlack);
+
+}  // namespace ides

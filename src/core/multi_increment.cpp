@@ -1,0 +1,75 @@
+#include "core/multi_increment.h"
+
+#include "core/initial_mapping.h"
+#include "core/mapping_heuristic.h"
+#include "core/simulated_annealing.h"
+#include "model/system_model.h"
+#include "util/log.h"
+
+namespace ides {
+
+MultiIncrementResult runIncrementSequence(
+    const SystemModel& sys, const FutureProfile& profile,
+    const std::vector<ApplicationId>& increments,
+    const MultiIncrementOptions& options) {
+  const FrozenBase base = freezeExistingApplications(sys);
+  if (!base.feasible) {
+    throw std::runtime_error(
+        "runIncrementSequence: existing base not schedulable");
+  }
+
+  MultiIncrementResult result{{}, 0, base.state};
+
+  for (const ApplicationId appId : increments) {
+    const Application& app = sys.application(appId);
+    IncrementStep step;
+    step.application = appId;
+
+    // IM for this increment on the platform as it stands.
+    PlatformState trial = result.finalState;
+    ScheduleRequest req;
+    req.graphs = app.graphs;
+    req.chooseNodes = true;
+    const ScheduleOutcome im = scheduleGraphs(sys, req, trial);
+
+    if (im.feasible) {
+      // Optimize the increment with the chosen policy, then commit.
+      MappingSolution solution = im.mapping;
+      if (options.strategy != Strategy::AdHoc) {
+        const SolutionEvaluator evaluator(sys, result.finalState, profile,
+                                          options.weights, app.graphs);
+        if (options.strategy == Strategy::MappingHeuristic) {
+          solution =
+              runMappingHeuristic(evaluator, solution, options.mh).solution;
+        } else {
+          solution =
+              runSimulatedAnnealing(evaluator, solution, options.sa).solution;
+        }
+      }
+      // Commit the optimized mapping.
+      PlatformState committed = result.finalState;
+      ScheduleRequest commitReq;
+      commitReq.graphs = app.graphs;
+      commitReq.mapping = &solution;
+      const ScheduleOutcome outcome =
+          scheduleGraphs(sys, commitReq, committed);
+      if (outcome.feasible) {
+        step.accepted = true;
+        result.finalState = std::move(committed);
+        result.accepted += 1;
+        const SlackInfo slack = extractSlack(result.finalState);
+        step.metrics = computeMetrics(slack, profile);
+        step.objective =
+            objectiveValue(step.metrics, profile, options.weights);
+        IDES_LOG_AT(LogLevel::Debug)
+            << "increment " << app.name << " accepted, C=" << step.objective;
+      }
+    }
+
+    result.steps.push_back(step);
+    if (!step.accepted && options.stopAtFirstReject) break;
+  }
+  return result;
+}
+
+}  // namespace ides

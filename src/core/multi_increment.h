@@ -1,0 +1,63 @@
+// Multi-increment simulation: the incremental design process played
+// forward over several product versions.
+//
+// The paper evaluates one step of the process (map the current application,
+// check one future application). The real claim is about the *process*: a
+// platform designed future-aware should absorb MORE successive increments
+// before running out of room. This module simulates that: a queue of
+// candidate applications is implemented one per version; at each version
+// the increment is mapped with the chosen strategy and frozen; the run
+// ends when an increment no longer fits. The number of absorbed increments
+// is the lifetime of the platform under that design policy.
+#pragma once
+
+#include <vector>
+
+#include "core/future_profile.h"
+#include "core/incremental_designer.h"
+#include "core/metrics.h"
+#include "sched/platform_state.h"
+#include "util/ids.h"
+
+namespace ides {
+
+class SystemModel;
+
+struct IncrementStep {
+  ApplicationId application;
+  bool accepted = false;
+  /// Objective C after committing this increment (if accepted).
+  double objective = 0.0;
+  DesignMetrics metrics;
+};
+
+struct MultiIncrementResult {
+  /// Steps in queue order; acceptance stops at the first rejection only if
+  /// stopAtFirstReject, otherwise later increments are still tried.
+  std::vector<IncrementStep> steps;
+  std::size_t accepted = 0;
+  /// Platform occupancy after the last accepted increment.
+  PlatformState finalState;
+};
+
+struct MultiIncrementOptions {
+  Strategy strategy = Strategy::MappingHeuristic;
+  MetricWeights weights;
+  MhOptions mh;
+  SaOptions sa;
+  /// If false, a rejected increment is skipped and the next one is tried
+  /// (product management picks another feature); if true the simulation
+  /// stops at the first rejection.
+  bool stopAtFirstReject = false;
+};
+
+/// Implement the applications in `increments` (any kind; they are treated
+/// as successive current applications) on top of the frozen
+/// AppKind::Existing base of `sys`, one version at a time, re-optimizing
+/// each increment with the chosen strategy before freezing it.
+MultiIncrementResult runIncrementSequence(
+    const SystemModel& sys, const FutureProfile& profile,
+    const std::vector<ApplicationId>& increments,
+    const MultiIncrementOptions& options = {});
+
+}  // namespace ides

@@ -1,0 +1,98 @@
+#include "core/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "model/system_model.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace ides {
+
+SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
+                               const MappingSolution& initial,
+                               const SaOptions& options) {
+  const SystemModel& sys = evaluator.system();
+  Rng rng(options.seed);
+
+  // Movable entities: the current application's processes and messages.
+  std::vector<ProcessId> procs;
+  std::vector<MessageId> msgs;
+  for (GraphId g : evaluator.currentGraphs()) {
+    const ProcessGraph& graph = sys.graph(g);
+    procs.insert(procs.end(), graph.processes.begin(), graph.processes.end());
+    msgs.insert(msgs.end(), graph.messages.begin(), graph.messages.end());
+  }
+  if (procs.empty()) {
+    throw std::invalid_argument("runSimulatedAnnealing: empty application");
+  }
+
+  SaResult result;
+  result.solution = initial;
+  result.eval = evaluator.evaluate(initial);
+  result.evaluations = 1;
+  if (!result.eval.feasible) {
+    throw std::invalid_argument("runSimulatedAnnealing: initial not feasible");
+  }
+
+  MappingSolution current = initial;
+  double currentCost = result.eval.cost;
+
+  const double t0 =
+      std::max(1.0, options.initialTempFactor * result.eval.cost);
+  const double alpha =
+      options.iterations > 1
+          ? std::pow(options.finalTemp / t0,
+                     1.0 / static_cast<double>(options.iterations - 1))
+          : 1.0;
+  double temp = t0;
+
+  for (int it = 0; it < options.iterations; ++it, temp *= alpha) {
+    MappingSolution trial = current;
+    const double dice = rng.uniform01();
+    if (dice < options.probRemap) {
+      // Re-map a process to a random allowed node, ASAP.
+      const ProcessId p = rng.pick(procs);
+      const auto allowed = sys.process(p).allowedNodes();
+      trial.setNode(p, allowed[rng.index(allowed.size())]);
+      trial.setStartHint(p, 0);
+    } else if (dice < options.probRemap + options.probProcessHint) {
+      // Move a process into a random slack of its node: a random
+      // period-relative start hint that still leaves room for the WCET.
+      const ProcessId p = rng.pick(procs);
+      const Process& proc = sys.process(p);
+      const ProcessGraph& graph = sys.graph(proc.graph);
+      const Time maxHint = std::max<Time>(
+          0, graph.deadline - proc.wcetOn(trial.nodeOf(p)));
+      trial.setStartHint(p, maxHint > 0 ? rng.uniformInt(0, maxHint) : 0);
+    } else if (!msgs.empty()) {
+      // Move a message into a random bus slack.
+      const MessageId m = rng.pick(msgs);
+      const ProcessGraph& graph = sys.graph(sys.message(m).graph);
+      trial.setMessageHint(m, rng.uniformInt(0, graph.deadline - 1));
+    } else {
+      continue;
+    }
+
+    const EvalResult r = evaluator.evaluate(trial);
+    ++result.evaluations;
+    const double delta = r.cost - currentCost;
+    if (delta <= 0.0 ||
+        rng.uniform01() < std::exp(-delta / std::max(temp, 1e-12))) {
+      current = std::move(trial);
+      currentCost = r.cost;
+      ++result.accepted;
+      if (r.feasible && r.cost < result.eval.cost) {
+        result.solution = current;
+        result.eval = r;
+        IDES_LOG_AT(LogLevel::Debug)
+            << "SA iter " << it << ": best C=" << r.cost << " T=" << temp;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ides

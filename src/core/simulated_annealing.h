@@ -1,0 +1,45 @@
+// SA — simulated annealing over the same design transformations as MH.
+//
+// The paper uses SA, tuned long, as the near-optimal reference point for the
+// objective C; its cost is the denominator of the "average percentage
+// deviation" series in the evaluation. Moves: re-map a process to a random
+// allowed node, push a process into a random slack (start-hint change), or
+// push a message into a random bus slack (message-hint change). Standard
+// Metropolis acceptance with a geometric cooling schedule; infeasible
+// states are admitted at high penalty cost so the walk can cross narrow
+// infeasible ridges, but only feasible states can become the incumbent.
+#pragma once
+
+#include <cstdint>
+
+#include "core/evaluator.h"
+#include "sched/mapping.h"
+
+namespace ides {
+
+struct SaOptions {
+  std::uint64_t seed = 1;
+  int iterations = 20000;
+  /// Initial temperature as a fraction of the initial cost.
+  double initialTempFactor = 0.3;
+  /// Final temperature (cooling is geometric from T0 to this).
+  double finalTemp = 0.05;
+  /// Move mix.
+  double probRemap = 0.5;        ///< move process to another node
+  double probProcessHint = 0.35; ///< move process to another slack
+  // remaining probability: move message to another bus slack
+};
+
+struct SaResult {
+  MappingSolution solution;  ///< best feasible solution seen
+  EvalResult eval;
+  std::size_t evaluations = 0;
+  std::size_t accepted = 0;
+};
+
+/// Requires `initial` to be feasible; throws otherwise.
+SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
+                               const MappingSolution& initial,
+                               const SaOptions& options = {});
+
+}  // namespace ides

@@ -1,0 +1,29 @@
+// An application: a set of process graphs delivered as one unit of
+// functionality. The incremental design process distinguishes the frozen
+// existing applications, the current application being mapped, and future
+// applications that do not exist yet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace ides {
+
+enum class AppKind {
+  Existing,  ///< Already implemented; mapping and schedule are frozen.
+  Current,   ///< Being mapped/scheduled now.
+  Future,    ///< Hypothetical future increment (used by FutureFit).
+};
+
+const char* toString(AppKind kind);
+
+struct Application {
+  ApplicationId id;
+  std::string name;
+  AppKind kind = AppKind::Current;
+  std::vector<GraphId> graphs;
+};
+
+}  // namespace ides

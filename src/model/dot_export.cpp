@@ -1,0 +1,85 @@
+#include "model/dot_export.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "model/system_model.h"
+#include "sched/mapping.h"
+
+namespace ides {
+
+namespace {
+
+// A qualitative palette; node i of the architecture gets color i (cycled).
+constexpr const char* kPalette[] = {
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+    "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+};
+
+std::string wcetLabel(const Process& p) {
+  std::ostringstream os;
+  os << "\\n[";
+  bool first = true;
+  for (Time t : p.wcet) {
+    if (!first) os << ' ';
+    if (t == kNoTime) {
+      os << '-';
+    } else {
+      os << t;
+    }
+    first = false;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+void writeDot(std::ostream& os, const SystemModel& sys,
+              const DotOptions& options) {
+  os << "digraph system {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=ellipse, style=filled, fillcolor=white];\n";
+  for (const Application& app : sys.applications()) {
+    if (options.application.valid() && app.id != options.application) {
+      continue;
+    }
+    for (const GraphId gid : app.graphs) {
+      const ProcessGraph& g = sys.graph(gid);
+      os << "  subgraph cluster_g" << gid.value << " {\n"
+         << "    label=\"" << app.name << " / G" << gid.value
+         << " (T=" << g.period << ", D=" << g.deadline;
+      if (g.offset != 0) os << ", O=" << g.offset;
+      os << ")\";\n";
+      for (const ProcessId pid : g.processes) {
+        const Process& p = sys.process(pid);
+        os << "    p" << pid.value << " [label=\"" << p.name;
+        if (options.showWcets) os << wcetLabel(p);
+        os << '"';
+        if (options.mapping != nullptr) {
+          const NodeId n = options.mapping->nodeOf(pid);
+          if (n.valid()) {
+            os << ", fillcolor=\""
+               << kPalette[n.index() % std::size(kPalette)] << '"';
+          }
+        }
+        os << "];\n";
+      }
+      for (const MessageId mid : g.messages) {
+        const Message& m = sys.message(mid);
+        os << "    p" << m.src.value << " -> p" << m.dst.value
+           << " [label=\"" << m.sizeBytes << "B\"];\n";
+      }
+      os << "  }\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string toDot(const SystemModel& sys, const DotOptions& options) {
+  std::ostringstream os;
+  writeDot(os, sys, options);
+  return os.str();
+}
+
+}  // namespace ides

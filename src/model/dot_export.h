@@ -1,0 +1,33 @@
+// Graphviz DOT export of process graphs and mappings.
+//
+// `dot -Tpng` of the output gives the usual co-synthesis paper figure: one
+// cluster per process graph, nodes annotated with WCETs, edges with message
+// sizes; when a mapping is supplied, processes are colored by the node they
+// were mapped to.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/ids.h"
+
+namespace ides {
+
+class SystemModel;
+class MappingSolution;
+
+struct DotOptions {
+  /// Restrict to one application (invalid id = whole system).
+  ApplicationId application;
+  /// Color processes by mapped node (requires mapping).
+  const MappingSolution* mapping = nullptr;
+  /// Annotate processes with their WCET vector.
+  bool showWcets = true;
+};
+
+void writeDot(std::ostream& os, const SystemModel& sys,
+              const DotOptions& options = {});
+
+std::string toDot(const SystemModel& sys, const DotOptions& options = {});
+
+}  // namespace ides

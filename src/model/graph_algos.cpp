@@ -1,0 +1,91 @@
+#include "model/graph_algos.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "model/system_model.h"
+
+namespace ides {
+
+std::vector<ProcessId> topologicalOrder(const SystemModel& sys, GraphId g) {
+  const ProcessGraph& graph = sys.graph(g);
+  // Local dense indices for this graph's processes.
+  std::unordered_map<ProcessId, std::size_t> local;
+  local.reserve(graph.processes.size());
+  for (std::size_t i = 0; i < graph.processes.size(); ++i) {
+    local.emplace(graph.processes[i], i);
+  }
+  std::vector<int> inDegree(graph.processes.size(), 0);
+  for (MessageId m : graph.messages) {
+    inDegree[local.at(sys.message(m).dst)] += 1;
+  }
+  std::vector<ProcessId> order;
+  order.reserve(graph.processes.size());
+  // Deterministic Kahn: scan in process-id order; the frontier is kept
+  // sorted by insertion, which is id order because processes are added in
+  // id order.
+  std::vector<ProcessId> frontier;
+  for (std::size_t i = 0; i < graph.processes.size(); ++i) {
+    if (inDegree[i] == 0) frontier.push_back(graph.processes[i]);
+  }
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const ProcessId p = frontier[head++];
+    order.push_back(p);
+    for (MessageId m : sys.outputsOf(p)) {
+      const ProcessId dst = sys.message(m).dst;
+      if (--inDegree[local.at(dst)] == 0) frontier.push_back(dst);
+    }
+  }
+  if (order.size() != graph.processes.size()) {
+    throw std::invalid_argument("topologicalOrder: graph has a cycle");
+  }
+  return order;
+}
+
+namespace {
+
+/// Estimated worst-case latency of one message on the TDMA bus: actual
+/// transmission plus an expected half round of waiting for the sender slot.
+double messageLatencyEstimate(const SystemModel& sys, const Message& msg) {
+  const TdmaBus& bus = sys.architecture().bus();
+  return static_cast<double>(bus.transmissionTime(msg.sizeBytes)) +
+         static_cast<double>(bus.roundLength()) / 2.0;
+}
+
+}  // namespace
+
+std::vector<double> criticalPathPriorities(const SystemModel& sys, GraphId g) {
+  const ProcessGraph& graph = sys.graph(g);
+  std::unordered_map<ProcessId, std::size_t> local;
+  local.reserve(graph.processes.size());
+  for (std::size_t i = 0; i < graph.processes.size(); ++i) {
+    local.emplace(graph.processes[i], i);
+  }
+  const std::vector<ProcessId> order = sys.topoOrder(g);
+  std::vector<double> prio(graph.processes.size(), 0.0);
+  // Sweep in reverse topological order: priority(p) = wcet(p) + max over
+  // successors of (msg estimate + priority(succ)).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const ProcessId p = *it;
+    const std::size_t pi = local.at(p);
+    double best = 0.0;
+    for (MessageId m : sys.outputsOf(p)) {
+      const Message& msg = sys.message(m);
+      best = std::max(best, messageLatencyEstimate(sys, msg) +
+                                prio[local.at(msg.dst)]);
+    }
+    prio[pi] = sys.process(p).averageWcet() + best;
+  }
+  return prio;
+}
+
+double criticalPathLength(const SystemModel& sys, GraphId g) {
+  const std::vector<double> prio = criticalPathPriorities(sys, g);
+  double best = 0.0;
+  for (double v : prio) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace ides

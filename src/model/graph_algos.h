@@ -1,0 +1,28 @@
+// Graph algorithms over process graphs.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+
+class SystemModel;
+
+/// Kahn topological order of the processes of graph g.
+/// Throws std::invalid_argument if the graph has a cycle.
+std::vector<ProcessId> topologicalOrder(const SystemModel& sys, GraphId g);
+
+/// Partial-critical-path priority of every process of graph g: the longest
+/// path from the process to any sink, where a process contributes its mean
+/// WCET over allowed nodes and a message contributes its worst-case TDMA
+/// latency estimate (transmission time + half a round of slot waiting).
+/// This is the priority function of the HCP list scheduler.
+std::vector<double> criticalPathPriorities(const SystemModel& sys, GraphId g);
+
+/// Longest chain of processes (by mean WCET, no comm) — a lower bound on
+/// graph makespan used in validation and reporting.
+double criticalPathLength(const SystemModel& sys, GraphId g);
+
+}  // namespace ides

@@ -1,0 +1,22 @@
+// A message: data dependency between two processes of the same graph.
+//
+// If source and destination end up on the same node the message is a local
+// memory hand-off and takes no bus time; otherwise it is scheduled into the
+// TDMA slot of the source's node.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ids.h"
+
+namespace ides {
+
+struct Message {
+  MessageId id;
+  GraphId graph;
+  ProcessId src;
+  ProcessId dst;
+  std::int64_t sizeBytes = 0;
+};
+
+}  // namespace ides

@@ -1,0 +1,252 @@
+#include "model/model_io.h"
+
+#include <charconv>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "model/system_model.h"
+
+namespace ides {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("model line " + std::to_string(line) + ": " +
+                              message);
+}
+
+/// "key=value" tokens separated by whitespace after the keyword.
+std::unordered_map<std::string, std::string> parseFields(
+    std::istringstream& ss, int line) {
+  std::unordered_map<std::string, std::string> fields;
+  std::string token;
+  while (ss >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 > token.size()) {
+      fail(line, "expected key=value, got '" + token + "'");
+    }
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+std::string need(const std::unordered_map<std::string, std::string>& fields,
+                 const char* key, int line) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    fail(line, std::string("missing field '") + key + "'");
+  }
+  return it->second;
+}
+
+std::int64_t parseInt(const std::string& s, int line, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail(line, std::string("bad ") + what + " '" + s + "'");
+  }
+  return value;
+}
+
+double parseDouble(const std::string& s, int line, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (...) {
+    fail(line, std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+std::vector<std::string> splitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+AppKind parseKind(const std::string& s, int line) {
+  if (s == "existing") return AppKind::Existing;
+  if (s == "current") return AppKind::Current;
+  if (s == "future") return AppKind::Future;
+  fail(line, "unknown application kind '" + s + "'");
+}
+
+}  // namespace
+
+SystemModel readModel(std::istream& is) {
+  std::optional<SystemModel> sys;
+  std::optional<ApplicationId> app;
+  std::optional<GraphId> graph;
+  // Processes of the current graph, by name.
+  std::unordered_map<std::string, ProcessId> byName;
+
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    // Strip comments and skip blanks.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;
+    const auto fields = parseFields(ss, lineNo);
+
+    if (keyword == "arch") {
+      if (sys.has_value()) fail(lineNo, "duplicate arch line");
+      const auto nodes =
+          static_cast<std::size_t>(parseInt(need(fields, "nodes", lineNo),
+                                            lineNo, "nodes"));
+      const Time slot = parseInt(need(fields, "slot", lineNo), lineNo,
+                                 "slot");
+      const std::int64_t bpt = parseInt(
+          need(fields, "bytes_per_tick", lineNo), lineNo, "bytes_per_tick");
+      std::vector<double> speeds{1.0};
+      if (const auto it = fields.find("speeds"); it != fields.end()) {
+        speeds.clear();
+        for (const std::string& s : splitList(it->second)) {
+          speeds.push_back(parseDouble(s, lineNo, "speed"));
+        }
+      }
+      try {
+        sys.emplace(makeUniformArchitecture(nodes, slot, bpt, speeds));
+      } catch (const std::exception& e) {
+        fail(lineNo, e.what());
+      }
+    } else if (keyword == "app") {
+      if (!sys.has_value()) fail(lineNo, "app before arch");
+      app = sys->addApplication(need(fields, "name", lineNo),
+                                parseKind(need(fields, "kind", lineNo),
+                                          lineNo));
+      graph.reset();
+    } else if (keyword == "graph") {
+      if (!app.has_value()) fail(lineNo, "graph before app");
+      const Time period =
+          parseInt(need(fields, "period", lineNo), lineNo, "period");
+      Time deadline = kNoTime;
+      Time offset = 0;
+      if (const auto it = fields.find("deadline"); it != fields.end()) {
+        deadline = parseInt(it->second, lineNo, "deadline");
+      }
+      if (const auto it = fields.find("offset"); it != fields.end()) {
+        offset = parseInt(it->second, lineNo, "offset");
+      }
+      try {
+        graph = sys->addGraph(*app, period, deadline, offset);
+      } catch (const std::exception& e) {
+        fail(lineNo, e.what());
+      }
+      byName.clear();
+    } else if (keyword == "process") {
+      if (!graph.has_value()) fail(lineNo, "process before graph");
+      const std::string name = need(fields, "name", lineNo);
+      std::vector<Time> wcet;
+      for (const std::string& s :
+           splitList(need(fields, "wcet", lineNo))) {
+        wcet.push_back(s == "-" ? kNoTime : parseInt(s, lineNo, "wcet"));
+      }
+      try {
+        const ProcessId pid = sys->addProcess(*graph, name, wcet);
+        if (!byName.emplace(name, pid).second) {
+          fail(lineNo, "duplicate process name '" + name + "' in graph");
+        }
+      } catch (const std::invalid_argument& e) {
+        fail(lineNo, e.what());
+      }
+    } else if (keyword == "message") {
+      if (!graph.has_value()) fail(lineNo, "message before graph");
+      const auto src = byName.find(need(fields, "src", lineNo));
+      const auto dst = byName.find(need(fields, "dst", lineNo));
+      if (src == byName.end() || dst == byName.end()) {
+        fail(lineNo, "message references unknown process");
+      }
+      try {
+        sys->addMessage(*graph, src->second, dst->second,
+                        parseInt(need(fields, "bytes", lineNo), lineNo,
+                                 "bytes"));
+      } catch (const std::invalid_argument& e) {
+        fail(lineNo, e.what());
+      }
+    } else {
+      fail(lineNo, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!sys.has_value()) {
+    throw std::invalid_argument("model: no arch line found");
+  }
+  try {
+    sys->finalize();
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("model finalize: ") + e.what());
+  }
+  return std::move(*sys);
+}
+
+SystemModel modelFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readModel(is);
+}
+
+void writeModel(std::ostream& os, const SystemModel& sys) {
+  const Architecture& arch = sys.architecture();
+  os << "# ides model v1\n";
+  os << "arch nodes=" << arch.nodeCount() << " slot="
+     << arch.bus().slot(0).length << " bytes_per_tick="
+     << arch.bus().bytesPerTick() << " speeds=";
+  for (std::size_t i = 0; i < arch.nodeCount(); ++i) {
+    if (i > 0) os << ',';
+    os << arch.node(NodeId{static_cast<std::int32_t>(i)}).speedFactor;
+  }
+  os << '\n';
+  for (const Application& app : sys.applications()) {
+    os << "app name=" << app.name << " kind=" << toString(app.kind) << '\n';
+    for (const GraphId gid : app.graphs) {
+      const ProcessGraph& g = sys.graph(gid);
+      os << "graph period=" << g.period << " deadline=" << g.deadline;
+      if (g.offset != 0) os << " offset=" << g.offset;
+      os << '\n';
+      for (const ProcessId pid : g.processes) {
+        const Process& p = sys.process(pid);
+        os << "process name=" << p.name << " wcet=";
+        for (std::size_t n = 0; n < p.wcet.size(); ++n) {
+          if (n > 0) os << ',';
+          if (p.wcet[n] == kNoTime) {
+            os << '-';
+          } else {
+            os << p.wcet[n];
+          }
+        }
+        os << '\n';
+      }
+      for (const MessageId mid : g.messages) {
+        const Message& m = sys.message(mid);
+        os << "message src=" << sys.process(m.src).name
+           << " dst=" << sys.process(m.dst).name << " bytes=" << m.sizeBytes
+           << '\n';
+      }
+    }
+  }
+}
+
+std::string modelToString(const SystemModel& sys) {
+  std::ostringstream os;
+  writeModel(os, sys);
+  return os.str();
+}
+
+}  // namespace ides

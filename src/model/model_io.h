@@ -1,0 +1,43 @@
+// Plain-text system description format ("ides model v1").
+//
+// Lets users define architectures and applications in a text file instead
+// of C++ — the ides_cli can then map/schedule hand-written systems. The
+// format is line-oriented, TGFF-in-spirit:
+//
+//   # comment
+//   arch nodes=2 slot=10 bytes_per_tick=1 speeds=1.0,1.0
+//   app name=legacy kind=existing
+//   graph period=200 deadline=200 offset=0
+//   process name=E0 wcet=25,-
+//   process name=E1 wcet=-,25
+//   message src=E0 dst=E1 bytes=4
+//   app name=new kind=current
+//   graph period=200
+//   process name=P1 wcet=10,-
+//   ...
+//
+// Rules: exactly one `arch` line, first; `graph` lines attach to the most
+// recent `app`; `process`/`message` lines to the most recent `graph`;
+// WCET vectors use '-' for disallowed nodes; processes are referenced by
+// name within their graph. `deadline` and `offset` are optional. The
+// parser finalizes the model, so the result is ready to schedule.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace ides {
+
+class SystemModel;
+
+/// Parse a model from a stream. Throws std::invalid_argument with a
+/// line-numbered message on any syntax or semantic error (including
+/// finalize() failures such as cyclic graphs).
+SystemModel readModel(std::istream& is);
+SystemModel modelFromString(const std::string& text);
+
+/// Write a model in the same format (round-trips through readModel).
+void writeModel(std::ostream& os, const SystemModel& sys);
+std::string modelToString(const SystemModel& sys);
+
+}  // namespace ides

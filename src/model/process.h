@@ -1,0 +1,51 @@
+// A process: the schedulable unit of computation.
+//
+// Each process belongs to exactly one process graph, and carries a WCET per
+// node of the architecture. kNoTime marks nodes the process cannot be mapped
+// to ("potential set of nodes" in the paper's problem formulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+
+struct Process {
+  ProcessId id;
+  GraphId graph;
+  std::string name;
+  /// wcet[n] = worst-case execution time on node n; kNoTime if not allowed.
+  std::vector<Time> wcet;
+
+  [[nodiscard]] bool allowedOn(NodeId node) const {
+    return node.index() < wcet.size() && wcet[node.index()] != kNoTime;
+  }
+  [[nodiscard]] Time wcetOn(NodeId node) const { return wcet[node.index()]; }
+
+  /// Mean WCET over the allowed nodes (list-scheduling priority estimate).
+  [[nodiscard]] double averageWcet() const {
+    double sum = 0.0;
+    int count = 0;
+    for (Time t : wcet) {
+      if (t != kNoTime) {
+        sum += static_cast<double>(t);
+        ++count;
+      }
+    }
+    return count == 0 ? 0.0 : sum / count;
+  }
+
+  /// Allowed nodes, in node order.
+  [[nodiscard]] std::vector<NodeId> allowedNodes() const {
+    std::vector<NodeId> out;
+    for (std::size_t n = 0; n < wcet.size(); ++n) {
+      if (wcet[n] != kNoTime) out.push_back(NodeId{static_cast<int>(n)});
+    }
+    return out;
+  }
+};
+
+}  // namespace ides

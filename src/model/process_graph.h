@@ -1,0 +1,40 @@
+// A process graph: a DAG of processes with a period, a deadline, and a
+// release offset (phase).
+//
+// Instance k of the graph is released at k*period + offset and must finish
+// by k*period + offset + deadline. The paper requires deadline <= period so
+// consecutive instances never overlap; we additionally require
+// offset + deadline <= period so every instance's window stays inside its
+// own period (and hence inside the hyperperiod). Offsets model the phases
+// time-triggered integrators assign when successive applications are added
+// to a running system — they are what keeps an incrementally-grown schedule
+// from piling every application onto the start of the cycle.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+
+struct ProcessGraph {
+  GraphId id;
+  ApplicationId application;
+  Time period = 0;
+  Time deadline = 0;
+  Time offset = 0;  ///< release phase within the period
+  std::vector<ProcessId> processes;
+  std::vector<MessageId> messages;
+
+  /// Absolute release of instance k.
+  [[nodiscard]] Time releaseOf(std::int64_t k) const {
+    return k * period + offset;
+  }
+  /// Absolute deadline of instance k.
+  [[nodiscard]] Time deadlineOf(std::int64_t k) const {
+    return k * period + offset + deadline;
+  }
+};
+
+}  // namespace ides

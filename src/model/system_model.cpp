@@ -1,0 +1,193 @@
+#include "model/system_model.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "model/graph_algos.h"
+
+namespace ides {
+
+const char* toString(AppKind kind) {
+  switch (kind) {
+    case AppKind::Existing: return "existing";
+    case AppKind::Current: return "current";
+    case AppKind::Future: return "future";
+  }
+  return "?";
+}
+
+SystemModel::SystemModel(Architecture arch) : arch_(std::move(arch)) {}
+
+void SystemModel::requireMutable() const {
+  if (finalized_) {
+    throw std::logic_error("SystemModel: mutation after finalize()");
+  }
+}
+
+void SystemModel::requireFinalized() const {
+  if (!finalized_) {
+    throw std::logic_error("SystemModel: query before finalize()");
+  }
+}
+
+ApplicationId SystemModel::addApplication(std::string name, AppKind kind) {
+  requireMutable();
+  const ApplicationId id{static_cast<std::int32_t>(applications_.size())};
+  applications_.push_back({id, std::move(name), kind, {}});
+  return id;
+}
+
+GraphId SystemModel::addGraph(ApplicationId app, Time period, Time deadline,
+                              Time offset) {
+  requireMutable();
+  if (period <= 0) throw std::invalid_argument("addGraph: period <= 0");
+  if (offset < 0 || offset >= period) {
+    throw std::invalid_argument("addGraph: need 0 <= offset < period");
+  }
+  if (deadline == kNoTime) deadline = period - offset;
+  if (deadline <= 0 || offset + deadline > period) {
+    throw std::invalid_argument(
+        "addGraph: need 0 < deadline and offset + deadline <= period");
+  }
+  const GraphId id{static_cast<std::int32_t>(graphs_.size())};
+  graphs_.push_back({id, app, period, deadline, offset, {}, {}});
+  applications_.at(app.index()).graphs.push_back(id);
+  return id;
+}
+
+ProcessId SystemModel::addProcess(GraphId graph, std::string name,
+                                  std::vector<Time> wcet) {
+  requireMutable();
+  if (wcet.size() != arch_.nodeCount()) {
+    throw std::invalid_argument("addProcess: wcet arity != node count");
+  }
+  bool anyAllowed = false;
+  for (Time t : wcet) {
+    if (t == kNoTime) continue;
+    if (t <= 0) throw std::invalid_argument("addProcess: wcet <= 0");
+    anyAllowed = true;
+  }
+  if (!anyAllowed) {
+    throw std::invalid_argument("addProcess: no allowed node");
+  }
+  const ProcessId id{static_cast<std::int32_t>(processes_.size())};
+  processes_.push_back({id, graph, std::move(name), std::move(wcet)});
+  graphs_.at(graph.index()).processes.push_back(id);
+  inputs_.emplace_back();
+  outputs_.emplace_back();
+  return id;
+}
+
+MessageId SystemModel::addMessage(GraphId graph, ProcessId src, ProcessId dst,
+                                  std::int64_t sizeBytes) {
+  requireMutable();
+  if (sizeBytes <= 0) throw std::invalid_argument("addMessage: size <= 0");
+  if (src == dst) throw std::invalid_argument("addMessage: self loop");
+  const Process& ps = processes_.at(src.index());
+  const Process& pd = processes_.at(dst.index());
+  if (ps.graph != graph || pd.graph != graph) {
+    throw std::invalid_argument("addMessage: endpoints not in graph");
+  }
+  const MessageId id{static_cast<std::int32_t>(messages_.size())};
+  messages_.push_back({id, graph, src, dst, sizeBytes});
+  graphs_.at(graph.index()).messages.push_back(id);
+  outputs_.at(src.index()).push_back(id);
+  inputs_.at(dst.index()).push_back(id);
+  return id;
+}
+
+void SystemModel::finalize() {
+  requireMutable();
+  if (graphs_.empty()) throw std::invalid_argument("finalize: no graphs");
+
+  // Hyperperiod and bus alignment.
+  hyperperiod_ = 1;
+  for (const ProcessGraph& g : graphs_) {
+    hyperperiod_ = std::lcm(hyperperiod_, g.period);
+  }
+  const Time round = arch_.bus().roundLength();
+  if (hyperperiod_ % round != 0) {
+    throw std::invalid_argument(
+        "finalize: hyperperiod must be a multiple of the TDMA round length");
+  }
+
+  // Messages must fit into the slot of any node their source may map to;
+  // otherwise some mappings would be structurally unschedulable in a way
+  // the strategies cannot repair.
+  const TdmaBus& bus = arch_.bus();
+  for (const Message& m : messages_) {
+    const Process& src = processes_.at(m.src.index());
+    for (NodeId n : src.allowedNodes()) {
+      const std::size_t slot = bus.slotOfNode(n);
+      if (m.sizeBytes > bus.slotCapacityBytes(slot)) {
+        throw std::invalid_argument(
+            "finalize: message larger than a potential sender slot");
+      }
+    }
+  }
+
+  // finalize() must run before topologicalOrder (which calls topoOrder_ via
+  // criticalPathPriorities only later); compute topo orders directly here.
+  finalized_ = true;  // topologicalOrder uses read-only accessors only
+  topoOrder_.clear();
+  topoOrder_.reserve(graphs_.size());
+  try {
+    for (const ProcessGraph& g : graphs_) {
+      if (g.processes.empty()) {
+        throw std::invalid_argument("finalize: empty graph");
+      }
+      topoOrder_.push_back(topologicalOrder(*this, g.id));
+    }
+  } catch (...) {
+    finalized_ = false;
+    throw;
+  }
+}
+
+std::vector<ProcessId> SystemModel::processesOfKind(AppKind kind) const {
+  std::vector<ProcessId> out;
+  for (const Application& app : applications_) {
+    if (app.kind != kind) continue;
+    for (GraphId g : app.graphs) {
+      const ProcessGraph& graph = graphs_.at(g.index());
+      out.insert(out.end(), graph.processes.begin(), graph.processes.end());
+    }
+  }
+  return out;
+}
+
+std::vector<GraphId> SystemModel::graphsOfKind(AppKind kind) const {
+  std::vector<GraphId> out;
+  for (const Application& app : applications_) {
+    if (app.kind != kind) continue;
+    out.insert(out.end(), app.graphs.begin(), app.graphs.end());
+  }
+  return out;
+}
+
+std::vector<ApplicationId> SystemModel::applicationsOfKind(
+    AppKind kind) const {
+  std::vector<ApplicationId> out;
+  for (const Application& app : applications_) {
+    if (app.kind == kind) out.push_back(app.id);
+  }
+  return out;
+}
+
+Time SystemModel::minDemandOfKind(AppKind kind) const {
+  requireFinalized();
+  Time demand = 0;
+  for (ProcessId p : processesOfKind(kind)) {
+    const Process& proc = processes_.at(p.index());
+    Time best = kTimeMax;
+    for (Time t : proc.wcet) {
+      if (t != kNoTime) best = std::min(best, t);
+    }
+    const std::int64_t instances = instanceCount(proc.graph);
+    demand += best * instances;
+  }
+  return demand;
+}
+
+}  // namespace ides

@@ -1,0 +1,121 @@
+// SystemModel: the complete design instance.
+//
+// Owns the architecture and all applications/graphs/processes/messages in
+// dense id-indexed storage, plus the derived structures every algorithm
+// needs: per-process in/out message lists, per-graph topological order, and
+// the hyperperiod. Build incrementally via the add* methods, then call
+// finalize() once; finalize validates the whole model and freezes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "model/application.h"
+#include "model/message.h"
+#include "model/process.h"
+#include "model/process_graph.h"
+
+namespace ides {
+
+class SystemModel {
+ public:
+  explicit SystemModel(Architecture arch);
+
+  // ---- construction ------------------------------------------------------
+  ApplicationId addApplication(std::string name, AppKind kind);
+  /// deadline defaults to period - offset (requires offset + deadline <=
+  /// period so every instance's window lies inside its own period).
+  GraphId addGraph(ApplicationId app, Time period, Time deadline = kNoTime,
+                   Time offset = 0);
+  /// wcet must have one entry per node (kNoTime = not allowed).
+  ProcessId addProcess(GraphId graph, std::string name,
+                       std::vector<Time> wcet);
+  MessageId addMessage(GraphId graph, ProcessId src, ProcessId dst,
+                       std::int64_t sizeBytes);
+
+  /// Validate and freeze. Throws std::invalid_argument on a malformed model
+  /// (cyclic graph, empty WCET set, deadline > period, hyperperiod not a
+  /// multiple of the TDMA round, message larger than its possible slots...).
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  // ---- access ------------------------------------------------------------
+  [[nodiscard]] const Architecture& architecture() const { return arch_; }
+  [[nodiscard]] const std::vector<Application>& applications() const {
+    return applications_;
+  }
+  [[nodiscard]] const Application& application(ApplicationId id) const {
+    return applications_.at(id.index());
+  }
+  [[nodiscard]] const std::vector<ProcessGraph>& graphs() const {
+    return graphs_;
+  }
+  [[nodiscard]] const ProcessGraph& graph(GraphId id) const {
+    return graphs_.at(id.index());
+  }
+  [[nodiscard]] const std::vector<Process>& processes() const {
+    return processes_;
+  }
+  [[nodiscard]] const Process& process(ProcessId id) const {
+    return processes_.at(id.index());
+  }
+  [[nodiscard]] const std::vector<Message>& messages() const {
+    return messages_;
+  }
+  [[nodiscard]] const Message& message(MessageId id) const {
+    return messages_.at(id.index());
+  }
+
+  /// Messages consumed / produced by a process.
+  [[nodiscard]] const std::vector<MessageId>& inputsOf(ProcessId p) const {
+    return inputs_.at(p.index());
+  }
+  [[nodiscard]] const std::vector<MessageId>& outputsOf(ProcessId p) const {
+    return outputs_.at(p.index());
+  }
+
+  /// Topological order of a graph's processes (valid after finalize()).
+  [[nodiscard]] const std::vector<ProcessId>& topoOrder(GraphId g) const {
+    return topoOrder_.at(g.index());
+  }
+
+  /// lcm of all graph periods (valid after finalize()).
+  [[nodiscard]] Time hyperperiod() const { return hyperperiod_; }
+
+  /// Number of instances of graph g inside the hyperperiod.
+  [[nodiscard]] std::int64_t instanceCount(GraphId g) const {
+    return hyperperiod_ / graphs_[g.index()].period;
+  }
+
+  /// All processes of applications of the given kind.
+  [[nodiscard]] std::vector<ProcessId> processesOfKind(AppKind kind) const;
+  /// All graphs of applications of the given kind.
+  [[nodiscard]] std::vector<GraphId> graphsOfKind(AppKind kind) const;
+
+  /// Applications of the given kind.
+  [[nodiscard]] std::vector<ApplicationId> applicationsOfKind(
+      AppKind kind) const;
+
+  /// Total WCET demand of the current application if every process ran on
+  /// its fastest allowed node (a lower bound used in reporting).
+  [[nodiscard]] Time minDemandOfKind(AppKind kind) const;
+
+ private:
+  void requireMutable() const;
+  void requireFinalized() const;
+
+  Architecture arch_;
+  std::vector<Application> applications_;
+  std::vector<ProcessGraph> graphs_;
+  std::vector<Process> processes_;
+  std::vector<Message> messages_;
+  std::vector<std::vector<MessageId>> inputs_;   // per process
+  std::vector<std::vector<MessageId>> outputs_;  // per process
+  std::vector<std::vector<ProcessId>> topoOrder_;  // per graph
+  Time hyperperiod_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ides

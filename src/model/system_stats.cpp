@@ -1,0 +1,90 @@
+#include "model/system_stats.h"
+
+#include <sstream>
+
+#include "model/system_model.h"
+#include "sched/platform_state.h"
+
+namespace ides {
+
+SystemStats computeStats(const SystemModel& sys) {
+  SystemStats stats;
+  stats.hyperperiod = sys.hyperperiod();
+  stats.processCount = sys.processes().size();
+  stats.messageCount = sys.messages().size();
+  stats.graphCount = sys.graphs().size();
+
+  auto demandOf = [&](AppKind kind) {
+    double demand = 0.0;
+    for (ProcessId p : sys.processesOfKind(kind)) {
+      const Process& proc = sys.process(p);
+      demand += proc.averageWcet() *
+                static_cast<double>(sys.instanceCount(proc.graph));
+    }
+    return demand;
+  };
+  stats.demandExisting = demandOf(AppKind::Existing);
+  stats.demandCurrent = demandOf(AppKind::Current);
+  stats.demandFuture = demandOf(AppKind::Future);
+
+  const double capacity =
+      static_cast<double>(sys.architecture().nodeCount()) *
+      static_cast<double>(sys.hyperperiod());
+  stats.utilization =
+      capacity > 0.0
+          ? (stats.demandExisting + stats.demandCurrent) / capacity
+          : 0.0;
+
+  // Expected bus demand: a message crosses nodes with probability
+  // (n-1)/n under a uniform random mapping of distinct endpoints.
+  const TdmaBus& bus = sys.architecture().bus();
+  const double n = static_cast<double>(sys.architecture().nodeCount());
+  const double interNode = n <= 1.0 ? 0.0 : (n - 1.0) / n;
+  for (const Message& m : sys.messages()) {
+    const AppKind kind =
+        sys.application(sys.graph(m.graph).application).kind;
+    if (kind == AppKind::Future) continue;
+    stats.busDemandTicks +=
+        static_cast<double>(bus.transmissionTime(m.sizeBytes)) * interNode *
+        static_cast<double>(sys.instanceCount(m.graph));
+  }
+  stats.busUtilization =
+      sys.hyperperiod() > 0
+          ? stats.busDemandTicks / static_cast<double>(sys.hyperperiod())
+          : 0.0;
+  return stats;
+}
+
+std::vector<double> nodeOccupancyPercent(const PlatformState& state) {
+  std::vector<double> out;
+  out.reserve(state.nodeCount());
+  for (std::size_t i = 0; i < state.nodeCount(); ++i) {
+    const Time busy =
+        state.nodeBusy(NodeId{static_cast<std::int32_t>(i)}).totalLength();
+    out.push_back(100.0 * static_cast<double>(busy) /
+                  static_cast<double>(state.horizon()));
+  }
+  return out;
+}
+
+std::string statsReport(const SystemModel& sys) {
+  const SystemStats s = computeStats(sys);
+  std::ostringstream os;
+  os << "system: " << sys.architecture().nodeCount() << " nodes, "
+     << s.graphCount << " graphs, " << s.processCount << " processes, "
+     << s.messageCount << " messages\n";
+  os << "hyperperiod: " << s.hyperperiod << " ticks ("
+     << sys.hyperperiod() / sys.architecture().bus().roundLength()
+     << " TDMA rounds)\n";
+  os << "expected demand/hyperperiod [ticks]: existing "
+     << static_cast<long long>(s.demandExisting) << ", current "
+     << static_cast<long long>(s.demandCurrent) << ", future "
+     << static_cast<long long>(s.demandFuture) << '\n';
+  os << "expected processor utilization (existing+current): "
+     << static_cast<int>(s.utilization * 100.0 + 0.5) << "%\n";
+  os << "expected bus utilization: "
+     << static_cast<int>(s.busUtilization * 100.0 + 0.5) << "%\n";
+  return os.str();
+}
+
+}  // namespace ides

@@ -1,0 +1,48 @@
+// System statistics: demand and utilization figures for reporting.
+//
+// Everything here is derived from the model (WCETs, periods, instance
+// counts) and, optionally, a platform state — no scheduling is performed.
+// Used by the CLI, the examples, and anyone sizing an architecture.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/application.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+
+class SystemModel;
+class PlatformState;
+
+struct SystemStats {
+  Time hyperperiod = 0;
+  /// Σ over process instances of mean WCET (expected processor demand per
+  /// hyperperiod) per application kind.
+  double demandExisting = 0.0;
+  double demandCurrent = 0.0;
+  double demandFuture = 0.0;
+  /// Expected processor utilization (mean-WCET demand / total capacity).
+  double utilization = 0.0;  // existing + current
+  /// Expected bus demand per hyperperiod in ticks (inter-node messages,
+  /// probability-weighted by a random uniform mapping) and utilization.
+  double busDemandTicks = 0.0;
+  double busUtilization = 0.0;
+  std::size_t processCount = 0;
+  std::size_t messageCount = 0;
+  std::size_t graphCount = 0;
+};
+
+/// Demand/utilization from the model alone.
+SystemStats computeStats(const SystemModel& sys);
+
+/// Per-node occupancy percentages of a concrete platform state.
+std::vector<double> nodeOccupancyPercent(const PlatformState& state);
+
+/// Multi-line report.
+std::string statsReport(const SystemModel& sys);
+
+}  // namespace ides

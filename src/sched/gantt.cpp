@@ -1,0 +1,96 @@
+#include "sched/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "model/system_model.h"
+
+namespace ides {
+
+namespace {
+
+/// Label character for the i-th distinct process: A..Z a..z 0..9 then '?'.
+char labelChar(std::size_t i) {
+  if (i < 26) return static_cast<char>('A' + i);
+  i -= 26;
+  if (i < 26) return static_cast<char>('a' + i);
+  i -= 26;
+  if (i < 10) return static_cast<char>('0' + i);
+  return '?';
+}
+
+}  // namespace
+
+std::string renderGantt(const SystemModel& sys, const Schedule& schedule,
+                        const GanttOptions& options) {
+  const Architecture& arch = sys.architecture();
+  const Time horizon =
+      options.horizon == kNoTime ? sys.hyperperiod() : options.horizon;
+  const int width = std::max(16, options.width);
+  auto toCol = [&](Time t) {
+    return static_cast<int>(t * width / horizon);
+  };
+
+  std::ostringstream os;
+  os << "time 0 .. " << horizon << "  ('" << '.'
+     << "' = slack, letters = processes, '#' = bus transmission)\n";
+
+  // Legend: map each process that appears to a letter.
+  std::vector<char> label(sys.processes().size(), 0);
+  std::size_t next = 0;
+  for (const ScheduledProcess& sp : schedule.processes()) {
+    if (label[sp.pid.index()] == 0) label[sp.pid.index()] = labelChar(next++);
+  }
+
+  for (const Node& node : arch.nodes()) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const ScheduledProcess& sp : schedule.processes()) {
+      if (sp.node != node.id) continue;
+      const int c0 = std::clamp(toCol(sp.start), 0, width - 1);
+      const int c1 = std::clamp(toCol(sp.end - 1), c0, width - 1);
+      for (int c = c0; c <= c1; ++c) {
+        row[static_cast<std::size_t>(c)] = label[sp.pid.index()];
+      }
+    }
+    os << "  " << node.name << " |" << row << "|\n";
+  }
+
+  // Bus row.
+  {
+    std::string row(static_cast<std::size_t>(width), '.');
+    if (options.showRounds) {
+      const Time round = arch.bus().roundLength();
+      for (Time t = 0; t < horizon; t += round) {
+        row[static_cast<std::size_t>(std::clamp(toCol(t), 0, width - 1))] =
+            '|';
+      }
+    }
+    for (const ScheduledMessage& sm : schedule.messages()) {
+      const int c0 = std::clamp(toCol(sm.start), 0, width - 1);
+      const int c1 = std::clamp(toCol(sm.end - 1), c0, width - 1);
+      for (int c = c0; c <= c1; ++c) {
+        row[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    os << "  bus"
+       << std::string(
+              arch.nodes().empty()
+                  ? 0
+                  : std::max<std::size_t>(arch.nodes()[0].name.size(), 3) - 3,
+              ' ')
+       << " |" << row << "|\n";
+  }
+
+  // Legend.
+  os << "  legend:";
+  for (const ScheduledProcess& sp : schedule.processes()) {
+    const Process& p = sys.process(sp.pid);
+    if (sp.instance != 0) continue;
+    os << ' ' << label[sp.pid.index()] << '=' << p.name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace ides

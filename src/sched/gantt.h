@@ -1,0 +1,27 @@
+// ASCII Gantt rendering of a static cyclic schedule.
+//
+// Reproduces the style of the paper's slide-5 example: one row per node,
+// one row for the bus, slack visible as '.' runs. Used by the examples and
+// handy when debugging strategies with IDES_LOG=debug.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+#include "util/time.h"
+
+namespace ides {
+
+class SystemModel;
+
+struct GanttOptions {
+  int width = 96;          ///< characters for the time axis
+  Time horizon = kNoTime;  ///< defaults to the hyperperiod
+  bool showRounds = true;  ///< tick marks at TDMA round boundaries
+};
+
+/// Render the given schedule (typically frozen existing + current merged).
+std::string renderGantt(const SystemModel& sys, const Schedule& schedule,
+                        const GanttOptions& options = {});
+
+}  // namespace ides

@@ -1,0 +1,234 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "model/graph_algos.h"
+#include "model/system_model.h"
+
+namespace ides {
+
+namespace {
+
+struct Job {
+  ProcessId pid;
+  std::int32_t instance = 0;
+  Time release = 0;
+  Time absDeadline = 0;
+  double priority = 0.0;
+  int remainingInputs = 0;
+};
+
+struct ReadyOrder {
+  // priority desc, then release asc, then (pid, instance) asc for
+  // determinism. std::priority_queue pops the *largest*, so "a before b"
+  // must mean a < b here.
+  bool operator()(const Job* a, const Job* b) const {
+    if (a->priority != b->priority) return a->priority < b->priority;
+    if (a->release != b->release) return a->release > b->release;
+    if (a->pid != b->pid) return a->pid.value > b->pid.value;
+    return a->instance > b->instance;
+  }
+};
+
+std::int64_t jobKey(ProcessId p, std::int32_t instance) {
+  return (static_cast<std::int64_t>(p.value) << 20) | instance;
+}
+
+}  // namespace
+
+ScheduleOutcome scheduleGraphs(const SystemModel& sys,
+                               const ScheduleRequest& req,
+                               PlatformState& state) {
+  if (!req.chooseNodes && req.mapping == nullptr) {
+    throw std::invalid_argument(
+        "scheduleGraphs: mapping mode requires a MappingSolution");
+  }
+  const TdmaBus& bus = sys.architecture().bus();
+
+  ScheduleOutcome out;
+  out.mapping = req.mapping != nullptr ? *req.mapping : MappingSolution(sys);
+
+  // Materialize one Job per (process, instance) over all requested graphs.
+  std::vector<Job> jobs;
+  std::unordered_map<std::int64_t, std::size_t> jobIndex;
+  for (std::size_t gi = 0; gi < req.graphs.size(); ++gi) {
+    const GraphId g = req.graphs[gi];
+    const ProcessGraph& graph = sys.graph(g);
+    std::vector<double> localPrio;
+    const std::vector<double>* prio;
+    if (req.priorities != nullptr) {
+      prio = &(*req.priorities)[gi];
+    } else {
+      localPrio = criticalPathPriorities(sys, g);
+      prio = &localPrio;
+    }
+    const std::int64_t instances = sys.instanceCount(g);
+    for (std::int64_t k = 0; k < instances; ++k) {
+      for (std::size_t i = 0; i < graph.processes.size(); ++i) {
+        const ProcessId p = graph.processes[i];
+        Job job;
+        job.pid = p;
+        job.instance = static_cast<std::int32_t>(k);
+        job.release = graph.releaseOf(k);
+        job.absDeadline = graph.deadlineOf(k);
+        job.priority = (*prio)[i];
+        job.remainingInputs = static_cast<int>(sys.inputsOf(p).size());
+        jobIndex.emplace(jobKey(p, job.instance), jobs.size());
+        jobs.push_back(job);
+      }
+    }
+  }
+
+  std::priority_queue<const Job*, std::vector<const Job*>, ReadyOrder> ready;
+  for (const Job& j : jobs) {
+    if (j.remainingInputs == 0) ready.push(&j);
+  }
+
+  // Arrival of a message for the destination: end of the committed bus
+  // transmission, or the source's end for same-node hand-offs. Computed
+  // lazily per (candidate node), committed once for the chosen node.
+  auto messageReady = [&](const Message& msg, std::int32_t instance) {
+    const Time srcEnd =
+        out.schedule.processEntry(msg.src, instance).end;
+    const Time hint = out.mapping.messageHint(msg.id) +
+                      static_cast<Time>(instance) *
+                          sys.graph(msg.graph).period;
+    return std::max(srcEnd, hint);
+  };
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const Job& job = *ready.top();
+    ready.pop();
+    const Process& proc = sys.process(job.pid);
+    const ProcessGraph& graph = sys.graph(proc.graph);
+    const auto& inputs = sys.inputsOf(job.pid);
+
+    const Time hintedRelease =
+        std::max(job.release, static_cast<Time>(job.instance) * graph.period +
+                                  out.mapping.startHint(job.pid));
+
+    // Evaluate candidate nodes. The mapping is static: every instance of a
+    // process runs on the same node, so once HCP has placed one instance
+    // the other instances are pinned to that choice.
+    std::vector<NodeId> candidates;
+    if (req.chooseNodes) {
+      const NodeId prev = out.mapping.nodeOf(job.pid);
+      if (prev.valid()) {
+        candidates.push_back(prev);
+      } else {
+        candidates = proc.allowedNodes();
+      }
+    } else {
+      const NodeId n = out.mapping.nodeOf(job.pid);
+      if (!n.valid() || !proc.allowedOn(n)) {
+        throw std::invalid_argument(
+            "scheduleGraphs: mapping assigns a disallowed node");
+      }
+      candidates.push_back(n);
+    }
+
+    NodeId bestNode;
+    Time bestFinish = kTimeMax;
+    for (const NodeId n : candidates) {
+      Time est = hintedRelease;
+      bool ok = true;
+      for (const MessageId mId : inputs) {
+        const Message& msg = sys.message(mId);
+        const NodeId srcNode = out.mapping.nodeOf(msg.src);
+        if (srcNode == n) {
+          est = std::max(est,
+                         out.schedule.processEntry(msg.src, job.instance).end);
+          continue;
+        }
+        const auto placement = state.findBusSlot(
+            bus.slotOfNode(srcNode), messageReady(msg, job.instance),
+            bus.transmissionTime(msg.sizeBytes));
+        if (!placement) {
+          ok = false;
+          break;
+        }
+        est = std::max(est, placement->end);
+      }
+      if (!ok) continue;
+      const Time start = state.earliestFit(n, est, proc.wcetOn(n));
+      if (start == kNoTime) continue;
+      const Time finish = start + proc.wcetOn(n);
+      if (finish < bestFinish) {
+        bestFinish = finish;
+        bestNode = n;
+      }
+    }
+    if (!bestNode.valid()) {
+      // Nothing fits inside the horizon: hard failure for this solution.
+      out.placed = false;
+      out.feasible = false;
+      return out;
+    }
+
+    // Commit on the chosen node. Bus commits are sequential, so recompute
+    // each placement against the occupancy left by the previous commit.
+    const NodeId n = bestNode;
+    Time est = hintedRelease;
+    bool ok = true;
+    for (const MessageId mId : inputs) {
+      const Message& msg = sys.message(mId);
+      const NodeId srcNode = out.mapping.nodeOf(msg.src);
+      if (srcNode == n) {
+        est = std::max(est,
+                       out.schedule.processEntry(msg.src, job.instance).end);
+        continue;
+      }
+      const std::size_t slot = bus.slotOfNode(srcNode);
+      const auto placement = state.findBusSlot(
+          slot, messageReady(msg, job.instance),
+          bus.transmissionTime(msg.sizeBytes));
+      if (!placement) {
+        ok = false;
+        break;
+      }
+      state.occupyBus(slot, placement->round,
+                      bus.transmissionTime(msg.sizeBytes));
+      out.schedule.addMessage({msg.id, job.instance, slot, placement->round,
+                               placement->start, placement->end});
+      est = std::max(est, placement->end);
+    }
+    if (!ok) {
+      out.placed = false;
+      out.feasible = false;
+      return out;
+    }
+    const Time start = state.earliestFit(n, est, proc.wcetOn(n));
+    if (start == kNoTime) {
+      out.placed = false;
+      out.feasible = false;
+      return out;
+    }
+    const Time end = start + proc.wcetOn(n);
+    state.occupyNode(n, {start, end});
+    out.schedule.addProcess({job.pid, job.instance, n, start, end});
+    out.mapping.setNode(job.pid, n);
+    ++scheduled;
+
+    if (end > job.absDeadline) {
+      out.deadlineMisses += 1;
+      out.totalLateness += end - job.absDeadline;
+    }
+
+    // Release successors of the same instance.
+    for (const MessageId mId : sys.outputsOf(job.pid)) {
+      const Message& msg = sys.message(mId);
+      Job& dst = jobs[jobIndex.at(jobKey(msg.dst, job.instance))];
+      if (--dst.remainingInputs == 0) ready.push(&dst);
+    }
+  }
+
+  out.placed = scheduled == jobs.size();
+  out.feasible = out.placed && out.deadlineMisses == 0;
+  return out;
+}
+
+}  // namespace ides

@@ -1,0 +1,71 @@
+// Static cyclic list scheduler with slack (gap) insertion.
+//
+// Schedules a set of process graphs — every instance inside the hyperperiod —
+// onto a PlatformState that may already contain the frozen schedule of the
+// existing applications. Placement only ever inserts into free gaps, so the
+// paper's requirement (a) "no modifications are performed to the existing
+// applications" holds by construction.
+//
+// Two modes:
+//  * mapping mode  — every process's node is dictated by a MappingSolution
+//    (used when evaluating a candidate solution inside MH/SA);
+//  * HCP mode      — the scheduler also chooses the node, picking for each
+//    ready process the allowed node with the earliest finish time. With the
+//    partial-critical-path priority this is the Heterogeneous Critical Path
+//    construction of Jorgensen & Madsen (CODES'97) that the paper's Initial
+//    Mapping (IM) starts from.
+//
+// Messages between processes on different nodes are scheduled into the TDMA
+// slot of the sender's node at destination-scheduling time; same-node
+// messages cost no bus time.
+#pragma once
+
+#include <vector>
+
+#include "sched/mapping.h"
+#include "sched/platform_state.h"
+#include "sched/schedule.h"
+#include "util/ids.h"
+
+namespace ides {
+
+class SystemModel;
+
+struct ScheduleRequest {
+  /// Graphs to schedule (normally all graphs of one application).
+  std::vector<GraphId> graphs;
+  /// Node assignment + hints. Required in mapping mode. In HCP mode, if
+  /// non-null, hints are honored and any process whose entry already names
+  /// a valid node is pinned to it (HCP chooses nodes only for the rest).
+  const MappingSolution* mapping = nullptr;
+  /// HCP mode: scheduler chooses nodes (earliest-finish-time).
+  bool chooseNodes = false;
+  /// Optional precomputed priorities, one vector per entry of `graphs`
+  /// (criticalPathPriorities). Strategies precompute these once per run to
+  /// keep the evaluation inner loop cheap.
+  const std::vector<std::vector<double>>* priorities = nullptr;
+};
+
+struct ScheduleOutcome {
+  /// Every process/message instance was placed inside the horizon.
+  bool placed = false;
+  /// placed, and every graph instance met its deadline.
+  bool feasible = false;
+  int deadlineMisses = 0;
+  /// Sum over process instances of max(0, end - absolute deadline).
+  Time totalLateness = 0;
+  /// Entries created by this call only (not the frozen baseline).
+  Schedule schedule;
+  /// Node chosen for every scheduled process (copy of the input mapping in
+  /// mapping mode, HCP choices otherwise).
+  MappingSolution mapping;
+};
+
+/// Schedule `req.graphs` into `state`. On success the state contains the new
+/// occupancy; if the outcome is not `placed`, the state is partially updated
+/// and must be discarded by the caller (evaluations always work on copies).
+ScheduleOutcome scheduleGraphs(const SystemModel& sys,
+                               const ScheduleRequest& req,
+                               PlatformState& state);
+
+}  // namespace ides

@@ -1,0 +1,16 @@
+#include "sched/mapping.h"
+
+#include "model/system_model.h"
+
+namespace ides {
+
+MappingSolution::MappingSolution(std::size_t processCount,
+                                 std::size_t messageCount)
+    : node_(processCount),
+      startHint_(processCount, 0),
+      messageHint_(messageCount, 0) {}
+
+MappingSolution::MappingSolution(const SystemModel& sys)
+    : MappingSolution(sys.processes().size(), sys.messages().size()) {}
+
+}  // namespace ides

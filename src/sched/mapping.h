@@ -1,0 +1,63 @@
+// MappingSolution: one point in the design space explored by the strategies.
+//
+// A solution fixes, for every process of the application being mapped:
+//   * the node it runs on, and
+//   * a period-relative start hint: the scheduler will not start instance k
+//     of the process before k*period + hint. Hint 0 means "as soon as
+//     possible". Raising a hint is exactly the paper's design transformation
+//     "move a process into a different slack" — it pushes the process past
+//     earlier gaps into a chosen one.
+// and, for every message, a period-relative hint that delays the earliest
+// bus transmission the same way ("move a message to a different slack on
+// the bus").
+//
+// The arrays are indexed by global ProcessId / MessageId; entries for
+// processes outside the application being scheduled are simply unused.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+
+class SystemModel;
+
+class MappingSolution {
+ public:
+  MappingSolution() = default;
+  MappingSolution(std::size_t processCount, std::size_t messageCount);
+  /// Sized for the given model.
+  explicit MappingSolution(const SystemModel& sys);
+
+  [[nodiscard]] NodeId nodeOf(ProcessId p) const { return node_[p.index()]; }
+  void setNode(ProcessId p, NodeId n) { node_[p.index()] = n; }
+
+  [[nodiscard]] Time startHint(ProcessId p) const {
+    return startHint_[p.index()];
+  }
+  void setStartHint(ProcessId p, Time hint) { startHint_[p.index()] = hint; }
+
+  [[nodiscard]] Time messageHint(MessageId m) const {
+    return messageHint_[m.index()];
+  }
+  void setMessageHint(MessageId m, Time hint) {
+    messageHint_[m.index()] = hint;
+  }
+
+  [[nodiscard]] std::size_t processCount() const { return node_.size(); }
+  [[nodiscard]] std::size_t messageCount() const {
+    return messageHint_.size();
+  }
+
+  friend bool operator==(const MappingSolution&,
+                         const MappingSolution&) = default;
+
+ private:
+  std::vector<NodeId> node_;
+  std::vector<Time> startHint_;
+  std::vector<Time> messageHint_;
+};
+
+}  // namespace ides

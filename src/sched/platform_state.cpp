@@ -1,0 +1,91 @@
+#include "sched/platform_state.h"
+
+#include <stdexcept>
+
+namespace ides {
+
+PlatformState::PlatformState(const Architecture& arch, Time horizon)
+    : arch_(&arch), bus_(&arch.bus()), horizon_(horizon) {
+  if (horizon_ <= 0 || horizon_ % bus_->roundLength() != 0) {
+    throw std::invalid_argument(
+        "PlatformState: horizon must be a positive multiple of the round");
+  }
+  roundCount_ = horizon_ / bus_->roundLength();
+  nodeBusy_.resize(arch.nodeCount());
+  slotUsed_.assign(bus_->slotCount(),
+                   std::vector<Time>(static_cast<std::size_t>(roundCount_),
+                                     0));
+}
+
+Time PlatformState::earliestFit(NodeId node, Time after, Time duration) const {
+  if (after < 0) after = 0;
+  if (duration <= 0) throw std::invalid_argument("earliestFit: duration <= 0");
+  const auto& busy = nodeBusy_[node.index()].intervals();
+  Time cursor = after;
+  for (const Interval& iv : busy) {
+    if (iv.end <= cursor) continue;
+    if (iv.start >= cursor + duration) break;  // gap before iv is big enough
+    cursor = std::max(cursor, iv.end);
+  }
+  return cursor + duration <= horizon_ ? cursor : kNoTime;
+}
+
+void PlatformState::occupyNode(NodeId node, Interval iv) {
+  if (iv.empty() || iv.start < 0 || iv.end > horizon_) {
+    throw std::logic_error("occupyNode: interval outside horizon");
+  }
+  IntervalSet& busy = nodeBusy_[node.index()];
+  if (busy.intersects(iv)) {
+    throw std::logic_error("occupyNode: double booking");
+  }
+  busy.add(iv);
+}
+
+std::optional<PlatformState::BusPlacement> PlatformState::findBusSlot(
+    std::size_t slotIndex, Time ready, Time txTicks,
+    std::int64_t minRound) const {
+  if (txTicks <= 0) throw std::invalid_argument("findBusSlot: txTicks <= 0");
+  if (txTicks > bus_->slot(slotIndex).length) return std::nullopt;
+  if (ready < 0) ready = 0;
+  std::int64_t round =
+      std::max(minRound, bus_->firstRoundAtOrAfter(slotIndex, ready));
+  for (; round < roundCount_; ++round) {
+    const Time used = slotUsed_[slotIndex][static_cast<std::size_t>(round)];
+    if (used + txTicks > bus_->slot(slotIndex).length) continue;
+    const Time start = bus_->slotStart(round, slotIndex) + used;
+    return BusPlacement{round, start, start + txTicks};
+  }
+  return std::nullopt;
+}
+
+void PlatformState::occupyBus(std::size_t slotIndex, std::int64_t round,
+                              Time txTicks) {
+  if (round < 0 || round >= roundCount_) {
+    throw std::logic_error("occupyBus: round outside horizon");
+  }
+  Time& used = slotUsed_[slotIndex][static_cast<std::size_t>(round)];
+  if (used + txTicks > bus_->slot(slotIndex).length) {
+    throw std::logic_error("occupyBus: slot overflow");
+  }
+  used += txTicks;
+}
+
+Time PlatformState::totalNodeSlack() const {
+  Time total = 0;
+  for (const IntervalSet& busy : nodeBusy_) {
+    total += horizon_ - busy.totalLength();
+  }
+  return total;
+}
+
+Time PlatformState::totalBusSlackTicks() const {
+  Time total = 0;
+  for (std::size_t s = 0; s < slotUsed_.size(); ++s) {
+    for (Time used : slotUsed_[s]) {
+      total += bus_->slot(s).length - used;
+    }
+  }
+  return total;
+}
+
+}  // namespace ides

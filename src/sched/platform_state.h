@@ -1,0 +1,92 @@
+// PlatformState: occupancy of every processor and every TDMA slot occurrence
+// over one hyperperiod.
+//
+// This is the structure every design-space evaluation copies: the frozen
+// existing applications are baked into a baseline state once, and each
+// candidate mapping of the current application is scheduled into a fresh
+// copy. It is deliberately compact — interval lists per node, used-tick
+// counters per slot occurrence — so that copying is cheap inside the
+// simulated-annealing / mapping-heuristic inner loops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "util/interval.h"
+#include "util/time.h"
+
+namespace ides {
+
+class PlatformState {
+ public:
+  /// Horizon must be a positive multiple of the bus round length.
+  PlatformState(const Architecture& arch, Time horizon);
+
+  [[nodiscard]] Time horizon() const { return horizon_; }
+  [[nodiscard]] const TdmaBus& bus() const { return *bus_; }
+  [[nodiscard]] std::size_t nodeCount() const { return nodeBusy_.size(); }
+
+  // ---- processor occupancy ------------------------------------------------
+
+  /// Earliest start s >= after such that [s, s+duration) is free on the node
+  /// and s+duration <= horizon. Returns kNoTime if no gap exists.
+  [[nodiscard]] Time earliestFit(NodeId node, Time after, Time duration) const;
+
+  /// Mark [iv.start, iv.end) busy. The range must be free and within the
+  /// horizon (throws std::logic_error otherwise — a scheduler bug).
+  void occupyNode(NodeId node, Interval iv);
+
+  [[nodiscard]] const IntervalSet& nodeBusy(NodeId node) const {
+    return nodeBusy_[node.index()];
+  }
+  [[nodiscard]] IntervalSet nodeFree(NodeId node) const {
+    return nodeBusy_[node.index()].complementWithin({0, horizon_});
+  }
+
+  // ---- bus occupancy ------------------------------------------------------
+
+  struct BusPlacement {
+    std::int64_t round = 0;
+    Time start = 0;  ///< first tick of the transmission
+    Time end = 0;    ///< arrival tick
+  };
+
+  /// First round >= minRound whose slot `slotIndex` starts at or after
+  /// `ready` and still has `txTicks` of room. Transmissions are packed
+  /// back-to-back, so the placement begins after the ticks already used in
+  /// that occurrence. Returns nullopt if nothing fits before the horizon.
+  [[nodiscard]] std::optional<BusPlacement> findBusSlot(
+      std::size_t slotIndex, Time ready, Time txTicks,
+      std::int64_t minRound = 0) const;
+
+  /// Consume `txTicks` of slot `slotIndex` in `round`.
+  void occupyBus(std::size_t slotIndex, std::int64_t round, Time txTicks);
+
+  [[nodiscard]] std::int64_t roundCount() const { return roundCount_; }
+  [[nodiscard]] Time slotUsedTicks(std::size_t slotIndex,
+                                   std::int64_t round) const {
+    return slotUsed_[slotIndex][static_cast<std::size_t>(round)];
+  }
+  [[nodiscard]] Time slotFreeTicks(std::size_t slotIndex,
+                                   std::int64_t round) const {
+    return bus_->slot(slotIndex).length -
+           slotUsed_[slotIndex][static_cast<std::size_t>(round)];
+  }
+
+  /// Total free processor ticks over all nodes.
+  [[nodiscard]] Time totalNodeSlack() const;
+  /// Total free bus ticks over all slot occurrences.
+  [[nodiscard]] Time totalBusSlackTicks() const;
+
+ private:
+  const Architecture* arch_;  // non-owning; architectures outlive states
+  const TdmaBus* bus_;
+  Time horizon_;
+  std::int64_t roundCount_;
+  std::vector<IntervalSet> nodeBusy_;             // per node
+  std::vector<std::vector<Time>> slotUsed_;       // [slot][round] ticks
+};
+
+}  // namespace ides

@@ -1,0 +1,54 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ides {
+
+void Schedule::addProcess(const ScheduledProcess& sp) {
+  const auto k = key(sp.pid.value, sp.instance);
+  if (!processIndex_.emplace(k, processes_.size()).second) {
+    throw std::logic_error("Schedule: duplicate process entry");
+  }
+  processes_.push_back(sp);
+}
+
+void Schedule::addMessage(const ScheduledMessage& sm) {
+  const auto k = key(sm.mid.value, sm.instance);
+  if (!messageIndex_.emplace(k, messages_.size()).second) {
+    throw std::logic_error("Schedule: duplicate message entry");
+  }
+  messages_.push_back(sm);
+}
+
+bool Schedule::hasProcess(ProcessId p, std::int32_t instance) const {
+  return processIndex_.contains(key(p.value, instance));
+}
+
+const ScheduledProcess& Schedule::processEntry(ProcessId p,
+                                               std::int32_t instance) const {
+  return processes_.at(processIndex_.at(key(p.value, instance)));
+}
+
+bool Schedule::hasMessage(MessageId m, std::int32_t instance) const {
+  return messageIndex_.contains(key(m.value, instance));
+}
+
+const ScheduledMessage& Schedule::messageEntry(MessageId m,
+                                               std::int32_t instance) const {
+  return messages_.at(messageIndex_.at(key(m.value, instance)));
+}
+
+void Schedule::merge(const Schedule& other) {
+  for (const ScheduledProcess& sp : other.processes_) addProcess(sp);
+  for (const ScheduledMessage& sm : other.messages_) addMessage(sm);
+}
+
+Time Schedule::makespan() const {
+  Time last = 0;
+  for (const ScheduledProcess& sp : processes_) last = std::max(last, sp.end);
+  for (const ScheduledMessage& sm : messages_) last = std::max(last, sm.end);
+  return last;
+}
+
+}  // namespace ides

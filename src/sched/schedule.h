@@ -1,0 +1,79 @@
+// Static cyclic schedule: the placed process executions and bus messages.
+//
+// A Schedule is a record of decisions, not an occupancy structure; the
+// occupancy (for gap search) lives in PlatformState. Keeping them separate
+// lets the frozen existing-application schedule be displayed and analyzed
+// while evaluations only copy the cheap occupancy state.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+
+struct ScheduledProcess {
+  ProcessId pid;
+  std::int32_t instance = 0;
+  NodeId node;
+  Time start = 0;
+  Time end = 0;
+};
+
+struct ScheduledMessage {
+  MessageId mid;
+  std::int32_t instance = 0;
+  std::size_t slotIndex = 0;
+  std::int64_t round = 0;
+  Time start = 0;  ///< first tick on the bus
+  Time end = 0;    ///< arrival: tick after the last byte
+};
+
+class Schedule {
+ public:
+  void addProcess(const ScheduledProcess& sp);
+  void addMessage(const ScheduledMessage& sm);
+
+  [[nodiscard]] const std::vector<ScheduledProcess>& processes() const {
+    return processes_;
+  }
+  [[nodiscard]] const std::vector<ScheduledMessage>& messages() const {
+    return messages_;
+  }
+
+  [[nodiscard]] bool hasProcess(ProcessId p, std::int32_t instance) const;
+  [[nodiscard]] const ScheduledProcess& processEntry(
+      ProcessId p, std::int32_t instance) const;
+  [[nodiscard]] bool hasMessage(MessageId m, std::int32_t instance) const;
+  [[nodiscard]] const ScheduledMessage& messageEntry(
+      MessageId m, std::int32_t instance) const;
+
+  /// Merge another schedule's entries into this one (used to view frozen +
+  /// current together).
+  void merge(const Schedule& other);
+
+  /// Latest end time over all entries (0 if empty).
+  [[nodiscard]] Time makespan() const;
+
+  [[nodiscard]] std::size_t processEntryCount() const {
+    return processes_.size();
+  }
+  [[nodiscard]] std::size_t messageEntryCount() const {
+    return messages_.size();
+  }
+
+ private:
+  static std::int64_t key(std::int32_t id, std::int32_t instance) {
+    return (static_cast<std::int64_t>(id) << 20) | instance;
+  }
+
+  std::vector<ScheduledProcess> processes_;
+  std::vector<ScheduledMessage> messages_;
+  std::unordered_map<std::int64_t, std::size_t> processIndex_;
+  std::unordered_map<std::int64_t, std::size_t> messageIndex_;
+};
+
+}  // namespace ides

@@ -1,0 +1,133 @@
+#include "sched/schedule_io.h"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "model/system_model.h"
+
+namespace ides {
+
+namespace {
+
+std::vector<std::string> splitCsv(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::int64_t parseInt(const std::string& s, const char* what) {
+  std::int64_t value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument(std::string("readSchedule: bad ") + what +
+                                " '" + s + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void writeSchedule(std::ostream& os, const SystemModel& sys,
+                   const Schedule& schedule) {
+  os << "# ides schedule v1\n";
+  os << "[processes]\n";
+  os << "pid,name,instance,node,start,end\n";
+  for (const ScheduledProcess& e : schedule.processes()) {
+    os << e.pid.value << ',' << sys.process(e.pid).name << ',' << e.instance
+       << ',' << e.node.value << ',' << e.start << ',' << e.end << '\n';
+  }
+  os << "[messages]\n";
+  os << "mid,instance,slot,round,start,end\n";
+  for (const ScheduledMessage& e : schedule.messages()) {
+    os << e.mid.value << ',' << e.instance << ',' << e.slotIndex << ','
+       << e.round << ',' << e.start << ',' << e.end << '\n';
+  }
+}
+
+Schedule readSchedule(std::istream& is, const SystemModel& sys) {
+  Schedule schedule;
+  enum class Section { None, Processes, Messages } section = Section::None;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "[processes]") {
+      section = Section::Processes;
+      std::getline(is, line);  // header
+      continue;
+    }
+    if (line == "[messages]") {
+      section = Section::Messages;
+      std::getline(is, line);  // header
+      continue;
+    }
+    const std::vector<std::string> f = splitCsv(line);
+    if (section == Section::Processes) {
+      if (f.size() != 6) {
+        throw std::invalid_argument("readSchedule: malformed process row");
+      }
+      const auto pid = static_cast<std::int32_t>(parseInt(f[0], "pid"));
+      if (pid < 0 || static_cast<std::size_t>(pid) >= sys.processes().size()) {
+        throw std::invalid_argument("readSchedule: unknown process id");
+      }
+      const auto node = static_cast<std::int32_t>(parseInt(f[3], "node"));
+      if (node < 0 ||
+          static_cast<std::size_t>(node) >= sys.architecture().nodeCount()) {
+        throw std::invalid_argument("readSchedule: unknown node id");
+      }
+      schedule.addProcess({ProcessId{pid},
+                           static_cast<std::int32_t>(parseInt(f[2],
+                                                              "instance")),
+                           NodeId{node}, parseInt(f[4], "start"),
+                           parseInt(f[5], "end")});
+    } else if (section == Section::Messages) {
+      if (f.size() != 6) {
+        throw std::invalid_argument("readSchedule: malformed message row");
+      }
+      const auto mid = static_cast<std::int32_t>(parseInt(f[0], "mid"));
+      if (mid < 0 || static_cast<std::size_t>(mid) >= sys.messages().size()) {
+        throw std::invalid_argument("readSchedule: unknown message id");
+      }
+      const auto slot = parseInt(f[2], "slot");
+      if (slot < 0 || static_cast<std::size_t>(slot) >=
+                          sys.architecture().bus().slotCount()) {
+        throw std::invalid_argument("readSchedule: unknown slot");
+      }
+      schedule.addMessage({MessageId{mid},
+                           static_cast<std::int32_t>(parseInt(f[1],
+                                                              "instance")),
+                           static_cast<std::size_t>(slot),
+                           parseInt(f[3], "round"), parseInt(f[4], "start"),
+                           parseInt(f[5], "end")});
+    } else {
+      throw std::invalid_argument("readSchedule: data before section header");
+    }
+  }
+  return schedule;
+}
+
+std::string scheduleToString(const SystemModel& sys,
+                             const Schedule& schedule) {
+  std::ostringstream os;
+  writeSchedule(os, sys, schedule);
+  return os.str();
+}
+
+Schedule scheduleFromString(const std::string& text, const SystemModel& sys) {
+  std::istringstream is(text);
+  return readSchedule(is, sys);
+}
+
+}  // namespace ides

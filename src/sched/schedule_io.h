@@ -1,0 +1,36 @@
+// Schedule serialization: dump a static cyclic schedule to a portable CSV
+// text form and load it back.
+//
+// The exported form is the hand-off artifact of the design flow: it is what
+// a TTP configuration tool would consume to program the nodes' dispatch
+// tables and the bus controller's MEDL. Round-trips exactly (integer
+// ticks).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace ides {
+
+class SystemModel;
+
+/// Write the schedule as two CSV sections:
+///   processes: pid,name,instance,node,start,end
+///   messages:  mid,instance,slot,round,start,end
+void writeSchedule(std::ostream& os, const SystemModel& sys,
+                   const Schedule& schedule);
+
+/// Parse a schedule previously written by writeSchedule. Throws
+/// std::invalid_argument on malformed input (unknown ids, bad numbers,
+/// truncated rows). The result is *not* validated against timing
+/// invariants — run validateSchedule for that.
+Schedule readSchedule(std::istream& is, const SystemModel& sys);
+
+/// Convenience: round-trip through strings.
+std::string scheduleToString(const SystemModel& sys,
+                             const Schedule& schedule);
+Schedule scheduleFromString(const std::string& text, const SystemModel& sys);
+
+}  // namespace ides

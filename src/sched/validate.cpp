@@ -1,0 +1,195 @@
+#include "sched/validate.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "model/system_model.h"
+#include "util/interval.h"
+
+namespace ides {
+
+const char* toString(ValidationIssue::Kind kind) {
+  using Kind = ValidationIssue::Kind;
+  switch (kind) {
+    case Kind::MissingEntry: return "missing-entry";
+    case Kind::DuplicateBeyondInstances: return "entry-beyond-instances";
+    case Kind::OutsideWindow: return "outside-window";
+    case Kind::WrongDuration: return "wrong-duration";
+    case Kind::DisallowedNode: return "disallowed-node";
+    case Kind::NodeOverlap: return "node-overlap";
+    case Kind::MissingMessage: return "missing-message";
+    case Kind::LocalMessageOnBus: return "local-message-on-bus";
+    case Kind::WrongSlot: return "wrong-slot";
+    case Kind::OutsideSlot: return "outside-slot";
+    case Kind::SlotOverflow: return "slot-overflow";
+    case Kind::PrecedenceViolated: return "precedence-violated";
+    case Kind::BeyondHorizon: return "beyond-horizon";
+  }
+  return "?";
+}
+
+std::string ValidationReport::summary() const {
+  if (issues.empty()) return "schedule valid";
+  std::ostringstream os;
+  os << issues.size() << " issue(s):\n";
+  for (const ValidationIssue& issue : issues) {
+    os << "  [" << toString(issue.kind) << "] " << issue.detail << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const SystemModel& sys, const Schedule& schedule,
+          const std::vector<GraphId>& graphs)
+      : sys_(sys), schedule_(schedule), graphs_(graphs) {}
+
+  ValidationReport run() {
+    checkProcesses();
+    checkNodeExclusivity();
+    checkMessages();
+    return std::move(report_);
+  }
+
+ private:
+  void issue(ValidationIssue::Kind kind, const std::string& detail) {
+    report_.issues.push_back({kind, detail});
+  }
+
+  std::string procName(ProcessId p, std::int32_t k) const {
+    return sys_.process(p).name + "#" + std::to_string(k);
+  }
+
+  void checkProcesses() {
+    const Time horizon = sys_.hyperperiod();
+    for (const GraphId gid : graphs_) {
+      const ProcessGraph& g = sys_.graph(gid);
+      const std::int64_t instances = sys_.instanceCount(gid);
+      for (ProcessId p : g.processes) {
+        for (std::int64_t k = 0; k < instances; ++k) {
+          const auto ki = static_cast<std::int32_t>(k);
+          if (!schedule_.hasProcess(p, ki)) {
+            issue(ValidationIssue::Kind::MissingEntry, procName(p, ki));
+            continue;
+          }
+          const ScheduledProcess& e = schedule_.processEntry(p, ki);
+          if (e.start < g.releaseOf(k) || e.end > g.deadlineOf(k)) {
+            issue(ValidationIssue::Kind::OutsideWindow,
+                  procName(p, ki) + " runs [" + std::to_string(e.start) +
+                      "," + std::to_string(e.end) + ") window [" +
+                      std::to_string(g.releaseOf(k)) + "," +
+                      std::to_string(g.deadlineOf(k)) + "]");
+          }
+          const Process& proc = sys_.process(p);
+          if (!proc.allowedOn(e.node)) {
+            issue(ValidationIssue::Kind::DisallowedNode, procName(p, ki));
+          } else if (e.end - e.start != proc.wcetOn(e.node)) {
+            issue(ValidationIssue::Kind::WrongDuration,
+                  procName(p, ki) + " duration " +
+                      std::to_string(e.end - e.start) + " != wcet " +
+                      std::to_string(proc.wcetOn(e.node)));
+          }
+          if (e.end > horizon) {
+            issue(ValidationIssue::Kind::BeyondHorizon, procName(p, ki));
+          }
+        }
+        // Entries beyond the instance count indicate a stale schedule.
+        if (schedule_.hasProcess(p, static_cast<std::int32_t>(instances))) {
+          issue(ValidationIssue::Kind::DuplicateBeyondInstances,
+                sys_.process(p).name);
+        }
+      }
+    }
+  }
+
+  void checkNodeExclusivity() {
+    std::vector<IntervalSet> busy(sys_.architecture().nodeCount());
+    for (const ScheduledProcess& e : schedule_.processes()) {
+      if (busy[e.node.index()].intersects({e.start, e.end})) {
+        issue(ValidationIssue::Kind::NodeOverlap,
+              procName(e.pid, e.instance) + " on N" +
+                  std::to_string(e.node.value));
+      }
+      busy[e.node.index()].add({e.start, e.end});
+    }
+  }
+
+  void checkMessages() {
+    const TdmaBus& bus = sys_.architecture().bus();
+    std::unordered_map<std::int64_t, Time> slotLoad;
+    for (const GraphId gid : graphs_) {
+      const ProcessGraph& g = sys_.graph(gid);
+      const std::int64_t instances = sys_.instanceCount(gid);
+      for (MessageId mid : g.messages) {
+        const Message& msg = sys_.message(mid);
+        for (std::int64_t k = 0; k < instances; ++k) {
+          const auto ki = static_cast<std::int32_t>(k);
+          if (!schedule_.hasProcess(msg.src, ki) ||
+              !schedule_.hasProcess(msg.dst, ki)) {
+            continue;  // already reported as MissingEntry
+          }
+          const ScheduledProcess& src = schedule_.processEntry(msg.src, ki);
+          const ScheduledProcess& dst = schedule_.processEntry(msg.dst, ki);
+          const std::string name = "m" + std::to_string(mid.value) + "#" +
+                                   std::to_string(ki);
+          if (src.node == dst.node) {
+            if (schedule_.hasMessage(mid, ki)) {
+              issue(ValidationIssue::Kind::LocalMessageOnBus, name);
+            }
+            if (dst.start < src.end) {
+              issue(ValidationIssue::Kind::PrecedenceViolated,
+                    name + " (local)");
+            }
+            continue;
+          }
+          if (!schedule_.hasMessage(mid, ki)) {
+            issue(ValidationIssue::Kind::MissingMessage, name);
+            continue;
+          }
+          const ScheduledMessage& sm = schedule_.messageEntry(mid, ki);
+          if (sm.slotIndex != bus.slotOfNode(src.node)) {
+            issue(ValidationIssue::Kind::WrongSlot, name);
+          } else {
+            if (sm.start < bus.slotStart(sm.round, sm.slotIndex) ||
+                sm.end > bus.slotEnd(sm.round, sm.slotIndex)) {
+              issue(ValidationIssue::Kind::OutsideSlot, name);
+            }
+            slotLoad[static_cast<std::int64_t>(sm.slotIndex) * (1 << 20) +
+                     sm.round] += sm.end - sm.start;
+          }
+          if (sm.start < src.end || dst.start < sm.end) {
+            issue(ValidationIssue::Kind::PrecedenceViolated, name);
+          }
+          if (sm.end > sys_.hyperperiod()) {
+            issue(ValidationIssue::Kind::BeyondHorizon, name);
+          }
+        }
+      }
+    }
+    for (const auto& [key, ticks] : slotLoad) {
+      const auto slot = static_cast<std::size_t>(key >> 20);
+      if (ticks > bus.slot(slot).length) {
+        issue(ValidationIssue::Kind::SlotOverflow,
+              "slot " + std::to_string(slot) + " round " +
+                  std::to_string(key & ((1 << 20) - 1)));
+      }
+    }
+  }
+
+  const SystemModel& sys_;
+  const Schedule& schedule_;
+  const std::vector<GraphId>& graphs_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+ValidationReport validateSchedule(const SystemModel& sys,
+                                  const Schedule& schedule,
+                                  const std::vector<GraphId>& graphs) {
+  return Checker(sys, schedule, graphs).run();
+}
+
+}  // namespace ides

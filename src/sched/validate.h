@@ -1,0 +1,68 @@
+// Schedule validation: every invariant a static cyclic schedule must hold.
+//
+// The checker is the library's executable specification. It verifies a
+// (merged) schedule against the model:
+//   * completeness  — every (process, instance) of the checked graphs
+//     appears exactly once;
+//   * timing        — instances run inside [release, deadline] windows and
+//     entries are exactly WCET long on an allowed node;
+//   * exclusivity   — no two executions overlap on a node;
+//   * messaging     — every inter-node dependency has a bus entry in the
+//     sender's slot, inside the slot occurrence, after the producer and
+//     before the consumer; slot capacity is never exceeded; same-node
+//     dependencies still respect precedence;
+//   * horizon       — nothing extends past the hyperperiod.
+//
+// Used by integration tests, the CLI, and available to library users who
+// post-process or hand-edit schedules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/mapping.h"
+#include "sched/schedule.h"
+#include "util/ids.h"
+
+namespace ides {
+
+class SystemModel;
+
+struct ValidationIssue {
+  enum class Kind {
+    MissingEntry,
+    DuplicateBeyondInstances,
+    OutsideWindow,
+    WrongDuration,
+    DisallowedNode,
+    NodeOverlap,
+    MissingMessage,
+    LocalMessageOnBus,
+    WrongSlot,
+    OutsideSlot,
+    SlotOverflow,
+    PrecedenceViolated,
+    BeyondHorizon,
+  };
+  Kind kind;
+  std::string detail;
+};
+
+const char* toString(ValidationIssue::Kind kind);
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  /// Multi-line human-readable summary ("schedule valid" when ok).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validate `schedule` for the given graphs (typically: frozen + current
+/// merged, over all non-future graphs). The mapping provides node
+/// assignments for message-side checks; it is taken from the schedule's own
+/// process entries, so callers only pass the schedule.
+ValidationReport validateSchedule(const SystemModel& sys,
+                                  const Schedule& schedule,
+                                  const std::vector<GraphId>& graphs);
+
+}  // namespace ides

@@ -1,0 +1,171 @@
+#include "tgen/benchmark_suite.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/initial_mapping.h"
+#include "tgen/profile_presets.h"
+#include "util/log.h"
+
+namespace ides {
+
+namespace {
+
+/// Split `total` processes into graphs of about `graphSize`.
+std::vector<std::size_t> splitIntoGraphs(std::size_t total,
+                                         std::size_t graphSize) {
+  std::vector<std::size_t> sizes;
+  while (total > 0) {
+    const std::size_t take = std::min(total, graphSize);
+    // Avoid a tiny trailing graph: merge remainders under half size into
+    // the previous graph.
+    if (take < graphSize / 2 && !sizes.empty()) {
+      sizes.back() += take;
+    } else {
+      sizes.push_back(take);
+    }
+    total -= take;
+  }
+  return sizes;
+}
+
+SystemModel buildModel(const SuiteConfig& cfg, const FutureProfile& profile,
+                       Rng& rng) {
+  SystemModel sys(makeUniformArchitecture(cfg.nodeCount, cfg.slotLength,
+                                          cfg.bytesPerTick,
+                                          cfg.speedFactors));
+
+  auto addApps = [&](AppKind kind, std::size_t totalProcs,
+                     std::size_t graphSize, std::size_t appCount,
+                     Time fixedPeriod) {
+    // Existing base is split into several independently-delivered
+    // applications (one graph each keeps them small, like successive
+    // product increments); the current app is one application of several
+    // graphs.
+    std::size_t periodCursor = 0;
+    for (std::size_t a = 0; a < appCount; ++a) {
+      const ApplicationId app = sys.addApplication(
+          std::string(toString(kind)) + std::to_string(a), kind);
+      for (std::size_t size : splitIntoGraphs(totalProcs, graphSize)) {
+        GraphGenConfig g = cfg.graphGen;
+        g.processCount = size;
+        const Time period =
+            fixedPeriod > 0
+                ? fixedPeriod
+                : cfg.basePeriod /
+                      cfg.periodDivisors[periodCursor++ %
+                                         cfg.periodDivisors.size()];
+        if (kind == AppKind::Future) {
+          generateGraphFromDistributions(sys, app, period, period, g,
+                                         profile.wcetDistribution,
+                                         profile.messageSizeDistribution,
+                                         rng);
+        } else {
+          generateGraph(sys, app, period, period, g, rng);
+        }
+      }
+    }
+  };
+
+  // Existing base: one application per ~existingGraphSize processes, with
+  // staggered release phases (see SuiteConfig::offsetPhases).
+  {
+    const std::vector<std::size_t> sizes =
+        splitIntoGraphs(cfg.existingProcesses, cfg.existingGraphSize);
+    std::size_t periodCursor = 0;
+    const std::size_t phases = std::max<std::size_t>(1, cfg.offsetPhases);
+    for (std::size_t a = 0; a < sizes.size(); ++a) {
+      const ApplicationId app = sys.addApplication(
+          "existing" + std::to_string(a), AppKind::Existing);
+      GraphGenConfig g = cfg.graphGen;
+      g.processCount = sizes[a];
+      const Time period =
+          cfg.basePeriod /
+          cfg.periodDivisors[periodCursor++ % cfg.periodDivisors.size()];
+      const Time offset =
+          static_cast<Time>(a % phases) * period / static_cast<Time>(phases);
+      generateGraph(sys, app, period, period - offset, g, rng, offset);
+    }
+  }
+
+  // Current application: one application, several graphs.
+  {
+    const ApplicationId app = sys.addApplication("current", AppKind::Current);
+    std::size_t periodCursor = 0;
+    for (std::size_t size :
+         splitIntoGraphs(cfg.currentProcesses, cfg.currentGraphSize)) {
+      GraphGenConfig g = cfg.graphGen;
+      g.processCount = size;
+      const Time period =
+          cfg.basePeriod /
+          cfg.periodDivisors[periodCursor++ % cfg.periodDivisors.size()];
+      generateGraph(sys, app, period, period, g, rng);
+    }
+  }
+
+  // Candidate future applications (period = Tmin, matching the profile).
+  addApps(AppKind::Future, cfg.futureProcesses, cfg.futureGraphSize,
+          cfg.futureAppCount, cfg.tmin);
+
+  sys.finalize();
+  return sys;
+}
+
+}  // namespace
+
+Suite buildSuite(const SuiteConfig& cfg, std::uint64_t seed) {
+  if (cfg.basePeriod % cfg.tmin != 0) {
+    throw std::invalid_argument("buildSuite: tmin must divide basePeriod");
+  }
+
+  // Derive the periodic needs of the most demanding future application.
+  const DiscreteDistribution wcetDist = paperWcetDistribution();
+  const DiscreteDistribution msgDist = paperMessageSizeDistribution();
+  const double interNode =
+      cfg.nodeCount <= 1
+          ? 0.0
+          : static_cast<double>(cfg.nodeCount - 1) /
+                static_cast<double>(cfg.nodeCount);
+  const Time tneed =
+      cfg.tneedOverride > 0
+          ? cfg.tneedOverride
+          : static_cast<Time>(std::llround(
+                static_cast<double>(cfg.futureProcesses) *
+                wcetDist.expectedValue()));
+  const std::int64_t bneed =
+      cfg.bneedOverride > 0
+          ? cfg.bneedOverride
+          : std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(std::llround(
+                       static_cast<double>(cfg.futureProcesses) *
+                       cfg.graphGen.edgeDensity * interNode *
+                       msgDist.expectedValue())));
+  const FutureProfile profile = paperFutureProfile(cfg.tmin, tneed, bneed);
+
+  for (int attempt = 0; attempt < cfg.maxBuildAttempts; ++attempt) {
+    const std::uint64_t derived = seed + 0x9e3779b97f4a7c15ULL *
+                                             static_cast<std::uint64_t>(
+                                                 attempt);
+    Rng rng(derived);
+    SystemModel sys = buildModel(cfg, profile, rng);
+
+    // A usable instance must freeze its existing base and admit an initial
+    // mapping of the current application.
+    const FrozenBase frozen = freezeExistingApplications(sys);
+    if (!frozen.feasible) {
+      IDES_LOG_AT(LogLevel::Info)
+          << "buildSuite: existing base infeasible at seed " << derived;
+      continue;
+    }
+    PlatformState state = frozen.state;
+    if (!initialMapping(sys, state).feasible) {
+      IDES_LOG_AT(LogLevel::Info)
+          << "buildSuite: IM infeasible at seed " << derived;
+      continue;
+    }
+    return Suite{std::move(sys), profile, derived, attempt + 1};
+  }
+  throw std::runtime_error("buildSuite: no feasible instance found");
+}
+
+}  // namespace ides

@@ -1,0 +1,75 @@
+// Paper-scale benchmark suites.
+//
+// A suite is one complete experiment instance, mirroring the paper's setup
+// (slides 15-17): a 10-node TTP architecture, a base of existing
+// applications totaling ~400 processes already frozen onto it, one current
+// application of the size under study, an optional set of candidate future
+// applications, and the FutureProfile that characterizes them.
+//
+// tneed and bneed are derived from the future-application parameters: a
+// future application's graphs have period Tmin, so its expected processor
+// demand per Tmin window is (process count) * E[wcet], and its bus demand
+// is (message count) * P(inter-node) * E[size].
+//
+// Random instances are occasionally unschedulable; buildSuite retries with
+// derived seeds until the existing applications freeze feasibly and the
+// current application admits an initial mapping, so every returned suite is
+// a usable experiment instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/future_profile.h"
+#include "model/system_model.h"
+#include "tgen/graph_gen.h"
+
+namespace ides {
+
+struct SuiteConfig {
+  std::size_t nodeCount = 10;
+  std::vector<double> speedFactors = {1.0, 0.8, 1.25};
+  Time slotLength = 20;          // ticks; round = nodeCount * slotLength
+  std::int64_t bytesPerTick = 1;
+
+  Time basePeriod = 16000;       // slowest period; also the hyperperiod
+  /// Graph periods are basePeriod / divisor, cycled per graph.
+  std::vector<Time> periodDivisors = {1, 2};
+  Time tmin = 4000;              // smallest expected future period
+
+  std::size_t existingProcesses = 400;
+  std::size_t existingGraphSize = 50;
+  /// Existing applications are released at staggered phases: application a
+  /// gets offset (a % offsetPhases) * period / offsetPhases. This mirrors a
+  /// time-triggered system grown incrementally — each delivered application
+  /// was phased to use the slack its predecessors left — and is what keeps
+  /// the frozen base from piling onto the start of every period. 1 = no
+  /// staggering.
+  std::size_t offsetPhases = 4;
+  std::size_t currentProcesses = 80;
+  std::size_t currentGraphSize = 40;
+  std::size_t futureAppCount = 0;   // candidate future apps to embed
+  std::size_t futureProcesses = 80;
+  std::size_t futureGraphSize = 40;
+
+  GraphGenConfig graphGen;       // shape/WCET/message knobs
+
+  /// 0 = derive from the future parameters (see header comment).
+  Time tneedOverride = 0;
+  std::int64_t bneedOverride = 0;
+
+  int maxBuildAttempts = 20;
+};
+
+struct Suite {
+  SystemModel system;
+  FutureProfile profile;
+  std::uint64_t seedUsed = 0;
+  int buildAttempts = 1;
+};
+
+/// Build a feasible suite. Throws std::runtime_error if no feasible
+/// instance is found within cfg.maxBuildAttempts derived seeds.
+Suite buildSuite(const SuiteConfig& cfg, std::uint64_t seed);
+
+}  // namespace ides

@@ -1,0 +1,131 @@
+#include "tgen/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ides {
+
+namespace {
+
+/// WCET table for one process: base effort scaled by each node's speed
+/// factor with multiplicative jitter; optionally restricted to a subset.
+std::vector<Time> makeWcetTable(const Architecture& arch, Time base,
+                                const GraphGenConfig& cfg, Rng& rng) {
+  const std::size_t nodes = arch.nodeCount();
+  std::vector<Time> wcet(nodes, kNoTime);
+  std::vector<std::size_t> allowed(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) allowed[i] = i;
+  if (nodes > 2 && rng.chance(cfg.restrictedMappingProb)) {
+    rng.shuffle(allowed);
+    const auto keep = std::max<std::size_t>(
+        2, static_cast<std::size_t>(
+               std::lround(cfg.restrictedFraction *
+                           static_cast<double>(nodes))));
+    allowed.resize(keep);
+  }
+  for (std::size_t i : allowed) {
+    const double jitter =
+        rng.uniformReal(1.0 - cfg.wcetNodeVariation,
+                        1.0 + cfg.wcetNodeVariation);
+    const double scaled =
+        static_cast<double>(base) * arch.node(NodeId{static_cast<int>(i)})
+                                        .speedFactor *
+        jitter;
+    wcet[i] = std::max<Time>(1, static_cast<Time>(std::lround(scaled)));
+  }
+  return wcet;
+}
+
+struct LayerPlan {
+  std::vector<std::size_t> layerOf;  // per local process index
+  std::size_t layerCount = 0;
+};
+
+LayerPlan planLayers(std::size_t processCount, std::size_t layerWidth) {
+  LayerPlan plan;
+  if (layerWidth == 0) throw std::invalid_argument("layerWidth == 0");
+  plan.layerOf.resize(processCount);
+  for (std::size_t i = 0; i < processCount; ++i) {
+    plan.layerOf[i] = i / layerWidth;
+  }
+  plan.layerCount = processCount == 0 ? 0 : plan.layerOf.back() + 1;
+  return plan;
+}
+
+template <typename WcetFn, typename SizeFn>
+GraphId generateImpl(SystemModel& sys, ApplicationId app, Time period,
+                     Time deadline, const GraphGenConfig& cfg,
+                     WcetFn&& drawWcet, SizeFn&& drawSize, Rng& rng,
+                     Time offset) {
+  if (cfg.processCount == 0) {
+    throw std::invalid_argument("generateGraph: empty graph");
+  }
+  const GraphId g = sys.addGraph(app, period, deadline, offset);
+  const LayerPlan plan = planLayers(cfg.processCount, cfg.layerWidth);
+
+  std::vector<ProcessId> procs;
+  procs.reserve(cfg.processCount);
+  for (std::size_t i = 0; i < cfg.processCount; ++i) {
+    const Time base = drawWcet();
+    procs.push_back(sys.addProcess(
+        g, "P" + std::to_string(g.value) + "_" + std::to_string(i),
+        makeWcetTable(sys.architecture(), base, cfg, rng)));
+  }
+
+  // Connectivity tree: every process beyond layer 0 gets one parent from
+  // the immediately preceding layer (bounds the critical path to the layer
+  // count).
+  std::size_t edges = 0;
+  std::vector<std::vector<std::size_t>> byLayer(plan.layerCount);
+  for (std::size_t i = 0; i < cfg.processCount; ++i) {
+    byLayer[plan.layerOf[i]].push_back(i);
+  }
+  for (std::size_t i = 0; i < cfg.processCount; ++i) {
+    const std::size_t layer = plan.layerOf[i];
+    if (layer == 0) continue;
+    const auto& parents = byLayer[layer - 1];
+    const std::size_t parent = parents[rng.index(parents.size())];
+    sys.addMessage(g, procs[parent], procs[i], drawSize());
+    ++edges;
+  }
+
+  // Extra forward edges up to the density target. Duplicate edges between
+  // the same pair are allowed in the model (distinct messages), matching
+  // multiple data items flowing between two processes.
+  const auto target = static_cast<std::size_t>(
+      std::llround(cfg.edgeDensity * static_cast<double>(cfg.processCount)));
+  std::size_t attempts = 0;
+  while (edges < target && attempts < 16 * cfg.processCount &&
+         plan.layerCount > 1) {
+    ++attempts;
+    const std::size_t u = rng.index(cfg.processCount);
+    const std::size_t v = rng.index(cfg.processCount);
+    if (plan.layerOf[u] >= plan.layerOf[v]) continue;  // forward-only: acyclic
+    sys.addMessage(g, procs[u], procs[v], drawSize());
+    ++edges;
+  }
+  return g;
+}
+
+}  // namespace
+
+GraphId generateGraph(SystemModel& sys, ApplicationId app, Time period,
+                      Time deadline, const GraphGenConfig& cfg, Rng& rng,
+                      Time offset) {
+  return generateImpl(
+      sys, app, period, deadline, cfg,
+      [&] { return rng.uniformInt(cfg.wcetMin, cfg.wcetMax); },
+      [&] { return rng.uniformInt(cfg.msgMin, cfg.msgMax); }, rng, offset);
+}
+
+GraphId generateGraphFromDistributions(
+    SystemModel& sys, ApplicationId app, Time period, Time deadline,
+    const GraphGenConfig& cfg, const DiscreteDistribution& wcetDist,
+    const DiscreteDistribution& msgDist, Rng& rng, Time offset) {
+  return generateImpl(
+      sys, app, period, deadline, cfg, [&] { return wcetDist.sample(rng); },
+      [&] { return msgDist.sample(rng); }, rng, offset);
+}
+
+}  // namespace ides

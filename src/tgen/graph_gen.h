@@ -1,0 +1,53 @@
+// Random process-graph generation (TGFF-style layered DAGs).
+//
+// The paper evaluates on randomly generated process graphs. We generate
+// layered DAGs: processes are spread over layers, every non-root process
+// gets at least one parent in an earlier layer (weak connectivity), and
+// extra forward edges are added up to the requested density. Layering
+// bounds the critical-path depth, which keeps the generated graphs
+// schedulable within one period.
+#pragma once
+
+#include <cstdint>
+
+#include "model/system_model.h"
+#include "util/rng.h"
+
+namespace ides {
+
+struct GraphGenConfig {
+  std::size_t processCount = 40;
+  /// Average number of edges per process (>= 1.0 keeps the graph connected;
+  /// the tree uses processCount - width edges, the rest are extra).
+  double edgeDensity = 1.3;
+  /// Processes per layer (controls depth: depth ~= processCount / width).
+  std::size_t layerWidth = 8;
+  /// Base WCET range on a speed-1.0 node.
+  Time wcetMin = 20;
+  Time wcetMax = 150;
+  /// Per-node multiplicative jitter around speedFactor * base (+-fraction).
+  double wcetNodeVariation = 0.25;
+  /// Probability that a process is restricted to a strict subset of nodes.
+  double restrictedMappingProb = 0.25;
+  /// Fraction of nodes kept when restricted (at least 2 nodes).
+  double restrictedFraction = 0.5;
+  /// Message payload range in bytes.
+  std::int64_t msgMin = 2;
+  std::int64_t msgMax = 8;
+};
+
+/// Generate one process graph into `sys` (which must not be finalized).
+/// Returns the new graph's id.
+GraphId generateGraph(SystemModel& sys, ApplicationId app, Time period,
+                      Time deadline, const GraphGenConfig& cfg, Rng& rng,
+                      Time offset = 0);
+
+/// Variant whose WCETs and message sizes are drawn from discrete
+/// distributions instead of uniform ranges — used to instantiate *future*
+/// applications that match a FutureProfile's histograms.
+GraphId generateGraphFromDistributions(
+    SystemModel& sys, ApplicationId app, Time period, Time deadline,
+    const GraphGenConfig& cfg, const DiscreteDistribution& wcetDist,
+    const DiscreteDistribution& msgDist, Rng& rng, Time offset = 0);
+
+}  // namespace ides

@@ -1,0 +1,25 @@
+#include "tgen/profile_presets.h"
+
+namespace ides {
+
+DiscreteDistribution paperWcetDistribution() {
+  return DiscreteDistribution({{20, 0.2}, {50, 0.4}, {100, 0.3}, {150, 0.1}});
+}
+
+DiscreteDistribution paperMessageSizeDistribution() {
+  return DiscreteDistribution({{2, 0.2}, {4, 0.4}, {6, 0.3}, {8, 0.1}});
+}
+
+FutureProfile paperFutureProfile(Time tmin, Time tneed,
+                                 std::int64_t bneedBytes) {
+  FutureProfile profile;
+  profile.tmin = tmin;
+  profile.tneed = tneed;
+  profile.bneedBytes = bneedBytes;
+  profile.wcetDistribution = paperWcetDistribution();
+  profile.messageSizeDistribution = paperMessageSizeDistribution();
+  profile.validate();
+  return profile;
+}
+
+}  // namespace ides

@@ -1,0 +1,127 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ides {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@'};
+}
+
+AsciiChart::AsciiChart(std::string title, std::string xLabel,
+                       std::string yLabel)
+    : title_(std::move(title)),
+      xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel)) {}
+
+void AsciiChart::setXAxis(std::vector<double> xs) { xs_ = std::move(xs); }
+
+void AsciiChart::addSeries(std::string name, std::vector<double> ys) {
+  if (ys.size() != xs_.size()) {
+    throw std::invalid_argument("AsciiChart: series size != x-axis size");
+  }
+  const char marker = kMarkers[series_.size() % std::size(kMarkers)];
+  series_.push_back({std::move(name), std::move(ys), marker});
+}
+
+void AsciiChart::render(std::ostream& os, int width, int height) const {
+  if (xs_.empty() || series_.empty()) {
+    os << title_ << ": (no data)\n";
+    return;
+  }
+  double xMin = xs_.front(), xMax = xs_.back();
+  double yMin = 0.0, yMax = 0.0;
+  bool first = true;
+  for (const Series& s : series_) {
+    for (double y : s.ys) {
+      if (first) {
+        yMin = yMax = y;
+        first = false;
+      } else {
+        yMin = std::min(yMin, y);
+        yMax = std::max(yMax, y);
+      }
+    }
+  }
+  yMin = std::min(yMin, 0.0);
+  if (yMax <= yMin) yMax = yMin + 1.0;
+  if (xMax <= xMin) xMax = xMin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  auto toCol = [&](double x) {
+    const double t = (x - xMin) / (xMax - xMin);
+    return std::clamp(static_cast<int>(std::lround(t * (width - 1))), 0,
+                      width - 1);
+  };
+  auto toRow = [&](double y) {
+    const double t = (y - yMin) / (yMax - yMin);
+    return std::clamp(
+        height - 1 - static_cast<int>(std::lround(t * (height - 1))), 0,
+        height - 1);
+  };
+  // Connect consecutive points with linear interpolation, then overdraw the
+  // data points with the series marker.
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i + 1 < xs_.size(); ++i) {
+      const int c0 = toCol(xs_[i]), c1 = toCol(xs_[i + 1]);
+      for (int c = c0; c <= c1; ++c) {
+        const double t = (c1 == c0) ? 0.0
+                                    : static_cast<double>(c - c0) /
+                                          static_cast<double>(c1 - c0);
+        const double y = s.ys[i] + t * (s.ys[i + 1] - s.ys[i]);
+        auto& cell = grid[static_cast<std::size_t>(toRow(y))]
+                         [static_cast<std::size_t>(c)];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      grid[static_cast<std::size_t>(toRow(s.ys[i]))]
+          [static_cast<std::size_t>(toCol(xs_[i]))] = s.marker;
+    }
+  }
+
+  os << '\n' << "  " << title_ << '\n';
+  os << "  y: " << yLabel_ << "   (";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << series_[i].marker << " = " << series_[i].name;
+  }
+  os << ")\n";
+  std::ostringstream top, bot;
+  top << std::setprecision(4) << yMax;
+  bot << std::setprecision(4) << yMin;
+  const int labelW =
+      static_cast<int>(std::max(top.str().size(), bot.str().size()));
+  for (int r = 0; r < height; ++r) {
+    std::string label(static_cast<std::size_t>(labelW), ' ');
+    if (r == 0) label = top.str();
+    if (r == height - 1) label = bot.str();
+    os << "  " << std::setw(labelW) << label << " |"
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "  " << std::string(static_cast<std::size_t>(labelW), ' ') << " +"
+     << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  std::ostringstream xlo, xhi;
+  xlo << std::setprecision(4) << xMin;
+  xhi << std::setprecision(4) << xMax;
+  os << "  " << std::string(static_cast<std::size_t>(labelW), ' ') << "  "
+     << xlo.str()
+     << std::string(
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(width) > xlo.str().size() +
+                                                         xhi.str().size()
+                       ? static_cast<std::size_t>(width) - xlo.str().size() -
+                             xhi.str().size()
+                       : 1),
+            ' ')
+     << xhi.str() << "   x: " << xLabel_ << '\n';
+}
+
+}  // namespace ides

@@ -1,0 +1,40 @@
+// Terminal line charts for the figure benchmarks.
+//
+// The paper's evaluation is three line charts; each figure bench renders an
+// ASCII approximation next to the numeric table, so the "shape" claim
+// (who wins, by how much, where the lines cross) is visible directly in
+// bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ides {
+
+/// Multi-series line chart over a shared x-axis.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string xLabel, std::string yLabel);
+
+  /// All series must have the same number of points as `xs`.
+  void setXAxis(std::vector<double> xs);
+  void addSeries(std::string name, std::vector<double> ys);
+
+  /// Render at the given plot-area size (characters).
+  void render(std::ostream& os, int width = 64, int height = 18) const;
+
+ private:
+  std::string title_;
+  std::string xLabel_;
+  std::string yLabel_;
+  std::vector<double> xs_;
+  struct Series {
+    std::string name;
+    std::vector<double> ys;
+    char marker;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace ides

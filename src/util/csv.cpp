@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ides {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvTable: empty header");
+}
+
+void CsvTable::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable: row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvTable::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string CsvTable::num(long long v) { return std::to_string(v); }
+
+void CsvTable::writeCsv(std::ostream& os) const {
+  auto writeRow = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  writeRow(header_);
+  for (const auto& row : rows_) writeRow(row);
+}
+
+void CsvTable::writePretty(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << "  " << std::setw(static_cast<int>(width[i])) << row[i];
+    }
+    os << '\n';
+  };
+  os << std::right;
+  writeRow(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) writeRow(row);
+}
+
+}  // namespace ides

@@ -1,0 +1,41 @@
+// Minimal CSV table writer for benchmark output.
+//
+// Each figure bench emits both a human-readable table and a CSV block so
+// the series can be re-plotted outside the harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ides {
+
+/// Column-oriented table; all rows must have the same arity as the header.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(long long v);
+
+  void writeCsv(std::ostream& os) const;
+  /// Aligned, human-readable rendering.
+  void writePretty(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ides

@@ -1,0 +1,54 @@
+// Strongly-typed integer identifiers.
+//
+// Every entity in the model (node, process, message, graph, application) is
+// referred to by a dense index into its owning container. Wrapping the index
+// in a distinct struct stops a ProcessId from silently being used where a
+// NodeId is expected -- a classic source of mapping bugs in co-synthesis
+// code, where everything is "just an int".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ides {
+
+namespace detail {
+
+/// CRTP-free tagged index. Tag makes each instantiation a distinct type.
+template <typename Tag>
+struct TaggedId {
+  std::int32_t value = -1;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(std::int32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value);
+  }
+
+  friend constexpr bool operator==(TaggedId, TaggedId) = default;
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+};
+
+}  // namespace detail
+
+using NodeId = detail::TaggedId<struct NodeTag>;
+using ProcessId = detail::TaggedId<struct ProcessTag>;
+using MessageId = detail::TaggedId<struct MessageTag>;
+using GraphId = detail::TaggedId<struct GraphTag>;
+using ApplicationId = detail::TaggedId<struct ApplicationTag>;
+
+}  // namespace ides
+
+namespace std {
+
+template <typename Tag>
+struct hash<ides::detail::TaggedId<Tag>> {
+  size_t operator()(ides::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+}  // namespace std

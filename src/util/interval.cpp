@@ -1,0 +1,151 @@
+#include "util/interval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace ides {
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.start << ',' << iv.end << ')';
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+  for (const Interval& iv : intervals) add(iv);
+}
+
+void IntervalSet::add(Interval iv) {
+  if (iv.empty()) return;
+  // Find the first member that ends at or after iv.start (touching counts,
+  // so adjacent intervals coalesce into one).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end < b.start; });
+  // Find one past the last member that starts at or before iv.end.
+  auto last = first;
+  while (last != intervals_.end() && last->start <= iv.end) {
+    iv.start = std::min(iv.start, last->start);
+    iv.end = std::max(iv.end, last->end);
+    ++last;
+  }
+  auto pos = intervals_.erase(first, last);
+  intervals_.insert(pos, iv);
+  checkInvariant();
+}
+
+void IntervalSet::subtract(Interval iv) {
+  if (iv.empty() || intervals_.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& member : intervals_) {
+    if (!member.overlaps(iv)) {
+      out.push_back(member);
+      continue;
+    }
+    if (member.start < iv.start) {
+      out.push_back({member.start, iv.start});
+    }
+    if (member.end > iv.end) {
+      out.push_back({iv.end, member.end});
+    }
+  }
+  intervals_ = std::move(out);
+  checkInvariant();
+}
+
+Time IntervalSet::totalLength() const {
+  Time total = 0;
+  for (const Interval& iv : intervals_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::covers(Interval iv) const {
+  if (iv.empty()) return true;
+  // The covering member, if any, is the last one starting at or before
+  // iv.start.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->start <= iv.start && it->end >= iv.end;
+}
+
+bool IntervalSet::intersects(Interval iv) const {
+  if (iv.empty()) return false;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end <= b.start; });
+  return it != intervals_.end() && it->overlaps(iv);
+}
+
+IntervalSet IntervalSet::complementWithin(Interval horizon) const {
+  IntervalSet out;
+  if (horizon.empty()) return out;
+  Time cursor = horizon.start;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= horizon.start) continue;
+    if (iv.start >= horizon.end) break;
+    if (iv.start > cursor) {
+      out.intervals_.push_back({cursor, std::min(iv.start, horizon.end)});
+    }
+    cursor = std::max(cursor, iv.end);
+    if (cursor >= horizon.end) break;
+  }
+  if (cursor < horizon.end) {
+    out.intervals_.push_back({cursor, horizon.end});
+  }
+  out.checkInvariant();
+  return out;
+}
+
+IntervalSet IntervalSet::intersectWith(Interval window) const {
+  IntervalSet out;
+  if (window.empty()) return out;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= window.start) continue;
+    if (iv.start >= window.end) break;
+    out.intervals_.push_back(
+        {std::max(iv.start, window.start), std::min(iv.end, window.end)});
+  }
+  out.checkInvariant();
+  return out;
+}
+
+Time IntervalSet::lengthWithin(Interval window) const {
+  Time total = 0;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= window.start) continue;
+    if (iv.start >= window.end) break;
+    total += std::min(iv.end, window.end) - std::max(iv.start, window.start);
+  }
+  return total;
+}
+
+Time IntervalSet::largest() const {
+  Time best = 0;
+  for (const Interval& iv : intervals_) best = std::max(best, iv.length());
+  return best;
+}
+
+void IntervalSet::checkInvariant() const {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    assert(!intervals_[i].empty());
+    if (i > 0) assert(intervals_[i - 1].end < intervals_[i].start);
+  }
+#endif
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  os << '{';
+  bool first = true;
+  for (const Interval& iv : set.intervals()) {
+    if (!first) os << ", ";
+    os << iv;
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace ides

@@ -1,0 +1,51 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace ides {
+
+namespace {
+
+LogLevel parseEnv() {
+  const char* env = std::getenv("IDES_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_threshold{parseEnv()};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logThreshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void setLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  std::clog << "[ides:" << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace ides

@@ -1,0 +1,51 @@
+// Tiny leveled logger.
+//
+// The library itself is silent by default; strategies log progress at
+// `Debug` so long benchmark runs can be traced with IDES_LOG=debug without
+// recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ides {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold. Initialized from the IDES_LOG environment variable
+/// (debug|info|warn|error|off); defaults to Warn.
+LogLevel logThreshold();
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Usage: IDES_LOG_AT(LogLevel::Info) << "mapped " << n << " processes";
+#define IDES_LOG_AT(level)                                    \
+  if ((level) < ::ides::logThreshold()) {                     \
+  } else                                                      \
+    ::ides::detail::LogLine(level)
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ides

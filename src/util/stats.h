@@ -1,0 +1,33 @@
+// Small online statistics helpers used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ides {
+
+/// Online accumulator: mean / min / max / sample standard deviation.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Sample (n-1) standard deviation; 0 for fewer than two samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sumSq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (nearest-rank). q in [0, 100].
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace ides

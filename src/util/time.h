@@ -1,0 +1,28 @@
+// Time base for the whole library.
+//
+// All schedules, periods, deadlines and WCETs are expressed as integer tick
+// counts. Ticks are dimensionless; a benchmark suite decides what one tick
+// means (the paper-scale suites treat one tick as roughly one microsecond).
+// Integer time keeps the static cyclic schedules exact: the hyperperiod, the
+// TDMA round length and every slot boundary are exact multiples of a tick,
+// so there is no accumulation error over rounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ides {
+
+/// Discrete time in ticks.
+using Time = std::int64_t;
+
+/// Sentinel for "no time" / "unscheduled".
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// Largest representable time; used as an "infinite" horizon.
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// Ceiling division for non-negative integers.
+constexpr Time ceilDiv(Time num, Time den) { return (num + den - 1) / den; }
+
+}  // namespace ides

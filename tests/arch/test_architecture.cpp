@@ -1,0 +1,51 @@
+#include "arch/architecture.h"
+
+#include <gtest/gtest.h>
+
+namespace ides {
+namespace {
+
+TEST(Architecture, UniformBuilderCreatesDenseNodesAndSlots) {
+  const Architecture arch = makeUniformArchitecture(4, 15, 2, {1.0, 0.5});
+  EXPECT_EQ(arch.nodeCount(), 4u);
+  EXPECT_EQ(arch.bus().slotCount(), 4u);
+  EXPECT_EQ(arch.bus().roundLength(), 60);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(arch.nodes()[i].id.index(), i);
+    EXPECT_EQ(arch.bus().slotOfNode(arch.nodes()[i].id), i);
+  }
+  // Speed factors cycle.
+  EXPECT_DOUBLE_EQ(arch.node(NodeId{0}).speedFactor, 1.0);
+  EXPECT_DOUBLE_EQ(arch.node(NodeId{1}).speedFactor, 0.5);
+  EXPECT_DOUBLE_EQ(arch.node(NodeId{2}).speedFactor, 1.0);
+}
+
+TEST(Architecture, BuilderRejectsDegenerateInput) {
+  EXPECT_THROW(makeUniformArchitecture(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(makeUniformArchitecture(2, 10, 1, {}), std::invalid_argument);
+}
+
+TEST(Architecture, ConstructorValidatesNodeSlotCorrespondence) {
+  std::vector<Node> nodes{{NodeId{0}, "N0", 1.0}, {NodeId{1}, "N1", 1.0}};
+  // Slot for a node that does not exist.
+  TdmaBus bus({{NodeId{0}, 10}, {NodeId{2}, 10}}, 1);
+  EXPECT_THROW(Architecture(nodes, bus), std::invalid_argument);
+  // One node without a slot.
+  TdmaBus oneSlot({{NodeId{0}, 10}}, 1);
+  EXPECT_THROW(Architecture(nodes, oneSlot), std::invalid_argument);
+}
+
+TEST(Architecture, ConstructorRequiresDenseIds) {
+  std::vector<Node> nodes{{NodeId{1}, "N1", 1.0}};
+  TdmaBus bus({{NodeId{1}, 10}}, 1);
+  EXPECT_THROW(Architecture(nodes, bus), std::invalid_argument);
+}
+
+TEST(Architecture, NodeAccessors) {
+  const Architecture arch = makeUniformArchitecture(3, 10, 1);
+  EXPECT_EQ(arch.node(NodeId{2}).name, "N2");
+  EXPECT_EQ(arch.nodes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,90 @@
+#include "arch/tdma_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace ides {
+namespace {
+
+TdmaBus makeBus3() {
+  // Three nodes, slot lengths 10/20/10, 2 bytes per tick.
+  return TdmaBus({{NodeId{0}, 10}, {NodeId{1}, 20}, {NodeId{2}, 10}}, 2);
+}
+
+TEST(TdmaBus, RoundLengthIsSumOfSlots) {
+  EXPECT_EQ(makeBus3().roundLength(), 40);
+}
+
+TEST(TdmaBus, SlotCapacityScalesWithBandwidth) {
+  const TdmaBus bus = makeBus3();
+  EXPECT_EQ(bus.slotCapacityBytes(0), 20);
+  EXPECT_EQ(bus.slotCapacityBytes(1), 40);
+  EXPECT_EQ(bus.slotCapacityBytes(2), 20);
+}
+
+TEST(TdmaBus, SlotStartsRepeatEveryRound) {
+  const TdmaBus bus = makeBus3();
+  EXPECT_EQ(bus.slotStart(0, 0), 0);
+  EXPECT_EQ(bus.slotStart(0, 1), 10);
+  EXPECT_EQ(bus.slotStart(0, 2), 30);
+  EXPECT_EQ(bus.slotStart(1, 0), 40);
+  EXPECT_EQ(bus.slotStart(5, 1), 5 * 40 + 10);
+  EXPECT_EQ(bus.slotEnd(0, 1), 30);
+}
+
+TEST(TdmaBus, SlotOfNodeLookup) {
+  const TdmaBus bus = makeBus3();
+  EXPECT_EQ(bus.slotOfNode(NodeId{0}), 0u);
+  EXPECT_EQ(bus.slotOfNode(NodeId{1}), 1u);
+  EXPECT_EQ(bus.slotOfNode(NodeId{2}), 2u);
+  EXPECT_THROW(bus.slotOfNode(NodeId{3}), std::out_of_range);
+  EXPECT_TRUE(bus.nodeHasSlot(NodeId{1}));
+  EXPECT_FALSE(bus.nodeHasSlot(NodeId{7}));
+}
+
+TEST(TdmaBus, TransmissionTimeRoundsUp) {
+  const TdmaBus bus = makeBus3();  // 2 bytes/tick
+  EXPECT_EQ(bus.transmissionTime(1), 1);
+  EXPECT_EQ(bus.transmissionTime(2), 1);
+  EXPECT_EQ(bus.transmissionTime(3), 2);
+  EXPECT_EQ(bus.transmissionTime(8), 4);
+}
+
+TEST(TdmaBus, FirstRoundAtOrAfter) {
+  const TdmaBus bus = makeBus3();  // slot1 offset 10, round 40
+  EXPECT_EQ(bus.firstRoundAtOrAfter(1, 0), 0);
+  EXPECT_EQ(bus.firstRoundAtOrAfter(1, 10), 0);  // exactly at the start
+  EXPECT_EQ(bus.firstRoundAtOrAfter(1, 11), 1);
+  EXPECT_EQ(bus.firstRoundAtOrAfter(1, 50), 1);
+  EXPECT_EQ(bus.firstRoundAtOrAfter(1, 51), 2);
+  EXPECT_EQ(bus.firstRoundAtOrAfter(0, 1), 1);  // slot0 offset 0
+}
+
+TEST(TdmaBus, ValidationRejectsBadConfigs) {
+  EXPECT_THROW(TdmaBus({}, 1), std::invalid_argument);
+  EXPECT_THROW(TdmaBus({{NodeId{0}, 0}}, 1), std::invalid_argument);
+  EXPECT_THROW(TdmaBus({{NodeId{0}, 10}}, 0), std::invalid_argument);
+  EXPECT_THROW(TdmaBus({{NodeId{0}, 10}, {NodeId{0}, 10}}, 1),
+               std::invalid_argument);  // duplicate owner
+  EXPECT_THROW(TdmaBus({{NodeId{}, 10}}, 1), std::invalid_argument);
+}
+
+// Property: for any t, the returned round's slot start is >= t and the
+// previous round's start is < t.
+class FirstRoundProperty : public ::testing::TestWithParam<Time> {};
+
+TEST_P(FirstRoundProperty, IsTightLowerBound) {
+  const TdmaBus bus = makeBus3();
+  const Time t = GetParam();
+  for (std::size_t s = 0; s < bus.slotCount(); ++s) {
+    const std::int64_t r = bus.firstRoundAtOrAfter(s, t);
+    EXPECT_GE(bus.slotStart(r, s), t);
+    if (r > 0) EXPECT_LT(bus.slotStart(r - 1, s), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, FirstRoundProperty,
+                         ::testing::Values(0, 1, 9, 10, 11, 39, 40, 41, 79, 80,
+                                           123, 399, 400, 1000));
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,125 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/initial_mapping.h"
+#include "model/system_model.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::makeIncrementalScenario;
+using ides::testing::ScenarioIds;
+
+FutureProfile smallProfile() {
+  FutureProfile p;
+  p.tmin = 100;
+  p.tneed = 30;
+  p.bneedBytes = 8;
+  p.wcetDistribution = DiscreteDistribution({{10, 0.5}, {20, 0.5}});
+  p.messageSizeDistribution = DiscreteDistribution({{2, 0.5}, {4, 0.5}});
+  return p;
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Deadline 150 < period 200: late placements are observable before the
+    // schedule runs out of horizon.
+    sys_ = std::make_unique<SystemModel>(
+        makeIncrementalScenario(&ids_, 200, 150));
+    frozen_ = std::make_unique<FrozenBase>(freezeExistingApplications(*sys_));
+    ASSERT_TRUE(frozen_->feasible);
+    eval_ = std::make_unique<SolutionEvaluator>(
+        *sys_, frozen_->state, smallProfile(), MetricWeights{});
+  }
+
+  MappingSolution goodMapping() const {
+    MappingSolution m(*sys_);
+    m.setNode(ids_.diamond.p1, NodeId{0});
+    m.setNode(ids_.diamond.p2, NodeId{1});
+    m.setNode(ids_.diamond.p3, NodeId{0});
+    m.setNode(ids_.diamond.p4, NodeId{0});
+    return m;
+  }
+
+  ScenarioIds ids_;
+  std::unique_ptr<SystemModel> sys_;
+  std::unique_ptr<FrozenBase> frozen_;
+  std::unique_ptr<SolutionEvaluator> eval_;
+};
+
+TEST_F(EvaluatorTest, FeasibleSolutionGetsObjectiveCost) {
+  const EvalResult r = eval_->evaluate(goodMapping());
+  EXPECT_TRUE(r.placed);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.deadlineMisses, 0);
+  EXPECT_DOUBLE_EQ(r.cost, r.objective);
+  EXPECT_LT(r.cost, SolutionEvaluator::kMissPenalty);
+  EXPECT_GE(r.metrics.c2p, 0);
+}
+
+TEST_F(EvaluatorTest, LateSolutionGetsGradedPenalty) {
+  // Pushing P4 past the 150-tick deadline (but inside the 200-tick period)
+  // yields a placed-but-late schedule.
+  MappingSolution late = goodMapping();
+  late.setStartHint(ids_.diamond.p4, 160);
+  const EvalResult r = eval_->evaluate(late);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_GE(r.cost, SolutionEvaluator::kMissPenalty);
+  EXPECT_LT(r.cost, SolutionEvaluator::kUnplacedPenalty);
+  EXPECT_GT(r.lateness, 0);
+}
+
+TEST_F(EvaluatorTest, LatenessGradesThePenalty) {
+  MappingSolution lateA = goodMapping();
+  lateA.setStartHint(ids_.diamond.p4, 160);
+  MappingSolution lateB = goodMapping();
+  lateB.setStartHint(ids_.diamond.p4, 180);  // even later
+  const double a = eval_->evaluate(lateA).cost;
+  const double b = eval_->evaluate(lateB).cost;
+  EXPECT_LT(a, b);
+}
+
+TEST_F(EvaluatorTest, OutputsScheduleAndSlackOnRequest) {
+  ScheduleOutcome outcome;
+  SlackInfo slack;
+  const EvalResult r = eval_->evaluate(goodMapping(), &outcome, &slack);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(outcome.schedule.processEntryCount(), 4u);
+  EXPECT_EQ(slack.horizon, sys_->hyperperiod());
+  EXPECT_EQ(slack.nodeFree.size(), 2u);
+  // Slack excludes both frozen and current occupancy.
+  EXPECT_LT(slack.totalNodeSlack(), 2 * sys_->hyperperiod());
+}
+
+TEST_F(EvaluatorTest, EvaluationDoesNotMutateBaseline) {
+  const Time before = eval_->baseline().totalNodeSlack();
+  (void)eval_->evaluate(goodMapping());
+  (void)eval_->evaluate(goodMapping());
+  EXPECT_EQ(eval_->baseline().totalNodeSlack(), before);
+}
+
+TEST_F(EvaluatorTest, StateWithCommitsSolution) {
+  const PlatformState state = eval_->stateWith(goodMapping());
+  EXPECT_LT(state.totalNodeSlack(), eval_->baseline().totalNodeSlack());
+}
+
+TEST_F(EvaluatorTest, CurrentGraphsAndPrioritiesMatch) {
+  ASSERT_EQ(eval_->currentGraphs().size(), 1u);
+  EXPECT_EQ(eval_->currentGraphs()[0], ids_.diamond.graph);
+  ASSERT_EQ(eval_->priorities().size(), 1u);
+  EXPECT_EQ(eval_->priorities()[0].size(), 4u);
+}
+
+TEST_F(EvaluatorTest, DeterministicEvaluation) {
+  const EvalResult a = eval_->evaluate(goodMapping());
+  const EvalResult b = eval_->evaluate(goodMapping());
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.metrics.c2p, b.metrics.c2p);
+  EXPECT_DOUBLE_EQ(a.metrics.c1p, b.metrics.c1p);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,124 @@
+#include "core/initial_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "model/system_model.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::makeIncrementalScenario;
+using ides::testing::ScenarioIds;
+using ides::testing::wcets;
+
+TEST(FreezeExisting, SchedulesAllExistingApplications) {
+  ScenarioIds ids;
+  const SystemModel sys = makeIncrementalScenario(&ids);
+  const FrozenBase base = freezeExistingApplications(sys);
+  ASSERT_TRUE(base.feasible);
+  EXPECT_EQ(base.schedule.processEntryCount(), 2u);  // E0, E1
+  EXPECT_TRUE(base.schedule.hasProcess(ProcessId{0}, 0));
+  // The frozen mapping records where existing processes live.
+  EXPECT_EQ(base.mapping.nodeOf(ProcessId{0}), NodeId{0});
+  EXPECT_EQ(base.mapping.nodeOf(ProcessId{1}), NodeId{1});
+  // Platform state carries their occupancy.
+  EXPECT_EQ(base.state.nodeBusy(NodeId{0}).totalLength(), 25);
+  EXPECT_EQ(base.state.nodeBusy(NodeId{1}).totalLength(), 25);
+}
+
+TEST(FreezeExisting, EmptyExistingSetIsTriviallyFeasible) {
+  const SystemModel sys = ides::testing::makeDiamondSystem();  // Current only
+  const FrozenBase base = freezeExistingApplications(sys);
+  EXPECT_TRUE(base.feasible);
+  EXPECT_EQ(base.schedule.processEntryCount(), 0u);
+  EXPECT_EQ(base.state.totalNodeSlack(), 2 * sys.hyperperiod());
+}
+
+TEST(FreezeExisting, ReportsInfeasibleOverload) {
+  // One node, 100-tick hyperperiod, 3 x 40 ticks of existing load.
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a = sys.addApplication("e", AppKind::Existing);
+  const GraphId g = sys.addGraph(a, 100);
+  for (int i = 0; i < 3; ++i) {
+    sys.addProcess(g, "E" + std::to_string(i), {40});
+  }
+  sys.finalize();
+  const FrozenBase base = freezeExistingApplications(sys);
+  EXPECT_FALSE(base.feasible);
+}
+
+TEST(FreezeExisting, ApplicationsFreezeInIdOrderIncrementally) {
+  // Two existing single-process apps on one node: the second is scheduled
+  // around the first, mirroring incremental delivery.
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a0 = sys.addApplication("old0", AppKind::Existing);
+  const GraphId g0 = sys.addGraph(a0, 100);
+  sys.addProcess(g0, "A", {30});
+  const ApplicationId a1 = sys.addApplication("old1", AppKind::Existing);
+  const GraphId g1 = sys.addGraph(a1, 100);
+  sys.addProcess(g1, "B", {30});
+  sys.finalize();
+  const FrozenBase base = freezeExistingApplications(sys);
+  ASSERT_TRUE(base.feasible);
+  EXPECT_EQ(base.schedule.processEntry(ProcessId{0}, 0).start, 0);
+  EXPECT_EQ(base.schedule.processEntry(ProcessId{1}, 0).start, 30);
+}
+
+TEST(InitialMapping, ProducesValidScheduleAroundFrozenBase) {
+  ScenarioIds ids;
+  const SystemModel sys = makeIncrementalScenario(&ids);
+  const FrozenBase base = freezeExistingApplications(sys);
+  ASSERT_TRUE(base.feasible);
+
+  // Snapshot the frozen occupancy (requirement a: must not change).
+  const IntervalSet frozen0 = base.state.nodeBusy(NodeId{0});
+  const IntervalSet frozen1 = base.state.nodeBusy(NodeId{1});
+
+  PlatformState state = base.state;
+  const ScheduleOutcome out = initialMapping(sys, state);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_EQ(out.schedule.processEntryCount(), 4u);
+
+  // Every frozen interval is still busy in the final state.
+  for (const Interval& iv : frozen0.intervals()) {
+    EXPECT_TRUE(state.nodeBusy(NodeId{0}).covers(iv));
+  }
+  for (const Interval& iv : frozen1.intervals()) {
+    EXPECT_TRUE(state.nodeBusy(NodeId{1}).covers(iv));
+  }
+  // And current-app processes never overlap them (they were inserted into
+  // the remaining gaps).
+  for (const ScheduledProcess& sp : out.schedule.processes()) {
+    const IntervalSet& frozen =
+        sp.node == NodeId{0} ? frozen0 : frozen1;
+    EXPECT_FALSE(frozen.intersects({sp.start, sp.end}))
+        << sys.process(sp.pid).name;
+  }
+}
+
+TEST(InitialMapping, MapsOntoAllowedNodesOnly) {
+  ScenarioIds ids;
+  const SystemModel sys = makeIncrementalScenario(&ids);
+  const FrozenBase base = freezeExistingApplications(sys);
+  PlatformState state = base.state;
+  const ScheduleOutcome out = initialMapping(sys, state);
+  ASSERT_TRUE(out.feasible);
+  for (const ScheduledProcess& sp : out.schedule.processes()) {
+    EXPECT_TRUE(sys.process(sp.pid).allowedOn(sp.node));
+  }
+}
+
+TEST(InitialMapping, ReportsInfeasibleWhenNoRoomLeft) {
+  ScenarioIds ids;
+  const SystemModel sys = makeIncrementalScenario(&ids);
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  // Fill both nodes almost completely.
+  state.occupyNode(NodeId{0}, {0, 195});
+  state.occupyNode(NodeId{1}, {0, 195});
+  const ScheduleOutcome out = initialMapping(sys, state);
+  EXPECT_FALSE(out.feasible);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,104 @@
+#include "core/mapping_heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/initial_mapping.h"
+#include "model/system_model.h"
+#include "tgen/benchmark_suite.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+class MhTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    suite_ = std::make_unique<Suite>(
+        buildSuite(ides::testing::smallSuiteConfig(), 7));
+    frozen_ = std::make_unique<FrozenBase>(
+        freezeExistingApplications(suite_->system));
+    ASSERT_TRUE(frozen_->feasible);
+    eval_ = std::make_unique<SolutionEvaluator>(
+        suite_->system, frozen_->state, suite_->profile, MetricWeights{});
+    PlatformState state = frozen_->state;
+    im_ = initialMapping(suite_->system, state);
+    ASSERT_TRUE(im_.feasible);
+  }
+
+  std::unique_ptr<Suite> suite_;
+  std::unique_ptr<FrozenBase> frozen_;
+  std::unique_ptr<SolutionEvaluator> eval_;
+  ScheduleOutcome im_;
+};
+
+TEST_F(MhTest, NeverWorseThanInitialMapping) {
+  const double initialCost = eval_->evaluate(im_.mapping).cost;
+  const MhResult mh = runMappingHeuristic(*eval_, im_.mapping);
+  EXPECT_TRUE(mh.eval.feasible);
+  EXPECT_LE(mh.eval.cost, initialCost + 1e-9);
+}
+
+TEST_F(MhTest, ImprovesTheAdHocSolutionOnThisInstance) {
+  const double initialCost = eval_->evaluate(im_.mapping).cost;
+  const MhResult mh = runMappingHeuristic(*eval_, im_.mapping);
+  // The suite is tuned so AH leaves improvable slack structure; MH should
+  // find at least one improving transformation.
+  EXPECT_GT(mh.iterations, 0);
+  EXPECT_LT(mh.eval.cost, initialCost);
+}
+
+TEST_F(MhTest, ResultIsDeterministic) {
+  const MhResult a = runMappingHeuristic(*eval_, im_.mapping);
+  const MhResult b = runMappingHeuristic(*eval_, im_.mapping);
+  EXPECT_DOUBLE_EQ(a.eval.cost, b.eval.cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.solution, b.solution);
+}
+
+TEST_F(MhTest, FinalSolutionSchedulesFeasibly) {
+  const MhResult mh = runMappingHeuristic(*eval_, im_.mapping);
+  ScheduleOutcome outcome;
+  const EvalResult r = eval_->evaluate(mh.solution, &outcome, nullptr);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(outcome.deadlineMisses, 0);
+}
+
+TEST_F(MhTest, IterationBudgetIsRespected) {
+  MhOptions opts;
+  opts.maxIterations = 2;
+  const MhResult mh = runMappingHeuristic(*eval_, im_.mapping, opts);
+  EXPECT_LE(mh.iterations, 2);
+}
+
+TEST_F(MhTest, TighterCandidateBudgetStillImproves) {
+  MhOptions opts;
+  opts.candidateProcesses = 3;
+  opts.gapsPerNode = 1;
+  opts.candidateMessages = 1;
+  const double initialCost = eval_->evaluate(im_.mapping).cost;
+  const MhResult mh = runMappingHeuristic(*eval_, im_.mapping, opts);
+  EXPECT_LE(mh.eval.cost, initialCost + 1e-9);
+}
+
+TEST(MhErrors, ThrowsOnInfeasibleInitialSolution) {
+  ides::testing::ScenarioIds ids;
+  const SystemModel sys = ides::testing::makeIncrementalScenario(&ids);
+  const FrozenBase frozen = freezeExistingApplications(sys);
+  FutureProfile profile;
+  profile.tmin = 100;
+  profile.tneed = 30;
+  profile.bneedBytes = 8;
+  profile.wcetDistribution = DiscreteDistribution({{10, 1.0}});
+  profile.messageSizeDistribution = DiscreteDistribution({{4, 1.0}});
+  const SolutionEvaluator eval(sys, frozen.state, profile, MetricWeights{});
+  MappingSolution bad(sys);
+  bad.setNode(ids.diamond.p1, NodeId{0});
+  bad.setNode(ids.diamond.p2, NodeId{1});
+  bad.setNode(ids.diamond.p3, NodeId{0});
+  bad.setNode(ids.diamond.p4, NodeId{0});
+  bad.setStartHint(ids.diamond.p4, 195);  // forces a deadline miss
+  EXPECT_THROW(runMappingHeuristic(eval, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ides

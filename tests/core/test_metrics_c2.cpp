@@ -1,0 +1,113 @@
+// C2 (slack distribution) metric tests, including the paper's slide-13
+// illustration: the same amount of slack scores C2 = 0 when clustered into
+// one Tmin window and C2 = tneed when spread over every window.
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace ides {
+namespace {
+
+FutureProfile profileWith(Time tmin, Time tneed = 40,
+                          std::int64_t bneed = 16) {
+  FutureProfile p;
+  p.tmin = tmin;
+  p.tneed = tneed;
+  p.bneedBytes = bneed;
+  p.wcetDistribution = DiscreteDistribution({{10, 1.0}});
+  p.messageSizeDistribution = DiscreteDistribution({{4, 1.0}});
+  return p;
+}
+
+SlackInfo makeSlack(std::vector<std::vector<Interval>> nodeGaps,
+                    Time horizon) {
+  SlackInfo s;
+  s.horizon = horizon;
+  s.busBytesPerTick = 1;
+  for (auto& gaps : nodeGaps) s.nodeFree.emplace_back(std::move(gaps));
+  return s;
+}
+
+// ---- the slide-13 scenario -------------------------------------------------
+
+TEST(C2Metric, SlackClusteredInOneWindowScoresZero) {
+  // Horizon 200, Tmin 50 (4 windows); all 40 ticks of slack live in window
+  // 0, so some window has zero slack: C2P = 0 < tneed.
+  const SlackInfo slack = makeSlack({{{{0, 40}}}}, 200);
+  const DesignMetrics m = computeMetrics(slack, profileWith(50));
+  EXPECT_EQ(m.c2p, 0);
+}
+
+TEST(C2Metric, SlackSpreadOverEveryWindowScoresTneed) {
+  // 40 ticks of slack in each of the 4 windows: min window slack = 40.
+  const SlackInfo slack = makeSlack(
+      {{{{0, 40}, {50, 90}, {100, 140}, {150, 190}}}}, 200);
+  const DesignMetrics m = computeMetrics(slack, profileWith(50));
+  EXPECT_EQ(m.c2p, 40);
+}
+
+TEST(C2Metric, MinimumIsTakenPerNodeThenSummed) {
+  // Node 0: min window slack 10; node 1: min window slack 25.
+  const SlackInfo slack = makeSlack(
+      {
+          {{{0, 10}, {50, 100}}},          // windows: 10, 50
+          {{{20, 45}, {70, 100}}},         // windows: 25, 30
+      },
+      100);
+  const DesignMetrics m = computeMetrics(slack, profileWith(50));
+  EXPECT_EQ(m.c2p, 35);
+}
+
+TEST(C2Metric, SlackStraddlingWindowBoundarySplitsCorrectly) {
+  // One gap [40, 60) over windows [0,50) and [50,100): 10 ticks each.
+  const SlackInfo slack = makeSlack({{{{40, 60}}}}, 100);
+  const DesignMetrics m = computeMetrics(slack, profileWith(50));
+  EXPECT_EQ(m.c2p, 10);
+}
+
+TEST(C2Metric, FullyFreeNodeScoresTmin) {
+  const SlackInfo slack = makeSlack({{{{0, 200}}}}, 200);
+  const DesignMetrics m = computeMetrics(slack, profileWith(50));
+  EXPECT_EQ(m.c2p, 50);
+}
+
+TEST(C2Metric, BusWindowsUseBytes) {
+  SlackInfo s = makeSlack({{{{0, 100}}}}, 100);
+  s.busBytesPerTick = 2;
+  // Two windows of 50. Bus free: 12 ticks in window 0, 3 ticks in window 1.
+  s.busChunks.push_back({0, 0, 10, 12});
+  s.busChunks.push_back({0, 1, 60, 3});
+  const DesignMetrics m = computeMetrics(s, profileWith(50));
+  EXPECT_EQ(m.c2mBytes, 6);  // min(12,3) ticks * 2 bytes/tick
+}
+
+TEST(C2Metric, BusChunkStraddlingWindowCounted) {
+  SlackInfo s = makeSlack({{{{0, 100}}}}, 100);
+  // Chunk [45,55): 5 ticks in each window; other free bus time is larger.
+  s.busChunks.push_back({0, 0, 45, 10});
+  s.busChunks.push_back({0, 1, 60, 30});
+  const DesignMetrics m = computeMetrics(s, profileWith(50));
+  EXPECT_EQ(m.c2mBytes, 5);  // window 0 has only the straddling 5 ticks
+}
+
+TEST(C2Metric, NoFullWindowMeansMetricsStayZero) {
+  // Tmin larger than the horizon: no complete window exists.
+  const SlackInfo slack = makeSlack({{{{0, 100}}}}, 100);
+  const DesignMetrics m = computeMetrics(slack, profileWith(400));
+  EXPECT_EQ(m.c2p, 0);
+  EXPECT_EQ(m.c2mBytes, 0);
+}
+
+TEST(C2Metric, BusyNodeContributesZeroToSum) {
+  const SlackInfo slack = makeSlack(
+      {
+          {},                     // node 0 completely busy
+          {{{0, 100}}},           // node 1 fully free
+      },
+      100);
+  const DesignMetrics m = computeMetrics(slack, profileWith(50));
+  EXPECT_EQ(m.c2p, 50);
+}
+
+}  // namespace
+}  // namespace ides

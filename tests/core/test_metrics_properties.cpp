@@ -1,0 +1,116 @@
+// Parameterized property sweeps over the design metrics.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/metrics.h"
+
+namespace ides {
+namespace {
+
+FutureProfile paperishProfile(Time tmin) {
+  FutureProfile p;
+  p.tmin = tmin;
+  p.tneed = 100;
+  p.bneedBytes = 50;
+  p.wcetDistribution =
+      DiscreteDistribution({{20, 0.2}, {50, 0.4}, {100, 0.3}, {150, 0.1}});
+  p.messageSizeDistribution =
+      DiscreteDistribution({{2, 0.2}, {4, 0.4}, {6, 0.3}, {8, 0.1}});
+  return p;
+}
+
+SlackInfo randomSlack(std::mt19937_64& rng, Time horizon, int fragments) {
+  SlackInfo s;
+  s.horizon = horizon;
+  s.busBytesPerTick = 1;
+  IntervalSet free;
+  for (int i = 0; i < fragments; ++i) {
+    const Time a = static_cast<Time>(rng() % static_cast<std::uint64_t>(
+                                               horizon));
+    const Time len = 10 + static_cast<Time>(rng() % 200);
+    free.add({a, std::min(a + len, horizon)});
+  }
+  s.nodeFree.push_back(free);
+  Time t = 0;
+  std::int64_t round = 0;
+  while (t < horizon) {
+    s.busChunks.push_back({0, round++, t, static_cast<Time>(rng() % 20)});
+    t += 100;
+  }
+  return s;
+}
+
+class MetricsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsProperty, C1IsAPercentage) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const SlackInfo slack = randomSlack(rng, 2000, 12);
+  const DesignMetrics m = computeMetrics(slack, paperishProfile(500));
+  EXPECT_GE(m.c1p, 0.0);
+  EXPECT_LE(m.c1p, 100.0);
+  EXPECT_GE(m.c1m, 0.0);
+  EXPECT_LE(m.c1m, 100.0);
+}
+
+TEST_P(MetricsProperty, C2BoundedByTminAndCapacity) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const SlackInfo slack = randomSlack(rng, 2000, 12);
+  const Time tmin = 500;
+  const DesignMetrics m = computeMetrics(slack, paperishProfile(tmin));
+  // One node: C2P is that node's min window slack, at most tmin.
+  EXPECT_GE(m.c2p, 0);
+  EXPECT_LE(m.c2p, tmin);
+  // And at most the node's total slack.
+  EXPECT_LE(m.c2p, slack.nodeFree[0].totalLength());
+}
+
+TEST_P(MetricsProperty, MergingFragmentsNeverWorsensC1) {
+  // Coalescing two adjacent fragments into one cannot make packing worse.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  SlackInfo fragmented;
+  fragmented.horizon = 2000;
+  fragmented.busBytesPerTick = 1;
+  IntervalSet gaps;
+  Time t = 50;
+  for (int i = 0; i < 8; ++i) {
+    const Time len = 30 + static_cast<Time>(rng() % 120);
+    gaps.add({t, t + len});
+    t += len + 40;  // 40-tick busy separators
+  }
+  fragmented.nodeFree.push_back(gaps);
+
+  SlackInfo merged = fragmented;
+  // Merge all gaps into one contiguous block of the same total length.
+  const Time total = gaps.totalLength();
+  merged.nodeFree[0] = IntervalSet({{0, total}});
+
+  const FutureProfile profile = paperishProfile(500);
+  const double cFrag = computeMetrics(fragmented, profile).c1p;
+  const double cMerged = computeMetrics(merged, profile).c1p;
+  EXPECT_LE(cMerged, cFrag + 1e-9);
+}
+
+TEST_P(MetricsProperty, AddingSlackNeverWorsensAnyMetric) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const SlackInfo base = randomSlack(rng, 2000, 10);
+  SlackInfo more = base;
+  // Add one extra free interval where there was none.
+  IntervalSet extended = more.nodeFree[0];
+  extended.add({0, 2000});  // now fully free
+  more.nodeFree[0] = extended;
+
+  const FutureProfile profile = paperishProfile(500);
+  const DesignMetrics mBase = computeMetrics(base, profile);
+  const DesignMetrics mMore = computeMetrics(more, profile);
+  EXPECT_LE(mMore.c1p, mBase.c1p + 1e-9);
+  EXPECT_GE(mMore.c2p, mBase.c2p);
+  const MetricWeights w;
+  EXPECT_LE(objectiveValue(mMore, profile, w),
+            objectiveValue(mBase, profile, w) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,94 @@
+// Objective function C = w1P*C1P + w1m*C1m + penalties (slide 14).
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace ides {
+namespace {
+
+FutureProfile profile(Time tneed = 100, std::int64_t bneed = 50) {
+  FutureProfile p;
+  p.tmin = 1000;
+  p.tneed = tneed;
+  p.bneedBytes = bneed;
+  p.wcetDistribution = DiscreteDistribution({{10, 1.0}});
+  p.messageSizeDistribution = DiscreteDistribution({{4, 1.0}});
+  return p;
+}
+
+TEST(Objective, ZeroWhenAllCriteriaSatisfied) {
+  DesignMetrics m;
+  m.c1p = 0.0;
+  m.c1m = 0.0;
+  m.c2p = 100;      // exactly tneed
+  m.c2mBytes = 50;  // exactly bneed
+  EXPECT_DOUBLE_EQ(objectiveValue(m, profile(), MetricWeights{}), 0.0);
+}
+
+TEST(Objective, C1TermsAreWeightedPercentages) {
+  DesignMetrics m;
+  m.c1p = 30.0;
+  m.c1m = 10.0;
+  m.c2p = 200;       // above tneed: no penalty
+  m.c2mBytes = 100;  // above bneed
+  const MetricWeights w{.w1p = 2.0, .w1m = 0.5, .w2p = 2.0, .w2m = 2.0};
+  EXPECT_DOUBLE_EQ(objectiveValue(m, profile(), w), 2.0 * 30.0 + 0.5 * 10.0);
+}
+
+TEST(Objective, PenaltyIsNormalizedShortfall) {
+  DesignMetrics m;
+  m.c2p = 25;      // shortfall 75 of tneed 100 -> 75%
+  m.c2mBytes = 40; // shortfall 10 of bneed 50 -> 20%
+  const MetricWeights w{.w1p = 1.0, .w1m = 1.0, .w2p = 2.0, .w2m = 3.0};
+  EXPECT_DOUBLE_EQ(objectiveValue(m, profile(), w),
+                   2.0 * 75.0 + 3.0 * 20.0);
+}
+
+TEST(Objective, SurplusSlackGivesNoCredit) {
+  // max(0, ...) clamps: surplus in one criterion cannot offset another.
+  DesignMetrics surplus;
+  surplus.c1p = 10.0;
+  surplus.c2p = 100000;
+  surplus.c2mBytes = 100000;
+  DesignMetrics exact;
+  exact.c1p = 10.0;
+  exact.c2p = 100;
+  exact.c2mBytes = 50;
+  EXPECT_DOUBLE_EQ(objectiveValue(surplus, profile(), MetricWeights{}),
+                   objectiveValue(exact, profile(), MetricWeights{}));
+}
+
+TEST(Objective, WorstCaseIsBounded) {
+  DesignMetrics m;
+  m.c1p = 100.0;
+  m.c1m = 100.0;
+  m.c2p = 0;
+  m.c2mBytes = 0;
+  // With default weights {1,1,2,2}: 100 + 100 + 200 + 200.
+  EXPECT_DOUBLE_EQ(objectiveValue(m, profile(), MetricWeights{}), 600.0);
+}
+
+TEST(Objective, MonotoneInEachMetric) {
+  const MetricWeights w{};
+  DesignMetrics base;
+  base.c1p = 10.0;
+  base.c1m = 10.0;
+  base.c2p = 50;
+  base.c2mBytes = 25;
+  const double c0 = objectiveValue(base, profile(), w);
+
+  DesignMetrics worseC1 = base;
+  worseC1.c1p += 5.0;
+  EXPECT_GT(objectiveValue(worseC1, profile(), w), c0);
+
+  DesignMetrics worseC2 = base;
+  worseC2.c2p -= 10;
+  EXPECT_GT(objectiveValue(worseC2, profile(), w), c0);
+
+  DesignMetrics betterC2m = base;
+  betterC2m.c2mBytes += 10;
+  EXPECT_LT(objectiveValue(betterC2m, profile(), w), c0);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,96 @@
+// End-to-end integration: the full paper workflow on generated instances.
+#include <gtest/gtest.h>
+
+#include "core/future_fit.h"
+#include "core/incremental_designer.h"
+#include "model/system_model.h"
+#include "tgen/benchmark_suite.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+SuiteConfig e2eConfig() {
+  SuiteConfig cfg = ides::testing::smallSuiteConfig(80, 32);
+  cfg.futureAppCount = 3;
+  return cfg;
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEnd, FullWorkflowHoldsItsInvariants) {
+  const Suite suite = buildSuite(e2eConfig(), GetParam());
+  DesignerOptions opts;
+  opts.sa.iterations = 1000;
+  IncrementalDesigner designer(suite.system, suite.profile, opts);
+
+  const DesignResult ah = designer.run(Strategy::AdHoc);
+  const DesignResult mh = designer.run(Strategy::MappingHeuristic);
+  ASSERT_TRUE(ah.feasible);
+  ASSERT_TRUE(mh.feasible);
+
+  // MH never loses to AH on the objective (it starts from AH's solution).
+  EXPECT_LE(mh.objective, ah.objective + 1e-9);
+
+  // Future-fit counts: MH must not fit fewer candidates than... that is a
+  // statistical claim; per instance we only require the checks to be clean
+  // and count both.
+  int ahFits = 0, mhFits = 0;
+  const PlatformState afterAh = designer.stateWith(ah);
+  const PlatformState afterMh = designer.stateWith(mh);
+  for (ApplicationId app :
+       suite.system.applicationsOfKind(AppKind::Future)) {
+    ahFits += tryMapFutureApplication(suite.system, app, afterAh).fits;
+    mhFits += tryMapFutureApplication(suite.system, app, afterMh).fits;
+  }
+  EXPECT_GE(ahFits, 0);
+  EXPECT_GE(mhFits, 0);
+}
+
+TEST_P(EndToEnd, RequirementA_FrozenApplicationsUntouched) {
+  const Suite suite = buildSuite(e2eConfig(), GetParam());
+  IncrementalDesigner designer(suite.system, suite.profile);
+  const Schedule& frozenBefore = designer.frozenSchedule();
+
+  // Capture frozen entries, run a strategy, compare.
+  std::vector<ScheduledProcess> before(frozenBefore.processes());
+  const DesignResult mh = designer.run(Strategy::MappingHeuristic);
+  ASSERT_TRUE(mh.feasible);
+  const Schedule& frozenAfter = designer.frozenSchedule();
+  ASSERT_EQ(before.size(), frozenAfter.processes().size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].start, frozenAfter.processes()[i].start);
+    EXPECT_EQ(before[i].end, frozenAfter.processes()[i].end);
+    EXPECT_EQ(before[i].node, frozenAfter.processes()[i].node);
+  }
+  // The current application's schedule avoids every frozen interval.
+  for (const ScheduledProcess& cur : mh.schedule.processes()) {
+    for (const ScheduledProcess& old : before) {
+      if (cur.node != old.node) continue;
+      EXPECT_FALSE((Interval{cur.start, cur.end}.overlaps(
+          {old.start, old.end})))
+          << "current process overlaps frozen process";
+    }
+  }
+}
+
+TEST_P(EndToEnd, MetricsAgreeWithScheduleDerivedSlack) {
+  const Suite suite = buildSuite(e2eConfig(), GetParam());
+  IncrementalDesigner designer(suite.system, suite.profile);
+  const DesignResult ah = designer.run(Strategy::AdHoc);
+  ASSERT_TRUE(ah.feasible);
+  // Recompute metrics from the committed state: must match the reported
+  // ones exactly (the evaluator used an identical pipeline).
+  const PlatformState after = designer.stateWith(ah);
+  const SlackInfo slack = extractSlack(after);
+  const DesignMetrics recomputed = computeMetrics(slack, suite.profile);
+  EXPECT_DOUBLE_EQ(recomputed.c1p, ah.metrics.c1p);
+  EXPECT_DOUBLE_EQ(recomputed.c1m, ah.metrics.c1m);
+  EXPECT_EQ(recomputed.c2p, ah.metrics.c2p);
+  EXPECT_EQ(recomputed.c2mBytes, ah.metrics.c2mBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEnd, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,70 @@
+#include "model/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/mapping.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+TEST(DotExport, ContainsGraphStructure) {
+  ides::testing::DiamondIds ids;
+  const SystemModel sys = ides::testing::makeDiamondSystem(&ids);
+  const std::string dot = toDot(sys);
+  EXPECT_NE(dot.find("digraph system"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_g0"), std::string::npos);
+  EXPECT_NE(dot.find("P1"), std::string::npos);
+  EXPECT_NE(dot.find("P4"), std::string::npos);
+  // Four edges with byte labels.
+  EXPECT_NE(dot.find("4B"), std::string::npos);
+  EXPECT_NE(dot.find("p0 -> p1"), std::string::npos);
+  // Period/deadline annotation.
+  EXPECT_NE(dot.find("T=200"), std::string::npos);
+}
+
+TEST(DotExport, WcetsCanBeHidden) {
+  const SystemModel sys = ides::testing::makeDiamondSystem();
+  DotOptions opts;
+  opts.showWcets = false;
+  const std::string dot = toDot(sys, opts);
+  EXPECT_EQ(dot.find("[10 -]"), std::string::npos);
+  const std::string withWcets = toDot(sys);
+  EXPECT_NE(withWcets.find("[10 -]"), std::string::npos);  // P1: node1 banned
+}
+
+TEST(DotExport, MappingColorsProcesses) {
+  ides::testing::DiamondIds ids;
+  const SystemModel sys = ides::testing::makeDiamondSystem(&ids);
+  MappingSolution mapping(sys);
+  mapping.setNode(ids.p1, NodeId{0});
+  mapping.setNode(ids.p2, NodeId{1});
+  mapping.setNode(ids.p3, NodeId{0});
+  mapping.setNode(ids.p4, NodeId{0});
+  DotOptions opts;
+  opts.mapping = &mapping;
+  const std::string dot = toDot(sys, opts);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotExport, ApplicationFilter) {
+  ides::testing::ScenarioIds ids;
+  const SystemModel sys = ides::testing::makeIncrementalScenario(&ids);
+  DotOptions opts;
+  opts.application = ids.currentApp;
+  const std::string dot = toDot(sys, opts);
+  EXPECT_NE(dot.find("P1"), std::string::npos);
+  EXPECT_EQ(dot.find("E0"), std::string::npos);  // existing app filtered out
+}
+
+TEST(DotExport, OffsetAnnotatedWhenPresent) {
+  SystemModel sys(ides::testing::twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Existing);
+  const GraphId g = sys.addGraph(a, 200, 100, 50);
+  sys.addProcess(g, "P", ides::testing::wcets({10, 10}));
+  sys.finalize();
+  EXPECT_NE(toDot(sys).find("O=50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ides

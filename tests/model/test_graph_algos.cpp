@@ -1,0 +1,95 @@
+#include "model/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::makeDiamondSystem;
+using ides::testing::twoNodeArch;
+using ides::testing::wcets;
+
+TEST(TopologicalOrder, DiamondRespectsAllEdges) {
+  ides::testing::DiamondIds ids;
+  const SystemModel sys = makeDiamondSystem(&ids);
+  const std::vector<ProcessId> order = sys.topoOrder(ids.graph);
+  ASSERT_EQ(order.size(), 4u);
+  std::unordered_map<ProcessId, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Message& m : sys.messages()) {
+    EXPECT_LT(pos.at(m.src), pos.at(m.dst))
+        << "edge " << sys.process(m.src).name << " -> "
+        << sys.process(m.dst).name;
+  }
+}
+
+TEST(TopologicalOrder, IndependentProcessesKeepIdOrder) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  const ProcessId p0 = sys.addProcess(g, "A", wcets({10, 10}));
+  const ProcessId p1 = sys.addProcess(g, "B", wcets({10, 10}));
+  const ProcessId p2 = sys.addProcess(g, "C", wcets({10, 10}));
+  sys.finalize();
+  EXPECT_EQ(sys.topoOrder(g), (std::vector<ProcessId>{p0, p1, p2}));
+}
+
+TEST(CriticalPathPriorities, MonotoneAlongChains) {
+  // In a chain, each process's priority strictly exceeds its successor's.
+  const SystemModel sys = ides::testing::makeChainSystem(5);
+  const GraphId g = sys.graphs()[0].id;
+  const std::vector<double> prio = criticalPathPriorities(sys, g);
+  for (std::size_t i = 0; i + 1 < prio.size(); ++i) {
+    EXPECT_GT(prio[i], prio[i + 1]);
+  }
+}
+
+TEST(CriticalPathPriorities, SinkPriorityIsItsOwnWcet) {
+  const SystemModel sys = ides::testing::makeChainSystem(3, /*wcet=*/12);
+  const GraphId g = sys.graphs()[0].id;
+  const std::vector<double> prio = criticalPathPriorities(sys, g);
+  EXPECT_DOUBLE_EQ(prio.back(), 12.0);
+}
+
+TEST(CriticalPathPriorities, DiamondSourceDominates) {
+  ides::testing::DiamondIds ids;
+  const SystemModel sys = makeDiamondSystem(&ids);
+  const std::vector<double> prio = criticalPathPriorities(sys, ids.graph);
+  // Priorities are in graph-local process order: P1, P2, P3, P4.
+  EXPECT_GT(prio[0], prio[1]);
+  EXPECT_GT(prio[0], prio[2]);
+  EXPECT_GT(prio[1], prio[3]);
+  EXPECT_GT(prio[2], prio[3]);
+  // P2 (wcet 20) lies on a longer path than P3 (wcet 15).
+  EXPECT_GT(prio[1], prio[2]);
+}
+
+TEST(CriticalPathPriorities, IncludesMessageLatencyEstimate) {
+  // Two-process chain with a message: the source's priority must exceed
+  // the sum of both WCET means (the message estimate adds positive time).
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 200);
+  const ProcessId p1 = sys.addProcess(g, "P1", wcets({10, 10}));
+  const ProcessId p2 = sys.addProcess(g, "P2", wcets({20, 20}));
+  sys.addMessage(g, p1, p2, 4);
+  sys.finalize();
+  const std::vector<double> prio = criticalPathPriorities(sys, g);
+  EXPECT_GT(prio[0], 10.0 + 20.0);
+}
+
+TEST(CriticalPathLength, MatchesMaxPriority) {
+  ides::testing::DiamondIds ids;
+  const SystemModel sys = makeDiamondSystem(&ids);
+  const std::vector<double> prio = criticalPathPriorities(sys, ids.graph);
+  EXPECT_DOUBLE_EQ(criticalPathLength(sys, ids.graph),
+                   *std::max_element(prio.begin(), prio.end()));
+}
+
+}  // namespace
+}  // namespace ides

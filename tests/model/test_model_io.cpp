@@ -1,0 +1,157 @@
+#include "model/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include "model/system_model.h"
+#include "sched/list_scheduler.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+const char* kDiamondText = R"(# the slide-5 diamond
+arch nodes=2 slot=10 bytes_per_tick=1 speeds=1.0,1.0
+app name=example kind=current
+graph period=200
+process name=P1 wcet=10,-
+process name=P2 wcet=-,20
+process name=P3 wcet=15,15
+process name=P4 wcet=10,-
+message src=P1 dst=P2 bytes=4
+message src=P1 dst=P3 bytes=4
+message src=P2 dst=P4 bytes=4
+message src=P3 dst=P4 bytes=4
+)";
+
+TEST(ModelIo, ParsesTheDiamond) {
+  const SystemModel sys = modelFromString(kDiamondText);
+  EXPECT_EQ(sys.architecture().nodeCount(), 2u);
+  EXPECT_EQ(sys.processes().size(), 4u);
+  EXPECT_EQ(sys.messages().size(), 4u);
+  EXPECT_EQ(sys.hyperperiod(), 200);
+  EXPECT_TRUE(sys.finalized());
+  // P1 pinned to node 0.
+  EXPECT_FALSE(sys.process(ProcessId{0}).allowedOn(NodeId{1}));
+  EXPECT_EQ(sys.process(ProcessId{1}).wcetOn(NodeId{1}), 20);
+}
+
+TEST(ModelIo, ParsedModelSchedulesLikeTheHandBuiltOne) {
+  const SystemModel parsed = modelFromString(kDiamondText);
+  ides::testing::DiamondIds ids;
+  const SystemModel built = ides::testing::makeDiamondSystem(&ids);
+
+  auto run = [](const SystemModel& sys) {
+    PlatformState state(sys.architecture(), sys.hyperperiod());
+    ScheduleRequest req;
+    req.graphs = {sys.graphs()[0].id};
+    req.chooseNodes = true;
+    return scheduleGraphs(sys, req, state);
+  };
+  const ScheduleOutcome a = run(parsed);
+  const ScheduleOutcome b = run(built);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  for (const ScheduledProcess& sp : b.schedule.processes()) {
+    const auto& other = a.schedule.processEntry(sp.pid, sp.instance);
+    EXPECT_EQ(other.start, sp.start);
+    EXPECT_EQ(other.node, sp.node);
+  }
+}
+
+TEST(ModelIo, RoundTripsThroughWrite) {
+  const SystemModel original = modelFromString(kDiamondText);
+  const std::string text = modelToString(original);
+  const SystemModel reparsed = modelFromString(text);
+  ASSERT_EQ(reparsed.processes().size(), original.processes().size());
+  for (std::size_t i = 0; i < original.processes().size(); ++i) {
+    EXPECT_EQ(reparsed.processes()[i].wcet, original.processes()[i].wcet);
+    EXPECT_EQ(reparsed.processes()[i].name, original.processes()[i].name);
+  }
+  ASSERT_EQ(reparsed.messages().size(), original.messages().size());
+  for (std::size_t i = 0; i < original.messages().size(); ++i) {
+    EXPECT_EQ(reparsed.messages()[i].sizeBytes,
+              original.messages()[i].sizeBytes);
+  }
+  EXPECT_EQ(reparsed.hyperperiod(), original.hyperperiod());
+}
+
+TEST(ModelIo, GraphAttributesSurvive) {
+  const char* text =
+      "arch nodes=1 slot=10 bytes_per_tick=1\n"
+      "app name=a kind=existing\n"
+      "graph period=200 deadline=100 offset=50\n"
+      "process name=P wcet=10\n";
+  const SystemModel sys = modelFromString(text);
+  EXPECT_EQ(sys.graphs()[0].period, 200);
+  EXPECT_EQ(sys.graphs()[0].deadline, 100);
+  EXPECT_EQ(sys.graphs()[0].offset, 50);
+  EXPECT_EQ(sys.applications()[0].kind, AppKind::Existing);
+  // And the round trip keeps them.
+  const SystemModel again = modelFromString(modelToString(sys));
+  EXPECT_EQ(again.graphs()[0].offset, 50);
+  EXPECT_EQ(again.graphs()[0].deadline, 100);
+}
+
+TEST(ModelIo, ErrorsCarryLineNumbers) {
+  auto expectError = [](const char* text, const char* fragment) {
+    try {
+      modelFromString(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError("bogus x=1\n", "unknown keyword");
+  expectError("app name=a kind=current\n", "app before arch");
+  expectError("arch nodes=1 slot=10 bytes_per_tick=1\nprocess name=P "
+              "wcet=1\n", "process before graph");
+  expectError("arch nodes=1 slot=10 bytes_per_tick=1\napp name=a "
+              "kind=weird\n", "unknown application kind");
+  expectError("arch nodes=1 slot=10 bytes_per_tick=1\napp name=a "
+              "kind=current\ngraph period=abc\n", "bad period");
+  expectError("arch nodes=1 slot=10\n", "missing field");
+  expectError("", "no arch line");
+}
+
+TEST(ModelIo, SemanticErrorsAreReported) {
+  // Cycle -> finalize failure surfaces as invalid_argument.
+  const char* cyclic =
+      "arch nodes=1 slot=10 bytes_per_tick=1\n"
+      "app name=a kind=current\n"
+      "graph period=100\n"
+      "process name=A wcet=10\n"
+      "process name=B wcet=10\n"
+      "message src=A dst=B bytes=2\n"
+      "message src=B dst=A bytes=2\n";
+  EXPECT_THROW(modelFromString(cyclic), std::invalid_argument);
+
+  const char* unknownProc =
+      "arch nodes=1 slot=10 bytes_per_tick=1\n"
+      "app name=a kind=current\n"
+      "graph period=100\n"
+      "process name=A wcet=10\n"
+      "message src=A dst=Z bytes=2\n";
+  EXPECT_THROW(modelFromString(unknownProc), std::invalid_argument);
+
+  const char* dupName =
+      "arch nodes=1 slot=10 bytes_per_tick=1\n"
+      "app name=a kind=current\n"
+      "graph period=100\n"
+      "process name=A wcet=10\n"
+      "process name=A wcet=10\n";
+  EXPECT_THROW(modelFromString(dupName), std::invalid_argument);
+}
+
+TEST(ModelIo, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "\n# leading comment\n"
+      "arch nodes=1 slot=10 bytes_per_tick=1   # trailing comment\n"
+      "\napp name=a kind=current\n"
+      "graph period=100\n"
+      "process name=P wcet=10\n\n";
+  EXPECT_NO_THROW(modelFromString(text));
+}
+
+}  // namespace
+}  // namespace ides

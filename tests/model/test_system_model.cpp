@@ -1,0 +1,208 @@
+#include "model/system_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::twoNodeArch;
+using ides::testing::wcets;
+
+TEST(SystemModel, BuildsDenseIds) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a0 = sys.addApplication("a0", AppKind::Existing);
+  const ApplicationId a1 = sys.addApplication("a1", AppKind::Current);
+  EXPECT_EQ(a0.index(), 0u);
+  EXPECT_EQ(a1.index(), 1u);
+  const GraphId g = sys.addGraph(a1, 100);
+  EXPECT_EQ(g.index(), 0u);
+  const ProcessId p = sys.addProcess(g, "P", wcets({10, 20}));
+  EXPECT_EQ(p.index(), 0u);
+  EXPECT_EQ(sys.process(p).name, "P");
+  EXPECT_EQ(sys.graph(g).processes.size(), 1u);
+}
+
+TEST(SystemModel, GraphValidation) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  EXPECT_THROW(sys.addGraph(a, 0), std::invalid_argument);
+  EXPECT_THROW(sys.addGraph(a, -5), std::invalid_argument);
+  EXPECT_THROW(sys.addGraph(a, 100, 150), std::invalid_argument);  // D > T
+  EXPECT_THROW(sys.addGraph(a, 100, 0), std::invalid_argument);
+  const GraphId g = sys.addGraph(a, 100, 80);
+  EXPECT_EQ(sys.graph(g).deadline, 80);
+  const GraphId g2 = sys.addGraph(a, 100);  // deadline defaults to period
+  EXPECT_EQ(sys.graph(g2).deadline, 100);
+}
+
+TEST(SystemModel, ProcessValidation) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  // Wrong arity.
+  EXPECT_THROW(sys.addProcess(g, "P", {10}), std::invalid_argument);
+  // No allowed node.
+  EXPECT_THROW(sys.addProcess(g, "P", wcets({kNoTime, kNoTime})),
+               std::invalid_argument);
+  // Non-positive WCET.
+  EXPECT_THROW(sys.addProcess(g, "P", wcets({0, 10})), std::invalid_argument);
+  EXPECT_THROW(sys.addProcess(g, "P", wcets({-3, 10})),
+               std::invalid_argument);
+}
+
+TEST(SystemModel, MessageValidation) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g1 = sys.addGraph(a, 100);
+  const GraphId g2 = sys.addGraph(a, 100);
+  const ProcessId p1 = sys.addProcess(g1, "P1", wcets({10, 10}));
+  const ProcessId p2 = sys.addProcess(g1, "P2", wcets({10, 10}));
+  const ProcessId q = sys.addProcess(g2, "Q", wcets({10, 10}));
+  EXPECT_THROW(sys.addMessage(g1, p1, p1, 4), std::invalid_argument);
+  EXPECT_THROW(sys.addMessage(g1, p1, q, 4), std::invalid_argument);
+  EXPECT_THROW(sys.addMessage(g1, p1, p2, 0), std::invalid_argument);
+  const MessageId m = sys.addMessage(g1, p1, p2, 4);
+  EXPECT_EQ(sys.message(m).sizeBytes, 4);
+  EXPECT_EQ(sys.outputsOf(p1).size(), 1u);
+  EXPECT_EQ(sys.inputsOf(p2).size(), 1u);
+}
+
+TEST(SystemModel, GraphOffsetValidation) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  EXPECT_THROW(sys.addGraph(a, 100, kNoTime, -1), std::invalid_argument);
+  EXPECT_THROW(sys.addGraph(a, 100, kNoTime, 100), std::invalid_argument);
+  EXPECT_THROW(sys.addGraph(a, 100, 80, 30), std::invalid_argument);  // 110>100
+  const GraphId g = sys.addGraph(a, 100, kNoTime, 40);
+  EXPECT_EQ(sys.graph(g).offset, 40);
+  EXPECT_EQ(sys.graph(g).deadline, 60);  // defaults to period - offset
+  EXPECT_EQ(sys.graph(g).releaseOf(2), 240);
+  EXPECT_EQ(sys.graph(g).deadlineOf(2), 300);
+}
+
+TEST(SystemModel, FinalizeComputesHyperperiod) {
+  SystemModel sys(twoNodeArch());  // round = 20
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g1 = sys.addGraph(a, 100);
+  const GraphId g2 = sys.addGraph(a, 40);
+  sys.addProcess(g1, "P", wcets({10, 10}));
+  sys.addProcess(g2, "Q", wcets({10, 10}));
+  sys.finalize();
+  EXPECT_EQ(sys.hyperperiod(), 200);  // lcm(100, 40)
+  EXPECT_EQ(sys.instanceCount(g1), 2);
+  EXPECT_EQ(sys.instanceCount(g2), 5);
+}
+
+TEST(SystemModel, FinalizeRejectsHyperperiodNotMultipleOfRound) {
+  SystemModel sys(twoNodeArch());  // round = 20
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 30);
+  sys.addProcess(g, "P", wcets({10, 10}));
+  EXPECT_THROW(sys.finalize(), std::invalid_argument);
+}
+
+TEST(SystemModel, FinalizeRejectsCyclicGraph) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  const ProcessId p1 = sys.addProcess(g, "P1", wcets({10, 10}));
+  const ProcessId p2 = sys.addProcess(g, "P2", wcets({10, 10}));
+  sys.addMessage(g, p1, p2, 2);
+  sys.addMessage(g, p2, p1, 2);
+  EXPECT_THROW(sys.finalize(), std::invalid_argument);
+}
+
+TEST(SystemModel, FinalizeRejectsOversizedMessage) {
+  SystemModel sys(twoNodeArch(/*slotLength=*/10, /*bytesPerTick=*/1));
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  const ProcessId p1 = sys.addProcess(g, "P1", wcets({10, 10}));
+  const ProcessId p2 = sys.addProcess(g, "P2", wcets({10, 10}));
+  sys.addMessage(g, p1, p2, 11);  // slot capacity is 10 bytes
+  EXPECT_THROW(sys.finalize(), std::invalid_argument);
+}
+
+TEST(SystemModel, FinalizeRejectsEmptyGraphAndEmptyModel) {
+  SystemModel empty(twoNodeArch());
+  EXPECT_THROW(empty.finalize(), std::invalid_argument);
+
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  sys.addGraph(a, 100);
+  EXPECT_THROW(sys.finalize(), std::invalid_argument);
+}
+
+TEST(SystemModel, MutationAfterFinalizeThrows) {
+  SystemModel sys = ides::testing::makeDiamondSystem();
+  EXPECT_THROW(sys.addApplication("late", AppKind::Current),
+               std::logic_error);
+}
+
+TEST(SystemModel, FinalizeFailureLeavesModelMutable) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  const ProcessId p1 = sys.addProcess(g, "P1", wcets({10, 10}));
+  const ProcessId p2 = sys.addProcess(g, "P2", wcets({10, 10}));
+  sys.addMessage(g, p1, p2, 2);
+  sys.addMessage(g, p2, p1, 2);  // cycle
+  EXPECT_THROW(sys.finalize(), std::invalid_argument);
+  EXPECT_FALSE(sys.finalized());
+}
+
+TEST(SystemModel, KindQueries) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId e = sys.addApplication("e", AppKind::Existing);
+  const ApplicationId c = sys.addApplication("c", AppKind::Current);
+  const ApplicationId f = sys.addApplication("f", AppKind::Future);
+  const GraphId ge = sys.addGraph(e, 100);
+  const GraphId gc = sys.addGraph(c, 100);
+  const GraphId gf = sys.addGraph(f, 100);
+  const ProcessId pe = sys.addProcess(ge, "E", wcets({10, 10}));
+  sys.addProcess(gc, "C", wcets({10, 10}));
+  sys.addProcess(gf, "F", wcets({10, 10}));
+  sys.finalize();
+
+  EXPECT_EQ(sys.processesOfKind(AppKind::Existing),
+            std::vector<ProcessId>{pe});
+  EXPECT_EQ(sys.graphsOfKind(AppKind::Current), std::vector<GraphId>{gc});
+  EXPECT_EQ(sys.applicationsOfKind(AppKind::Future),
+            std::vector<ApplicationId>{f});
+}
+
+TEST(SystemModel, MinDemandUsesFastestNodeAndInstances) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId c = sys.addApplication("c", AppKind::Current);
+  const GraphId g1 = sys.addGraph(c, 200);   // 1 instance in H=200
+  const GraphId g2 = sys.addGraph(c, 100);   // 2 instances
+  sys.addProcess(g1, "A", wcets({30, 20}));  // min 20
+  sys.addProcess(g2, "B", wcets({10, 40}));  // min 10, twice
+  sys.finalize();
+  EXPECT_EQ(sys.minDemandOfKind(AppKind::Current), 20 + 2 * 10);
+}
+
+TEST(ProcessAccessors, AllowedNodesAndAverageWcet) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  const ProcessId p = sys.addProcess(g, "P", wcets({30, kNoTime}));
+  sys.addProcess(g, "Q", wcets({10, 20}));
+  sys.finalize();
+  const Process& proc = sys.process(p);
+  EXPECT_TRUE(proc.allowedOn(NodeId{0}));
+  EXPECT_FALSE(proc.allowedOn(NodeId{1}));
+  EXPECT_EQ(proc.allowedNodes(), std::vector<NodeId>{NodeId{0}});
+  EXPECT_DOUBLE_EQ(proc.averageWcet(), 30.0);
+  EXPECT_DOUBLE_EQ(sys.process(ProcessId{1}).averageWcet(), 15.0);
+}
+
+TEST(AppKindNames, ToString) {
+  EXPECT_STREQ(toString(AppKind::Existing), "existing");
+  EXPECT_STREQ(toString(AppKind::Current), "current");
+  EXPECT_STREQ(toString(AppKind::Future), "future");
+}
+
+}  // namespace
+}  // namespace ides

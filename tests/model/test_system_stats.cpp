@@ -1,0 +1,77 @@
+#include "model/system_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/platform_state.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::wcets;
+
+TEST(SystemStats, DemandCountsKindsSeparately) {
+  ides::testing::ScenarioIds ids;
+  const SystemModel sys = ides::testing::makeIncrementalScenario(&ids);
+  const SystemStats s = computeStats(sys);
+  EXPECT_EQ(s.hyperperiod, 200);
+  // Existing: E0 (25) + E1 (25); both single-node so mean == value.
+  EXPECT_DOUBLE_EQ(s.demandExisting, 50.0);
+  // Current: P1 10 + P2 20 + P3 15 + P4 10.
+  EXPECT_DOUBLE_EQ(s.demandCurrent, 55.0);
+  EXPECT_DOUBLE_EQ(s.demandFuture, 0.0);
+  EXPECT_EQ(s.processCount, 6u);
+  EXPECT_EQ(s.messageCount, 5u);
+}
+
+TEST(SystemStats, UtilizationAgainstCapacity) {
+  ides::testing::ScenarioIds ids;
+  const SystemModel sys = ides::testing::makeIncrementalScenario(&ids);
+  const SystemStats s = computeStats(sys);
+  // Capacity = 2 nodes * 200 ticks; demand = 105.
+  EXPECT_NEAR(s.utilization, 105.0 / 400.0, 1e-12);
+}
+
+TEST(SystemStats, InstancesMultiplyDemand) {
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId fast = sys.addGraph(a, 100);
+  sys.addProcess(fast, "F", {10});
+  const GraphId slow = sys.addGraph(a, 200);
+  sys.addProcess(slow, "S", {10});
+  sys.finalize();
+  const SystemStats s = computeStats(sys);
+  EXPECT_DOUBLE_EQ(s.demandCurrent, 2 * 10 + 10);  // H=200, F runs twice
+}
+
+TEST(SystemStats, BusDemandWeightsInterNodeProbability) {
+  ides::testing::ScenarioIds ids;
+  const SystemModel sys = ides::testing::makeIncrementalScenario(&ids);
+  const SystemStats s = computeStats(sys);
+  // 5 messages of 4 bytes, tx = 4 ticks each, inter-node prob = 1/2.
+  EXPECT_NEAR(s.busDemandTicks, 5 * 4 * 0.5, 1e-12);
+  EXPECT_NEAR(s.busUtilization, 10.0 / 200.0, 1e-12);
+}
+
+TEST(SystemStats, NodeOccupancyPercent) {
+  const Architecture arch = ides::testing::twoNodeArch();
+  PlatformState state(arch, 100);
+  state.occupyNode(NodeId{0}, {0, 25});
+  const std::vector<double> occ = nodeOccupancyPercent(state);
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_DOUBLE_EQ(occ[0], 25.0);
+  EXPECT_DOUBLE_EQ(occ[1], 0.0);
+}
+
+TEST(SystemStats, ReportMentionsKeyNumbers) {
+  ides::testing::ScenarioIds ids;
+  const SystemModel sys = ides::testing::makeIncrementalScenario(&ids);
+  const std::string report = statsReport(sys);
+  EXPECT_NE(report.find("2 nodes"), std::string::npos);
+  EXPECT_NE(report.find("hyperperiod: 200"), std::string::npos);
+  EXPECT_NE(report.find("existing 50"), std::string::npos);
+  EXPECT_NE(report.find("utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,53 @@
+#include "sched/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+TEST(Gantt, RendersNodesBusAndLegend) {
+  ides::testing::DiamondIds ids;
+  const SystemModel sys = ides::testing::makeDiamondSystem(&ids);
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  ScheduleRequest req;
+  req.graphs = {ids.graph};
+  req.chooseNodes = true;
+  const ScheduleOutcome out = scheduleGraphs(sys, req, state);
+  ASSERT_TRUE(out.feasible);
+
+  const std::string text = renderGantt(sys, out.schedule);
+  EXPECT_NE(text.find("N0 |"), std::string::npos);
+  EXPECT_NE(text.find("N1 |"), std::string::npos);
+  EXPECT_NE(text.find("bus"), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  EXPECT_NE(text.find("A=P1"), std::string::npos);
+  // Bus transmissions appear as '#'.
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleIsAllSlack) {
+  const SystemModel sys = ides::testing::makeChainSystem(2);
+  const Schedule empty;
+  const std::string text = renderGantt(sys, empty, {.width = 32});
+  EXPECT_NE(text.find("................"), std::string::npos);
+  // No transmissions below the header line (the header legend mentions '#').
+  EXPECT_EQ(text.find('#', text.find('\n')), std::string::npos);
+}
+
+TEST(Gantt, HonorsExplicitHorizonAndWidth) {
+  const SystemModel sys = ides::testing::makeChainSystem(2);
+  Schedule sched;
+  sched.addProcess({ProcessId{0}, 0, NodeId{0}, 0, 100});
+  const std::string narrow =
+      renderGantt(sys, sched, {.width = 20, .horizon = 200});
+  const std::string wide =
+      renderGantt(sys, sched, {.width = 80, .horizon = 200});
+  EXPECT_LT(narrow.size(), wide.size());
+  EXPECT_NE(narrow.find("0 .. 200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,174 @@
+#include "sched/platform_state.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::twoNodeArch;
+
+PlatformState makeState(Time horizon = 200) {
+  static const Architecture arch = twoNodeArch();  // round 20
+  return PlatformState(arch, horizon);
+}
+
+TEST(PlatformState, RejectsBadHorizon) {
+  const Architecture arch = twoNodeArch();
+  EXPECT_THROW(PlatformState(arch, 0), std::invalid_argument);
+  EXPECT_THROW(PlatformState(arch, 30), std::invalid_argument);  // not k*20
+  EXPECT_NO_THROW(PlatformState(arch, 40));
+}
+
+TEST(PlatformState, EarliestFitOnEmptyNode) {
+  PlatformState st = makeState();
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 50), 0);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 13, 50), 13);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, -5, 50), 0);  // clamped
+}
+
+TEST(PlatformState, EarliestFitSkipsBusyAndFindsGaps) {
+  PlatformState st = makeState();
+  st.occupyNode(NodeId{0}, {10, 40});
+  st.occupyNode(NodeId{0}, {60, 100});
+  // Gap [0,10) fits 10 but not 11.
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 10), 0);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 11), 40);
+  // Gap [40,60) fits 20.
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 20), 40);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 21), 100);
+  // After constraint pushes past a gap start.
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 45, 10), 45);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 55, 10), 100);
+}
+
+TEST(PlatformState, EarliestFitRespectsHorizon) {
+  PlatformState st = makeState(100);
+  st.occupyNode(NodeId{0}, {0, 95});
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 5), 95);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 6), kNoTime);
+}
+
+TEST(PlatformState, EarliestFitIsPerNode) {
+  PlatformState st = makeState();
+  st.occupyNode(NodeId{0}, {0, 200});
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 10), kNoTime);
+  EXPECT_EQ(st.earliestFit(NodeId{1}, 0, 10), 0);
+}
+
+TEST(PlatformState, OccupyNodeRejectsDoubleBookingAndOutOfRange) {
+  PlatformState st = makeState();
+  st.occupyNode(NodeId{0}, {10, 20});
+  EXPECT_THROW(st.occupyNode(NodeId{0}, {15, 25}), std::logic_error);
+  EXPECT_THROW(st.occupyNode(NodeId{0}, {-5, 5}), std::logic_error);
+  EXPECT_THROW(st.occupyNode(NodeId{0}, {190, 210}), std::logic_error);
+  EXPECT_THROW(st.occupyNode(NodeId{0}, {30, 30}), std::logic_error);
+  // Adjacent is fine.
+  EXPECT_NO_THROW(st.occupyNode(NodeId{0}, {20, 30}));
+}
+
+TEST(PlatformState, NodeFreeComplementsBusy) {
+  PlatformState st = makeState(100);
+  st.occupyNode(NodeId{0}, {10, 30});
+  const IntervalSet free = st.nodeFree(NodeId{0});
+  ASSERT_EQ(free.size(), 2u);
+  EXPECT_EQ(free.intervals()[0], (Interval{0, 10}));
+  EXPECT_EQ(free.intervals()[1], (Interval{30, 100}));
+}
+
+TEST(PlatformState, FindBusSlotBasics) {
+  // Round 20: slot0 = [0,10) owned by N0, slot1 = [10,20) owned by N1.
+  PlatformState st = makeState(100);
+  const auto p = st.findBusSlot(0, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->round, 0);
+  EXPECT_EQ(p->start, 0);
+  EXPECT_EQ(p->end, 4);
+
+  // Ready mid-slot: must wait for the next occurrence of slot 0.
+  const auto p2 = st.findBusSlot(0, 5, 4);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->round, 1);
+  EXPECT_EQ(p2->start, 20);
+
+  // Slot 1 starts at offset 10.
+  const auto p3 = st.findBusSlot(1, 10, 4);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->round, 0);
+  EXPECT_EQ(p3->start, 10);
+}
+
+TEST(PlatformState, FindBusSlotPacksBackToBack) {
+  PlatformState st = makeState(100);
+  auto p1 = st.findBusSlot(0, 0, 4);
+  st.occupyBus(0, p1->round, 4);
+  const auto p2 = st.findBusSlot(0, 0, 4);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->round, 0);
+  EXPECT_EQ(p2->start, 4);
+  EXPECT_EQ(p2->end, 8);
+}
+
+TEST(PlatformState, FindBusSlotOverflowsToNextRound) {
+  PlatformState st = makeState(100);
+  st.occupyBus(0, 0, 8);  // 8 of 10 ticks used
+  const auto p = st.findBusSlot(0, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->round, 1);
+  EXPECT_EQ(p->start, 20);
+}
+
+TEST(PlatformState, FindBusSlotRespectsMinRound) {
+  PlatformState st = makeState(100);
+  const auto p = st.findBusSlot(0, 0, 4, /*minRound=*/3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->round, 3);
+  EXPECT_EQ(p->start, 60);
+}
+
+TEST(PlatformState, FindBusSlotFailsBeyondHorizonOrOversized) {
+  PlatformState st = makeState(40);  // 2 rounds
+  st.occupyBus(0, 0, 10);
+  st.occupyBus(0, 1, 10);
+  EXPECT_FALSE(st.findBusSlot(0, 0, 4).has_value());
+  // A transmission longer than the slot can never fit.
+  PlatformState st2 = makeState(40);
+  EXPECT_FALSE(st2.findBusSlot(0, 0, 11).has_value());
+}
+
+TEST(PlatformState, OccupyBusValidation) {
+  PlatformState st = makeState(40);
+  EXPECT_THROW(st.occupyBus(0, 2, 4), std::logic_error);   // round beyond H
+  EXPECT_THROW(st.occupyBus(0, -1, 4), std::logic_error);
+  st.occupyBus(0, 0, 8);
+  EXPECT_THROW(st.occupyBus(0, 0, 3), std::logic_error);   // overflow
+  EXPECT_NO_THROW(st.occupyBus(0, 0, 2));                  // exactly full
+}
+
+TEST(PlatformState, SlackTotals) {
+  PlatformState st = makeState(40);  // 2 nodes x 40 ticks; 2 rounds
+  EXPECT_EQ(st.totalNodeSlack(), 80);
+  EXPECT_EQ(st.totalBusSlackTicks(), 40);  // 2 slots x 10 ticks x 2 rounds
+  st.occupyNode(NodeId{0}, {0, 15});
+  st.occupyBus(1, 0, 7);
+  EXPECT_EQ(st.totalNodeSlack(), 65);
+  EXPECT_EQ(st.totalBusSlackTicks(), 33);
+  EXPECT_EQ(st.slotUsedTicks(1, 0), 7);
+  EXPECT_EQ(st.slotFreeTicks(1, 0), 3);
+}
+
+TEST(PlatformState, CopyIsIndependent) {
+  PlatformState a = makeState(40);
+  a.occupyNode(NodeId{0}, {0, 10});
+  PlatformState b = a;
+  b.occupyNode(NodeId{0}, {10, 20});
+  b.occupyBus(0, 0, 5);
+  EXPECT_EQ(a.nodeBusy(NodeId{0}).totalLength(), 10);
+  EXPECT_EQ(b.nodeBusy(NodeId{0}).totalLength(), 20);
+  EXPECT_EQ(a.slotUsedTicks(0, 0), 0);
+  EXPECT_EQ(b.slotUsedTicks(0, 0), 5);
+}
+
+}  // namespace
+}  // namespace ides

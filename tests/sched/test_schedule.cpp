@@ -1,0 +1,74 @@
+#include "sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace ides {
+namespace {
+
+TEST(Schedule, AddAndLookupProcessEntries) {
+  Schedule s;
+  s.addProcess({ProcessId{3}, 0, NodeId{1}, 10, 25});
+  s.addProcess({ProcessId{3}, 1, NodeId{1}, 110, 125});
+  EXPECT_TRUE(s.hasProcess(ProcessId{3}, 0));
+  EXPECT_TRUE(s.hasProcess(ProcessId{3}, 1));
+  EXPECT_FALSE(s.hasProcess(ProcessId{3}, 2));
+  EXPECT_FALSE(s.hasProcess(ProcessId{4}, 0));
+  EXPECT_EQ(s.processEntry(ProcessId{3}, 1).start, 110);
+  EXPECT_EQ(s.processEntryCount(), 2u);
+}
+
+TEST(Schedule, AddAndLookupMessageEntries) {
+  Schedule s;
+  s.addMessage({MessageId{7}, 0, 2, 5, 104, 108});
+  ASSERT_TRUE(s.hasMessage(MessageId{7}, 0));
+  const ScheduledMessage& m = s.messageEntry(MessageId{7}, 0);
+  EXPECT_EQ(m.slotIndex, 2u);
+  EXPECT_EQ(m.round, 5);
+  EXPECT_EQ(m.end, 108);
+  EXPECT_EQ(s.messageEntryCount(), 1u);
+}
+
+TEST(Schedule, DuplicateEntriesThrow) {
+  Schedule s;
+  s.addProcess({ProcessId{1}, 0, NodeId{0}, 0, 10});
+  EXPECT_THROW(s.addProcess({ProcessId{1}, 0, NodeId{1}, 20, 30}),
+               std::logic_error);
+  s.addMessage({MessageId{1}, 0, 0, 0, 0, 4});
+  EXPECT_THROW(s.addMessage({MessageId{1}, 0, 0, 1, 20, 24}),
+               std::logic_error);
+}
+
+TEST(Schedule, InstancesAreDistinctKeys) {
+  Schedule s;
+  s.addProcess({ProcessId{1}, 0, NodeId{0}, 0, 10});
+  EXPECT_NO_THROW(s.addProcess({ProcessId{1}, 1, NodeId{0}, 100, 110}));
+}
+
+TEST(Schedule, MergeCombinesSchedules) {
+  Schedule a, b;
+  a.addProcess({ProcessId{1}, 0, NodeId{0}, 0, 10});
+  b.addProcess({ProcessId{2}, 0, NodeId{1}, 5, 15});
+  b.addMessage({MessageId{1}, 0, 0, 0, 10, 14});
+  a.merge(b);
+  EXPECT_EQ(a.processEntryCount(), 2u);
+  EXPECT_EQ(a.messageEntryCount(), 1u);
+  EXPECT_TRUE(a.hasProcess(ProcessId{2}, 0));
+}
+
+TEST(Schedule, MergeDetectsCollisions) {
+  Schedule a, b;
+  a.addProcess({ProcessId{1}, 0, NodeId{0}, 0, 10});
+  b.addProcess({ProcessId{1}, 0, NodeId{0}, 0, 10});
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Schedule, MakespanOverProcessesAndMessages) {
+  Schedule s;
+  EXPECT_EQ(s.makespan(), 0);
+  s.addProcess({ProcessId{1}, 0, NodeId{0}, 0, 50});
+  s.addMessage({MessageId{1}, 0, 0, 3, 62, 66});
+  EXPECT_EQ(s.makespan(), 66);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,96 @@
+#include "sched/schedule_io.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+class ScheduleIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<SystemModel>(
+        ides::testing::makeDiamondSystem(&ids_));
+    PlatformState state(sys_->architecture(), sys_->hyperperiod());
+    ScheduleRequest req;
+    req.graphs = {ids_.graph};
+    req.chooseNodes = true;
+    out_ = scheduleGraphs(*sys_, req, state);
+    ASSERT_TRUE(out_.feasible);
+  }
+
+  ides::testing::DiamondIds ids_;
+  std::unique_ptr<SystemModel> sys_;
+  ScheduleOutcome out_;
+};
+
+TEST_F(ScheduleIoTest, RoundTripsExactly) {
+  const std::string text = scheduleToString(*sys_, out_.schedule);
+  const Schedule loaded = scheduleFromString(text, *sys_);
+  ASSERT_EQ(loaded.processEntryCount(), out_.schedule.processEntryCount());
+  ASSERT_EQ(loaded.messageEntryCount(), out_.schedule.messageEntryCount());
+  for (const ScheduledProcess& e : out_.schedule.processes()) {
+    const ScheduledProcess& l = loaded.processEntry(e.pid, e.instance);
+    EXPECT_EQ(l.node, e.node);
+    EXPECT_EQ(l.start, e.start);
+    EXPECT_EQ(l.end, e.end);
+  }
+  for (const ScheduledMessage& e : out_.schedule.messages()) {
+    const ScheduledMessage& l = loaded.messageEntry(e.mid, e.instance);
+    EXPECT_EQ(l.slotIndex, e.slotIndex);
+    EXPECT_EQ(l.round, e.round);
+    EXPECT_EQ(l.start, e.start);
+    EXPECT_EQ(l.end, e.end);
+  }
+}
+
+TEST_F(ScheduleIoTest, OutputIsHumanReadableCsv) {
+  const std::string text = scheduleToString(*sys_, out_.schedule);
+  EXPECT_NE(text.find("# ides schedule v1"), std::string::npos);
+  EXPECT_NE(text.find("[processes]"), std::string::npos);
+  EXPECT_NE(text.find("[messages]"), std::string::npos);
+  EXPECT_NE(text.find("pid,name,instance,node,start,end"),
+            std::string::npos);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+}
+
+TEST_F(ScheduleIoTest, EmptyScheduleRoundTrips) {
+  const Schedule empty;
+  const Schedule loaded =
+      scheduleFromString(scheduleToString(*sys_, empty), *sys_);
+  EXPECT_EQ(loaded.processEntryCount(), 0u);
+  EXPECT_EQ(loaded.messageEntryCount(), 0u);
+}
+
+TEST_F(ScheduleIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(scheduleFromString("garbage,1,2\n", *sys_),
+               std::invalid_argument);
+  EXPECT_THROW(
+      scheduleFromString("[processes]\nheader\n1,2,3\n", *sys_),
+      std::invalid_argument);  // wrong arity
+  EXPECT_THROW(
+      scheduleFromString("[processes]\nheader\n999,X,0,0,0,10\n", *sys_),
+      std::invalid_argument);  // unknown pid
+  EXPECT_THROW(
+      scheduleFromString("[processes]\nheader\n0,P1,0,7,0,10\n", *sys_),
+      std::invalid_argument);  // unknown node
+  EXPECT_THROW(
+      scheduleFromString("[messages]\nheader\n0,0,9,0,0,4\n", *sys_),
+      std::invalid_argument);  // unknown slot
+  EXPECT_THROW(
+      scheduleFromString("[processes]\nheader\n0,P1,0,0,abc,10\n", *sys_),
+      std::invalid_argument);  // bad number
+}
+
+TEST_F(ScheduleIoTest, IgnoresCommentsAndBlankLines) {
+  const std::string text = "# comment\n\n[processes]\nheader\n"
+                           "0,P1,0,0,0,10\n\n# trailing comment\n";
+  const Schedule loaded = scheduleFromString(text, *sys_);
+  EXPECT_EQ(loaded.processEntryCount(), 1u);
+  EXPECT_EQ(loaded.processEntry(ProcessId{0}, 0).end, 10);
+}
+
+}  // namespace
+}  // namespace ides

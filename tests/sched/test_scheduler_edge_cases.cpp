@@ -1,0 +1,188 @@
+// Edge cases of the list scheduler around bus saturation, exact fits and
+// hint clamping.
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::twoNodeArch;
+using ides::testing::wcets;
+
+ScheduleOutcome scheduleAll(const SystemModel& sys, PlatformState& state) {
+  ScheduleRequest req;
+  for (const ProcessGraph& g : sys.graphs()) req.graphs.push_back(g.id);
+  req.chooseNodes = true;
+  return scheduleGraphs(sys, req, state);
+}
+
+TEST(SchedulerEdge, ExactProcessorFitSucceeds) {
+  // Exactly fills the hyperperiod on the single node.
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  for (int i = 0; i < 4; ++i) {
+    sys.addProcess(g, "P" + std::to_string(i), {25});
+  }
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_EQ(state.totalNodeSlack(), 0);
+}
+
+TEST(SchedulerEdge, OneTickTooMuchFails) {
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  for (int i = 0; i < 3; ++i) {
+    sys.addProcess(g, "P" + std::to_string(i), {33});
+  }
+  sys.addProcess(g, "P3", {2});  // 101 ticks of demand in 100
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  EXPECT_FALSE(out.placed);
+}
+
+TEST(SchedulerEdge, ExactSlotFitPacksMessagesToCapacity) {
+  // Two messages of 5 bytes exactly fill one 10-tick slot occurrence.
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 200);
+  const ProcessId s1 = sys.addProcess(g, "S1", wcets({5, kNoTime}));
+  const ProcessId s2 = sys.addProcess(g, "S2", wcets({5, kNoTime}));
+  const ProcessId d1 = sys.addProcess(g, "D1", wcets({kNoTime, 5}));
+  const ProcessId d2 = sys.addProcess(g, "D2", wcets({kNoTime, 5}));
+  sys.addMessage(g, s1, d1, 5);
+  sys.addMessage(g, s2, d2, 5);
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  ASSERT_TRUE(out.feasible);
+  // Both messages ride the same slot occurrence back to back.
+  const auto& m0 = out.schedule.messages()[0];
+  const auto& m1 = out.schedule.messages()[1];
+  if (m0.round == m1.round) {
+    EXPECT_EQ(std::max(m0.end, m1.end) - std::min(m0.start, m1.start), 10);
+  }
+}
+
+TEST(SchedulerEdge, BusSaturationPushesMessagesToLaterRounds) {
+  // Saturate the sender slot in early rounds; the message must wait.
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 200);
+  const ProcessId src = sys.addProcess(g, "S", wcets({5, kNoTime}));
+  const ProcessId dst = sys.addProcess(g, "D", wcets({kNoTime, 5}));
+  sys.addMessage(g, src, dst, 4);
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  for (std::int64_t r = 0; r < 5; ++r) state.occupyBus(0, r, 10);
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_GE(out.schedule.messages()[0].round, 5);
+}
+
+TEST(SchedulerEdge, TotallySaturatedBusFailsCleanly) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 200);
+  const ProcessId src = sys.addProcess(g, "S", wcets({5, kNoTime}));
+  const ProcessId dst = sys.addProcess(g, "D", wcets({kNoTime, 5}));
+  sys.addMessage(g, src, dst, 4);
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  for (std::int64_t r = 0; r < state.roundCount(); ++r) {
+    state.occupyBus(0, r, 10);
+  }
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  EXPECT_FALSE(out.placed);
+}
+
+TEST(SchedulerEdge, HintBeyondDeadlineMakesInstanceLateOrUnplaced) {
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100, 50);
+  const ProcessId p = sys.addProcess(g, "P", {10});
+  sys.finalize();
+  MappingSolution mapping(sys);
+  mapping.setNode(p, NodeId{0});
+  mapping.setStartHint(p, 60);  // beyond deadline 50, inside period
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  ScheduleRequest req;
+  req.graphs = {g};
+  req.mapping = &mapping;
+  const ScheduleOutcome out = scheduleGraphs(sys, req, state);
+  EXPECT_TRUE(out.placed);
+  EXPECT_FALSE(out.feasible);
+  EXPECT_EQ(out.totalLateness, 20);  // ends at 70, deadline 50
+}
+
+TEST(SchedulerEdge, ChainAcrossNodesAlternatesSlots) {
+  // S->M->D with S,D on node 0 and M on node 1: two bus hops in opposite
+  // directions must use the two different slots.
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 400);
+  const ProcessId s = sys.addProcess(g, "S", wcets({5, kNoTime}));
+  const ProcessId m = sys.addProcess(g, "M", wcets({kNoTime, 5}));
+  const ProcessId d = sys.addProcess(g, "D", wcets({5, kNoTime}));
+  const MessageId m1 = sys.addMessage(g, s, m, 4);
+  const MessageId m2 = sys.addMessage(g, m, d, 4);
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_EQ(out.schedule.messageEntry(m1, 0).slotIndex, 0u);
+  EXPECT_EQ(out.schedule.messageEntry(m2, 0).slotIndex, 1u);
+  EXPECT_LT(out.schedule.messageEntry(m1, 0).end,
+            out.schedule.messageEntry(m2, 0).start);
+}
+
+TEST(SchedulerEdge, WideFanOutRespectsEveryArrival) {
+  // One producer, eight consumers pinned to the other node: all eight
+  // messages queue through the producer's slot over successive rounds.
+  SystemModel sys(twoNodeArch());
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 400);
+  const ProcessId src = sys.addProcess(g, "S", wcets({5, kNoTime}));
+  std::vector<ProcessId> sinks;
+  for (int i = 0; i < 8; ++i) {
+    sinks.push_back(
+        sys.addProcess(g, "D" + std::to_string(i), wcets({kNoTime, 10})));
+    sys.addMessage(g, src, sinks.back(), 4);
+  }
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  ASSERT_TRUE(out.feasible);
+  // 8 messages x 4 ticks in 10-tick slots: at least 4 rounds involved.
+  std::int64_t maxRound = 0;
+  for (const ScheduledMessage& sm : out.schedule.messages()) {
+    maxRound = std::max(maxRound, sm.round);
+  }
+  EXPECT_GE(maxRound, 3);
+}
+
+TEST(SchedulerEdge, PriorityBreaksTiesDeterministically) {
+  // Independent identical processes: order must follow process ids.
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId a = sys.addApplication("a", AppKind::Current);
+  const GraphId g = sys.addGraph(a, 100);
+  for (int i = 0; i < 5; ++i) {
+    sys.addProcess(g, "P" + std::to_string(i), {10});
+  }
+  sys.finalize();
+  PlatformState state(sys.architecture(), sys.hyperperiod());
+  const ScheduleOutcome out = scheduleAll(sys, state);
+  ASSERT_TRUE(out.feasible);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out.schedule.processEntry(ProcessId{i}, 0).start, 10 * i);
+  }
+}
+
+}  // namespace
+}  // namespace ides

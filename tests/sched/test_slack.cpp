@@ -1,0 +1,90 @@
+#include "sched/slack.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using ides::testing::twoNodeArch;
+
+TEST(Slack, EmptyPlatformIsAllSlack) {
+  const Architecture arch = twoNodeArch();  // round 20
+  PlatformState state(arch, 100);
+  const SlackInfo slack = extractSlack(state);
+  EXPECT_EQ(slack.horizon, 100);
+  ASSERT_EQ(slack.nodeFree.size(), 2u);
+  EXPECT_EQ(slack.nodeFree[0].totalLength(), 100);
+  EXPECT_EQ(slack.nodeFree[1].totalLength(), 100);
+  // 5 rounds x 2 slots, all free.
+  EXPECT_EQ(slack.busChunks.size(), 10u);
+  EXPECT_EQ(slack.totalBusFreeTicks(), 100);
+  EXPECT_EQ(slack.totalNodeSlack(), 200);
+}
+
+TEST(Slack, NodeFreeReflectsOccupancy) {
+  const Architecture arch = twoNodeArch();
+  PlatformState state(arch, 100);
+  state.occupyNode(NodeId{0}, {10, 30});
+  state.occupyNode(NodeId{0}, {50, 60});
+  const SlackInfo slack = extractSlack(state);
+  ASSERT_EQ(slack.nodeFree[0].size(), 3u);
+  EXPECT_EQ(slack.nodeFree[0].intervals()[0], (Interval{0, 10}));
+  EXPECT_EQ(slack.nodeFree[0].intervals()[1], (Interval{30, 50}));
+  EXPECT_EQ(slack.nodeFree[0].intervals()[2], (Interval{60, 100}));
+}
+
+TEST(Slack, BusChunksShrinkWithUse) {
+  const Architecture arch = twoNodeArch();  // slots of 10 ticks
+  PlatformState state(arch, 40);
+  state.occupyBus(0, 0, 4);   // slot0 round0: 6 free starting at t=4
+  state.occupyBus(1, 1, 10);  // slot1 round1: full
+  const SlackInfo slack = extractSlack(state);
+  ASSERT_EQ(slack.busChunks.size(), 3u);  // one occurrence fully used
+  EXPECT_EQ(slack.busChunks[0].slotIndex, 0u);
+  EXPECT_EQ(slack.busChunks[0].start, 4);
+  EXPECT_EQ(slack.busChunks[0].freeTicks, 6);
+  // Chunks are in time order.
+  EXPECT_LT(slack.busChunks[0].start, slack.busChunks[1].start);
+  EXPECT_LT(slack.busChunks[1].start, slack.busChunks[2].start);
+}
+
+TEST(Slack, WindowQueries) {
+  const Architecture arch = twoNodeArch();
+  PlatformState state(arch, 100);
+  state.occupyNode(NodeId{0}, {0, 50});  // first half of node 0 busy
+  const SlackInfo slack = extractSlack(state);
+  EXPECT_EQ(slack.nodeSlackInWindow(0, 0, 50), 0);
+  EXPECT_EQ(slack.nodeSlackInWindow(0, 50, 100), 50);
+  EXPECT_EQ(slack.nodeSlackInWindow(0, 25, 75), 25);
+  EXPECT_EQ(slack.nodeSlackInWindow(1, 0, 50), 50);
+}
+
+TEST(Slack, BusWindowCountsFreeTicksAcrossSlots) {
+  const Architecture arch = twoNodeArch();  // round 20
+  PlatformState state(arch, 40);
+  const SlackInfo empty = extractSlack(state);
+  EXPECT_EQ(empty.busSlackInWindow(0, 20), 20);
+  EXPECT_EQ(empty.busSlackInWindow(0, 40), 40);
+  state.occupyBus(0, 0, 10);
+  state.occupyBus(1, 0, 5);
+  const SlackInfo used = extractSlack(state);
+  EXPECT_EQ(used.busSlackInWindow(0, 20), 5);
+  EXPECT_EQ(used.busSlackInWindow(20, 40), 20);
+  // Window straddling a partially-free slot counts the overlap only.
+  EXPECT_EQ(used.busSlackInWindow(17, 20), 3);  // free [15,20) ∩ [17,20)
+}
+
+TEST(Slack, BytesConversion) {
+  const Architecture arch = twoNodeArch(/*slotLength=*/10,
+                                        /*bytesPerTick=*/2);
+  PlatformState state(arch, 40);
+  const SlackInfo slack = extractSlack(state);
+  EXPECT_EQ(slack.busBytesPerTick, 2);
+  EXPECT_EQ(slack.totalBusFreeTicks(), 40);
+  EXPECT_EQ(slack.totalBusFreeBytes(), 80);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,161 @@
+#include "sched/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+using Kind = ValidationIssue::Kind;
+
+bool hasIssue(const ValidationReport& report, Kind kind) {
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.kind == kind) return true;
+  }
+  return false;
+}
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<SystemModel>(
+        ides::testing::makeDiamondSystem(&ids_));
+    PlatformState state(sys_->architecture(), sys_->hyperperiod());
+    ScheduleRequest req;
+    req.graphs = {ids_.graph};
+    req.chooseNodes = true;
+    out_ = scheduleGraphs(*sys_, req, state);
+    ASSERT_TRUE(out_.feasible);
+  }
+
+  ValidationReport validate(const Schedule& s) {
+    return validateSchedule(*sys_, s, {ids_.graph});
+  }
+
+  ides::testing::DiamondIds ids_;
+  std::unique_ptr<SystemModel> sys_;
+  ScheduleOutcome out_;
+};
+
+TEST_F(ValidateTest, AcceptsSchedulerOutput) {
+  const ValidationReport report = validate(out_.schedule);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.summary(), "schedule valid");
+}
+
+TEST_F(ValidateTest, DetectsMissingEntry) {
+  Schedule s;  // empty
+  const ValidationReport report = validate(s);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(hasIssue(report, Kind::MissingEntry));
+}
+
+TEST_F(ValidateTest, DetectsNodeOverlap) {
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) {
+    ScheduledProcess copy = e;
+    // Slam everything to the same node-0 time range.
+    copy.node = NodeId{0};
+    copy.start = 0;
+    copy.end = copy.start + (e.end - e.start);
+    s.addProcess(copy);
+  }
+  const ValidationReport report = validate(s);
+  EXPECT_TRUE(hasIssue(report, Kind::NodeOverlap));
+}
+
+TEST_F(ValidateTest, DetectsOutsideWindowAndWrongDuration) {
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) {
+    ScheduledProcess copy = e;
+    if (copy.pid == ids_.p4) {
+      copy.start = 195;
+      copy.end = 205;  // past the deadline/horizon
+    }
+    s.addProcess(copy);
+  }
+  for (const ScheduledMessage& m : out_.schedule.messages()) s.addMessage(m);
+  const ValidationReport report = validate(s);
+  EXPECT_TRUE(hasIssue(report, Kind::OutsideWindow));
+  EXPECT_TRUE(hasIssue(report, Kind::BeyondHorizon));
+
+  Schedule s2;
+  for (const ScheduledProcess& e : out_.schedule.processes()) {
+    ScheduledProcess copy = e;
+    if (copy.pid == ids_.p1) copy.end = copy.start + 3;  // wcet is 10
+    s2.addProcess(copy);
+  }
+  EXPECT_TRUE(hasIssue(validate(s2), Kind::WrongDuration));
+}
+
+TEST_F(ValidateTest, DetectsDisallowedNode) {
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) {
+    ScheduledProcess copy = e;
+    if (copy.pid == ids_.p1) copy.node = NodeId{1};  // P1 pinned to N0
+    s.addProcess(copy);
+  }
+  EXPECT_TRUE(hasIssue(validate(s), Kind::DisallowedNode));
+}
+
+TEST_F(ValidateTest, DetectsMissingMessage) {
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) s.addProcess(e);
+  // no messages at all, but P1->P2 crosses nodes
+  EXPECT_TRUE(hasIssue(validate(s), Kind::MissingMessage));
+}
+
+TEST_F(ValidateTest, DetectsPrecedenceViolation) {
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) s.addProcess(e);
+  for (const ScheduledMessage& m : out_.schedule.messages()) {
+    ScheduledMessage copy = m;
+    if (copy.mid == ids_.m1) {
+      copy.round = 0;  // before P1 finishes
+      copy.start = 0;
+      copy.end = 4;
+    }
+    s.addMessage(copy);
+  }
+  EXPECT_TRUE(hasIssue(validate(s), Kind::PrecedenceViolated));
+}
+
+TEST_F(ValidateTest, DetectsWrongSlotAndSlotOverflow) {
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) s.addProcess(e);
+  for (const ScheduledMessage& m : out_.schedule.messages()) {
+    ScheduledMessage copy = m;
+    if (copy.mid == ids_.m1) copy.slotIndex = 1 - copy.slotIndex;
+    s.addMessage(copy);
+  }
+  EXPECT_TRUE(hasIssue(validate(s), Kind::WrongSlot));
+}
+
+TEST_F(ValidateTest, DetectsLocalMessageOnBus) {
+  // P3 ends up on node 0 next to P1; force an m2 bus entry anyway.
+  Schedule s;
+  for (const ScheduledProcess& e : out_.schedule.processes()) s.addProcess(e);
+  for (const ScheduledMessage& m : out_.schedule.messages()) s.addMessage(m);
+  ASSERT_EQ(s.processEntry(ids_.p3, 0).node,
+            s.processEntry(ids_.p1, 0).node);
+  s.addMessage({ids_.m2, 0, 0, 3, 60, 64});
+  EXPECT_TRUE(hasIssue(validate(s), Kind::LocalMessageOnBus));
+}
+
+TEST_F(ValidateTest, SummaryListsIssues) {
+  Schedule s;
+  const std::string text = validate(s).summary();
+  EXPECT_NE(text.find("missing-entry"), std::string::npos);
+  EXPECT_NE(text.find("issue(s)"), std::string::npos);
+}
+
+TEST(ValidateKindNames, AllDistinct) {
+  EXPECT_STREQ(toString(Kind::MissingEntry), "missing-entry");
+  EXPECT_STREQ(toString(Kind::SlotOverflow), "slot-overflow");
+  EXPECT_STREQ(toString(Kind::PrecedenceViolated), "precedence-violated");
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,123 @@
+// Shared builders for hand-crafted test systems.
+#pragma once
+
+#include <vector>
+
+#include "model/system_model.h"
+#include "tgen/benchmark_suite.h"
+
+namespace ides::testing {
+
+/// Small but *loaded* generated instance: ~65% processor utilization on a
+/// 4-node platform, so the slack-distribution criterion bites and the
+/// optimizing strategies have real work to do.
+inline SuiteConfig smallSuiteConfig(std::size_t existing = 60,
+                                    std::size_t current = 24) {
+  SuiteConfig cfg;
+  cfg.nodeCount = 4;
+  cfg.basePeriod = 6000;
+  cfg.tmin = 1500;
+  cfg.existingProcesses = existing;
+  cfg.currentProcesses = current;
+  cfg.futureAppCount = 0;
+  cfg.futureProcesses = 16;
+  cfg.futureGraphSize = 16;
+  return cfg;
+}
+
+/// Two identical nodes, equal slots (default 10 ticks each, round 20),
+/// 1 byte/tick.
+inline Architecture twoNodeArch(Time slotLength = 10,
+                                std::int64_t bytesPerTick = 1) {
+  return makeUniformArchitecture(2, slotLength, bytesPerTick);
+}
+
+/// WCET table helper: {w0, w1, ...} with kNoTime where disallowed.
+inline std::vector<Time> wcets(std::initializer_list<Time> values) {
+  return std::vector<Time>(values);
+}
+
+/// The paper's slide-5 example shape: a diamond P1 -> {P2, P3} -> P4 with
+/// four messages, on two nodes. Returns the system (finalized) and fills
+/// the ids if pointers are given.
+struct DiamondIds {
+  GraphId graph;
+  ProcessId p1, p2, p3, p4;
+  MessageId m1, m2, m3, m4;
+};
+
+inline SystemModel makeDiamondSystem(DiamondIds* ids = nullptr,
+                                     Time period = 200,
+                                     AppKind kind = AppKind::Current) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId app = sys.addApplication("app", kind);
+  const GraphId g = sys.addGraph(app, period);
+  // P1 and P4 pinned to node 0; P2 pinned to node 1; P3 mappable to both.
+  const ProcessId p1 = sys.addProcess(g, "P1", wcets({10, kNoTime}));
+  const ProcessId p2 = sys.addProcess(g, "P2", wcets({kNoTime, 20}));
+  const ProcessId p3 = sys.addProcess(g, "P3", wcets({15, 15}));
+  const ProcessId p4 = sys.addProcess(g, "P4", wcets({10, kNoTime}));
+  const MessageId m1 = sys.addMessage(g, p1, p2, 4);
+  const MessageId m2 = sys.addMessage(g, p1, p3, 4);
+  const MessageId m3 = sys.addMessage(g, p2, p4, 4);
+  const MessageId m4 = sys.addMessage(g, p3, p4, 4);
+  sys.finalize();
+  if (ids != nullptr) *ids = {g, p1, p2, p3, p4, m1, m2, m3, m4};
+  return sys;
+}
+
+/// A chain P0 -> P1 -> ... -> P{n-1} on a single-node architecture; no bus
+/// traffic possible, handy for pure processor-timeline tests.
+inline SystemModel makeChainSystem(std::size_t length, Time wcet = 10,
+                                   Time period = 200,
+                                   AppKind kind = AppKind::Current) {
+  SystemModel sys(makeUniformArchitecture(1, 10, 1));
+  const ApplicationId app = sys.addApplication("chain", kind);
+  const GraphId g = sys.addGraph(app, period);
+  std::vector<ProcessId> ps;
+  for (std::size_t i = 0; i < length; ++i) {
+    ps.push_back(sys.addProcess(g, "C" + std::to_string(i), {wcet}));
+  }
+  for (std::size_t i = 1; i < length; ++i) {
+    sys.addMessage(g, ps[i - 1], ps[i], 2);
+  }
+  sys.finalize();
+  return sys;
+}
+
+/// A hand-built incremental scenario on two nodes: one frozen existing
+/// chain per node and a current diamond to place. Profile tuned so the
+/// metrics are non-trivial.
+struct ScenarioIds {
+  ApplicationId existingApp, currentApp;
+  DiamondIds diamond;
+};
+
+inline SystemModel makeIncrementalScenario(ScenarioIds* ids = nullptr,
+                                           Time period = 200,
+                                           Time currentDeadline = kNoTime) {
+  SystemModel sys(twoNodeArch());
+  const ApplicationId ex = sys.addApplication("legacy", AppKind::Existing);
+  const GraphId ge = sys.addGraph(ex, period);
+  const ProcessId e0 = sys.addProcess(ge, "E0", wcets({25, kNoTime}));
+  const ProcessId e1 = sys.addProcess(ge, "E1", wcets({kNoTime, 25}));
+  sys.addMessage(ge, e0, e1, 4);
+
+  const ApplicationId cur = sys.addApplication("new", AppKind::Current);
+  const GraphId g = sys.addGraph(cur, period, currentDeadline);
+  const ProcessId p1 = sys.addProcess(g, "P1", wcets({10, kNoTime}));
+  const ProcessId p2 = sys.addProcess(g, "P2", wcets({kNoTime, 20}));
+  const ProcessId p3 = sys.addProcess(g, "P3", wcets({15, 15}));
+  const ProcessId p4 = sys.addProcess(g, "P4", wcets({10, kNoTime}));
+  const MessageId m1 = sys.addMessage(g, p1, p2, 4);
+  const MessageId m2 = sys.addMessage(g, p1, p3, 4);
+  const MessageId m3 = sys.addMessage(g, p2, p4, 4);
+  const MessageId m4 = sys.addMessage(g, p3, p4, 4);
+  sys.finalize();
+  if (ids != nullptr) {
+    *ids = {ex, cur, {g, p1, p2, p3, p4, m1, m2, m3, m4}};
+  }
+  return sys;
+}
+
+}  // namespace ides::testing

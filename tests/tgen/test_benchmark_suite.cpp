@@ -1,0 +1,134 @@
+#include "tgen/benchmark_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/initial_mapping.h"
+
+namespace ides {
+namespace {
+
+SuiteConfig smallConfig() {
+  SuiteConfig cfg;
+  cfg.nodeCount = 4;
+  cfg.existingProcesses = 60;
+  cfg.currentProcesses = 24;
+  cfg.futureAppCount = 2;
+  cfg.futureProcesses = 16;
+  return cfg;
+}
+
+TEST(BenchmarkSuite, BuildsRequestedPopulation) {
+  const Suite suite = buildSuite(smallConfig(), 1);
+  const SystemModel& sys = suite.system;
+  EXPECT_EQ(sys.architecture().nodeCount(), 4u);
+  EXPECT_EQ(sys.processesOfKind(AppKind::Existing).size(), 60u);
+  EXPECT_EQ(sys.processesOfKind(AppKind::Current).size(), 24u);
+  EXPECT_EQ(sys.processesOfKind(AppKind::Future).size(), 2u * 16u);
+  EXPECT_EQ(sys.applicationsOfKind(AppKind::Current).size(), 1u);
+  EXPECT_EQ(sys.applicationsOfKind(AppKind::Future).size(), 2u);
+}
+
+TEST(BenchmarkSuite, HyperperiodAlignsWithBusAndTmin) {
+  const Suite suite = buildSuite(smallConfig(), 2);
+  const SystemModel& sys = suite.system;
+  EXPECT_EQ(sys.hyperperiod() % sys.architecture().bus().roundLength(), 0);
+  EXPECT_EQ(sys.hyperperiod() % suite.profile.tmin, 0);
+}
+
+TEST(BenchmarkSuite, FutureGraphsRunAtTmin) {
+  const Suite suite = buildSuite(smallConfig(), 3);
+  for (GraphId g : suite.system.graphsOfKind(AppKind::Future)) {
+    EXPECT_EQ(suite.system.graph(g).period, suite.profile.tmin);
+  }
+}
+
+TEST(BenchmarkSuite, DerivedNeedsMatchFutureSize) {
+  const SuiteConfig cfg = smallConfig();
+  const Suite suite = buildSuite(cfg, 4);
+  // tneed = futureProcesses * E[wcet] = 16 * 69.
+  EXPECT_EQ(suite.profile.tneed,
+            static_cast<Time>(cfg.futureProcesses * 69));
+  EXPECT_GT(suite.profile.bneedBytes, 0);
+}
+
+TEST(BenchmarkSuite, OverridesAreHonored) {
+  SuiteConfig cfg = smallConfig();
+  cfg.tneedOverride = 1234;
+  cfg.bneedOverride = 99;
+  const Suite suite = buildSuite(cfg, 5);
+  EXPECT_EQ(suite.profile.tneed, 1234);
+  EXPECT_EQ(suite.profile.bneedBytes, 99);
+}
+
+TEST(BenchmarkSuite, GuaranteedFeasibility) {
+  // The builder's contract: the returned instance freezes and IM-schedules.
+  const Suite suite = buildSuite(smallConfig(), 6);
+  const FrozenBase frozen = freezeExistingApplications(suite.system);
+  ASSERT_TRUE(frozen.feasible);
+  PlatformState state = frozen.state;
+  EXPECT_TRUE(initialMapping(suite.system, state).feasible);
+}
+
+TEST(BenchmarkSuite, DeterministicForSeed) {
+  const Suite a = buildSuite(smallConfig(), 7);
+  const Suite b = buildSuite(smallConfig(), 7);
+  EXPECT_EQ(a.seedUsed, b.seedUsed);
+  ASSERT_EQ(a.system.processes().size(), b.system.processes().size());
+  for (std::size_t i = 0; i < a.system.processes().size(); ++i) {
+    EXPECT_EQ(a.system.processes()[i].wcet, b.system.processes()[i].wcet);
+  }
+}
+
+TEST(BenchmarkSuite, DifferentSeedsGiveDifferentInstances) {
+  const Suite a = buildSuite(smallConfig(), 8);
+  const Suite b = buildSuite(smallConfig(), 9);
+  bool anyDifferent =
+      a.system.processes().size() != b.system.processes().size();
+  if (!anyDifferent) {
+    for (std::size_t i = 0; i < a.system.processes().size(); ++i) {
+      if (a.system.processes()[i].wcet != b.system.processes()[i].wcet) {
+        anyDifferent = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(BenchmarkSuite, ExistingApplicationsArePhaseStaggered) {
+  SuiteConfig cfg = smallConfig();
+  cfg.existingProcesses = 200;  // several apps so phases actually cycle
+  cfg.offsetPhases = 4;
+  const Suite suite = buildSuite(cfg, 10);
+  std::set<Time> offsets;
+  for (GraphId g : suite.system.graphsOfKind(AppKind::Existing)) {
+    const ProcessGraph& graph = suite.system.graph(g);
+    offsets.insert(graph.offset);
+    EXPECT_LE(graph.offset + graph.deadline, graph.period);
+  }
+  EXPECT_GT(offsets.size(), 1u);  // not everything released at phase 0
+  // Current and future applications are not staggered.
+  for (GraphId g : suite.system.graphsOfKind(AppKind::Current)) {
+    EXPECT_EQ(suite.system.graph(g).offset, 0);
+  }
+}
+
+TEST(BenchmarkSuite, StaggeringCanBeDisabled) {
+  SuiteConfig cfg = smallConfig();
+  cfg.offsetPhases = 1;
+  const Suite suite = buildSuite(cfg, 10);
+  for (GraphId g : suite.system.graphsOfKind(AppKind::Existing)) {
+    EXPECT_EQ(suite.system.graph(g).offset, 0);
+  }
+}
+
+TEST(BenchmarkSuite, RejectsMisalignedTmin) {
+  SuiteConfig cfg = smallConfig();
+  cfg.tmin = 3000;  // does not divide 16000
+  EXPECT_THROW(buildSuite(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ides

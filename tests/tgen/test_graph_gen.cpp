@@ -1,0 +1,169 @@
+#include "tgen/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "tgen/profile_presets.h"
+
+namespace ides {
+namespace {
+
+Architecture arch4() { return makeUniformArchitecture(4, 20, 1); }
+
+TEST(GraphGen, ProducesRequestedProcessCount) {
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 37;
+  Rng rng(1);
+  const GraphId g = generateGraph(sys, app, 1600, 1600, cfg, rng);
+  EXPECT_EQ(sys.graph(g).processes.size(), 37u);
+  sys.finalize();  // must be a valid DAG
+}
+
+TEST(GraphGen, GeneratedGraphIsConnectedEnough) {
+  // Every process beyond the first layer has at least one input.
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 30;
+  cfg.layerWidth = 6;
+  Rng rng(2);
+  const GraphId g = generateGraph(sys, app, 1600, 1600, cfg, rng);
+  sys.finalize();
+  std::size_t roots = 0;
+  for (ProcessId p : sys.graph(g).processes) {
+    if (sys.inputsOf(p).empty()) ++roots;
+  }
+  EXPECT_LE(roots, cfg.layerWidth);  // only layer 0 may be root processes
+}
+
+TEST(GraphGen, EdgeDensityIsApproximatelyMet) {
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 60;
+  cfg.edgeDensity = 1.5;
+  Rng rng(3);
+  const GraphId g = generateGraph(sys, app, 1600, 1600, cfg, rng);
+  sys.finalize();
+  const double ratio = static_cast<double>(sys.graph(g).messages.size()) /
+                       static_cast<double>(cfg.processCount);
+  EXPECT_GE(ratio, 0.8);   // at least the connectivity tree
+  EXPECT_LE(ratio, 1.6);   // no runaway edge count
+}
+
+TEST(GraphGen, WcetsRespectRangeAndSpeedFactors) {
+  Architecture arch = makeUniformArchitecture(3, 20, 1, {1.0, 2.0, 0.5});
+  SystemModel sys(std::move(arch));
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 40;
+  cfg.wcetMin = 50;
+  cfg.wcetMax = 100;
+  cfg.wcetNodeVariation = 0.1;
+  cfg.restrictedMappingProb = 0.0;
+  Rng rng(4);
+  generateGraph(sys, app, 1800, 1800, cfg, rng);
+  for (const Process& p : sys.processes()) {
+    // Node 0 (speed 1.0): wcet in [50*0.9, 100*1.1].
+    ASSERT_NE(p.wcet[0], kNoTime);
+    EXPECT_GE(p.wcet[0], 45);
+    EXPECT_LE(p.wcet[0], 110);
+    // Node 1 is twice as slow, node 2 twice as fast (within jitter).
+    EXPECT_GE(p.wcet[1], 90);
+    EXPECT_LE(p.wcet[1], 220);
+    EXPECT_GE(p.wcet[2], 22);
+    EXPECT_LE(p.wcet[2], 55);
+  }
+}
+
+TEST(GraphGen, RestrictedMappingKeepsAtLeastTwoNodes) {
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 50;
+  cfg.restrictedMappingProb = 1.0;
+  cfg.restrictedFraction = 0.5;
+  Rng rng(5);
+  generateGraph(sys, app, 1600, 1600, cfg, rng);
+  for (const Process& p : sys.processes()) {
+    const auto allowed = p.allowedNodes();
+    EXPECT_GE(allowed.size(), 2u);
+    EXPECT_LT(allowed.size(), 4u);  // restriction actually applied
+  }
+}
+
+TEST(GraphGen, MessageSizesWithinRange) {
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 40;
+  cfg.msgMin = 3;
+  cfg.msgMax = 6;
+  Rng rng(6);
+  generateGraph(sys, app, 1600, 1600, cfg, rng);
+  for (const Message& m : sys.messages()) {
+    EXPECT_GE(m.sizeBytes, 3);
+    EXPECT_LE(m.sizeBytes, 6);
+  }
+}
+
+TEST(GraphGen, DeterministicGivenSeed) {
+  auto build = [] {
+    SystemModel sys(arch4());
+    const ApplicationId app = sys.addApplication("a", AppKind::Current);
+    GraphGenConfig cfg;
+    cfg.processCount = 25;
+    Rng rng(77);
+    generateGraph(sys, app, 1600, 1600, cfg, rng);
+    sys.finalize();
+    return sys;
+  };
+  const SystemModel a = build();
+  const SystemModel b = build();
+  ASSERT_EQ(a.messages().size(), b.messages().size());
+  for (std::size_t i = 0; i < a.messages().size(); ++i) {
+    EXPECT_EQ(a.messages()[i].src, b.messages()[i].src);
+    EXPECT_EQ(a.messages()[i].dst, b.messages()[i].dst);
+    EXPECT_EQ(a.messages()[i].sizeBytes, b.messages()[i].sizeBytes);
+  }
+  for (std::size_t i = 0; i < a.processes().size(); ++i) {
+    EXPECT_EQ(a.processes()[i].wcet, b.processes()[i].wcet);
+  }
+}
+
+TEST(GraphGen, RejectsEmptyGraph) {
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("a", AppKind::Current);
+  GraphGenConfig cfg;
+  cfg.processCount = 0;
+  Rng rng(1);
+  EXPECT_THROW(generateGraph(sys, app, 1600, 1600, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(GraphGenFromDistributions, DrawsWcetsFromSupport) {
+  SystemModel sys(arch4());
+  const ApplicationId app = sys.addApplication("f", AppKind::Future);
+  GraphGenConfig cfg;
+  cfg.processCount = 60;
+  cfg.wcetNodeVariation = 0.0;
+  cfg.restrictedMappingProb = 0.0;
+  Rng rng(9);
+  generateGraphFromDistributions(sys, app, 1600, 1600, cfg,
+                                 paperWcetDistribution(),
+                                 paperMessageSizeDistribution(), rng);
+  for (const Process& p : sys.processes()) {
+    // Speed factors are 1.0, so WCETs must be exactly histogram values.
+    EXPECT_TRUE(p.wcet[0] == 20 || p.wcet[0] == 50 || p.wcet[0] == 100 ||
+                p.wcet[0] == 150)
+        << p.wcet[0];
+  }
+  for (const Message& m : sys.messages()) {
+    EXPECT_TRUE(m.sizeBytes == 2 || m.sizeBytes == 4 || m.sizeBytes == 6 ||
+                m.sizeBytes == 8);
+  }
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,57 @@
+#include "tgen/profile_presets.h"
+
+#include <gtest/gtest.h>
+
+namespace ides {
+namespace {
+
+TEST(ProfilePresets, WcetHistogramMatchesPaperSupport) {
+  const DiscreteDistribution d = paperWcetDistribution();
+  ASSERT_EQ(d.entries().size(), 4u);
+  EXPECT_EQ(d.entries()[0].value, 20);
+  EXPECT_EQ(d.entries()[1].value, 50);
+  EXPECT_EQ(d.entries()[2].value, 100);
+  EXPECT_EQ(d.entries()[3].value, 150);
+  EXPECT_DOUBLE_EQ(d.entries()[0].probability, 0.2);
+  EXPECT_DOUBLE_EQ(d.entries()[1].probability, 0.4);
+  EXPECT_DOUBLE_EQ(d.entries()[2].probability, 0.3);
+  EXPECT_DOUBLE_EQ(d.entries()[3].probability, 0.1);
+}
+
+TEST(ProfilePresets, MessageHistogramMatchesPaperSupport) {
+  const DiscreteDistribution d = paperMessageSizeDistribution();
+  ASSERT_EQ(d.entries().size(), 4u);
+  EXPECT_EQ(d.entries()[0].value, 2);
+  EXPECT_EQ(d.entries()[3].value, 8);
+  EXPECT_NEAR(d.expectedValue(), 0.2 * 2 + 0.4 * 4 + 0.3 * 6 + 0.1 * 8,
+              1e-12);
+}
+
+TEST(ProfilePresets, PaperProfileIsValid) {
+  const FutureProfile p = paperFutureProfile(4000, 5000, 400);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.tmin, 4000);
+  EXPECT_EQ(p.tneed, 5000);
+  EXPECT_EQ(p.bneedBytes, 400);
+}
+
+TEST(ProfilePresets, RejectsNonPositiveNeeds) {
+  EXPECT_THROW(paperFutureProfile(0, 100, 10), std::invalid_argument);
+  EXPECT_THROW(paperFutureProfile(100, 0, 10), std::invalid_argument);
+  EXPECT_THROW(paperFutureProfile(100, 100, 0), std::invalid_argument);
+}
+
+TEST(FutureProfileValidation, CatchesEmptyDistributions) {
+  FutureProfile p;
+  p.tmin = 10;
+  p.tneed = 10;
+  p.bneedBytes = 10;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.wcetDistribution = paperWcetDistribution();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.messageSizeDistribution = paperMessageSizeDistribution();
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,56 @@
+#include "util/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ides {
+namespace {
+
+TEST(AsciiChart, EmptyChartRendersPlaceholder) {
+  AsciiChart chart("empty", "x", "y");
+  std::ostringstream os;
+  chart.render(os);
+  EXPECT_NE(os.str().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart("t", "x", "y");
+  chart.setXAxis({1.0, 2.0, 3.0});
+  EXPECT_THROW(chart.addSeries("s", {1.0}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RendersTitleLegendAndMarkers) {
+  AsciiChart chart("quality", "processes", "deviation");
+  chart.setXAxis({40, 80, 160});
+  chart.addSeries("AH", {120.0, 125.0, 130.0});
+  chart.addSeries("MH", {5.0, 8.0, 6.0});
+  std::ostringstream os;
+  chart.render(os, 40, 10);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("quality"), std::string::npos);
+  EXPECT_NE(s.find("AH"), std::string::npos);
+  EXPECT_NE(s.find("MH"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);  // first series marker
+  EXPECT_NE(s.find('o'), std::string::npos);  // second series marker
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotCrash) {
+  AsciiChart chart("flat", "x", "y");
+  chart.setXAxis({1, 2, 3});
+  chart.addSeries("s", {0.0, 0.0, 0.0});
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.render(os, 30, 8));
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart chart("one", "x", "y");
+  chart.setXAxis({5.0});
+  chart.addSeries("s", {7.0});
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.render(os, 30, 8));
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ides {
+namespace {
+
+TEST(CsvTable, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvTable(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(CsvTable, RejectsArityMismatch) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(CsvTable, WritesCsvRows) {
+  CsvTable t({"n", "AH", "MH"});
+  t.addRow({"40", "120.5", "8.25"});
+  t.addRow({"80", "131.0", "9.75"});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_EQ(os.str(), "n,AH,MH\n40,120.5,8.25\n80,131.0,9.75\n");
+}
+
+TEST(CsvTable, PrettyAlignsColumns) {
+  CsvTable t({"name", "v"});
+  t.addRow({"x", "123456"});
+  std::ostringstream os;
+  t.writePretty(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("123456"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(CsvTable, NumFormatting) {
+  EXPECT_EQ(CsvTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(CsvTable::num(3.0, 0), "3");
+  EXPECT_EQ(CsvTable::num(static_cast<long long>(42)), "42");
+}
+
+TEST(CsvTable, RowCountTracksAdds) {
+  CsvTable t({"a"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({"1"});
+  t.addRow({"2"});
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "2");
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,181 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace ides {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniformInt(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceStatistics) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) seen[rng.index(5)] += 1;
+  for (int count : seen) EXPECT_GT(count, 100);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng(9);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUse) {
+  Rng a(99);
+  Rng childA = a.fork();
+  // Re-derive from a fresh parent: same fork point, same child stream.
+  Rng b(99);
+  Rng childB = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(childA.uniformInt(0, 1 << 30), childB.uniformInt(0, 1 << 30));
+  }
+}
+
+TEST(DiscreteDistribution, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(DiscreteDistribution(std::vector<DiscreteDistribution::Entry>{}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({{10, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({{10, -0.5}}), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, NormalizesProbabilities) {
+  const DiscreteDistribution d({{1, 2.0}, {2, 2.0}});
+  EXPECT_DOUBLE_EQ(d.entries()[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(d.entries()[1].probability, 0.5);
+}
+
+TEST(DiscreteDistribution, ExpectedValue) {
+  const DiscreteDistribution d({{20, 0.2}, {50, 0.4}, {100, 0.3}, {150, 0.1}});
+  EXPECT_NEAR(d.expectedValue(), 0.2 * 20 + 0.4 * 50 + 0.3 * 100 + 0.1 * 150,
+              1e-12);
+}
+
+TEST(DiscreteDistribution, SampleFrequenciesMatchProbabilities) {
+  const DiscreteDistribution d({{1, 0.1}, {2, 0.6}, {3, 0.3}});
+  Rng rng(17);
+  std::int64_t c1 = 0, c2 = 0, c3 = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    switch (d.sample(rng)) {
+      case 1: ++c1; break;
+      case 2: ++c2; break;
+      case 3: ++c3; break;
+      default: FAIL() << "sample outside support";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / n, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(c2) / n, 0.6, 0.02);
+  EXPECT_NEAR(static_cast<double>(c3) / n, 0.3, 0.02);
+}
+
+TEST(DiscreteDistribution, MinMaxValues) {
+  const DiscreteDistribution d({{100, 0.3}, {2, 0.2}, {50, 0.5}});
+  EXPECT_EQ(d.minValue(), 2);
+  EXPECT_EQ(d.maxValue(), 100);
+}
+
+TEST(DiscreteDistribution, DeterministicStreamHasExactCount) {
+  const DiscreteDistribution d({{20, 0.2}, {50, 0.4}, {100, 0.3}, {150, 0.1}});
+  for (std::size_t count : {0u, 1u, 7u, 100u, 1000u}) {
+    EXPECT_EQ(d.deterministicStream(count).size(), count);
+  }
+}
+
+TEST(DiscreteDistribution, DeterministicStreamIsDescending) {
+  const DiscreteDistribution d({{20, 0.25}, {50, 0.25}, {100, 0.5}});
+  const auto stream = d.deterministicStream(40);
+  EXPECT_TRUE(std::is_sorted(stream.rbegin(), stream.rend()));
+}
+
+TEST(DiscreteDistribution, DeterministicStreamMatchesMixExactly) {
+  const DiscreteDistribution d({{20, 0.2}, {50, 0.4}, {100, 0.3}, {150, 0.1}});
+  const auto stream = d.deterministicStream(100);
+  const auto count = [&](std::int64_t v) {
+    return std::count(stream.begin(), stream.end(), v);
+  };
+  EXPECT_EQ(count(20), 20);
+  EXPECT_EQ(count(50), 40);
+  EXPECT_EQ(count(100), 30);
+  EXPECT_EQ(count(150), 10);
+}
+
+TEST(DiscreteDistribution, DeterministicStreamIsReproducible) {
+  const DiscreteDistribution d({{2, 0.2}, {4, 0.4}, {6, 0.3}, {8, 0.1}});
+  EXPECT_EQ(d.deterministicStream(123), d.deterministicStream(123));
+}
+
+}  // namespace
+}  // namespace ides

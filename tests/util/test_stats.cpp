@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ides {
+namespace {
+
+TEST(StatAccumulator, EmptyIsAllZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, SingleSample) {
+  StatAccumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, KnownMoments) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulator, NegativeValues) {
+  StatAccumulator acc;
+  acc.add(-3.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ides {
+namespace {
+
+TEST(TimeHelpers, CeilDiv) {
+  EXPECT_EQ(ceilDiv(0, 5), 0);
+  EXPECT_EQ(ceilDiv(1, 5), 1);
+  EXPECT_EQ(ceilDiv(5, 5), 1);
+  EXPECT_EQ(ceilDiv(6, 5), 2);
+  EXPECT_EQ(ceilDiv(10, 5), 2);
+  EXPECT_EQ(ceilDiv(11, 5), 3);
+}
+
+TEST(TimeHelpers, Sentinels) {
+  EXPECT_LT(kNoTime, 0);
+  EXPECT_GT(kTimeMax, 0);
+  EXPECT_NE(kNoTime, kTimeMax);
+}
+
+TEST(TaggedIds, DefaultIsInvalid) {
+  NodeId n;
+  EXPECT_FALSE(n.valid());
+  EXPECT_TRUE(NodeId{0}.valid());
+  EXPECT_FALSE(NodeId{-3}.valid());
+}
+
+TEST(TaggedIds, ComparisonAndIndex) {
+  EXPECT_EQ(ProcessId{3}, ProcessId{3});
+  EXPECT_NE(ProcessId{3}, ProcessId{4});
+  EXPECT_LT(ProcessId{3}, ProcessId{4});
+  EXPECT_EQ(ProcessId{7}.index(), 7u);
+}
+
+TEST(TaggedIds, DistinctTagsAreDistinctTypes) {
+  // Compile-time property: NodeId and ProcessId must not be comparable.
+  static_assert(!std::is_same_v<NodeId, ProcessId>);
+  static_assert(!std::is_convertible_v<NodeId, ProcessId>);
+  SUCCEED();
+}
+
+TEST(TaggedIds, Hashable) {
+  std::unordered_set<MessageId> set;
+  set.insert(MessageId{1});
+  set.insert(MessageId{2});
+  set.insert(MessageId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(MessageId{2}));
+  EXPECT_FALSE(set.contains(MessageId{3}));
+}
+
+}  // namespace
+}  // namespace ides
