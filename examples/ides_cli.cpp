@@ -3,7 +3,8 @@
 // Subcommands:
 //   stats    [--nodes N --existing E --current C --seed S]
 //            generate a suite and print its statistics report
-//   design   [--strategy AH|MH|SA] [suite flags]
+//   design   [--strategy AH|MH|SA|PSA] [--sa-iters N] [--restarts K]
+//            [--threads T] [suite flags]
 //            run one strategy, print metrics and validation
 //   schedule [--out FILE] [suite flags]
 //            run MH and dump the merged schedule (CSV form, stdout or file)
@@ -37,6 +38,9 @@ struct CliArgs {
   std::size_t current = 160;
   std::uint64_t seed = 1;
   std::string strategy = "MH";
+  int saIterations = 0;  // 0 = SaOptions default
+  int threads = 0;       // PSA: 0 = hardware concurrency
+  int restarts = 4;      // PSA: chains
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
   Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
@@ -51,7 +55,10 @@ void usage() {
       "  --existing E   existing processes       (default 400)\n"
       "  --current C    current-app processes    (default 160)\n"
       "  --seed S       generator seed           (default 1)\n"
-      "  --strategy X   AH | MH | SA             (default MH)\n"
+      "  --strategy X   AH | MH | SA | PSA       (default MH)\n"
+      "  --sa-iters N   SA iterations (per chain for PSA)\n"
+      "  --restarts K   PSA chains               (default 4)\n"
+      "  --threads T    PSA threads, 0 = all cores (default 0)\n"
       "  --out FILE     write schedule to FILE   (schedule command)\n"
       "  --model FILE   load an 'ides model v1' file instead of generating\n"
       "  --tmin T --tneed T --bneed B  future profile for --model runs");
@@ -73,6 +80,12 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.seed = std::stoull(value);
     } else if (flag == "--strategy") {
       args.strategy = value;
+    } else if (flag == "--sa-iters") {
+      args.saIterations = std::stoi(value);
+    } else if (flag == "--restarts") {
+      args.restarts = std::stoi(value);
+    } else if (flag == "--threads") {
+      args.threads = std::stoi(value);
     } else if (flag == "--out") {
       args.outFile = value;
     } else if (flag == "--model") {
@@ -122,7 +135,17 @@ Strategy parseStrategy(const std::string& name) {
   if (name == "AH") return Strategy::AdHoc;
   if (name == "MH") return Strategy::MappingHeuristic;
   if (name == "SA") return Strategy::SimulatedAnnealing;
+  if (name == "PSA") return Strategy::ParallelAnnealing;
   throw std::invalid_argument("unknown strategy: " + name);
+}
+
+DesignerOptions designerOptions(const CliArgs& args) {
+  DesignerOptions opts;
+  opts.sa.seed = args.seed;
+  if (args.saIterations > 0) opts.sa.iterations = args.saIterations;
+  opts.psa.threads = args.threads;
+  opts.psa.restarts = args.restarts;
+  return opts;
 }
 
 int cmdStats(const CliArgs& args) {
@@ -137,7 +160,8 @@ int cmdStats(const CliArgs& args) {
 
 int cmdDesign(const CliArgs& args) {
   const Suite suite = makeSuite(args);
-  IncrementalDesigner designer(suite.system, suite.profile);
+  IncrementalDesigner designer(suite.system, suite.profile,
+                               designerOptions(args));
   const DesignResult r = designer.run(parseStrategy(args.strategy));
   std::printf("strategy: %s\nfeasible: %s\nobjective C: %.2f\n",
               toString(r.strategy), r.feasible ? "yes" : "no", r.objective);
@@ -163,7 +187,8 @@ int cmdDesign(const CliArgs& args) {
 
 int cmdSchedule(const CliArgs& args) {
   const Suite suite = makeSuite(args);
-  IncrementalDesigner designer(suite.system, suite.profile);
+  IncrementalDesigner designer(suite.system, suite.profile,
+                               designerOptions(args));
   const DesignResult r = designer.run(parseStrategy(args.strategy));
   if (!r.feasible) {
     std::fputs("no feasible design\n", stderr);
@@ -199,11 +224,11 @@ int cmdDot(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   CliArgs args;
-  if (!parse(argc, argv, args)) {
-    usage();
-    return 2;
-  }
   try {
+    if (!parse(argc, argv, args)) {
+      usage();
+      return 2;
+    }
     if (args.command == "stats") return cmdStats(args);
     if (args.command == "design") return cmdDesign(args);
     if (args.command == "schedule") return cmdSchedule(args);

@@ -12,6 +12,7 @@ const char* toString(Strategy s) {
     case Strategy::AdHoc: return "AH";
     case Strategy::MappingHeuristic: return "MH";
     case Strategy::SimulatedAnnealing: return "SA";
+    case Strategy::ParallelAnnealing: return "PSA";
   }
   return "?";
 }
@@ -63,6 +64,15 @@ DesignResult IncrementalDesigner::run(Strategy strategy) {
       SaResult sa = runSimulatedAnnealing(*evaluator_, solution, options_.sa);
       solution = std::move(sa.solution);
       result.evaluations += sa.evaluations;
+      break;
+    }
+    case Strategy::ParallelAnnealing: {
+      ParallelSaOptions opts = options_.psa;
+      opts.base = options_.sa;  // single source of truth for chain knobs
+      ParallelSaResult psa =
+          runParallelAnnealing(*evaluator_, solution, opts);
+      solution = std::move(psa.solution);
+      result.evaluations += psa.evaluations;
       break;
     }
   }

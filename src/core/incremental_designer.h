@@ -16,6 +16,7 @@
 #include "core/initial_mapping.h"
 #include "core/mapping_heuristic.h"
 #include "core/metrics.h"
+#include "core/parallel_annealing.h"
 #include "core/simulated_annealing.h"
 #include "sched/schedule.h"
 
@@ -27,6 +28,7 @@ enum class Strategy {
   AdHoc,               ///< AH: stop at the first valid solution (IM)
   MappingHeuristic,    ///< MH: the paper's iterative improvement
   SimulatedAnnealing,  ///< SA: near-optimal reference
+  ParallelAnnealing,   ///< PSA: best-of-K multi-start SA on a thread pool
 };
 
 const char* toString(Strategy s);
@@ -34,7 +36,12 @@ const char* toString(Strategy s);
 struct DesignerOptions {
   MetricWeights weights;
   MhOptions mh;
+  /// Chain parameters for both SA and PSA (PSA overrides `psa.base` with
+  /// this, so one knob set configures the single chain and the ensemble).
   SaOptions sa;
+  /// PSA ensemble shape (threads/restarts/perChainIterations); `psa.base`
+  /// is ignored here — see `sa`.
+  ParallelSaOptions psa;
 };
 
 struct DesignResult {

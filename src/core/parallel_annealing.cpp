@@ -1,0 +1,128 @@
+#include "core/parallel_annealing.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ides {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates consecutive chain indices so adjacent
+// chains do not start mt19937_64 from near-identical states.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Initial-temperature multipliers for chains 1..K-1 (chain 0 keeps the base
+// schedule verbatim). Colder starts behave like iterated descent — the
+// right regime when the per-chain budget is short — while hotter starts
+// keep one escape hatch across infeasible ridges.
+constexpr double kTempLadder[] = {0.25, 0.5, 2.0, 0.1, 1.5, 0.75, 4.0};
+
+SaOptions chainOptionsFor(const SaOptions& base, int index) {
+  SaOptions opts = base;
+  opts.seed = parallelSaChainSeed(base.seed, index);
+  if (index > 0) {
+    constexpr int ladder =
+        static_cast<int>(sizeof(kTempLadder) / sizeof(kTempLadder[0]));
+    opts.initialTempFactor *= kTempLadder[(index - 1) % ladder];
+  }
+  return opts;
+}
+
+}  // namespace
+
+std::uint64_t parallelSaChainSeed(std::uint64_t baseSeed, int index) {
+  if (index == 0) return baseSeed;
+  return mix64(baseSeed + static_cast<std::uint64_t>(index));
+}
+
+ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
+                                      const MappingSolution& initial,
+                                      const ParallelSaOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  if (options.restarts < 1) {
+    throw std::invalid_argument("runParallelAnnealing: restarts < 1");
+  }
+  const int chains = options.restarts;
+
+  SaOptions chainOptions = options.base;
+  if (options.perChainIterations > 0) {
+    chainOptions.iterations = options.perChainIterations;
+  }
+
+  unsigned threadBudget =
+      options.threads > 0 ? static_cast<unsigned>(options.threads)
+                          : std::thread::hardware_concurrency();
+  if (threadBudget == 0) threadBudget = 1;
+  const unsigned workers =
+      std::min<unsigned>(threadBudget, static_cast<unsigned>(chains));
+
+  // Fail fast (and on the caller's thread) on an infeasible start instead
+  // of throwing inside every worker.
+  if (!evaluator.evaluate(initial).feasible) {
+    throw std::invalid_argument("runParallelAnnealing: initial not feasible");
+  }
+
+  // Chain i writes only results[i] / errors[i]; the atomic counter hands
+  // out chain indices, so no two workers touch the same slot.
+  std::vector<SaResult> results(static_cast<std::size_t>(chains));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(chains));
+  std::atomic<int> next{0};
+
+  auto worker = [&]() {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed); i < chains;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      const SaOptions opts = chainOptionsFor(chainOptions, i);
+      try {
+        results[static_cast<std::size_t>(i)] =
+            runSimulatedAnnealing(evaluator, initial, opts);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  ParallelSaResult out;
+  out.chainCosts.reserve(static_cast<std::size_t>(chains));
+  for (int i = 0; i < chains; ++i) {
+    const SaResult& r = results[static_cast<std::size_t>(i)];
+    out.evaluations += r.evaluations;
+    out.accepted += r.accepted;
+    out.chainCosts.push_back(r.eval.cost);
+    // Every chain's incumbent is feasible (SA only promotes feasible
+    // states); strict < keeps ties on the lowest chain index.
+    if (out.bestChain < 0 || r.eval.cost < out.eval.cost) {
+      out.bestChain = i;
+      out.eval = r.eval;
+    }
+  }
+  out.solution = results[static_cast<std::size_t>(out.bestChain)].solution;
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+}  // namespace ides

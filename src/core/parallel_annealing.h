@@ -1,0 +1,66 @@
+// Parallel multi-start simulated annealing.
+//
+// Runs K independent SA chains with distinct, deterministically derived
+// seeds on a fixed-size std::thread pool and keeps the best feasible
+// incumbent across chains. Chains 1..K-1 additionally diversify the
+// cooling schedule (colder and hotter starts around the base temperature),
+// hedging against a mistuned schedule on short per-chain budgets.
+// SolutionEvaluator::evaluate() is const and touches no shared mutable
+// state, so all chains share one evaluator.
+//
+// Determinism: chain i's seed depends only on (options.base.seed, i), and
+// chains never exchange state, so the result is bit-identical for any
+// thread count. Chain 0 reuses base.seed verbatim, which makes the K-chain
+// result provably no worse than a single chain run with the same options.
+//
+// This is the first "as fast as the hardware allows" subsystem: later
+// sharding/batching PRs build on the same chain-pool shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulated_annealing.h"
+
+namespace ides {
+
+struct ParallelSaOptions {
+  /// Per-chain SA configuration; `base.seed` seeds the whole ensemble and
+  /// `base.iterations` is the per-chain default.
+  SaOptions base;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Number of independent chains (K). Must be >= 1.
+  int restarts = 4;
+  /// Iterations per chain; 0 means base.iterations.
+  int perChainIterations = 0;
+};
+
+/// Seed of chain `index` for a given ensemble seed: chain 0 keeps the base
+/// seed, later chains get splitmix64-scrambled derivatives.
+std::uint64_t parallelSaChainSeed(std::uint64_t baseSeed, int index);
+
+struct ParallelSaResult {
+  /// Best feasible incumbent across all chains (ties break toward the
+  /// lowest chain index, keeping selection deterministic).
+  MappingSolution solution;
+  EvalResult eval;
+  /// Index of the winning chain.
+  int bestChain = -1;
+  /// Final incumbent cost of every chain, in chain order.
+  std::vector<double> chainCosts;
+  /// Evaluation / acceptance counters summed over all chains.
+  std::size_t evaluations = 0;
+  std::size_t accepted = 0;
+  /// Wall-clock time of the whole ensemble, in seconds.
+  double seconds = 0.0;
+};
+
+/// Requires `initial` to be feasible (same contract as
+/// runSimulatedAnnealing); throws std::invalid_argument otherwise or when
+/// options.restarts < 1.
+ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
+                                      const MappingSolution& initial,
+                                      const ParallelSaOptions& options = {});
+
+}  // namespace ides

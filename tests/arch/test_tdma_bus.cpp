@@ -36,7 +36,7 @@ TEST(TdmaBus, SlotOfNodeLookup) {
   EXPECT_EQ(bus.slotOfNode(NodeId{0}), 0u);
   EXPECT_EQ(bus.slotOfNode(NodeId{1}), 1u);
   EXPECT_EQ(bus.slotOfNode(NodeId{2}), 2u);
-  EXPECT_THROW(bus.slotOfNode(NodeId{3}), std::out_of_range);
+  EXPECT_THROW((void)bus.slotOfNode(NodeId{3}), std::out_of_range);
   EXPECT_TRUE(bus.nodeHasSlot(NodeId{1}));
   EXPECT_FALSE(bus.nodeHasSlot(NodeId{7}));
 }
@@ -78,7 +78,9 @@ TEST_P(FirstRoundProperty, IsTightLowerBound) {
   for (std::size_t s = 0; s < bus.slotCount(); ++s) {
     const std::int64_t r = bus.firstRoundAtOrAfter(s, t);
     EXPECT_GE(bus.slotStart(r, s), t);
-    if (r > 0) EXPECT_LT(bus.slotStart(r - 1, s), t);
+    if (r > 0) {
+      EXPECT_LT(bus.slotStart(r - 1, s), t);
+    }
   }
 }
 

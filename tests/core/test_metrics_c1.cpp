@@ -76,7 +76,9 @@ TEST(LargestFutureDemand, MixedDistributionStaysDescendingAndBounded) {
   std::int64_t sum = 0;
   for (std::size_t i = 0; i < demand.size(); ++i) {
     sum += demand[i];
-    if (i > 0) EXPECT_LE(demand[i], demand[i - 1]);
+    if (i > 0) {
+      EXPECT_LE(demand[i], demand[i - 1]);
+    }
   }
   EXPECT_LE(sum, 5000);
   EXPECT_GT(sum, 4800);  // small items should top it up close to the slack
