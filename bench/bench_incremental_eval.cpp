@@ -1,0 +1,180 @@
+// Incremental vs full-pass evaluation: the cost of one SA/MH inner-loop
+// step.
+//
+// For each instance size, replays the same sequence of random
+// single-process moves (node re-map or start-hint change, SA's move mix)
+// through both evaluation paths:
+//   full — SolutionEvaluator::evaluate: copy the baseline platform state
+//          and re-list-schedule every current graph;
+//   inc  — EvalContext::evaluate(solution, MoveHint): rewind the journaled
+//          state to the checkpoint before the first graph the move touches
+//          and re-schedule only from there.
+// Costs are asserted bit-identical move by move; the table reports the
+// median per-evaluation wall time of each path, the speedup, and how many
+// graph schedules the checkpoints saved.
+#include <algorithm>
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/initial_mapping.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ides;
+
+double medianMs(std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1
+             ? samples[mid]
+             : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+struct MoveSequence {
+  std::vector<MappingSolution> trials;
+  std::vector<MoveHint> hints;
+};
+
+/// SA-style walk of single-process moves, recorded so both evaluation paths
+/// replay the identical sequence. Feasible moves are accepted, infeasible
+/// ones rejected (decided with an untimed evaluation) — the walk stays in
+/// the region SA actually explores, and the occasional rejection exercises
+/// the stale-checkpoint verification.
+MoveSequence makeMoves(const SolutionEvaluator& evaluator,
+                       const MappingSolution& initial, int count,
+                       std::uint64_t seed) {
+  const SystemModel& sys = evaluator.system();
+  Rng rng(seed);
+  std::vector<ProcessId> procs;
+  for (GraphId g : evaluator.currentGraphs()) {
+    const ProcessGraph& graph = sys.graph(g);
+    procs.insert(procs.end(), graph.processes.begin(),
+                 graph.processes.end());
+  }
+
+  EvalContext decide(evaluator);
+  MoveSequence seq;
+  seq.trials.reserve(static_cast<std::size_t>(count));
+  seq.hints.reserve(static_cast<std::size_t>(count));
+  MappingSolution current = initial;
+  for (int i = 0; i < count; ++i) {
+    MappingSolution trial = current;
+    const ProcessId p = rng.pick(procs);
+    const Process& proc = sys.process(p);
+    if (rng.chance(0.5)) {
+      const auto allowed = proc.allowedNodes();
+      trial.setNode(p, allowed[rng.index(allowed.size())]);
+      trial.setStartHint(p, 0);
+    } else {
+      const ProcessGraph& graph = sys.graph(proc.graph);
+      const Time maxHint =
+          std::max<Time>(0, graph.deadline - proc.wcetOn(trial.nodeOf(p)));
+      trial.setStartHint(p, maxHint > 0 ? rng.uniformInt(0, maxHint) : 0);
+    }
+    MoveHint hint;
+    hint.graph = proc.graph;
+    hint.process = p;
+    seq.trials.push_back(trial);
+    seq.hints.push_back(hint);
+    if (decide.evaluate(trial, hint).feasible) current = std::move(trial);
+  }
+  return seq;
+}
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ides::bench;
+
+  const BenchScale scale = benchScale();
+  const int moves = scale.name == "smoke" ? 150
+                    : scale.name == "full" ? 800
+                                           : 400;
+  printHeader(
+      "Incremental evaluation — checkpointed platform state + move hints",
+      "median cost of one optimization step: full re-schedule vs delta",
+      scale);
+  std::printf("moves per instance: %d (single-process re-map / start-hint)\n\n",
+              moves);
+
+  CsvTable table({"current_processes", "current_graphs", "full_median_ms",
+                  "inc_median_ms", "speedup", "graphs_reused_pct",
+                  "mismatches"});
+
+  for (const std::size_t size : scale.sizes) {
+    const Suite suite = buildSuite(paperConfig(size), 4000);
+    const FrozenBase frozen = freezeExistingApplications(suite.system);
+    if (!frozen.feasible) {
+      std::printf("  [n=%zu] existing base infeasible, skipped\n", size);
+      continue;
+    }
+    const SolutionEvaluator evaluator(suite.system, frozen.state,
+                                      suite.profile, MetricWeights{});
+    PlatformState state = frozen.state;
+    const ScheduleOutcome im = initialMapping(suite.system, state);
+    if (!im.feasible) {
+      std::printf("  [n=%zu] no initial mapping, skipped\n", size);
+      continue;
+    }
+
+    const MoveSequence seq =
+        makeMoves(evaluator, im.mapping, moves, 77 + size);
+
+    // Pass 1: stateless full evaluations.
+    std::vector<double> fullMs;
+    std::vector<double> fullCosts;
+    fullMs.reserve(seq.trials.size());
+    fullCosts.reserve(seq.trials.size());
+    for (const MappingSolution& trial : seq.trials) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const EvalResult r = evaluator.evaluate(trial);
+      fullMs.push_back(msSince(t0));
+      fullCosts.push_back(r.cost);
+    }
+
+    // Pass 2: the delta engine replaying the identical sequence.
+    EvalContext ctx(evaluator);
+    ctx.evaluate(im.mapping);  // prime the checkpoints, like SA does
+    std::vector<double> incMs;
+    incMs.reserve(seq.trials.size());
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < seq.trials.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const EvalResult r = ctx.evaluate(seq.trials[i], seq.hints[i]);
+      incMs.push_back(msSince(t0));
+      if (r.cost != fullCosts[i]) ++mismatches;
+    }
+
+    const std::size_t graphCount = evaluator.currentGraphs().size();
+    const double fullMed = medianMs(fullMs);
+    const double incMed = medianMs(incMs);
+    const double speedup = incMed > 0.0 ? fullMed / incMed : 0.0;
+    const double reusedPct =
+        100.0 * static_cast<double>(ctx.graphsReused()) /
+        static_cast<double>(ctx.graphsReused() + ctx.graphsScheduled());
+    table.addRow({CsvTable::num(static_cast<long long>(size)),
+                  CsvTable::num(static_cast<long long>(graphCount)),
+                  CsvTable::num(fullMed, 4), CsvTable::num(incMed, 4),
+                  CsvTable::num(speedup, 2), CsvTable::num(reusedPct, 1),
+                  CsvTable::num(static_cast<long long>(mismatches))});
+    std::printf(
+        "  [n=%zu, %zu graphs] full=%.4fms inc=%.4fms -> %.2fx "
+        "(%.1f%% graph schedules reused, %zu mismatches)\n",
+        size, graphCount, fullMed, incMed, speedup, reusedPct, mismatches);
+  }
+
+  std::printf("\n");
+  printTableAndCsv(table);
+  std::printf(
+      "\nmismatches must be 0: the delta engine is bit-identical to the\n"
+      "full pass (also enforced by core.EvalContext property tests).\n");
+  return 0;
+}

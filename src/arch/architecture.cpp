@@ -23,7 +23,14 @@ Architecture::Architecture(std::vector<Node> nodes, TdmaBus bus)
 Architecture makeUniformArchitecture(std::size_t count, Time slotLength,
                                      std::int64_t bytesPerTick,
                                      const std::vector<double>& speedFactors) {
-  if (count == 0) {
+  return makeUniformArchitecture(std::vector<Time>(count, slotLength),
+                                 bytesPerTick, speedFactors);
+}
+
+Architecture makeUniformArchitecture(const std::vector<Time>& slotLengths,
+                                     std::int64_t bytesPerTick,
+                                     const std::vector<double>& speedFactors) {
+  if (slotLengths.empty()) {
     throw std::invalid_argument("makeUniformArchitecture: count == 0");
   }
   if (speedFactors.empty()) {
@@ -31,13 +38,13 @@ Architecture makeUniformArchitecture(std::size_t count, Time slotLength,
   }
   std::vector<Node> nodes;
   std::vector<TdmaSlot> slots;
-  nodes.reserve(count);
-  slots.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  nodes.reserve(slotLengths.size());
+  slots.reserve(slotLengths.size());
+  for (std::size_t i = 0; i < slotLengths.size(); ++i) {
     const NodeId id{static_cast<std::int32_t>(i)};
     nodes.push_back(
         {id, "N" + std::to_string(i), speedFactors[i % speedFactors.size()]});
-    slots.push_back({id, slotLength});
+    slots.push_back({id, slotLengths[i]});
   }
   return Architecture{std::move(nodes), TdmaBus{std::move(slots),
                                                 bytesPerTick}};

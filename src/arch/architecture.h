@@ -34,4 +34,12 @@ Architecture makeUniformArchitecture(std::size_t count, Time slotLength,
                                      const std::vector<double>& speedFactors = {
                                          1.0});
 
+/// Variant with one slot length per node (slots in node order) — used by
+/// the suite generator when the uniform round must be snapped to divide
+/// the hyperperiod.
+Architecture makeUniformArchitecture(const std::vector<Time>& slotLengths,
+                                     std::int64_t bytesPerTick,
+                                     const std::vector<double>& speedFactors = {
+                                         1.0});
+
 }  // namespace ides

@@ -1,9 +1,31 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
+
 #include "model/graph_algos.h"
 #include "model/system_model.h"
 
 namespace ides {
+
+namespace {
+
+/// Shared result assembly: the penalty ladder of the paper's objective.
+EvalResult makeResult(bool placed, int deadlineMisses, Time lateness) {
+  EvalResult result;
+  result.placed = placed;
+  result.feasible = placed && deadlineMisses == 0;
+  result.deadlineMisses = deadlineMisses;
+  result.lateness = lateness;
+  if (!placed) {
+    result.cost = SolutionEvaluator::kUnplacedPenalty;
+  } else if (!result.feasible) {
+    result.cost =
+        SolutionEvaluator::kMissPenalty + static_cast<double>(lateness);
+  }
+  return result;
+}
+
+}  // namespace
 
 SolutionEvaluator::SolutionEvaluator(const SystemModel& sys,
                                      PlatformState baseline,
@@ -18,6 +40,20 @@ SolutionEvaluator::SolutionEvaluator(const SystemModel& sys,
                          ? sys.graphsOfKind(AppKind::Current)
                          : std::move(movableGraphs)) {
   profile_.validate();
+  // Canonical evaluation order: heaviest graph (most jobs per pass) first,
+  // stable on the input order. Any fixed order is a valid full pass; this
+  // one puts the expensive graphs into the checkpointed prefix, so a
+  // delta evaluation restarting at a uniformly random graph re-schedules
+  // the cheap tail far more often than the expensive head.
+  std::stable_sort(currentGraphs_.begin(), currentGraphs_.end(),
+                   [&sys](GraphId a, GraphId b) {
+                     const auto jobs = [&sys](GraphId g) {
+                       return sys.instanceCount(g) *
+                              static_cast<std::int64_t>(
+                                  sys.graph(g).processes.size());
+                     };
+                     return jobs(a) > jobs(b);
+                   });
   priorities_.reserve(currentGraphs_.size());
   for (GraphId g : currentGraphs_) {
     priorities_.push_back(criticalPathPriorities(sys, g));
@@ -38,17 +74,9 @@ EvalResult SolutionEvaluator::evaluate(const MappingSolution& solution,
   req.priorities = &priorities_;
   ScheduleOutcome outcome = scheduleGraphs(*sys_, req, state);
 
-  EvalResult result;
-  result.placed = outcome.placed;
-  result.feasible = outcome.feasible;
-  result.deadlineMisses = outcome.deadlineMisses;
-  result.lateness = outcome.totalLateness;
-
-  if (!outcome.placed) {
-    result.cost = kUnplacedPenalty;
-  } else if (!outcome.feasible) {
-    result.cost = kMissPenalty + static_cast<double>(outcome.totalLateness);
-  } else {
+  EvalResult result =
+      makeResult(outcome.placed, outcome.deadlineMisses, outcome.totalLateness);
+  if (result.feasible) {
     const SlackInfo slack = extractSlack(state);
     result.metrics = computeMetrics(slack, profile_);
     result.objective = objectiveValue(result.metrics, profile_, weights_);
@@ -68,6 +96,152 @@ PlatformState SolutionEvaluator::stateWith(
   req.priorities = &priorities_;
   scheduleGraphs(*sys_, req, state);
   return state;
+}
+
+// ---- EvalContext ----------------------------------------------------------
+
+EvalContext::EvalContext(const SolutionEvaluator& evaluator)
+    : ev_(&evaluator),
+      sys_(&evaluator.system()),
+      state_(evaluator.baseline()),
+      session_(evaluator.system(), state_) {
+  // The baseline is the floor: mark 0 is "no current graph scheduled".
+  state_.setJournaling(true);
+  const std::size_t n = ev_->currentGraphs().size();
+  checkpoints_.resize(n + 1);
+  graphIndex_.assign(sys_->graphs().size(), n);
+  for (std::size_t gi = 0; gi < n; ++gi) {
+    graphIndex_[ev_->currentGraphs()[gi].index()] = gi;
+  }
+}
+
+std::size_t EvalContext::indexOfGraph(GraphId g) const {
+  // An invalid or foreign graph degrades to a full pass, never to UB.
+  if (!g.valid() || g.index() >= graphIndex_.size()) return 0;
+  return graphIndex_[g.index()];
+}
+
+bool EvalContext::graphEntriesEqual(const MappingSolution& a,
+                                    const MappingSolution& b,
+                                    std::size_t gi) const {
+  const ProcessGraph& graph = sys_->graph(ev_->currentGraphs()[gi]);
+  for (const ProcessId p : graph.processes) {
+    if (a.nodeOf(p) != b.nodeOf(p) || a.startHint(p) != b.startHint(p)) {
+      return false;
+    }
+  }
+  for (const MessageId m : graph.messages) {
+    if (a.messageHint(m) != b.messageHint(m)) return false;
+  }
+  return true;
+}
+
+std::size_t EvalContext::restartIndex(const MappingSolution& solution,
+                                      std::size_t hintIndex) const {
+  if (!hasReference_) return 0;
+  // Never restart past what is actually committed in the state.
+  std::size_t idx = std::min(hintIndex, validGraphs_);
+  // Verify the claim: every graph scheduled before the restart point must
+  // be identical to the reference, or the checkpoint there describes a
+  // different solution. A rejected SA move is the common case — the next
+  // trial also reverts the rejected graph, which the scan catches here.
+  for (std::size_t gi = 0; gi < idx; ++gi) {
+    if (!graphEntriesEqual(reference_, solution, gi)) return gi;
+  }
+  return idx;
+}
+
+EvalResult EvalContext::evaluate(const MappingSolution& solution) {
+  return run(solution, 0, nullptr, nullptr);
+}
+
+EvalResult EvalContext::evaluate(const MappingSolution& solution,
+                                 const MoveHint& hint) {
+  return run(solution, restartIndex(solution, indexOfGraph(hint.graph)),
+             nullptr, nullptr);
+}
+
+EvalResult EvalContext::evaluate(const MappingSolution& solution,
+                                 ScheduleOutcome* outcomeOut,
+                                 SlackInfo* slackOut) {
+  const std::size_t n = ev_->currentGraphs().size();
+  // Serve the cached state when re-reading the solution just evaluated.
+  const std::size_t first =
+      restartIndex(solution, n) == n && validGraphs_ == n ? n : 0;
+  return run(solution, first, outcomeOut, slackOut);
+}
+
+EvalResult EvalContext::run(const MappingSolution& solution,
+                            std::size_t firstGraph,
+                            ScheduleOutcome* outcomeOut, SlackInfo* slackOut) {
+  const std::vector<GraphId>& graphs = ev_->currentGraphs();
+  const std::size_t n = graphs.size();
+  ++evaluations_;
+
+  firstGraph = std::min(firstGraph, validGraphs_);
+  graphsReused_ += firstGraph;
+
+  // Rewind to the checkpoint before the first affected graph.
+  const Checkpoint& restart = checkpoints_[firstGraph];
+  state_.rollbackTo(restart.mark);
+  processes_.resize(restart.processCount);
+  messages_.resize(restart.messageCount);
+  int misses = restart.deadlineMisses;
+  Time lateness = restart.lateness;
+
+  bool placed = true;
+  for (std::size_t gi = firstGraph; gi < n; ++gi) {
+    checkpoints_[gi] = {state_.mark(), processes_.size(), messages_.size(),
+                        misses, lateness};
+    const SchedulerSession::GraphResult r = session_.scheduleGraph(
+        graphs[gi], solution, &ev_->priorities()[gi], processes_, messages_);
+    ++graphsScheduled_;
+    misses += r.deadlineMisses;
+    lateness += r.totalLateness;
+    if (!r.placed) {
+      // Drop the failed graph's partial placement so the checkpoints for
+      // the prefix stay valid; the result still reports the partial
+      // tallies, exactly like the full pass does.
+      state_.rollbackTo(checkpoints_[gi].mark);
+      processes_.resize(checkpoints_[gi].processCount);
+      messages_.resize(checkpoints_[gi].messageCount);
+      validGraphs_ = gi;
+      placed = false;
+      break;
+    }
+    validGraphs_ = gi + 1;
+  }
+  if (placed) {
+    checkpoints_[n] = {state_.mark(), processes_.size(), messages_.size(),
+                       misses, lateness};
+  }
+  reference_ = solution;
+  hasReference_ = true;
+
+  EvalResult result = makeResult(placed, misses, lateness);
+  if (result.feasible) {
+    extractSlackInto(state_, slack_);
+    result.metrics = computeMetrics(slack_, ev_->profile());
+    result.objective =
+        objectiveValue(result.metrics, ev_->profile(), ev_->weights());
+    result.cost = result.objective;
+    if (slackOut != nullptr) *slackOut = slack_;
+  }
+  if (outcomeOut != nullptr) {
+    outcomeOut->placed = placed;
+    outcomeOut->feasible = result.feasible;
+    outcomeOut->deadlineMisses = misses;
+    outcomeOut->totalLateness = lateness;
+    outcomeOut->schedule = Schedule{};
+    for (const ScheduledProcess& sp : processes_) {
+      outcomeOut->schedule.addProcess(sp);
+    }
+    for (const ScheduledMessage& sm : messages_) {
+      outcomeOut->schedule.addMessage(sm);
+    }
+    outcomeOut->mapping = solution;
+  }
+  return result;
 }
 
 }  // namespace ides

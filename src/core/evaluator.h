@@ -1,14 +1,25 @@
-// SolutionEvaluator: the single evaluation pipeline shared by AH, MH and SA.
+// The evaluation pipeline shared by AH, MH, SA and PSA.
 //
-// Holds the frozen baseline (existing applications already committed to the
-// platform) and, for a candidate MappingSolution of the current application:
-//   1. copies the baseline platform state,
+// SolutionEvaluator holds the frozen baseline (existing applications already
+// committed to the platform) and, for a candidate MappingSolution of the
+// current application:
+//   1. starts from the baseline platform state,
 //   2. list-schedules the current application under the candidate mapping,
 //   3. extracts the remaining slack,
 //   4. computes the design metrics and the objective C.
 //
 // Infeasible candidates get a penalty cost far above any feasible objective,
 // graded by lateness so simulated annealing can still climb out.
+//
+// SolutionEvaluator::evaluate is the stateless full pass: it copies the
+// baseline and re-schedules every graph. EvalContext is the delta-aware
+// engine the optimization inner loops use instead: one journaled platform
+// state per context (per thread), a checkpoint after every scheduled graph,
+// and evaluate(solution, MoveHint) rewinds to the checkpoint before the
+// first graph the move affects and re-schedules only from there. Results
+// are bit-identical to the full pass by construction — the context verifies
+// (never trusts) the hint by diffing the prefix graphs against the last
+// evaluated solution, so a stale hint costs performance, not correctness.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +48,18 @@ struct EvalResult {
   double cost = 0.0;
 };
 
+/// What a design transformation touched: the graph whose mapping entries
+/// (node, start hint, message hint) may differ from the previously
+/// evaluated solution. Everything outside `graph` must be unchanged — the
+/// context re-checks the graphs scheduled before it and restarts earlier if
+/// the claim turns out wrong (e.g. after a rejected SA move).
+struct MoveHint {
+  GraphId graph;
+  /// Informational: the process / message the move re-mapped, when any.
+  ProcessId process;
+  MessageId message;
+};
+
 class SolutionEvaluator {
  public:
   /// Cost assigned when the schedule misses deadlines (plus lateness).
@@ -52,7 +75,9 @@ class SolutionEvaluator {
                     FutureProfile profile, MetricWeights weights,
                     std::vector<GraphId> movableGraphs = {});
 
-  /// Cheap evaluation used in optimization inner loops.
+  /// Stateless full-pass evaluation (copies the baseline every call). The
+  /// inner loops use EvalContext instead; this stays as the one-shot API
+  /// and as the independent reference the property tests compare against.
   [[nodiscard]] EvalResult evaluate(const MappingSolution& solution) const;
 
   /// Full evaluation, optionally exposing the schedule and slack snapshot
@@ -83,6 +108,95 @@ class SolutionEvaluator {
   MetricWeights weights_;
   std::vector<GraphId> currentGraphs_;
   std::vector<std::vector<double>> priorities_;  // per current graph
+};
+
+/// Reusable per-thread evaluation scratch: one journaled platform state, a
+/// scheduler session bound to it, the accumulated schedule of the current
+/// graphs, and a checkpoint (journal mark + schedule prefix + running
+/// tallies) taken before every graph.
+///
+/// evaluate(solution) is a full pass; evaluate(solution, hint) restores the
+/// checkpoint before the first graph whose mapping entries differ from the
+/// last evaluated solution and re-schedules only the graphs from that point
+/// on. Not thread-safe: each optimization thread owns its own context (the
+/// underlying SolutionEvaluator is shared and const).
+class EvalContext {
+ public:
+  explicit EvalContext(const SolutionEvaluator& evaluator);
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  /// Full pass: re-schedules every graph (and refreshes all checkpoints).
+  EvalResult evaluate(const MappingSolution& solution);
+
+  /// Delta pass: re-schedules from the first graph affected by the move.
+  EvalResult evaluate(const MappingSolution& solution, const MoveHint& hint);
+
+  /// Full pass exposing the schedule and slack snapshot, like
+  /// SolutionEvaluator::evaluate(solution, outcomeOut, slackOut). When the
+  /// solution is exactly the one last evaluated (MH re-reading the state
+  /// after an applied move), nothing is re-scheduled.
+  EvalResult evaluate(const MappingSolution& solution,
+                      ScheduleOutcome* outcomeOut, SlackInfo* slackOut);
+
+  [[nodiscard]] const SolutionEvaluator& evaluator() const { return *ev_; }
+
+  /// Telemetry: graphs actually (re)scheduled vs. graphs served from a
+  /// checkpoint, over the lifetime of the context.
+  [[nodiscard]] std::size_t evaluations() const { return evaluations_; }
+  [[nodiscard]] std::size_t graphsScheduled() const {
+    return graphsScheduled_;
+  }
+  [[nodiscard]] std::size_t graphsReused() const { return graphsReused_; }
+
+ private:
+  struct Checkpoint {
+    PlatformState::Mark mark = 0;
+    std::size_t processCount = 0;
+    std::size_t messageCount = 0;
+    int deadlineMisses = 0;  ///< cumulative, before this graph
+    Time lateness = 0;       ///< cumulative, before this graph
+  };
+
+  /// Index of `g` in currentGraphs(), or currentGraphs().size() if absent.
+  [[nodiscard]] std::size_t indexOfGraph(GraphId g) const;
+  /// True if `a` and `b` agree on every entry of graph `gi`'s processes and
+  /// messages.
+  [[nodiscard]] bool graphEntriesEqual(const MappingSolution& a,
+                                       const MappingSolution& b,
+                                       std::size_t gi) const;
+  /// First graph index that must be re-scheduled for `solution`, given the
+  /// hinted graph index (verified against the reference solution).
+  [[nodiscard]] std::size_t restartIndex(const MappingSolution& solution,
+                                         std::size_t hintIndex) const;
+
+  EvalResult run(const MappingSolution& solution, std::size_t firstGraph,
+                 ScheduleOutcome* outcomeOut, SlackInfo* slackOut);
+
+  const SolutionEvaluator* ev_;
+  const SystemModel* sys_;
+  PlatformState state_;       // baseline copy, journaling enabled
+  SchedulerSession session_;  // bound to state_
+  /// Current graphs' entries for `reference_`, in commit order. A plain
+  /// prefix-truncatable log — rewinding to a checkpoint is two resizes.
+  std::vector<ScheduledProcess> processes_;
+  std::vector<ScheduledMessage> messages_;
+  SlackInfo slack_;  // reusable snapshot buffer
+
+  /// The solution the checkpoints describe (last evaluated).
+  MappingSolution reference_;
+  bool hasReference_ = false;
+  /// checkpoints_[i] = state before graph i; [graphCount] = final state.
+  std::vector<Checkpoint> checkpoints_;
+  /// Graphs of `reference_` currently committed in `state_` (a failed
+  /// placement leaves only the prefix before the failed graph).
+  std::size_t validGraphs_ = 0;
+  std::vector<std::size_t> graphIndex_;  // by GraphId::index()
+
+  std::size_t evaluations_ = 0;
+  std::size_t graphsScheduled_ = 0;
+  std::size_t graphsReused_ = 0;
 };
 
 }  // namespace ides

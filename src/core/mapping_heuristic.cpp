@@ -189,9 +189,24 @@ MhResult runMappingHeuristic(const SolutionEvaluator& evaluator,
   MhResult result;
   result.solution = initial;
 
+  // One journaled scratch state for the whole run; the refresh after an
+  // applied move re-reads the cached state instead of re-scheduling.
+  EvalContext ctx(evaluator);
+  auto evaluateTrial = [&](const MappingSolution& s,
+                           const MoveHint& hint) -> EvalResult {
+    return options.incrementalEval ? ctx.evaluate(s, hint)
+                                   : evaluator.evaluate(s);
+  };
+  auto evaluateWithOutputs = [&](const MappingSolution& s,
+                                 ScheduleOutcome* o,
+                                 SlackInfo* sl) -> EvalResult {
+    return options.incrementalEval ? ctx.evaluate(s, o, sl)
+                                   : evaluator.evaluate(s, o, sl);
+  };
+
   ScheduleOutcome outcome;
   SlackInfo slack;
-  result.eval = evaluator.evaluate(result.solution, &outcome, &slack);
+  result.eval = evaluateWithOutputs(result.solution, &outcome, &slack);
   result.evaluations = 1;
   if (!result.eval.feasible) {
     throw std::invalid_argument("runMappingHeuristic: initial not feasible");
@@ -231,13 +246,18 @@ MhResult runMappingHeuristic(const SolutionEvaluator& evaluator,
         return true;  // stop scanning; nothing was applied
       }
       MappingSolution trial = result.solution;
+      MoveHint hint;
       if (move.kind == Move::Kind::Process) {
         trial.setNode(move.process, move.node);
         trial.setStartHint(move.process, move.hint);
+        hint.graph = sys.process(move.process).graph;
+        hint.process = move.process;
       } else {
         trial.setMessageHint(move.message, move.hint);
+        hint.graph = sys.message(move.message).graph;
+        hint.message = move.message;
       }
-      const EvalResult r = evaluator.evaluate(trial);
+      const EvalResult r = evaluateTrial(trial, hint);
       ++result.evaluations;
       if (r.cost < result.eval.cost - kEps) {
         result.solution = std::move(trial);
@@ -308,7 +328,7 @@ MhResult runMappingHeuristic(const SolutionEvaluator& evaluator,
 
     if (budgetExhausted || !applied) break;  // minimum or out of budget
 
-    result.eval = evaluator.evaluate(result.solution, &outcome, &slack);
+    result.eval = evaluateWithOutputs(result.solution, &outcome, &slack);
     ++result.evaluations;
     result.iterations = iter + 1;
     IDES_LOG_AT(LogLevel::Debug)

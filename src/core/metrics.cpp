@@ -1,70 +1,170 @@
 #include "core/metrics.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
 namespace ides {
 
-std::vector<std::int64_t> largestFutureDemand(const DiscreteDistribution& dist,
-                                              std::int64_t totalSlack) {
-  if (totalSlack <= 0) return {};
-  // Upper bound on how many items could possibly fit, then trim the
-  // deterministic stream greedily (it is emitted largest-value-first).
+namespace {
+
+/// (value, count) runs of the trimmed largest-future-demand stream,
+/// descending by value — the compact form of largestFutureDemand that the
+/// hot path consumes without materializing one element per item.
+using DemandRuns = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+/// Fills `runs` with the demand stream for `totalSlack`. The deterministic
+/// stream is runs of identical values in descending order (largest-
+/// remainder quotas per entry), and the greedy trim keeps a prefix of every
+/// run: once sum + v overflows, every later item of the same value
+/// overflows too. This runs once per evaluation — thousands of times per
+/// optimization — on streams of ~10^3 items.
+void demandRunsInto(const DiscreteDistribution& dist, std::int64_t totalSlack,
+                    DemandRuns& runs) {
+  runs.clear();
+  if (totalSlack <= 0) return;
   const double expected = dist.expectedValue();
   const auto bound = static_cast<std::size_t>(
       static_cast<double>(totalSlack) / std::max(1.0, expected) +
       static_cast<double>(dist.entries().size()) + 8);
-  std::vector<std::int64_t> stream = dist.deterministicStream(bound);
-  std::vector<std::int64_t> out;
+  const std::vector<std::size_t> quotas = dist.deterministicQuotas(bound);
+  const auto& entries = dist.entries();
   std::int64_t sum = 0;
-  for (std::int64_t v : stream) {
-    if (sum + v > totalSlack) continue;  // skip items too big, keep filling
-    sum += v;
-    out.push_back(v);
+  for (std::size_t i = entries.size(); i > 0; --i) {
+    const std::int64_t v = entries[i - 1].value;
+    if (v <= 0) continue;
+    const auto room = static_cast<std::int64_t>((totalSlack - sum) / v);
+    const std::int64_t take =
+        std::min(static_cast<std::int64_t>(quotas[i - 1]), room);
+    if (take > 0) {
+      runs.emplace_back(v, take);
+      sum += take * v;
+    }
   }
-  return out;  // still descending: skipped items only remove elements
 }
 
-std::int64_t bestFitUnpacked(const std::vector<std::int64_t>& itemsDesc,
-                             std::vector<std::int64_t> containers) {
-  // Best-fit: place each item into the fullest container that still takes
-  // it. A multiset over remaining capacities gives O(n log n).
-  std::multimap<std::int64_t, std::size_t> byRemaining;
-  for (std::size_t i = 0; i < containers.size(); ++i) {
-    if (containers[i] > 0) byRemaining.emplace(containers[i], i);
-  }
-  std::int64_t unpacked = 0;
-  for (std::int64_t item : itemsDesc) {
-    auto it = byRemaining.lower_bound(item);
-    if (it == byRemaining.end()) {
-      unpacked += item;
-      continue;
+/// Flat ordered multiset of container capacities: (capacity, count) pairs,
+/// ascending, reusing the caller's scratch. Only the multiset matters for
+/// the unpacked total, never container identity.
+using CapacityCounts = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+void capacityCountsInto(std::vector<std::int64_t>& capacities,
+                        CapacityCounts& counts) {
+  std::sort(capacities.begin(), capacities.end());
+  counts.clear();
+  for (const std::int64_t c : capacities) {
+    if (c <= 0) continue;
+    if (!counts.empty() && counts.back().first == c) {
+      counts.back().second += 1;
+    } else {
+      counts.emplace_back(c, 1);
     }
-    const std::size_t ci = it->second;
-    byRemaining.erase(it);
-    containers[ci] -= item;
-    if (containers[ci] > 0) byRemaining.emplace(containers[ci], ci);
+  }
+}
+
+/// Best-fit-decreasing over run-length-encoded items and capacity counts.
+/// Equivalent to placing the items one by one into the fullest container
+/// that still takes them: after placing v into the smallest capacity
+/// c >= v, the remainder c - v is strictly smaller than every other
+/// candidate, so the same container keeps absorbing items of the run until
+/// it drops below v. The C1 histograms have ~4 distinct values over ~10^3
+/// items, which makes this effectively linear where a per-item multiset
+/// was the hottest spot of the whole evaluation pipeline.
+std::int64_t bestFitUnpackedRuns(const DemandRuns& runs,
+                                 CapacityCounts& counts) {
+  std::int64_t unpacked = 0;
+  for (const auto& [item, runLength] : runs) {
+    if (item <= 0) continue;
+    std::int64_t remaining = runLength;
+    while (remaining > 0) {
+      const auto it = std::lower_bound(
+          counts.begin(), counts.end(), item,
+          [](const auto& entry, std::int64_t v) { return entry.first < v; });
+      if (it == counts.end()) {
+        unpacked += item * remaining;
+        break;
+      }
+      const std::int64_t capacity = it->first;
+      const std::int64_t absorbed = std::min(remaining, capacity / item);
+      const std::int64_t rest = capacity - absorbed * item;
+      if (--(it->second) == 0) counts.erase(it);
+      if (rest > 0) {
+        const auto pos = std::lower_bound(
+            counts.begin(), counts.end(), rest,
+            [](const auto& entry, std::int64_t v) { return entry.first < v; });
+        if (pos != counts.end() && pos->first == rest) {
+          pos->second += 1;
+        } else {
+          counts.insert(pos, {rest, 1});
+        }
+      }
+      remaining -= absorbed;
+    }
   }
   return unpacked;
 }
 
+}  // namespace
+
+std::vector<std::int64_t> largestFutureDemand(const DiscreteDistribution& dist,
+                                              std::int64_t totalSlack) {
+  DemandRuns runs;
+  demandRunsInto(dist, totalSlack, runs);
+  std::vector<std::int64_t> out;
+  for (const auto& [value, count] : runs) {
+    out.insert(out.end(), static_cast<std::size_t>(count), value);
+  }
+  return out;  // descending, exactly the trimmed deterministic stream
+}
+
+std::int64_t bestFitUnpacked(const std::vector<std::int64_t>& itemsDesc,
+                             std::vector<std::int64_t> containers) {
+  DemandRuns runs;
+  for (const std::int64_t item : itemsDesc) {
+    if (!runs.empty() && runs.back().first == item) {
+      runs.back().second += 1;
+    } else {
+      runs.emplace_back(item, 1);
+    }
+  }
+  CapacityCounts counts;
+  capacityCountsInto(containers, counts);
+  return bestFitUnpackedRuns(runs, counts);
+}
+
 namespace {
 
+/// Per-thread scratch for the C1 computation: evaluated once per candidate
+/// solution, the container/demand buffers would otherwise be re-allocated
+/// thousands of times per optimization run.
+struct C1Scratch {
+  std::vector<std::int64_t> containers;
+  DemandRuns runs;
+  CapacityCounts counts;
+};
+
+C1Scratch& c1Scratch() {
+  static thread_local C1Scratch scratch;
+  return scratch;
+}
+
 /// C1 for one resource class: slack containers vs. the deterministic
-/// largest-future-application demand. Returns percent unpacked.
-double c1Percent(const std::vector<std::int64_t>& containers,
-                 const DiscreteDistribution& dist) {
+/// largest-future-application demand. Returns percent unpacked. Consumes
+/// scratch.containers.
+double c1Percent(C1Scratch& scratch, const DiscreteDistribution& dist) {
   std::int64_t total = 0;
-  for (std::int64_t c : containers) total += c;
-  const std::vector<std::int64_t> items = largestFutureDemand(dist, total);
+  for (std::int64_t c : scratch.containers) total += c;
+  demandRunsInto(dist, total, scratch.runs);
   std::int64_t demand = 0;
-  for (std::int64_t v : items) demand += v;
+  for (const auto& [value, count] : scratch.runs) demand += value * count;
   if (demand == 0) {
     // No future item fits even in contiguous slack: the design alternative
     // leaves no usable slack at all.
     return total > 0 ? 0.0 : 100.0;
   }
-  const std::int64_t unpacked = bestFitUnpacked(items, containers);
+  capacityCountsInto(scratch.containers, scratch.counts);
+  const std::int64_t unpacked =
+      bestFitUnpackedRuns(scratch.runs, scratch.counts);
   return 100.0 * static_cast<double>(unpacked) / static_cast<double>(demand);
 }
 
@@ -74,23 +174,23 @@ DesignMetrics computeMetrics(const SlackInfo& slack,
                              const FutureProfile& profile) {
   profile.validate();
   DesignMetrics m;
+  C1Scratch& scratch = c1Scratch();
 
   // ---- C1P: processor slack intervals as containers ----------------------
-  std::vector<std::int64_t> procContainers;
+  scratch.containers.clear();
   for (const IntervalSet& free : slack.nodeFree) {
     for (const Interval& iv : free.intervals()) {
-      procContainers.push_back(iv.length());
+      scratch.containers.push_back(iv.length());
     }
   }
-  m.c1p = c1Percent(procContainers, profile.wcetDistribution);
+  m.c1p = c1Percent(scratch, profile.wcetDistribution);
 
   // ---- C1m: per-slot-occurrence free bytes as containers -----------------
-  std::vector<std::int64_t> busContainers;
-  busContainers.reserve(slack.busChunks.size());
+  scratch.containers.clear();
   for (const SlackInfo::BusChunk& c : slack.busChunks) {
-    busContainers.push_back(c.freeTicks * slack.busBytesPerTick);
+    scratch.containers.push_back(c.freeTicks * slack.busBytesPerTick);
   }
-  m.c1m = c1Percent(busContainers, profile.messageSizeDistribution);
+  m.c1m = c1Percent(scratch, profile.messageSizeDistribution);
 
   // ---- C2: minimum slack inside any Tmin window ---------------------------
   const std::int64_t windows = slack.horizon / profile.tmin;

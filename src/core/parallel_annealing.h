@@ -5,8 +5,9 @@
 // incumbent across chains. Chains 1..K-1 additionally diversify the
 // cooling schedule (colder and hotter starts around the base temperature),
 // hedging against a mistuned schedule on short per-chain budgets.
-// SolutionEvaluator::evaluate() is const and touches no shared mutable
-// state, so all chains share one evaluator.
+// The shared SolutionEvaluator is const; every chain owns its private
+// EvalContext (the delta-aware per-thread evaluation scratch), so the
+// chains re-schedule only what their moves touch without any sharing.
 //
 // Determinism: chain i's seed depends only on (options.base.seed, i), and
 // chains never exchange state, so the result is bit-identical for any

@@ -29,9 +29,20 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
     throw std::invalid_argument("runSimulatedAnnealing: empty application");
   }
 
+  // One journaled scratch state for the whole chain: each move re-schedules
+  // only the graphs it touches (full pass when incrementalEval is off).
+  EvalContext ctx(evaluator);
+  auto evaluateMove = [&](const MappingSolution& s,
+                          const MoveHint& hint) -> EvalResult {
+    return options.incrementalEval ? ctx.evaluate(s, hint)
+                                   : evaluator.evaluate(s);
+  };
+
   SaResult result;
   result.solution = initial;
-  result.eval = evaluator.evaluate(initial);
+  result.eval =
+      options.incrementalEval ? ctx.evaluate(initial)
+                              : evaluator.evaluate(initial);
   result.evaluations = 1;
   if (!result.eval.feasible) {
     throw std::invalid_argument("runSimulatedAnnealing: initial not feasible");
@@ -51,6 +62,7 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
 
   for (int it = 0; it < options.iterations; ++it, temp *= alpha) {
     MappingSolution trial = current;
+    MoveHint hint;
     const double dice = rng.uniform01();
     if (dice < options.probRemap) {
       // Re-map a process to a random allowed node, ASAP.
@@ -58,6 +70,8 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
       const auto allowed = sys.process(p).allowedNodes();
       trial.setNode(p, allowed[rng.index(allowed.size())]);
       trial.setStartHint(p, 0);
+      hint.graph = sys.process(p).graph;
+      hint.process = p;
     } else if (dice < options.probRemap + options.probProcessHint) {
       // Move a process into a random slack of its node: a random
       // period-relative start hint that still leaves room for the WCET.
@@ -67,16 +81,20 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
       const Time maxHint = std::max<Time>(
           0, graph.deadline - proc.wcetOn(trial.nodeOf(p)));
       trial.setStartHint(p, maxHint > 0 ? rng.uniformInt(0, maxHint) : 0);
+      hint.graph = proc.graph;
+      hint.process = p;
     } else if (!msgs.empty()) {
       // Move a message into a random bus slack.
       const MessageId m = rng.pick(msgs);
       const ProcessGraph& graph = sys.graph(sys.message(m).graph);
       trial.setMessageHint(m, rng.uniformInt(0, graph.deadline - 1));
+      hint.graph = graph.id;
+      hint.message = m;
     } else {
       continue;
     }
 
-    const EvalResult r = evaluator.evaluate(trial);
+    const EvalResult r = evaluateMove(trial, hint);
     ++result.evaluations;
     const double delta = r.cost - currentCost;
     if (delta <= 0.0 ||

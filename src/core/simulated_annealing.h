@@ -28,6 +28,12 @@ struct SaOptions {
   double probRemap = 0.5;        ///< move process to another node
   double probProcessHint = 0.35; ///< move process to another slack
   // remaining probability: move message to another bus slack
+
+  /// Evaluate moves through the delta-aware EvalContext (re-schedule only
+  /// the graphs a move touches). Off = full pass per evaluation; results
+  /// are bit-identical either way (asserted by the property tests), so this
+  /// is a pure performance switch kept for comparison and testing.
+  bool incrementalEval = true;
 };
 
 struct SaResult {

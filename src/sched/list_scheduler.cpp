@@ -1,30 +1,17 @@
 #include "sched/list_scheduler.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "model/graph_algos.h"
 #include "model/system_model.h"
 
 namespace ides {
 
-namespace {
-
-struct Job {
-  ProcessId pid;
-  std::int32_t instance = 0;
-  Time release = 0;
-  Time absDeadline = 0;
-  double priority = 0.0;
-  int remainingInputs = 0;
-};
-
-struct ReadyOrder {
+struct SchedulerSession::ReadyOrder {
   // priority desc, then release asc, then (pid, instance) asc for
-  // determinism. std::priority_queue pops the *largest*, so "a before b"
-  // must mean a < b here.
+  // determinism. The heap pops the *largest*, so "a before b" must mean
+  // a < b here.
   bool operator()(const Job* a, const Job* b) const {
     if (a->priority != b->priority) return a->priority < b->priority;
     if (a->release != b->release) return a->release > b->release;
@@ -33,115 +20,131 @@ struct ReadyOrder {
   }
 };
 
-std::int64_t jobKey(ProcessId p, std::int32_t instance) {
-  return (static_cast<std::int64_t>(p.value) << 20) | instance;
+SchedulerSession::SchedulerSession(const SystemModel& sys,
+                                   PlatformState& state)
+    : sys_(&sys), state_(&state) {
+  procLocal_.assign(sys.processes().size(), -1);
 }
 
-}  // namespace
+SchedulerSession::GraphResult SchedulerSession::scheduleGraph(
+    GraphId g, const MappingSolution& mapping,
+    const std::vector<double>* priorities,
+    std::vector<ScheduledProcess>& processesOut,
+    std::vector<ScheduledMessage>& messagesOut) {
+  return run(g, mapping, nullptr, priorities, processesOut, messagesOut);
+}
 
-ScheduleOutcome scheduleGraphs(const SystemModel& sys,
-                               const ScheduleRequest& req,
-                               PlatformState& state) {
-  if (!req.chooseNodes && req.mapping == nullptr) {
-    throw std::invalid_argument(
-        "scheduleGraphs: mapping mode requires a MappingSolution");
-  }
+SchedulerSession::GraphResult SchedulerSession::scheduleGraphChoosingNodes(
+    GraphId g, MappingSolution& mapping,
+    const std::vector<double>* priorities,
+    std::vector<ScheduledProcess>& processesOut,
+    std::vector<ScheduledMessage>& messagesOut) {
+  return run(g, mapping, &mapping, priorities, processesOut, messagesOut);
+}
+
+SchedulerSession::GraphResult SchedulerSession::run(
+    GraphId g, const MappingSolution& mapping, MappingSolution* chosen,
+    const std::vector<double>* priorities,
+    std::vector<ScheduledProcess>& processesOut,
+    std::vector<ScheduledMessage>& messagesOut) {
+  const SystemModel& sys = *sys_;
+  PlatformState& state = *state_;
   const TdmaBus& bus = sys.architecture().bus();
+  const ProcessGraph& graph = sys.graph(g);
+  const bool chooseNodes = chosen != nullptr;
+  const std::size_t procCount = graph.processes.size();
 
-  ScheduleOutcome out;
-  out.mapping = req.mapping != nullptr ? *req.mapping : MappingSolution(sys);
-
-  // Materialize one Job per (process, instance) over all requested graphs.
-  std::vector<Job> jobs;
-  std::unordered_map<std::int64_t, std::size_t> jobIndex;
-  for (std::size_t gi = 0; gi < req.graphs.size(); ++gi) {
-    const GraphId g = req.graphs[gi];
-    const ProcessGraph& graph = sys.graph(g);
-    std::vector<double> localPrio;
-    const std::vector<double>* prio;
-    if (req.priorities != nullptr) {
-      prio = &(*req.priorities)[gi];
-    } else {
-      localPrio = criticalPathPriorities(sys, g);
-      prio = &localPrio;
-    }
-    const std::int64_t instances = sys.instanceCount(g);
-    for (std::int64_t k = 0; k < instances; ++k) {
-      for (std::size_t i = 0; i < graph.processes.size(); ++i) {
-        const ProcessId p = graph.processes[i];
-        Job job;
-        job.pid = p;
-        job.instance = static_cast<std::int32_t>(k);
-        job.release = graph.releaseOf(k);
-        job.absDeadline = graph.deadlineOf(k);
-        job.priority = (*prio)[i];
-        job.remainingInputs = static_cast<int>(sys.inputsOf(p).size());
-        jobIndex.emplace(jobKey(p, job.instance), jobs.size());
-        jobs.push_back(job);
-      }
-    }
+  GraphResult out;
+  if (priorities == nullptr) {
+    localPriorities_ = criticalPathPriorities(sys, g);
+    priorities = &localPriorities_;
   }
 
-  std::priority_queue<const Job*, std::vector<const Job*>, ReadyOrder> ready;
-  for (const Job& j : jobs) {
-    if (j.remainingInputs == 0) ready.push(&j);
+  // Materialize one Job per (process, instance) of this graph, indexed
+  // instance-major so a (pid, instance) pair resolves without hashing.
+  const std::int64_t instances = sys.instanceCount(g);
+  for (std::size_t i = 0; i < procCount; ++i) {
+    procLocal_[graph.processes[i].index()] = static_cast<std::int32_t>(i);
   }
+  jobs_.clear();
+  jobs_.reserve(procCount * static_cast<std::size_t>(instances));
+  for (std::int64_t k = 0; k < instances; ++k) {
+    for (std::size_t i = 0; i < procCount; ++i) {
+      const ProcessId p = graph.processes[i];
+      Job job;
+      job.pid = p;
+      job.instance = static_cast<std::int32_t>(k);
+      job.release = graph.releaseOf(k);
+      job.absDeadline = graph.deadlineOf(k);
+      job.priority = (*priorities)[i];
+      job.remainingInputs = static_cast<int>(sys.inputsOf(p).size());
+      jobs_.push_back(job);
+    }
+  }
+  const auto jobAt = [&](ProcessId p, std::int32_t instance) -> Job& {
+    return jobs_[static_cast<std::size_t>(instance) * procCount +
+                 static_cast<std::size_t>(procLocal_[p.index()])];
+  };
+
+  ready_.clear();
+  for (Job& j : jobs_) {
+    if (j.remainingInputs == 0) ready_.push_back(&j);
+  }
+  std::make_heap(ready_.begin(), ready_.end(), ReadyOrder{});
 
   // Arrival of a message for the destination: end of the committed bus
   // transmission, or the source's end for same-node hand-offs. Computed
   // lazily per (candidate node), committed once for the chosen node.
   auto messageReady = [&](const Message& msg, std::int32_t instance) {
-    const Time srcEnd =
-        out.schedule.processEntry(msg.src, instance).end;
-    const Time hint = out.mapping.messageHint(msg.id) +
-                      static_cast<Time>(instance) *
-                          sys.graph(msg.graph).period;
+    const Time srcEnd = jobAt(msg.src, instance).end;
+    const Time hint = mapping.messageHint(msg.id) +
+                      static_cast<Time>(instance) * graph.period;
     return std::max(srcEnd, hint);
   };
 
   std::size_t scheduled = 0;
-  while (!ready.empty()) {
-    const Job& job = *ready.top();
-    ready.pop();
+  while (!ready_.empty()) {
+    std::pop_heap(ready_.begin(), ready_.end(), ReadyOrder{});
+    Job& job = *ready_.back();
+    ready_.pop_back();
     const Process& proc = sys.process(job.pid);
-    const ProcessGraph& graph = sys.graph(proc.graph);
     const auto& inputs = sys.inputsOf(job.pid);
 
     const Time hintedRelease =
         std::max(job.release, static_cast<Time>(job.instance) * graph.period +
-                                  out.mapping.startHint(job.pid));
+                                  mapping.startHint(job.pid));
 
     // Evaluate candidate nodes. The mapping is static: every instance of a
     // process runs on the same node, so once HCP has placed one instance
     // the other instances are pinned to that choice.
-    std::vector<NodeId> candidates;
-    if (req.chooseNodes) {
-      const NodeId prev = out.mapping.nodeOf(job.pid);
+    candidates_.clear();
+    if (chooseNodes) {
+      const NodeId prev = mapping.nodeOf(job.pid);
       if (prev.valid()) {
-        candidates.push_back(prev);
+        candidates_.push_back(prev);
       } else {
-        candidates = proc.allowedNodes();
+        const auto allowed = proc.allowedNodes();
+        candidates_.assign(allowed.begin(), allowed.end());
       }
     } else {
-      const NodeId n = out.mapping.nodeOf(job.pid);
+      const NodeId n = mapping.nodeOf(job.pid);
       if (!n.valid() || !proc.allowedOn(n)) {
         throw std::invalid_argument(
             "scheduleGraphs: mapping assigns a disallowed node");
       }
-      candidates.push_back(n);
+      candidates_.push_back(n);
     }
 
     NodeId bestNode;
     Time bestFinish = kTimeMax;
-    for (const NodeId n : candidates) {
+    for (const NodeId n : candidates_) {
       Time est = hintedRelease;
       bool ok = true;
       for (const MessageId mId : inputs) {
         const Message& msg = sys.message(mId);
-        const NodeId srcNode = out.mapping.nodeOf(msg.src);
+        const NodeId srcNode = mapping.nodeOf(msg.src);
         if (srcNode == n) {
-          est = std::max(est,
-                         out.schedule.processEntry(msg.src, job.instance).end);
+          est = std::max(est, jobAt(msg.src, job.instance).end);
           continue;
         }
         const auto placement = state.findBusSlot(
@@ -165,7 +168,6 @@ ScheduleOutcome scheduleGraphs(const SystemModel& sys,
     if (!bestNode.valid()) {
       // Nothing fits inside the horizon: hard failure for this solution.
       out.placed = false;
-      out.feasible = false;
       return out;
     }
 
@@ -176,10 +178,9 @@ ScheduleOutcome scheduleGraphs(const SystemModel& sys,
     bool ok = true;
     for (const MessageId mId : inputs) {
       const Message& msg = sys.message(mId);
-      const NodeId srcNode = out.mapping.nodeOf(msg.src);
+      const NodeId srcNode = mapping.nodeOf(msg.src);
       if (srcNode == n) {
-        est = std::max(est,
-                       out.schedule.processEntry(msg.src, job.instance).end);
+        est = std::max(est, jobAt(msg.src, job.instance).end);
         continue;
       }
       const std::size_t slot = bus.slotOfNode(srcNode);
@@ -192,25 +193,24 @@ ScheduleOutcome scheduleGraphs(const SystemModel& sys,
       }
       state.occupyBus(slot, placement->round,
                       bus.transmissionTime(msg.sizeBytes));
-      out.schedule.addMessage({msg.id, job.instance, slot, placement->round,
-                               placement->start, placement->end});
+      messagesOut.push_back({msg.id, job.instance, slot, placement->round,
+                             placement->start, placement->end});
       est = std::max(est, placement->end);
     }
     if (!ok) {
       out.placed = false;
-      out.feasible = false;
       return out;
     }
     const Time start = state.earliestFit(n, est, proc.wcetOn(n));
     if (start == kNoTime) {
       out.placed = false;
-      out.feasible = false;
       return out;
     }
     const Time end = start + proc.wcetOn(n);
     state.occupyNode(n, {start, end});
-    out.schedule.addProcess({job.pid, job.instance, n, start, end});
-    out.mapping.setNode(job.pid, n);
+    processesOut.push_back({job.pid, job.instance, n, start, end});
+    job.end = end;
+    if (chooseNodes) chosen->setNode(job.pid, n);
     ++scheduled;
 
     if (end > job.absDeadline) {
@@ -221,13 +221,49 @@ ScheduleOutcome scheduleGraphs(const SystemModel& sys,
     // Release successors of the same instance.
     for (const MessageId mId : sys.outputsOf(job.pid)) {
       const Message& msg = sys.message(mId);
-      Job& dst = jobs[jobIndex.at(jobKey(msg.dst, job.instance))];
-      if (--dst.remainingInputs == 0) ready.push(&dst);
+      Job& dst = jobAt(msg.dst, job.instance);
+      if (--dst.remainingInputs == 0) {
+        ready_.push_back(&dst);
+        std::push_heap(ready_.begin(), ready_.end(), ReadyOrder{});
+      }
     }
   }
 
-  out.placed = scheduled == jobs.size();
-  out.feasible = out.placed && out.deadlineMisses == 0;
+  out.placed = scheduled == jobs_.size();
+  return out;
+}
+
+ScheduleOutcome scheduleGraphs(const SystemModel& sys,
+                               const ScheduleRequest& req,
+                               PlatformState& state) {
+  if (!req.chooseNodes && req.mapping == nullptr) {
+    throw std::invalid_argument(
+        "scheduleGraphs: mapping mode requires a MappingSolution");
+  }
+  ScheduleOutcome out;
+  out.mapping = req.mapping != nullptr ? *req.mapping : MappingSolution(sys);
+
+  SchedulerSession session(sys, state);
+  std::vector<ScheduledProcess> processes;
+  std::vector<ScheduledMessage> messages;
+  bool placed = true;
+  for (std::size_t gi = 0; gi < req.graphs.size() && placed; ++gi) {
+    const std::vector<double>* prio =
+        req.priorities != nullptr ? &(*req.priorities)[gi] : nullptr;
+    const SchedulerSession::GraphResult r =
+        req.chooseNodes
+            ? session.scheduleGraphChoosingNodes(req.graphs[gi], out.mapping,
+                                                 prio, processes, messages)
+            : session.scheduleGraph(req.graphs[gi], out.mapping, prio,
+                                    processes, messages);
+    out.deadlineMisses += r.deadlineMisses;
+    out.totalLateness += r.totalLateness;
+    placed = r.placed;
+  }
+  for (const ScheduledProcess& sp : processes) out.schedule.addProcess(sp);
+  for (const ScheduledMessage& sm : messages) out.schedule.addMessage(sm);
+  out.placed = placed;
+  out.feasible = placed && out.deadlineMisses == 0;
   return out;
 }
 

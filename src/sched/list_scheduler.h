@@ -1,9 +1,9 @@
 // Static cyclic list scheduler with slack (gap) insertion.
 //
-// Schedules a set of process graphs — every instance inside the hyperperiod —
-// onto a PlatformState that may already contain the frozen schedule of the
-// existing applications. Placement only ever inserts into free gaps, so the
-// paper's requirement (a) "no modifications are performed to the existing
+// Schedules process graphs — every instance inside the hyperperiod — onto a
+// PlatformState that may already contain the frozen schedule of the existing
+// applications. Placement only ever inserts into free gaps, so the paper's
+// requirement (a) "no modifications are performed to the existing
 // applications" holds by construction.
 //
 // Two modes:
@@ -15,11 +15,20 @@
 //    construction of Jorgensen & Madsen (CODES'97) that the paper's Initial
 //    Mapping (IM) starts from.
 //
+// Graphs are scheduled one at a time, in the fixed order of the request.
+// Graphs never exchange messages (messages connect processes of one graph),
+// so the only coupling between them is the platform occupancy — which makes
+// "the state after graph i" a well-defined checkpoint. SchedulerSession
+// exposes exactly that: schedule one graph, observe the state, schedule the
+// next. Combined with PlatformState's journal this is what lets EvalContext
+// rewind to the first graph a move affects and re-schedule only from there.
+//
 // Messages between processes on different nodes are scheduled into the TDMA
 // slot of the sender's node at destination-scheduling time; same-node
 // messages cost no bus time.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sched/mapping.h"
@@ -32,7 +41,8 @@ namespace ides {
 class SystemModel;
 
 struct ScheduleRequest {
-  /// Graphs to schedule (normally all graphs of one application).
+  /// Graphs to schedule (normally all graphs of one application), in the
+  /// deterministic order they are committed to the platform.
   std::vector<GraphId> graphs;
   /// Node assignment + hints. Required in mapping mode. In HCP mode, if
   /// non-null, hints are honored and any process whose entry already names
@@ -61,9 +71,78 @@ struct ScheduleOutcome {
   MappingSolution mapping;
 };
 
-/// Schedule `req.graphs` into `state`. On success the state contains the new
-/// occupancy; if the outcome is not `placed`, the state is partially updated
-/// and must be discarded by the caller (evaluations always work on copies).
+/// Reusable one-graph-at-a-time scheduler bound to a model and a platform
+/// state. All scratch structures (job pool, ready heap, candidate lists)
+/// live in the session and are reused across calls, so the optimization
+/// inner loops schedule without per-evaluation allocations.
+class SchedulerSession {
+ public:
+  /// Per-graph tally. The aggregate flags of ScheduleOutcome are folded by
+  /// the caller (placed = all graphs placed, feasible = placed and no
+  /// misses).
+  struct GraphResult {
+    bool placed = false;
+    int deadlineMisses = 0;
+    Time totalLateness = 0;
+  };
+
+  /// Binds to `sys` and `state`; both must outlive the session.
+  SchedulerSession(const SystemModel& sys, PlatformState& state);
+
+  /// Mapping mode: schedule every instance of graph `g` under `mapping`,
+  /// appending the committed entries to `processesOut` / `messagesOut` (in
+  /// commit order — a checkpoint is just the pair of sizes) and occupying
+  /// the bound state. On a placement failure the state keeps the partial
+  /// occupancy — rewind with a PlatformState mark (EvalContext) or discard
+  /// the state (one-shot callers). `priorities` may be null (computed
+  /// internally).
+  GraphResult scheduleGraph(GraphId g, const MappingSolution& mapping,
+                            const std::vector<double>* priorities,
+                            std::vector<ScheduledProcess>& processesOut,
+                            std::vector<ScheduledMessage>& messagesOut);
+
+  /// HCP mode: additionally chooses a node for every process whose entry in
+  /// `mapping` is invalid, recording the choice into `mapping`.
+  GraphResult scheduleGraphChoosingNodes(
+      GraphId g, MappingSolution& mapping,
+      const std::vector<double>* priorities,
+      std::vector<ScheduledProcess>& processesOut,
+      std::vector<ScheduledMessage>& messagesOut);
+
+ private:
+  struct Job {
+    ProcessId pid;
+    std::int32_t instance = 0;
+    Time release = 0;
+    Time absDeadline = 0;
+    Time end = kNoTime;  ///< finish time once committed
+    double priority = 0.0;
+    int remainingInputs = 0;
+  };
+  struct ReadyOrder;
+
+  GraphResult run(GraphId g, const MappingSolution& mapping,
+                  MappingSolution* chosen,
+                  const std::vector<double>* priorities,
+                  std::vector<ScheduledProcess>& processesOut,
+                  std::vector<ScheduledMessage>& messagesOut);
+
+  const SystemModel* sys_;
+  PlatformState* state_;
+  // Reusable scratch, cleared per graph. Jobs are indexed densely as
+  // instance * processCount + local process index (via procLocal_), so the
+  // inner loop runs without a single hash lookup.
+  std::vector<Job> jobs_;
+  std::vector<std::int32_t> procLocal_;  // by ProcessId::index(), per graph
+  std::vector<Job*> ready_;  // binary heap via std::push_heap/pop_heap
+  std::vector<NodeId> candidates_;
+  std::vector<double> localPriorities_;
+};
+
+/// Schedule `req.graphs` into `state`, graph by graph in request order. On
+/// success the state contains the new occupancy; if the outcome is not
+/// `placed`, the state is partially updated and must be discarded (or
+/// rewound via the journal) by the caller.
 ScheduleOutcome scheduleGraphs(const SystemModel& sys,
                                const ScheduleRequest& req,
                                PlatformState& state);

@@ -1,5 +1,6 @@
 #include "sched/platform_state.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ides {
@@ -22,10 +23,16 @@ Time PlatformState::earliestFit(NodeId node, Time after, Time duration) const {
   if (duration <= 0) throw std::invalid_argument("earliestFit: duration <= 0");
   const auto& busy = nodeBusy_[node.index()].intervals();
   Time cursor = after;
-  for (const Interval& iv : busy) {
-    if (iv.end <= cursor) continue;
-    if (iv.start >= cursor + duration) break;  // gap before iv is big enough
-    cursor = std::max(cursor, iv.end);
+  // Skip straight to the first busy interval that can constrain the cursor
+  // (end > after); everything before it is history. The evaluation inner
+  // loop calls this once per job against node sets holding the whole frozen
+  // base, so the scan start matters more than the scan itself.
+  auto it = std::upper_bound(
+      busy.begin(), busy.end(), after,
+      [](Time t, const Interval& iv) { return t < iv.end; });
+  for (; it != busy.end(); ++it) {
+    if (it->start >= cursor + duration) break;  // gap before it is big enough
+    cursor = std::max(cursor, it->end);
   }
   return cursor + duration <= horizon_ ? cursor : kNoTime;
 }
@@ -39,6 +46,10 @@ void PlatformState::occupyNode(NodeId node, Interval iv) {
     throw std::logic_error("occupyNode: double booking");
   }
   busy.add(iv);
+  if (journaling_) {
+    journal_.push_back({JournalEntry::Kind::Node,
+                        static_cast<std::uint32_t>(node.index()), iv, 0, 0});
+  }
 }
 
 std::optional<PlatformState::BusPlacement> PlatformState::findBusSlot(
@@ -68,6 +79,57 @@ void PlatformState::occupyBus(std::size_t slotIndex, std::int64_t round,
     throw std::logic_error("occupyBus: slot overflow");
   }
   used += txTicks;
+  if (journaling_) {
+    journal_.push_back({JournalEntry::Kind::Bus,
+                        static_cast<std::uint32_t>(slotIndex),
+                        Interval{},
+                        round,
+                        txTicks});
+  }
+}
+
+void PlatformState::setJournaling(bool enabled) {
+  journaling_ = enabled;
+  journal_.clear();
+}
+
+void PlatformState::rollbackTo(Mark m) {
+  if (!journaling_) {
+    throw std::logic_error("rollbackTo: journaling is off");
+  }
+  if (m > journal_.size()) {
+    throw std::logic_error("rollbackTo: mark ahead of the journal");
+  }
+  // The undone occupies are pairwise disjoint (each saw the range free), so
+  // order does not matter: bus ticks subtract directly, and each touched
+  // node gets one batched subtraction pass instead of a per-interval
+  // rewrite. Transmissions pack from the slot front, so freeing the ticks
+  // restores exactly the position the next findBusSlot would hand out.
+  static thread_local std::vector<std::pair<std::uint32_t, Interval>> undo;
+  undo.clear();
+  for (std::size_t i = m; i < journal_.size(); ++i) {
+    const JournalEntry& e = journal_[i];
+    if (e.kind == JournalEntry::Kind::Node) {
+      undo.emplace_back(e.index, e.iv);
+    } else {
+      slotUsed_[e.index][static_cast<std::size_t>(e.round)] -= e.txTicks;
+    }
+  }
+  journal_.resize(m);
+  std::sort(undo.begin(), undo.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.start < b.second.start;
+            });
+  static thread_local std::vector<Interval> run;
+  for (std::size_t i = 0; i < undo.size();) {
+    const std::uint32_t node = undo[i].first;
+    run.clear();
+    for (; i < undo.size() && undo[i].first == node; ++i) {
+      run.push_back(undo[i].second);
+    }
+    nodeBusy_[node].subtractSorted(run.data(), run.data() + run.size());
+  }
 }
 
 Time PlatformState::totalNodeSlack() const {

@@ -1,12 +1,14 @@
 // PlatformState: occupancy of every processor and every TDMA slot occurrence
 // over one hyperperiod.
 //
-// This is the structure every design-space evaluation copies: the frozen
-// existing applications are baked into a baseline state once, and each
-// candidate mapping of the current application is scheduled into a fresh
-// copy. It is deliberately compact — interval lists per node, used-tick
-// counters per slot occurrence — so that copying is cheap inside the
-// simulated-annealing / mapping-heuristic inner loops.
+// The frozen existing applications are baked into a baseline state once;
+// each candidate mapping of the current application is then scheduled on
+// top. Historically every evaluation copied the whole baseline; the journal
+// (see setJournaling/mark/rollbackTo) turns that into checkpoint + undo:
+// every occupy is recorded, and rolling back to a mark replays the records
+// in reverse. EvalContext keeps ONE journaled state per thread and rewinds
+// it to the checkpoint before the first graph a move affects, which is what
+// makes incremental re-evaluation cheap.
 #pragma once
 
 #include <cstdint>
@@ -80,13 +82,44 @@ class PlatformState {
   /// Total free bus ticks over all slot occurrences.
   [[nodiscard]] Time totalBusSlackTicks() const;
 
+  // ---- checkpoint / undo journal ------------------------------------------
+
+  /// Journal position; positions taken before a rollback past them are
+  /// invalidated.
+  using Mark = std::size_t;
+
+  /// Start (or stop) recording occupy operations. Enabling clears any
+  /// previous journal, so the current occupancy becomes the floor no
+  /// rollback can cross. Off by default: one-shot consumers (frozen-base
+  /// construction, stateWith) pay nothing.
+  void setJournaling(bool enabled);
+  [[nodiscard]] bool journaling() const { return journaling_; }
+
+  /// Current journal position. Only meaningful while journaling.
+  [[nodiscard]] Mark mark() const { return journal_.size(); }
+
+  /// Undo every occupy recorded after `m`, restoring the exact occupancy
+  /// the state had when mark() returned `m`. Throws std::logic_error if
+  /// `m` is ahead of the journal or journaling is off.
+  void rollbackTo(Mark m);
+
  private:
+  struct JournalEntry {
+    enum class Kind : std::uint8_t { Node, Bus } kind = Kind::Node;
+    std::uint32_t index = 0;  ///< node index or slot index
+    Interval iv;              ///< Node: the occupied interval
+    std::int64_t round = 0;   ///< Bus: the slot occurrence
+    Time txTicks = 0;         ///< Bus: ticks consumed
+  };
+
   const Architecture* arch_;  // non-owning; architectures outlive states
   const TdmaBus* bus_;
   Time horizon_;
   std::int64_t roundCount_;
   std::vector<IntervalSet> nodeBusy_;             // per node
   std::vector<std::vector<Time>> slotUsed_;       // [slot][round] ticks
+  bool journaling_ = false;
+  std::vector<JournalEntry> journal_;
 };
 
 }  // namespace ides

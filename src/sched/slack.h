@@ -49,4 +49,9 @@ struct SlackInfo {
 /// Snapshot the slack of a platform state.
 SlackInfo extractSlack(const PlatformState& state);
 
+/// Snapshot into `info`, reusing its buffers (node interval sets, bus chunk
+/// list). The evaluation hot path extracts slack once per candidate; this
+/// variant keeps it allocation-free after warm-up (see EvalContext).
+void extractSlackInto(const PlatformState& state, SlackInfo& info);
+
 }  // namespace ides

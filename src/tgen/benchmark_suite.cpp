@@ -31,9 +31,13 @@ std::vector<std::size_t> splitIntoGraphs(std::size_t total,
 
 SystemModel buildModel(const SuiteConfig& cfg, const FutureProfile& profile,
                        Rng& rng) {
-  SystemModel sys(makeUniformArchitecture(cfg.nodeCount, cfg.slotLength,
-                                          cfg.bytesPerTick,
-                                          cfg.speedFactors));
+  // Slot lengths snapped so the TDMA round divides the hyperperiod
+  // (= basePeriod — every graph period and tmin divide it) for every node
+  // count; the paper's 10 x 20-tick layout is returned unchanged, while
+  // --nodes 6 used to die in finalize because 6 x 20 does not divide 16000.
+  SystemModel sys(makeUniformArchitecture(
+      snapSlotLengths(cfg.nodeCount, cfg.slotLength, cfg.basePeriod),
+      cfg.bytesPerTick, cfg.speedFactors));
 
   auto addApps = [&](AppKind kind, std::size_t totalProcs,
                      std::size_t graphSize, std::size_t appCount,

@@ -128,4 +128,42 @@ GraphId generateGraphFromDistributions(
       [&] { return msgDist.sample(rng); }, rng, offset);
 }
 
+std::vector<Time> snapSlotLengths(std::size_t nodeCount, Time slotLength,
+                                  Time hyperperiod) {
+  if (nodeCount == 0 || slotLength <= 0 || hyperperiod <= 0) {
+    throw std::invalid_argument("snapSlotLengths: empty architecture");
+  }
+  const Time nodes = static_cast<Time>(nodeCount);
+  const Time target = nodes * slotLength;
+  if (hyperperiod % target == 0) {
+    return std::vector<Time>(nodeCount, slotLength);
+  }
+  if (hyperperiod < nodes) {
+    throw std::invalid_argument(
+        "snapSlotLengths: hyperperiod shorter than one tick per node");
+  }
+  // Largest divisor of the hyperperiod in [nodeCount, target]; every
+  // divisor has a cofactor partner, so scanning cofactors up from 1 visits
+  // divisors in descending order.
+  Time round = 0;
+  for (Time cofactor = hyperperiod / target + 1;
+       cofactor * nodes <= hyperperiod; ++cofactor) {
+    if (hyperperiod % cofactor == 0) {
+      round = hyperperiod / cofactor;
+      break;
+    }
+  }
+  if (round == 0) {
+    throw std::invalid_argument(
+        "snapSlotLengths: no TDMA round in [nodeCount, nodeCount*slotLength] "
+        "divides the hyperperiod");
+  }
+  // Spread the snapped round as evenly as the tick grid allows.
+  std::vector<Time> lengths(nodeCount, round / nodes);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(round % nodes); ++i) {
+    lengths[i] += 1;
+  }
+  return lengths;
+}
+
 }  // namespace ides

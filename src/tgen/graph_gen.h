@@ -50,4 +50,17 @@ GraphId generateGraphFromDistributions(
     const GraphGenConfig& cfg, const DiscreteDistribution& wcetDist,
     const DiscreteDistribution& msgDist, Rng& rng, Time offset = 0);
 
+/// Slot lengths for `nodeCount` TDMA slots such that the round (their sum)
+/// divides `hyperperiod`, staying as close as possible to the uniform round
+/// `nodeCount * slotLength` without exceeding it. Lengths differ by at most
+/// one tick across slots. A uniform layout that already divides the
+/// hyperperiod is returned unchanged; otherwise the round is snapped to the
+/// largest divisor of the hyperperiod that still gives every node a slot
+/// (this is what lets `ides_cli --nodes 6` build: 6 slots of 20 make a
+/// round of 120, which does not divide the 16000-tick hyperperiod, so the
+/// round snaps to 100). Throws std::invalid_argument when the hyperperiod
+/// cannot host one tick per node.
+std::vector<Time> snapSlotLengths(std::size_t nodeCount, Time slotLength,
+                                  Time hyperperiod);
+
 }  // namespace ides

@@ -35,21 +35,48 @@ void IntervalSet::add(Interval iv) {
 
 void IntervalSet::subtract(Interval iv) {
   if (iv.empty() || intervals_.empty()) return;
-  std::vector<Interval> out;
-  out.reserve(intervals_.size() + 1);
-  for (const Interval& member : intervals_) {
-    if (!member.overlaps(iv)) {
-      out.push_back(member);
-      continue;
-    }
-    if (member.start < iv.start) {
-      out.push_back({member.start, iv.start});
-    }
-    if (member.end > iv.end) {
-      out.push_back({iv.end, member.end});
-    }
+  // Locate the overlapping run with binary search and rewrite only it; the
+  // journal rollback path subtracts one interval at a time from large sets,
+  // where rebuilding the whole vector per call dominated.
+  const auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end <= b.start; });
+  auto last = first;
+  while (last != intervals_.end() && last->start < iv.end) ++last;
+  if (first == last) return;  // no overlap
+
+  // Clipped edges of the outermost overlapped members survive.
+  const Interval head{first->start, iv.start};
+  const Interval tail{iv.end, std::prev(last)->end};
+  auto pos = intervals_.erase(first, last);
+  if (!tail.empty()) pos = intervals_.insert(pos, tail);
+  if (!head.empty()) intervals_.insert(pos, head);
+  checkInvariant();
+}
+
+void IntervalSet::subtractSorted(const Interval* begin, const Interval* end) {
+  if (begin == end || intervals_.empty()) return;
+  if (std::next(begin) == end) {
+    subtract(*begin);
+    return;
   }
-  intervals_ = std::move(out);
+  // Build the survivor list in a reused buffer, then copy back into the
+  // member vector's existing capacity — the rollback hot path stays
+  // allocation-free after warm-up.
+  static thread_local std::vector<Interval> buffer;
+  buffer.clear();
+  const Interval* cut = begin;
+  for (const Interval& member : intervals_) {
+    Time cursor = member.start;
+    while (cut != end && cut->end <= cursor) ++cut;
+    const Interval* c = cut;
+    for (; c != end && c->start < member.end; ++c) {
+      if (c->start > cursor) buffer.push_back({cursor, c->start});
+      cursor = std::max(cursor, c->end);
+    }
+    if (cursor < member.end) buffer.push_back({cursor, member.end});
+  }
+  intervals_.assign(buffer.begin(), buffer.end());
   checkInvariant();
 }
 
@@ -81,7 +108,14 @@ bool IntervalSet::intersects(Interval iv) const {
 
 IntervalSet IntervalSet::complementWithin(Interval horizon) const {
   IntervalSet out;
-  if (horizon.empty()) return out;
+  complementWithinInto(horizon, out);
+  return out;
+}
+
+void IntervalSet::complementWithinInto(Interval horizon,
+                                       IntervalSet& out) const {
+  out.intervals_.clear();
+  if (horizon.empty()) return;
   Time cursor = horizon.start;
   for (const Interval& iv : intervals_) {
     if (iv.end <= horizon.start) continue;
@@ -96,7 +130,6 @@ IntervalSet IntervalSet::complementWithin(Interval horizon) const {
     out.intervals_.push_back({cursor, horizon.end});
   }
   out.checkInvariant();
-  return out;
 }
 
 IntervalSet IntervalSet::intersectWith(Interval window) const {

@@ -51,6 +51,12 @@ class IntervalSet {
   /// Remove [iv.start, iv.end) from the set, splitting members as needed.
   void subtract(Interval iv);
 
+  /// Remove every interval of [begin, end) — sorted by start, pairwise
+  /// non-overlapping — in one linear pass. Equivalent to subtracting them
+  /// one by one; the journal rollback undoes whole scheduling suffixes this
+  /// way instead of paying a per-interval rewrite.
+  void subtractSorted(const Interval* begin, const Interval* end);
+
   /// Total covered length.
   [[nodiscard]] Time totalLength() const;
 
@@ -62,6 +68,11 @@ class IntervalSet {
 
   /// Complement of this set within [horizon.start, horizon.end).
   [[nodiscard]] IntervalSet complementWithin(Interval horizon) const;
+
+  /// Complement written into `out`, reusing its capacity. The hot
+  /// evaluation loop extracts slack thousands of times per optimization
+  /// run; this variant keeps that loop allocation-free.
+  void complementWithinInto(Interval horizon, IntervalSet& out) const;
 
   /// Intersection with a single window (used by the C2 metric).
   [[nodiscard]] IntervalSet intersectWith(Interval window) const;

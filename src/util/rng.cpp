@@ -75,13 +75,9 @@ double DiscreteDistribution::expectedValue() const {
   return mean;
 }
 
-std::vector<std::int64_t> DiscreteDistribution::deterministicStream(
+std::vector<std::size_t> DiscreteDistribution::deterministicQuotas(
     std::size_t count) const {
-  // Largest-remainder apportionment of `count` draws across the entries,
-  // then emit values interleaved largest-value-first so bin packing sees the
-  // hard items early (best-fit-decreasing behaviour).
-  std::vector<std::int64_t> out;
-  out.reserve(count);
+  // Largest-remainder apportionment of `count` draws across the entries.
   std::vector<std::size_t> quota(entries_.size(), 0);
   std::vector<std::pair<double, std::size_t>> remainders;
   std::size_t assigned = 0;
@@ -99,7 +95,16 @@ std::vector<std::int64_t> DiscreteDistribution::deterministicStream(
   for (std::size_t k = 0; assigned < count; ++k, ++assigned) {
     quota[remainders[k % remainders.size()].second] += 1;
   }
-  // Emit by descending value.
+  return quota;
+}
+
+std::vector<std::int64_t> DiscreteDistribution::deterministicStream(
+    std::size_t count) const {
+  // Emit the quotas interleaved largest-value-first so bin packing sees the
+  // hard items early (best-fit-decreasing behaviour).
+  const std::vector<std::size_t> quota = deterministicQuotas(count);
+  std::vector<std::int64_t> out;
+  out.reserve(count);
   for (std::size_t i = entries_.size(); i > 0; --i) {
     for (std::size_t k = 0; k < quota[i - 1]; ++k) {
       out.push_back(entries_[i - 1].value);

@@ -90,6 +90,13 @@ class DiscreteDistribution {
   [[nodiscard]] std::vector<std::int64_t> deterministicStream(
       std::size_t count) const;
 
+  /// Per-entry item counts of deterministicStream(count): quotas[i] copies
+  /// of entries()[i].value, emitted by descending value. Lets hot callers
+  /// (the C1 metric) consume the stream run-by-run without materializing
+  /// it.
+  [[nodiscard]] std::vector<std::size_t> deterministicQuotas(
+      std::size_t count) const;
+
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::int64_t maxValue() const;

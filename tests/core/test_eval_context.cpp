@@ -1,0 +1,223 @@
+// EvalContext: the delta-aware evaluation engine must be bit-identical to
+// the stateless full-pass evaluator — for arbitrary move sequences (with
+// rejected moves, i.e. stale checkpoints), and end to end through SA / PSA /
+// MH with incremental evaluation toggled on and off.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/initial_mapping.h"
+#include "core/mapping_heuristic.h"
+#include "core/parallel_annealing.h"
+#include "core/simulated_annealing.h"
+#include "model/system_model.h"
+#include "tgen/benchmark_suite.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace ides {
+namespace {
+
+/// A loaded instance whose current application spans several graphs, so
+/// checkpoints actually have a prefix to reuse.
+Suite multiGraphSuite(std::uint64_t seed = 7) {
+  SuiteConfig cfg = ides::testing::smallSuiteConfig(60, 36);
+  cfg.currentGraphSize = 10;  // 36 processes -> 4 current graphs
+  return buildSuite(cfg, seed);
+}
+
+FutureProfile profileOf(const Suite& suite) { return suite.profile; }
+
+class EvalContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    suite_ = std::make_unique<Suite>(multiGraphSuite());
+    frozen_ = std::make_unique<FrozenBase>(
+        freezeExistingApplications(suite_->system));
+    ASSERT_TRUE(frozen_->feasible);
+    evaluator_ = std::make_unique<SolutionEvaluator>(
+        suite_->system, frozen_->state, profileOf(*suite_), MetricWeights{});
+    PlatformState state = frozen_->state;
+    const ScheduleOutcome im = initialMapping(suite_->system, state);
+    ASSERT_TRUE(im.feasible);
+    initial_ = im.mapping;
+    ASSERT_GE(evaluator_->currentGraphs().size(), 3u)
+        << "instance too small to exercise checkpoints";
+  }
+
+  /// One random SA-style move; returns the hint describing it.
+  MoveHint randomMove(MappingSolution& solution, Rng& rng) const {
+    const SystemModel& sys = suite_->system;
+    std::vector<ProcessId> procs;
+    std::vector<MessageId> msgs;
+    for (GraphId g : evaluator_->currentGraphs()) {
+      const ProcessGraph& graph = sys.graph(g);
+      procs.insert(procs.end(), graph.processes.begin(),
+                   graph.processes.end());
+      msgs.insert(msgs.end(), graph.messages.begin(), graph.messages.end());
+    }
+    MoveHint hint;
+    const double dice = rng.uniform01();
+    if (dice < 0.45) {
+      const ProcessId p = rng.pick(procs);
+      const auto allowed = sys.process(p).allowedNodes();
+      solution.setNode(p, allowed[rng.index(allowed.size())]);
+      solution.setStartHint(p, 0);
+      hint.graph = sys.process(p).graph;
+      hint.process = p;
+    } else if (dice < 0.8 || msgs.empty()) {
+      const ProcessId p = rng.pick(procs);
+      const Process& proc = sys.process(p);
+      const ProcessGraph& graph = sys.graph(proc.graph);
+      const Time maxHint =
+          std::max<Time>(0, graph.deadline - proc.wcetOn(solution.nodeOf(p)));
+      solution.setStartHint(p,
+                            maxHint > 0 ? rng.uniformInt(0, maxHint) : 0);
+      hint.graph = proc.graph;
+      hint.process = p;
+    } else {
+      const MessageId m = rng.pick(msgs);
+      const ProcessGraph& graph = sys.graph(sys.message(m).graph);
+      solution.setMessageHint(m, rng.uniformInt(0, graph.deadline - 1));
+      hint.graph = graph.id;
+      hint.message = m;
+    }
+    return hint;
+  }
+
+  static void expectBitIdentical(const EvalResult& a, const EvalResult& b) {
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+    EXPECT_EQ(a.lateness, b.lateness);
+    EXPECT_EQ(a.cost, b.cost);            // exact, not near
+    EXPECT_EQ(a.objective, b.objective);  // exact, not near
+    EXPECT_EQ(a.metrics.c1p, b.metrics.c1p);
+    EXPECT_EQ(a.metrics.c1m, b.metrics.c1m);
+    EXPECT_EQ(a.metrics.c2p, b.metrics.c2p);
+    EXPECT_EQ(a.metrics.c2mBytes, b.metrics.c2mBytes);
+  }
+
+  std::unique_ptr<Suite> suite_;
+  std::unique_ptr<FrozenBase> frozen_;
+  std::unique_ptr<SolutionEvaluator> evaluator_;
+  MappingSolution initial_;
+};
+
+TEST_F(EvalContextTest, FullPassMatchesSolutionEvaluator) {
+  EvalContext ctx(*evaluator_);
+  expectBitIdentical(ctx.evaluate(initial_), evaluator_->evaluate(initial_));
+}
+
+TEST_F(EvalContextTest, RandomizedMoveSequenceIsBitIdentical) {
+  // Metropolis-style walk with rejections: the context's reference drifts
+  // away from the accepted solution, which is exactly the stale-checkpoint
+  // case the prefix verification must catch.
+  EvalContext ctx(*evaluator_);
+  Rng rng(99);
+  MappingSolution current = initial_;
+  ASSERT_TRUE(ctx.evaluate(current).feasible);
+
+  for (int step = 0; step < 250; ++step) {
+    MappingSolution trial = current;
+    const MoveHint hint = randomMove(trial, rng);
+    const EvalResult incremental = ctx.evaluate(trial, hint);
+    const EvalResult reference = evaluator_->evaluate(trial);
+    expectBitIdentical(incremental, reference);
+    if (rng.chance(0.4)) current = std::move(trial);  // accept sometimes
+  }
+  // The delta engine must have actually skipped work, not silently done
+  // full passes.
+  EXPECT_GT(ctx.graphsReused(), 0u);
+}
+
+TEST_F(EvalContextTest, OutputsMatchFullEvaluator) {
+  EvalContext ctx(*evaluator_);
+  ScheduleOutcome co, eo;
+  SlackInfo cs, es;
+  const EvalResult cr = ctx.evaluate(initial_, &co, &cs);
+  const EvalResult er = evaluator_->evaluate(initial_, &eo, &es);
+  expectBitIdentical(cr, er);
+  ASSERT_EQ(co.schedule.processEntryCount(), eo.schedule.processEntryCount());
+  for (const ScheduledProcess& sp : eo.schedule.processes()) {
+    const ScheduledProcess& other =
+        co.schedule.processEntry(sp.pid, sp.instance);
+    EXPECT_EQ(other.node, sp.node);
+    EXPECT_EQ(other.start, sp.start);
+    EXPECT_EQ(other.end, sp.end);
+  }
+  EXPECT_EQ(cs.nodeFree.size(), es.nodeFree.size());
+  for (std::size_t n = 0; n < es.nodeFree.size(); ++n) {
+    EXPECT_EQ(cs.nodeFree[n], es.nodeFree[n]);
+  }
+  // Re-reading the same solution serves the cached state.
+  const std::size_t scheduledBefore = ctx.graphsScheduled();
+  ScheduleOutcome again;
+  expectBitIdentical(ctx.evaluate(initial_, &again, nullptr), er);
+  EXPECT_EQ(ctx.graphsScheduled(), scheduledBefore);
+}
+
+TEST_F(EvalContextTest, StaleHintIsCorrectedNotTrusted) {
+  // Claim a move touched the LAST graph while actually changing the FIRST:
+  // the context must detect the earlier difference and restart there.
+  EvalContext ctx(*evaluator_);
+  ASSERT_TRUE(ctx.evaluate(initial_).feasible);
+
+  const GraphId firstGraph = evaluator_->currentGraphs().front();
+  const GraphId lastGraph = evaluator_->currentGraphs().back();
+  MappingSolution trial = initial_;
+  const ProcessId victim = suite_->system.graph(firstGraph).processes.front();
+  trial.setStartHint(victim, trial.startHint(victim) + 3);
+
+  MoveHint lyingHint;
+  lyingHint.graph = lastGraph;
+  expectBitIdentical(ctx.evaluate(trial, lyingHint),
+                     evaluator_->evaluate(trial));
+}
+
+TEST_F(EvalContextTest, SaIncrementalMatchesFullPass) {
+  SaOptions opts;
+  opts.seed = 5;
+  opts.iterations = 1200;
+  opts.incrementalEval = true;
+  const SaResult fast = runSimulatedAnnealing(*evaluator_, initial_, opts);
+  opts.incrementalEval = false;
+  const SaResult slow = runSimulatedAnnealing(*evaluator_, initial_, opts);
+  EXPECT_EQ(fast.eval.cost, slow.eval.cost);
+  EXPECT_EQ(fast.evaluations, slow.evaluations);
+  EXPECT_EQ(fast.accepted, slow.accepted);
+  EXPECT_TRUE(fast.solution == slow.solution);
+}
+
+TEST_F(EvalContextTest, PsaIncrementalMatchesFullPass) {
+  ParallelSaOptions opts;
+  opts.base.seed = 5;
+  opts.base.iterations = 400;
+  opts.restarts = 3;
+  opts.threads = 2;
+  opts.base.incrementalEval = true;
+  const ParallelSaResult fast =
+      runParallelAnnealing(*evaluator_, initial_, opts);
+  opts.base.incrementalEval = false;
+  const ParallelSaResult slow =
+      runParallelAnnealing(*evaluator_, initial_, opts);
+  EXPECT_EQ(fast.eval.cost, slow.eval.cost);
+  EXPECT_EQ(fast.bestChain, slow.bestChain);
+  EXPECT_EQ(fast.chainCosts, slow.chainCosts);
+  EXPECT_TRUE(fast.solution == slow.solution);
+}
+
+TEST_F(EvalContextTest, MhIncrementalMatchesFullPass) {
+  MhOptions opts;
+  opts.maxIterations = 64;
+  opts.incrementalEval = true;
+  const MhResult fast = runMappingHeuristic(*evaluator_, initial_, opts);
+  opts.incrementalEval = false;
+  const MhResult slow = runMappingHeuristic(*evaluator_, initial_, opts);
+  EXPECT_EQ(fast.eval.cost, slow.eval.cost);
+  EXPECT_EQ(fast.evaluations, slow.evaluations);
+  EXPECT_EQ(fast.iterations, slow.iterations);
+  EXPECT_TRUE(fast.solution == slow.solution);
+}
+
+}  // namespace
+}  // namespace ides

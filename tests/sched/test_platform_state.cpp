@@ -170,5 +170,60 @@ TEST(PlatformState, CopyIsIndependent) {
   EXPECT_EQ(b.slotUsedTicks(0, 0), 5);
 }
 
+TEST(PlatformStateJournal, RollbackRestoresNodeAndBusOccupancy) {
+  PlatformState st = makeState();
+  st.occupyNode(NodeId{0}, {0, 15});  // pre-journal floor
+  st.setJournaling(true);
+
+  const PlatformState::Mark m0 = st.mark();
+  st.occupyNode(NodeId{0}, {15, 30});  // coalesces with [0,15)
+  st.occupyNode(NodeId{1}, {40, 60});
+  st.occupyBus(0, 2, 7);
+  const PlatformState::Mark m1 = st.mark();
+  st.occupyNode(NodeId{0}, {100, 120});
+  st.occupyBus(0, 2, 3);  // same occurrence, packs behind the 7
+
+  st.rollbackTo(m1);
+  EXPECT_EQ(st.nodeBusy(NodeId{0}).intervals(),
+            (std::vector<Interval>{{0, 30}}));
+  EXPECT_EQ(st.slotUsedTicks(0, 2), 7);
+
+  st.rollbackTo(m0);
+  EXPECT_EQ(st.nodeBusy(NodeId{0}).intervals(),
+            (std::vector<Interval>{{0, 15}}));
+  EXPECT_EQ(st.nodeBusy(NodeId{1}).totalLength(), 0);
+  EXPECT_EQ(st.slotUsedTicks(0, 2), 0);
+}
+
+TEST(PlatformStateJournal, RollbackReopensGapsForEarliestFit) {
+  PlatformState st = makeState();
+  st.setJournaling(true);
+  const PlatformState::Mark m = st.mark();
+  st.occupyNode(NodeId{0}, {0, 50});
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 10), 50);
+  st.rollbackTo(m);
+  EXPECT_EQ(st.earliestFit(NodeId{0}, 0, 10), 0);
+}
+
+TEST(PlatformStateJournal, RollbackGuards) {
+  PlatformState st = makeState();
+  EXPECT_THROW(st.rollbackTo(0), std::logic_error);  // journaling off
+  st.setJournaling(true);
+  st.occupyNode(NodeId{0}, {0, 10});
+  EXPECT_THROW(st.rollbackTo(5), std::logic_error);  // ahead of journal
+  EXPECT_NO_THROW(st.rollbackTo(1));                 // no-op at the tip
+}
+
+TEST(PlatformStateJournal, EnablingClearsHistory) {
+  PlatformState st = makeState();
+  st.setJournaling(true);
+  st.occupyNode(NodeId{0}, {0, 10});
+  EXPECT_EQ(st.mark(), 1u);
+  st.setJournaling(true);  // re-enable: committed work becomes the floor
+  EXPECT_EQ(st.mark(), 0u);
+  st.rollbackTo(0);
+  EXPECT_EQ(st.nodeBusy(NodeId{0}).totalLength(), 10);
+}
+
 }  // namespace
 }  // namespace ides

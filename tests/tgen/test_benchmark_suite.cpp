@@ -130,5 +130,33 @@ TEST(BenchmarkSuite, RejectsMisalignedTmin) {
   EXPECT_THROW(buildSuite(cfg, 1), std::invalid_argument);
 }
 
+TEST(BenchmarkSuite, SnapsSlotLengthsForAwkwardNodeCounts) {
+  // Regression: 6 nodes x 20-tick slots make a 120-tick round, which does
+  // not divide the 16000-tick base period — finalize used to throw. The
+  // builder now snaps the slot lengths so the round divides the
+  // hyperperiod.
+  SuiteConfig cfg = smallConfig();
+  cfg.nodeCount = 6;
+  const Suite suite = buildSuite(cfg, 1);
+  const TdmaBus& bus = suite.system.architecture().bus();
+  EXPECT_EQ(bus.slotCount(), 6u);
+  EXPECT_EQ(suite.system.hyperperiod() % bus.roundLength(), 0);
+  // Snapping stays near the requested layout and keeps slots usable.
+  EXPECT_LE(bus.roundLength(), 6 * cfg.slotLength);
+  for (std::size_t s = 0; s < bus.slotCount(); ++s) {
+    EXPECT_GE(bus.slot(s).length, 8);  // largest generated message fits
+  }
+  // The instance is a usable experiment, not just a finalizable model.
+  EXPECT_TRUE(freezeExistingApplications(suite.system).feasible);
+}
+
+TEST(BenchmarkSuite, UniformSlotsAreUntouchedWhenTheyAlreadyDivide) {
+  const Suite suite = buildSuite(smallConfig(), 1);  // 4 x 20 | 16000
+  const TdmaBus& bus = suite.system.architecture().bus();
+  for (std::size_t s = 0; s < bus.slotCount(); ++s) {
+    EXPECT_EQ(bus.slot(s).length, 20);
+  }
+}
+
 }  // namespace
 }  // namespace ides

@@ -165,5 +165,46 @@ TEST(GraphGenFromDistributions, DrawsWcetsFromSupport) {
   }
 }
 
+TEST(SnapSlotLengths, KeepsUniformLayoutWhenItDivides) {
+  const std::vector<Time> lengths = snapSlotLengths(10, 20, 16000);
+  EXPECT_EQ(lengths, std::vector<Time>(10, 20));
+}
+
+TEST(SnapSlotLengths, SnapsRoundToLargestFittingDivisor) {
+  // 6 x 20 = 120 does not divide 16000; the largest divisor <= 120 that
+  // gives every node a slot is 100 -> slots of 17/16 ticks.
+  const std::vector<Time> lengths = snapSlotLengths(6, 20, 16000);
+  Time round = 0;
+  for (Time l : lengths) round += l;
+  EXPECT_EQ(round, 100);
+  EXPECT_EQ(16000 % round, 0);
+  for (Time l : lengths) {
+    EXPECT_GE(l, 16);
+    EXPECT_LE(l, 17);
+  }
+}
+
+TEST(SnapSlotLengths, SweepAlwaysDividesTheHyperperiod) {
+  for (std::size_t nodes = 2; nodes <= 16; ++nodes) {
+    const std::vector<Time> lengths = snapSlotLengths(nodes, 20, 16000);
+    ASSERT_EQ(lengths.size(), nodes);
+    Time round = 0;
+    for (Time l : lengths) {
+      EXPECT_GE(l, 1);
+      round += l;
+    }
+    EXPECT_EQ(16000 % round, 0) << nodes << " nodes";
+    EXPECT_LE(round, static_cast<Time>(nodes) * 20);
+  }
+}
+
+TEST(SnapSlotLengths, RejectsImpossibleHyperperiods) {
+  EXPECT_THROW(snapSlotLengths(0, 20, 16000), std::invalid_argument);
+  EXPECT_THROW(snapSlotLengths(10, 20, 5), std::invalid_argument);
+  // 7 does not divide any number in [3, 6]... hyperperiod 7 is prime and
+  // > nodeCount*slotLength, so no round fits.
+  EXPECT_THROW(snapSlotLengths(3, 2, 7), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ides
