@@ -11,8 +11,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/incremental_designer.h"
@@ -90,5 +92,70 @@ inline void printTableAndCsv(const CsvTable& table) {
   std::printf("\nCSV:\n");
   table.writeCsv(std::cout);
 }
+
+/// Machine-readable bench results: BENCH_<name>.json, one flat record per
+/// instance, written to IDES_BENCH_JSON_DIR (default: the working
+/// directory). The files are what tracks the perf trajectory across PRs —
+/// deterministic content, no timestamps, so two runs diff cleanly.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name, std::string scale)
+      : name_(std::move(name)), scale_(std::move(scale)) {}
+
+  BenchJson& beginRecord() {
+    records_.emplace_back();
+    return *this;
+  }
+  BenchJson& field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    records_.back().emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& field(const char* key, long long value) {
+    records_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchJson& field(const char* key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    records_.back().emplace_back(key, quoted);
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json; reports the path (or the failure) on stdout.
+  void write() const {
+    const char* dir = std::getenv("IDES_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
+        "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::printf("(could not write %s)\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"scale\": \"" << scale_
+        << "\",\n  \"results\": [";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << (r == 0 ? "" : ",") << "\n    {";
+      for (std::size_t f = 0; f < records_[r].size(); ++f) {
+        out << (f == 0 ? "" : ", ") << '"' << records_[r][f].first
+            << "\": " << records_[r][f].second;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("machine-readable results: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string scale_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 }  // namespace ides::bench

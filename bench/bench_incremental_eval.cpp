@@ -108,6 +108,7 @@ int main() {
   CsvTable table({"current_processes", "current_graphs", "full_median_ms",
                   "inc_median_ms", "speedup", "graphs_reused_pct",
                   "mismatches"});
+  BenchJson json("incremental_eval", scale.name);
 
   for (const std::size_t size : scale.sizes) {
     const Suite suite = buildSuite(paperConfig(size), 4000);
@@ -165,6 +166,13 @@ int main() {
                   CsvTable::num(fullMed, 4), CsvTable::num(incMed, 4),
                   CsvTable::num(speedup, 2), CsvTable::num(reusedPct, 1),
                   CsvTable::num(static_cast<long long>(mismatches))});
+    json.beginRecord()
+        .field("instance", static_cast<long long>(size))
+        .field("full_median_ms", fullMed)
+        .field("inc_median_ms", incMed)
+        .field("speedup", speedup)
+        .field("graphs_reused_pct", reusedPct)
+        .field("mismatches", static_cast<long long>(mismatches));
     std::printf(
         "  [n=%zu, %zu graphs] full=%.4fms inc=%.4fms -> %.2fx "
         "(%.1f%% graph schedules reused, %zu mismatches)\n",
@@ -173,6 +181,7 @@ int main() {
 
   std::printf("\n");
   printTableAndCsv(table);
+  json.write();
   std::printf(
       "\nmismatches must be 0: the delta engine is bit-identical to the\n"
       "full pass (also enforced by core.EvalContext property tests).\n");

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 
+#include "arch/architecture.h"
 #include "core/evaluator.h"
 #include "core/initial_mapping.h"
 #include "model/system_model.h"
@@ -90,6 +91,27 @@ void BM_FullEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullEvaluation)->Arg(40)->Arg(80)->Arg(160)->Arg(320);
+
+// findBusSlot behind a saturated slot prefix: the first-free-round cursor
+// makes the common append O(1) where the old scan walked every full round
+// (arg = saturated rounds). The "ready" times sweep the horizon like real
+// message release times do, so the cursor path and the binary-search path
+// both stay exercised.
+void BM_FindBusSlotSaturatedPrefix(benchmark::State& state) {
+  const std::int64_t saturated = state.range(0);
+  const Architecture arch = makeUniformArchitecture(2, 10, 1);
+  const Time round = arch.bus().roundLength();
+  PlatformState platform(arch, 4 * saturated * round);
+  for (std::int64_t r = 0; r < saturated; ++r) platform.occupyBus(0, r, 10);
+  Time ready = 0;
+  for (auto _ : state) {
+    auto hit = platform.findBusSlot(0, ready, 4);
+    benchmark::DoNotOptimize(hit);
+    ready = (ready + 37) % (saturated * round);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FindBusSlotSaturatedPrefix)->Arg(64)->Arg(1024)->Arg(8192);
 
 }  // namespace
 

@@ -4,7 +4,7 @@
 //   stats    [--nodes N --existing E --current C --seed S]
 //            generate a suite and print its statistics report
 //   design   [--strategy AH|MH|SA|PSA] [--sa-iters N] [--restarts K]
-//            [--threads T] [suite flags]
+//            [--threads T] [--spec-workers W] [--spec-depth D] [suite flags]
 //            run one strategy, print metrics and validation
 //   schedule [--out FILE] [suite flags]
 //            run MH and dump the merged schedule (CSV form, stdout or file)
@@ -41,6 +41,8 @@ struct CliArgs {
   int saIterations = 0;  // 0 = SaOptions default
   int threads = 0;       // PSA: 0 = hardware concurrency
   int restarts = 4;      // PSA: chains
+  int specWorkers = 0;   // SA: speculative eval workers (0 = off; PSA: auto)
+  int specDepth = 0;     // max speculation depth (0 = 4 * workers)
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
   Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
@@ -59,6 +61,9 @@ void usage() {
       "  --sa-iters N   SA iterations (per chain for PSA)\n"
       "  --restarts K   PSA chains               (default 4)\n"
       "  --threads T    PSA threads, 0 = all cores (default 0)\n"
+      "  --spec-workers W  speculative eval workers per SA chain\n"
+      "                 (SA default 1 = off; PSA default 0 = auto split)\n"
+      "  --spec-depth D max speculation depth (default 4 * workers)\n"
       "  --out FILE     write schedule to FILE   (schedule command)\n"
       "  --model FILE   load an 'ides model v1' file instead of generating\n"
       "  --tmin T --tneed T --bneed B  future profile for --model runs");
@@ -86,6 +91,10 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.restarts = std::stoi(value);
     } else if (flag == "--threads") {
       args.threads = std::stoi(value);
+    } else if (flag == "--spec-workers") {
+      args.specWorkers = std::stoi(value);
+    } else if (flag == "--spec-depth") {
+      args.specDepth = std::stoi(value);
     } else if (flag == "--out") {
       args.outFile = value;
     } else if (flag == "--model") {
@@ -145,6 +154,11 @@ DesignerOptions designerOptions(const CliArgs& args) {
   if (args.saIterations > 0) opts.sa.iterations = args.saIterations;
   opts.psa.threads = args.threads;
   opts.psa.restarts = args.restarts;
+  // SA reads the chain-level speculation knobs; PSA auto-splits its thread
+  // budget unless --spec-workers pins the per-chain worker count.
+  if (args.specWorkers > 0) opts.sa.speculation.workers = args.specWorkers;
+  if (args.specDepth > 0) opts.sa.speculation.maxDepth = args.specDepth;
+  opts.psa.speculativeWorkers = args.specWorkers;
   return opts;
 }
 

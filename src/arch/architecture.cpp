@@ -42,8 +42,10 @@ Architecture makeUniformArchitecture(const std::vector<Time>& slotLengths,
   slots.reserve(slotLengths.size());
   for (std::size_t i = 0; i < slotLengths.size(); ++i) {
     const NodeId id{static_cast<std::int32_t>(i)};
+    std::string name = "N";
+    name += std::to_string(i);
     nodes.push_back(
-        {id, "N" + std::to_string(i), speedFactors[i % speedFactors.size()]});
+        {id, std::move(name), speedFactors[i % speedFactors.size()]});
     slots.push_back({id, slotLengths[i]});
   }
   return Architecture{std::move(nodes), TdmaBus{std::move(slots),

@@ -1,5 +1,6 @@
 #include "core/parallel_annealing.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -8,18 +9,11 @@
 #include <utility>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace ides {
 
 namespace {
-
-// splitmix64 finalizer: decorrelates consecutive chain indices so adjacent
-// chains do not start mt19937_64 from near-identical states.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 // Initial-temperature multipliers for chains 1..K-1 (chain 0 keeps the base
 // schedule verbatim). Colder starts behave like iterated descent — the
@@ -41,8 +35,10 @@ SaOptions chainOptionsFor(const SaOptions& base, int index) {
 }  // namespace
 
 std::uint64_t parallelSaChainSeed(std::uint64_t baseSeed, int index) {
+  // The splitmix64 finalizer decorrelates consecutive chain indices so
+  // adjacent chains do not start mt19937_64 from near-identical states.
   if (index == 0) return baseSeed;
-  return mix64(baseSeed + static_cast<std::uint64_t>(index));
+  return splitmix64(baseSeed + static_cast<std::uint64_t>(index));
 }
 
 ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
@@ -67,6 +63,18 @@ ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
   if (threadBudget == 0) threadBudget = 1;
   const unsigned workers =
       std::min<unsigned>(threadBudget, static_cast<unsigned>(chains));
+
+  // Two-level split of the thread budget: `workers` chain threads, and the
+  // leftover capacity as per-chain speculative evaluation workers (worker 0
+  // of each chain is the chain thread itself, so a chain with S workers
+  // costs S threads total). Speculation does not change any chain's
+  // trajectory, so this split affects wall-clock only.
+  if (options.speculativeWorkers > 0) {
+    chainOptions.speculation.workers = options.speculativeWorkers;
+  } else {
+    chainOptions.speculation.workers =
+        static_cast<int>(std::max(1u, threadBudget / std::max(1u, workers)));
+  }
 
   // Fail fast (and on the caller's thread) on an infeasible start instead
   // of throwing inside every worker.

@@ -14,8 +14,12 @@
 // thread count. Chain 0 reuses base.seed verbatim, which makes the K-chain
 // result provably no worse than a single chain run with the same options.
 //
-// This is the first "as fast as the hardware allows" subsystem: later
-// sharding/batching PRs build on the same chain-pool shape.
+// Two-level parallelism: when the chain count cannot saturate the thread
+// budget, the leftover threads become per-chain speculative evaluation
+// workers (core/speculative_eval.h) — chains across the pool, speculative
+// move evaluations within each chain. Speculation is bit-identical to the
+// sequential chain for any worker count, so the PSA result stays
+// independent of the thread budget and of how it is split.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +39,13 @@ struct ParallelSaOptions {
   int restarts = 4;
   /// Iterations per chain; 0 means base.iterations.
   int perChainIterations = 0;
+  /// Speculative evaluation workers per chain
+  /// (SpeculationOptions::workers for every chain). 0 = auto: divide the
+  /// thread budget evenly over the chains that run concurrently, so e.g. 2
+  /// chains on 8 threads each get 4 workers. 1 = speculation off. Results
+  /// are identical for every value — this splits the thread budget, not
+  /// the search.
+  int speculativeWorkers = 0;
 };
 
 /// Seed of chain `index` for a given ensemble seed: chain 0 keeps the base

@@ -1,33 +1,114 @@
 #include "core/simulated_annealing.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
-#include <vector>
 
+#include "core/speculative_eval.h"
 #include "model/system_model.h"
 #include "util/log.h"
-#include "util/rng.h"
 
 namespace ides {
+
+SaMoveProposer::SaMoveProposer(const SolutionEvaluator& evaluator,
+                               const SaOptions& options)
+    : sys_(&evaluator.system()),
+      probRemap_(options.probRemap),
+      probProcessHint_(options.probProcessHint) {
+  for (GraphId g : evaluator.currentGraphs()) {
+    const ProcessGraph& graph = sys_->graph(g);
+    procs_.insert(procs_.end(), graph.processes.begin(),
+                  graph.processes.end());
+    msgs_.insert(msgs_.end(), graph.messages.begin(), graph.messages.end());
+  }
+  if (procs_.empty()) {
+    throw std::invalid_argument("runSimulatedAnnealing: empty application");
+  }
+  allowedSpan_.assign(sys_->processes().size(), {0, 0});
+  for (const ProcessId p : procs_) {
+    const std::vector<NodeId> nodes = sys_->process(p).allowedNodes();
+    allowedSpan_[p.index()] = {static_cast<std::uint32_t>(allowed_.size()),
+                               static_cast<std::uint32_t>(nodes.size())};
+    allowed_.insert(allowed_.end(), nodes.begin(), nodes.end());
+  }
+}
+
+SaMove SaMoveProposer::propose(const MappingSolution& current,
+                               Rng& proposalRng) const {
+  SaMove move;
+  const double dice = proposalRng.uniform01();
+  if (dice < probRemap_) {
+    // Re-map a process to a random allowed node, ASAP.
+    const ProcessId p = proposalRng.pick(procs_);
+    const auto [begin, count] = allowedSpan_[p.index()];
+    move.kind = SaMove::Kind::Remap;
+    move.process = p;
+    move.node = allowed_[begin + proposalRng.index(count)];
+    move.evalHint.graph = sys_->process(p).graph;
+    move.evalHint.process = p;
+  } else if (dice < probRemap_ + probProcessHint_) {
+    // Move a process into a random slack of its node: a random
+    // period-relative start hint that still leaves room for the WCET.
+    const ProcessId p = proposalRng.pick(procs_);
+    const Process& proc = sys_->process(p);
+    const ProcessGraph& graph = sys_->graph(proc.graph);
+    const Time maxHint = std::max<Time>(
+        0, graph.deadline - proc.wcetOn(current.nodeOf(p)));
+    move.kind = SaMove::Kind::ProcessHint;
+    move.process = p;
+    move.hint = maxHint > 0 ? proposalRng.uniformInt(0, maxHint) : 0;
+    move.evalHint.graph = proc.graph;
+    move.evalHint.process = p;
+  } else if (!msgs_.empty()) {
+    // Move a message into a random bus slack.
+    const MessageId m = proposalRng.pick(msgs_);
+    const ProcessGraph& graph = sys_->graph(sys_->message(m).graph);
+    move.kind = SaMove::Kind::MessageHint;
+    move.message = m;
+    move.hint = proposalRng.uniformInt(0, graph.deadline - 1);
+    move.evalHint.graph = graph.id;
+    move.evalHint.message = m;
+  }
+  return move;  // Kind::None when the message branch found nothing to move
+}
+
+void SaMoveProposer::apply(const SaMove& move, MappingSolution& solution) {
+  switch (move.kind) {
+    case SaMove::Kind::None:
+      break;
+    case SaMove::Kind::Remap:
+      solution.setNode(move.process, move.node);
+      solution.setStartHint(move.process, 0);
+      break;
+    case SaMove::Kind::ProcessHint:
+      solution.setStartHint(move.process, move.hint);
+      break;
+    case SaMove::Kind::MessageHint:
+      solution.setMessageHint(move.message, move.hint);
+      break;
+  }
+}
+
+SaSchedule saSchedule(const SaOptions& options, double initialCost) {
+  SaSchedule s;
+  s.t0 = std::max(1.0, options.initialTempFactor * initialCost);
+  s.alpha = options.iterations > 1
+                ? std::pow(options.finalTemp / s.t0,
+                           1.0 / static_cast<double>(options.iterations - 1))
+                : 1.0;
+  return s;
+}
 
 SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
                                const MappingSolution& initial,
                                const SaOptions& options) {
-  const SystemModel& sys = evaluator.system();
-  Rng rng(options.seed);
+  if (options.speculation.workers > 1) {
+    // The speculative engine replays the exact same two-stream chain with
+    // batches of moves pre-evaluated on parallel workers.
+    return runSpeculativeAnnealing(evaluator, initial, options);
+  }
 
-  // Movable entities: the current application's processes and messages.
-  std::vector<ProcessId> procs;
-  std::vector<MessageId> msgs;
-  for (GraphId g : evaluator.currentGraphs()) {
-    const ProcessGraph& graph = sys.graph(g);
-    procs.insert(procs.end(), graph.processes.begin(), graph.processes.end());
-    msgs.insert(msgs.end(), graph.messages.begin(), graph.messages.end());
-  }
-  if (procs.empty()) {
-    throw std::invalid_argument("runSimulatedAnnealing: empty application");
-  }
+  const SaMoveProposer proposer(evaluator, options);
+  Rng proposalRng(rngStreamSeed(options.seed, kSaProposalStream));
+  Rng acceptanceRng(rngStreamSeed(options.seed, kSaAcceptanceStream));
 
   // One journaled scratch state for the whole chain: each move re-schedules
   // only the graphs it touches (full pass when incrementalEval is off).
@@ -47,68 +128,38 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
   if (!result.eval.feasible) {
     throw std::invalid_argument("runSimulatedAnnealing: initial not feasible");
   }
+  if (options.recordCostTrace) {
+    result.costTrace.reserve(static_cast<std::size_t>(options.iterations));
+  }
 
   MappingSolution current = initial;
   double currentCost = result.eval.cost;
 
-  const double t0 =
-      std::max(1.0, options.initialTempFactor * result.eval.cost);
-  const double alpha =
-      options.iterations > 1
-          ? std::pow(options.finalTemp / t0,
-                     1.0 / static_cast<double>(options.iterations - 1))
-          : 1.0;
-  double temp = t0;
+  const SaSchedule schedule = saSchedule(options, result.eval.cost);
+  double temp = schedule.t0;
 
-  for (int it = 0; it < options.iterations; ++it, temp *= alpha) {
-    MappingSolution trial = current;
-    MoveHint hint;
-    const double dice = rng.uniform01();
-    if (dice < options.probRemap) {
-      // Re-map a process to a random allowed node, ASAP.
-      const ProcessId p = rng.pick(procs);
-      const auto allowed = sys.process(p).allowedNodes();
-      trial.setNode(p, allowed[rng.index(allowed.size())]);
-      trial.setStartHint(p, 0);
-      hint.graph = sys.process(p).graph;
-      hint.process = p;
-    } else if (dice < options.probRemap + options.probProcessHint) {
-      // Move a process into a random slack of its node: a random
-      // period-relative start hint that still leaves room for the WCET.
-      const ProcessId p = rng.pick(procs);
-      const Process& proc = sys.process(p);
-      const ProcessGraph& graph = sys.graph(proc.graph);
-      const Time maxHint = std::max<Time>(
-          0, graph.deadline - proc.wcetOn(trial.nodeOf(p)));
-      trial.setStartHint(p, maxHint > 0 ? rng.uniformInt(0, maxHint) : 0);
-      hint.graph = proc.graph;
-      hint.process = p;
-    } else if (!msgs.empty()) {
-      // Move a message into a random bus slack.
-      const MessageId m = rng.pick(msgs);
-      const ProcessGraph& graph = sys.graph(sys.message(m).graph);
-      trial.setMessageHint(m, rng.uniformInt(0, graph.deadline - 1));
-      hint.graph = graph.id;
-      hint.message = m;
-    } else {
-      continue;
-    }
-
-    const EvalResult r = evaluateMove(trial, hint);
-    ++result.evaluations;
-    const double delta = r.cost - currentCost;
-    if (delta <= 0.0 ||
-        rng.uniform01() < std::exp(-delta / std::max(temp, 1e-12))) {
-      current = std::move(trial);
-      currentCost = r.cost;
-      ++result.accepted;
-      if (r.feasible && r.cost < result.eval.cost) {
-        result.solution = current;
-        result.eval = r;
-        IDES_LOG_AT(LogLevel::Debug)
-            << "SA iter " << it << ": best C=" << r.cost << " T=" << temp;
+  MappingSolution trial;
+  for (int it = 0; it < options.iterations; ++it, temp *= schedule.alpha) {
+    const SaMove move = proposer.propose(current, proposalRng);
+    if (move.kind != SaMove::Kind::None) {
+      trial = current;
+      SaMoveProposer::apply(move, trial);
+      const EvalResult r = evaluateMove(trial, move.evalHint);
+      ++result.evaluations;
+      const double delta = r.cost - currentCost;
+      if (metropolisAccept(delta, temp, acceptanceRng)) {
+        current = std::move(trial);
+        currentCost = r.cost;
+        ++result.accepted;
+        if (r.feasible && r.cost < result.eval.cost) {
+          result.solution = current;
+          result.eval = r;
+          IDES_LOG_AT(LogLevel::Debug)
+              << "SA iter " << it << ": best C=" << r.cost << " T=" << temp;
+        }
       }
     }
+    if (options.recordCostTrace) result.costTrace.push_back(currentCost);
   }
   return result;
 }

@@ -8,14 +8,59 @@
 // Metropolis acceptance with a geometric cooling schedule; infeasible
 // states are admitted at high penalty cost so the walk can cross narrow
 // infeasible ridges, but only feasible states can become the incumbent.
+//
+// RNG stream-splitting contract: one chain consumes TWO deterministic
+// streams derived from the seed (rngStreamSeed) —
+//   * kSaProposalStream  — every draw that shapes a candidate move,
+//   * kSaAcceptanceStream — the Metropolis draw for uphill moves.
+// Splitting them makes the proposal sequence independent of the accept /
+// reject outcomes, which is what lets the speculative engine
+// (core/speculative_eval.h) pre-generate a batch of K moves, evaluate them
+// on parallel workers, and replay the acceptance decisions sequentially —
+// bit-identical to this sequential chain by construction. The chain
+// trajectory is a function of (options, evaluator, initial) only; the
+// speculation knobs (workers, depth, threshold) change the wall-clock, not
+// the result.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "sched/mapping.h"
+#include "util/rng.h"
 
 namespace ides {
+
+/// Stream ids of one SA chain (see rngStreamSeed).
+inline constexpr std::uint64_t kSaProposalStream = 0;
+inline constexpr std::uint64_t kSaAcceptanceStream = 1;
+
+/// Speculative execution inside one chain (core/speculative_eval.h). All
+/// knobs are performance-only: the chain result is bit-identical for every
+/// configuration, including workers = 1.
+struct SpeculationOptions {
+  /// Parallel evaluation workers for one chain; worker 0 is the calling
+  /// thread, so `workers` is the total thread count. <= 1 disables
+  /// speculation and runs the plain sequential chain.
+  int workers = 1;
+  /// Upper bound on the adaptive speculation depth (pre-generated moves per
+  /// batch). 0 = 4 * workers.
+  int maxDepth = 0;
+  /// Speculate only while the windowed acceptance rate is below this; above
+  /// it most batches would commit their first move and the pre-evaluated
+  /// tail would be thrown away. Note the floor of the observed rate is the
+  /// zero-delta rate (hint moves that leave the schedule untouched are
+  /// always accepted — and still invalidate later speculations), ~0.4 on
+  /// loaded instances; a batch of K still replays sum (1-p)^i > 1
+  /// iterations per parallel round below ~0.55, hence the default.
+  double acceptanceThreshold = 0.55;
+  /// Number of recent Metropolis decisions in the acceptance-rate window.
+  int window = 48;
+};
 
 struct SaOptions {
   std::uint64_t seed = 1;
@@ -34,16 +79,103 @@ struct SaOptions {
   /// are bit-identical either way (asserted by the property tests), so this
   /// is a pure performance switch kept for comparison and testing.
   bool incrementalEval = true;
+
+  /// Record the cost of the walk's current state after every iteration into
+  /// SaResult::costTrace (the determinism suite diffs the trace of the
+  /// speculative engine against the sequential chain).
+  bool recordCostTrace = false;
+
+  /// Speculative parallel move evaluation inside this chain.
+  SpeculationOptions speculation;
 };
 
 struct SaResult {
   MappingSolution solution;  ///< best feasible solution seen
   EvalResult eval;
+  /// Evaluations consumed by the chain (initial + one per non-skipped
+  /// iteration) — identical for the sequential and speculative engines.
   std::size_t evaluations = 0;
   std::size_t accepted = 0;
+  /// Speculative telemetry: evaluations computed ahead of an acceptance and
+  /// then thrown away, and the number of speculation batches dispatched.
+  /// Always 0 for the sequential chain.
+  std::size_t discardedEvaluations = 0;
+  std::size_t speculativeBatches = 0;
+  /// Current-state cost after every iteration (only when
+  /// SaOptions::recordCostTrace).
+  std::vector<double> costTrace;
 };
 
-/// Requires `initial` to be feasible; throws otherwise.
+/// One candidate design transformation, pre-drawn from the proposal stream
+/// and applied to a solution later (the speculative engine materializes a
+/// whole batch before any evaluation runs).
+struct SaMove {
+  enum class Kind : std::uint8_t {
+    None,         ///< skipped iteration (message move with no messages)
+    Remap,        ///< process -> another allowed node, hint reset to ASAP
+    ProcessHint,  ///< process -> another slack (new start hint)
+    MessageHint,  ///< message -> another bus slack (new message hint)
+  };
+  Kind kind = Kind::None;
+  ProcessId process;
+  MessageId message;
+  NodeId node;    ///< Remap target
+  Time hint = 0;  ///< ProcessHint / MessageHint value
+  MoveHint evalHint;
+};
+
+/// The move kernel shared by the sequential chain and the speculative
+/// engine: given the walk's current solution and the proposal stream,
+/// draws the next candidate move. Both engines go through this one
+/// implementation, so their proposal sequences agree draw for draw.
+class SaMoveProposer {
+ public:
+  /// Collects the movable processes / messages of the evaluator's current
+  /// graphs. Throws std::invalid_argument when there is nothing to move.
+  SaMoveProposer(const SolutionEvaluator& evaluator, const SaOptions& options);
+
+  /// Draws the next move. Consumption of `proposalRng` depends only on the
+  /// move mix and `current` — never on evaluation results.
+  [[nodiscard]] SaMove propose(const MappingSolution& current,
+                               Rng& proposalRng) const;
+
+  /// Applies a drawn move to a solution.
+  static void apply(const SaMove& move, MappingSolution& solution);
+
+ private:
+  const SystemModel* sys_;
+  double probRemap_;
+  double probProcessHint_;
+  std::vector<ProcessId> procs_;
+  std::vector<MessageId> msgs_;
+  /// Flat per-process allowed-node lists (same draws as
+  /// Process::allowedNodes, no per-proposal allocation).
+  std::vector<NodeId> allowed_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>>
+      allowedSpan_;  // by ProcessId::index(): [begin, count)
+};
+
+/// Geometric cooling schedule of one chain, shared verbatim by both
+/// engines so their temperature sequences are bit-identical.
+struct SaSchedule {
+  double t0 = 1.0;
+  double alpha = 1.0;
+};
+[[nodiscard]] SaSchedule saSchedule(const SaOptions& options,
+                                    double initialCost);
+
+/// The Metropolis criterion, shared verbatim by both engines. The
+/// acceptance stream is consumed only for uphill moves (delta > 0), so the
+/// draw pattern is a pure function of the decision sequence.
+[[nodiscard]] inline bool metropolisAccept(double delta, double temp,
+                                           Rng& acceptanceRng) {
+  return delta <= 0.0 ||
+         acceptanceRng.uniform01() < std::exp(-delta / std::max(temp, 1e-12));
+}
+
+/// Requires `initial` to be feasible; throws otherwise. Routes through the
+/// speculative engine when options.speculation.workers > 1 (bit-identical
+/// result, K moves evaluated in parallel).
 SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
                                const MappingSolution& initial,
                                const SaOptions& options = {});

@@ -1,0 +1,116 @@
+// Speculative parallel move evaluation inside ONE simulated-annealing chain.
+//
+// PSA (core/parallel_annealing.h) parallelizes across chains; this engine
+// parallelizes within a chain. The observation: at low temperatures most
+// proposals are rejected, so consecutive iterations perturb the same
+// current solution and their evaluations are independent. Because the chain
+// draws moves and Metropolis decisions from two split RNG streams
+// (core/simulated_annealing.h), a batch of K candidate moves can be
+// pre-generated — each speculating that every earlier move in the batch is
+// rejected — evaluated concurrently on a pool of per-worker EvalContexts,
+// and then replayed through the acceptance decisions sequentially. The
+// first accepted move invalidates the later speculations: they are
+// discarded, the proposal stream rewinds to its state right after the
+// winning proposal, and every worker context resyncs on its next
+// evaluation — rewinding to its per-graph checkpoints and applying the
+// committed move (the EvalContext verifies hints against its own
+// reference, so the catch-up is demand-driven and overlaps the next
+// batch's useful work instead of costing a dedicated barrier round). The
+// replay consumes exactly the draws the sequential chain would, in the
+// same order, so the result is bit-identical by construction — for every
+// worker count, speculation depth, and threshold (the determinism suite
+// asserts this).
+//
+// Speculation depth adapts to the observed acceptance rate: the engine
+// speculates only while the windowed rate is below
+// SpeculationOptions::acceptanceThreshold (sequential stepping above it,
+// where batches would mostly be thrown away), starts at `workers` moves per
+// batch, doubles after a fully-rejected batch and halves after an
+// acceptance, bounded by [workers, maxDepth]. The depth trajectory is a
+// pure function of the decision history, never of timing — another
+// determinism invariant.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/simulated_annealing.h"
+#include "sched/mapping.h"
+
+namespace ides {
+
+/// Persistent fork-join pool of evaluation workers for one chain. Worker 0
+/// is the calling thread (workers == 1 spawns nothing and degenerates to
+/// plain sequential evaluation); workers 1..W-1 are std::threads parked on
+/// a condition variable between batches. Each worker owns one EvalContext
+/// of an EvalContextPool; in full-pass mode (incremental == false) the
+/// workers run the stateless SolutionEvaluator instead.
+class SpeculativeEvalPool {
+ public:
+  struct Item {
+    const MappingSolution* trial = nullptr;  ///< null = skip (no evaluation)
+    MoveHint hint;
+    EvalResult result;
+  };
+
+  SpeculativeEvalPool(const SolutionEvaluator& evaluator, int workers,
+                      bool incremental);
+  ~SpeculativeEvalPool();
+
+  SpeculativeEvalPool(const SpeculativeEvalPool&) = delete;
+  SpeculativeEvalPool& operator=(const SpeculativeEvalPool&) = delete;
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Evaluates every non-null item, item i on worker i % workers. Results
+  /// are bit-identical to a full pass no matter which worker ran them (the
+  /// EvalContext property), so the static assignment is load balancing
+  /// only. Blocks until the whole batch is done; rethrows the first worker
+  /// exception.
+  void evaluate(Item* items, std::size_t count);
+
+  /// One evaluation on the calling thread (worker 0's context): the
+  /// sequential stepping path of the chain, and the initial evaluation.
+  EvalResult evaluateOne(const MappingSolution& solution,
+                         const MoveHint& hint);
+
+ private:
+  enum class Job : std::uint8_t { None, Evaluate, Stop };
+
+  void workerLoop(int w);
+  void runShare(int w);
+  void dispatch(Job job);
+
+  const SolutionEvaluator* ev_;
+  int workers_;
+  bool incremental_;
+  EvalContextPool contexts_;
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;  // by worker
+
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  std::uint64_t epoch_ = 0;  // bumped per dispatch; workers wait on it
+  int running_ = 0;
+  Job job_ = Job::None;
+  // Current job payload (stable for the whole epoch).
+  Item* items_ = nullptr;
+  std::size_t itemCount_ = 0;
+};
+
+/// The speculative chain. Public entry point is runSimulatedAnnealing,
+/// which routes here when options.speculation.workers > 1; calling this
+/// directly with workers <= 1 runs the same loop with sequential stepping
+/// only (used by the determinism suite as a second reference).
+SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
+                                 const MappingSolution& initial,
+                                 const SaOptions& options);
+
+}  // namespace ides

@@ -16,6 +16,7 @@ PlatformState::PlatformState(const Architecture& arch, Time horizon)
   slotUsed_.assign(bus_->slotCount(),
                    std::vector<Time>(static_cast<std::size_t>(roundCount_),
                                      0));
+  slotCursor_.assign(bus_->slotCount(), 0);
 }
 
 Time PlatformState::earliestFit(NodeId node, Time after, Time duration) const {
@@ -60,6 +61,8 @@ std::optional<PlatformState::BusPlacement> PlatformState::findBusSlot(
   if (ready < 0) ready = 0;
   std::int64_t round =
       std::max(minRound, bus_->firstRoundAtOrAfter(slotIndex, ready));
+  // Every round below the cursor is full; txTicks >= 1 can never fit there.
+  round = std::max(round, slotCursor_[slotIndex]);
   for (; round < roundCount_; ++round) {
     const Time used = slotUsed_[slotIndex][static_cast<std::size_t>(round)];
     if (used + txTicks > bus_->slot(slotIndex).length) continue;
@@ -79,6 +82,17 @@ void PlatformState::occupyBus(std::size_t slotIndex, std::int64_t round,
     throw std::logic_error("occupyBus: slot overflow");
   }
   used += txTicks;
+  // Advance the first-free-round cursor past every round this occupy just
+  // sealed (amortized O(1): each round is crossed once until a rollback
+  // reopens it).
+  std::int64_t& cursor = slotCursor_[slotIndex];
+  if (round == cursor) {
+    const Time length = bus_->slot(slotIndex).length;
+    while (cursor < roundCount_ &&
+           slotUsed_[slotIndex][static_cast<std::size_t>(cursor)] >= length) {
+      ++cursor;
+    }
+  }
   if (journaling_) {
     journal_.push_back({JournalEntry::Kind::Bus,
                         static_cast<std::uint32_t>(slotIndex),
@@ -113,6 +127,9 @@ void PlatformState::rollbackTo(Mark m) {
       undo.emplace_back(e.index, e.iv);
     } else {
       slotUsed_[e.index][static_cast<std::size_t>(e.round)] -= e.txTicks;
+      // The freed ticks reopen this round: lower the cursor so findBusSlot
+      // sees it again (rounds below it stay full, keeping the invariant).
+      slotCursor_[e.index] = std::min(slotCursor_[e.index], e.round);
     }
   }
   journal_.resize(m);

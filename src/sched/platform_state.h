@@ -59,6 +59,10 @@ class PlatformState {
   /// `ready` and still has `txTicks` of room. Transmissions are packed
   /// back-to-back, so the placement begins after the ticks already used in
   /// that occurrence. Returns nullopt if nothing fits before the horizon.
+  /// A per-slot first-free-round cursor (maintained by occupyBus and
+  /// rollbackTo) skips the fully-booked prefix, so the common append —
+  /// packing messages behind a saturated base — is O(1) instead of a scan
+  /// over every full round.
   [[nodiscard]] std::optional<BusPlacement> findBusSlot(
       std::size_t slotIndex, Time ready, Time txTicks,
       std::int64_t minRound = 0) const;
@@ -118,6 +122,11 @@ class PlatformState {
   std::int64_t roundCount_;
   std::vector<IntervalSet> nodeBusy_;             // per node
   std::vector<std::vector<Time>> slotUsed_;       // [slot][round] ticks
+  /// Per slot: the lowest round that still has free ticks. Invariant —
+  /// every round below the cursor is completely full, so findBusSlot may
+  /// start its scan at the cursor. occupyBus advances it (amortized O(1)),
+  /// rollbackTo lowers it when freed ticks reopen an earlier round.
+  std::vector<std::int64_t> slotCursor_;
   bool journaling_ = false;
   std::vector<JournalEntry> journal_;
 };

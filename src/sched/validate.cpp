@@ -132,8 +132,10 @@ class Checker {
           }
           const ScheduledProcess& src = schedule_.processEntry(msg.src, ki);
           const ScheduledProcess& dst = schedule_.processEntry(msg.dst, ki);
-          const std::string name = "m" + std::to_string(mid.value) + "#" +
-                                   std::to_string(ki);
+          std::string name = "m";
+          name += std::to_string(mid.value);
+          name += '#';
+          name += std::to_string(ki);
           if (src.node == dst.node) {
             if (schedule_.hasMessage(mid, ki)) {
               issue(ValidationIssue::Kind::LocalMessageOnBus, name);

@@ -68,8 +68,12 @@ GraphId generateImpl(SystemModel& sys, ApplicationId app, Time period,
   procs.reserve(cfg.processCount);
   for (std::size_t i = 0; i < cfg.processCount; ++i) {
     const Time base = drawWcet();
+    std::string name = "P";
+    name += std::to_string(g.value);
+    name += '_';
+    name += std::to_string(i);
     procs.push_back(sys.addProcess(
-        g, "P" + std::to_string(g.value) + "_" + std::to_string(i),
+        g, std::move(name),
         makeWcetTable(sys.architecture(), base, cfg, rng)));
   }
 

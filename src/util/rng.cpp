@@ -6,6 +6,20 @@
 
 namespace ides {
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rngStreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Two finalizer rounds over the (seed, stream) pair: the golden-ratio
+  // multiplier spreads small stream ids across the word before mixing, so
+  // stream 0 is as far from stream 1 as from stream 2^40.
+  return splitmix64(splitmix64(seed + (stream + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
 std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
   if (lo > hi) throw std::invalid_argument("Rng::uniformInt: lo > hi");
   return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);

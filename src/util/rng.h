@@ -14,6 +14,20 @@
 
 namespace ides {
 
+/// splitmix64 finalizer: a cheap bijective scrambler with good avalanche
+/// behaviour. Used wherever one logical seed has to be fanned out into many
+/// decorrelated generator seeds (parallel SA chains, split RNG streams).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Seed of deterministic stream `stream` derived from `seed`. Streams of
+/// one seed are mutually decorrelated and stable across platforms, which
+/// lets one stochastic component split its draws into independent
+/// sub-sequences (e.g. SA's move-proposal stream vs. its Metropolis
+/// acceptance stream) that can be consumed at different rates without one
+/// perturbing the other.
+[[nodiscard]] std::uint64_t rngStreamSeed(std::uint64_t seed,
+                                          std::uint64_t stream);
+
 /// Thin deterministic wrapper around mt19937_64.
 class Rng {
  public:

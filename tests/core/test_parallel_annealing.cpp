@@ -120,6 +120,32 @@ TEST_F(ParallelSaTest, PerChainIterationsOverridesBase) {
   EXPECT_LE(r.evaluations, 2u * 401u);
 }
 
+TEST_F(ParallelSaTest, SpeculativeWorkersDoNotChangeAnyChain) {
+  // Two-level parallelism: chains x per-chain speculative workers. The
+  // speculation is bit-identical to the sequential chain, so every split of
+  // the thread budget — including the auto split (0) that hands leftover
+  // threads to speculation — must reproduce the same ensemble.
+  ParallelSaOptions plain = fastOptions(13, 2, 2);
+  plain.speculativeWorkers = 1;
+  ParallelSaOptions spec = fastOptions(13, 2, 2);
+  spec.speculativeWorkers = 3;
+  ParallelSaOptions autoSplit = fastOptions(13, 2, 6);  // 6 threads, 2 chains
+  autoSplit.speculativeWorkers = 0;                     // -> 3 workers each
+  autoSplit.base.speculation.acceptanceThreshold = 2.0;  // force batches
+  spec.base.speculation.acceptanceThreshold = 2.0;
+  const ParallelSaResult a = runParallelAnnealing(*eval_, im_.mapping, plain);
+  const ParallelSaResult b = runParallelAnnealing(*eval_, im_.mapping, spec);
+  const ParallelSaResult c =
+      runParallelAnnealing(*eval_, im_.mapping, autoSplit);
+  EXPECT_EQ(a.chainCosts, b.chainCosts);
+  EXPECT_EQ(a.chainCosts, c.chainCosts);
+  EXPECT_EQ(a.bestChain, b.bestChain);
+  EXPECT_TRUE(a.solution == b.solution);
+  EXPECT_TRUE(a.solution == c.solution);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.accepted, c.accepted);
+}
+
 TEST_F(ParallelSaTest, RejectsBadOptions) {
   ParallelSaOptions opts = fastOptions();
   opts.restarts = 0;

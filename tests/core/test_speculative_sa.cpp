@@ -1,0 +1,250 @@
+// Determinism suite for the speculative engine: for every tested
+// configuration of workers × depth × threshold, the speculative chain must
+// be bit-identical to the sequential chain — same final solution, same
+// incumbent cost, same acceptance count, same per-iteration cost trace.
+// The sequential reference is runSimulatedAnnealing's own loop (a separate
+// implementation from the engine's replay), so a divergence in either
+// shows up as a diff here.
+#include "core/speculative_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/initial_mapping.h"
+#include "core/simulated_annealing.h"
+#include "model/system_model.h"
+#include "tgen/benchmark_suite.h"
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+struct Instance {
+  Suite suite;
+  FrozenBase frozen;
+  SolutionEvaluator evaluator;
+  ScheduleOutcome im;
+
+  explicit Instance(const SuiteConfig& cfg, std::uint64_t seed)
+      : suite(buildSuite(cfg, seed)),
+        frozen(freezeExistingApplications(suite.system)),
+        evaluator(suite.system, frozen.state, suite.profile,
+                  MetricWeights{}) {
+    PlatformState state = frozen.state;
+    im = initialMapping(suite.system, state);
+  }
+};
+
+/// The two generated presets the suite sweeps: the loaded 4-node instance
+/// every strategy test uses, and a smaller 3-node one with a different
+/// shape (distinct graph count and message density).
+std::unique_ptr<Instance> makePreset(int preset) {
+  if (preset == 0) {
+    return std::make_unique<Instance>(ides::testing::smallSuiteConfig(), 11);
+  }
+  SuiteConfig cfg = ides::testing::smallSuiteConfig(36, 12);
+  cfg.nodeCount = 3;
+  return std::make_unique<Instance>(cfg, 23);
+}
+
+SaOptions baseOptions(std::uint64_t seed = 1, int iterations = 900) {
+  SaOptions opts;
+  opts.seed = seed;
+  opts.iterations = iterations;
+  opts.recordCostTrace = true;
+  return opts;
+}
+
+void expectIdentical(const SaResult& a, const SaResult& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.solution, b.solution) << what;
+  EXPECT_DOUBLE_EQ(a.eval.cost, b.eval.cost) << what;
+  EXPECT_EQ(a.eval.feasible, b.eval.feasible) << what;
+  EXPECT_EQ(a.evaluations, b.evaluations) << what;
+  EXPECT_EQ(a.accepted, b.accepted) << what;
+  ASSERT_EQ(a.costTrace.size(), b.costTrace.size()) << what;
+  for (std::size_t i = 0; i < a.costTrace.size(); ++i) {
+    ASSERT_EQ(a.costTrace[i], b.costTrace[i])
+        << what << " diverges at iteration " << i;
+  }
+}
+
+TEST(SpeculativeSaTest, BitIdenticalAcrossPresetsWorkersAndDepths) {
+  for (int preset = 0; preset < 2; ++preset) {
+    const auto inst = makePreset(preset);
+    ASSERT_TRUE(inst->frozen.feasible);
+    ASSERT_TRUE(inst->im.feasible);
+    const SaResult reference = runSimulatedAnnealing(
+        inst->evaluator, inst->im.mapping, baseOptions());
+    for (const int workers : {2, 3, 4}) {
+      for (const int depth : {2, 8}) {
+        SaOptions opts = baseOptions();
+        opts.speculation.workers = workers;
+        opts.speculation.maxDepth = depth;
+        const SaResult spec =
+            runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+        expectIdentical(reference, spec,
+                        "preset " + std::to_string(preset) + " workers " +
+                            std::to_string(workers) + " depth " +
+                            std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST(SpeculativeSaTest, ThresholdExtremesDoNotChangeTheTrajectory) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  const SaResult reference =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, baseOptions());
+
+  // threshold 0: never speculate (pure sequential stepping on the pool).
+  SaOptions never = baseOptions();
+  never.speculation.workers = 4;
+  never.speculation.acceptanceThreshold = 0.0;
+  const SaResult neverR =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, never);
+  EXPECT_EQ(neverR.speculativeBatches, 0u);
+  expectIdentical(reference, neverR, "threshold 0");
+
+  // threshold 2: every iteration runs inside a speculation batch (the rate
+  // can never reach 2), exercising rejected-batch resync throughout.
+  SaOptions always = baseOptions();
+  always.speculation.workers = 4;
+  always.speculation.acceptanceThreshold = 2.0;
+  const SaResult alwaysR =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, always);
+  EXPECT_GT(alwaysR.speculativeBatches, 0u);
+  expectIdentical(reference, alwaysR, "threshold 2");
+}
+
+TEST(SpeculativeSaTest, MidRunAcceptanceTransitionEngagesSpeculation) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  // Hot start (acceptance near 1 -> sequential stepping) cooling to a
+  // glacial final temperature (acceptance near 0 -> speculation), so the
+  // run crosses the threshold mid-chain in the direction SA actually does.
+  SaOptions opts = baseOptions(7, 1200);
+  opts.initialTempFactor = 1.0;
+  opts.finalTemp = 1e-6;
+  const SaResult reference =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+
+  SaOptions spec = opts;
+  spec.speculation.workers = 4;
+  const SaResult specR =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, spec);
+  // The run must actually have speculated — and still match bit for bit.
+  EXPECT_GT(specR.speculativeBatches, 0u);
+  expectIdentical(reference, specR, "mid-run transition");
+}
+
+TEST(SpeculativeSaTest, AcceptedBatchesRewindAndResync) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  // Force speculation from iteration 0 at a temperature where acceptances
+  // still happen regularly: every acceptance lands mid-batch, discarding
+  // the speculated tail and resyncing the worker contexts.
+  SaOptions opts = baseOptions(3, 700);
+  opts.initialTempFactor = 0.05;
+  opts.speculation.workers = 3;
+  opts.speculation.acceptanceThreshold = 2.0;
+  const SaResult specR =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+  EXPECT_GT(specR.accepted, 0u);
+  EXPECT_GT(specR.discardedEvaluations, 0u);
+
+  opts.speculation.workers = 1;
+  const SaResult reference =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+  expectIdentical(reference, specR, "accepted batches");
+}
+
+TEST(SpeculativeSaTest, FullPassModeIsAlsoIdentical) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  SaOptions opts = baseOptions(5, 400);
+  opts.incrementalEval = false;
+  const SaResult reference =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+  opts.speculation.workers = 4;
+  opts.speculation.acceptanceThreshold = 2.0;
+  const SaResult specR =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+  expectIdentical(reference, specR, "full-pass mode");
+}
+
+TEST(SpeculativeSaTest, EngineEntryPointMatchesRouting) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  SaOptions opts = baseOptions(9, 300);
+  opts.speculation.workers = 2;
+  const SaResult viaRouting =
+      runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+  const SaResult direct =
+      runSpeculativeAnnealing(inst->evaluator, inst->im.mapping, opts);
+  expectIdentical(viaRouting, direct, "routing");
+}
+
+TEST(SpeculativeSaTest, ThrowsOnInfeasibleInitial) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  MappingSolution bad = inst->im.mapping;
+  const GraphId g = inst->evaluator.currentGraphs().front();
+  const ProcessGraph& graph = inst->suite.system.graph(g);
+  bad.setStartHint(graph.processes.front(), graph.deadline - 1);
+  if (inst->evaluator.evaluate(bad).feasible) {
+    GTEST_SKIP() << "hint did not break feasibility on this instance";
+  }
+  SaOptions opts = baseOptions();
+  opts.speculation.workers = 4;
+  EXPECT_THROW(runSimulatedAnnealing(inst->evaluator, bad, opts),
+               std::invalid_argument);
+}
+
+TEST(SpeculativeSaTest, ContextPoolResyncAlignsEveryContext) {
+  const auto inst = makePreset(0);
+  ASSERT_TRUE(inst->im.feasible);
+  EvalContextPool pool(inst->evaluator, 3);
+  ASSERT_EQ(pool.size(), 3u);
+
+  // Drift every context to a different solution, then resync to one move.
+  const std::vector<GraphId>& graphs = inst->evaluator.currentGraphs();
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    MappingSolution drift = inst->im.mapping;
+    const ProcessId p = inst->suite.system
+                            .graph(graphs[w % graphs.size()])
+                            .processes.front();
+    drift.setStartHint(p, static_cast<Time>(1 + w));
+    MoveHint hint;
+    hint.graph = graphs[w % graphs.size()];
+    hint.process = p;
+    pool[w].evaluate(drift, hint);
+  }
+
+  MappingSolution committed = inst->im.mapping;
+  const ProcessId p = inst->suite.system.graph(graphs.back())
+                          .processes.back();
+  committed.setStartHint(p, 5);
+  MoveHint hint;
+  hint.graph = graphs.back();
+  hint.process = p;
+  const EvalResult want = inst->evaluator.evaluate(committed);
+  pool.resync(committed, hint);
+
+  // After resync every context serves the committed solution from its
+  // checkpoints: re-reading it is pure reuse (no graph re-scheduled) and
+  // bit-identical to the full pass.
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    const std::size_t before = pool[w].graphsScheduled();
+    const EvalResult again = pool[w].evaluate(committed, nullptr, nullptr);
+    EXPECT_EQ(pool[w].graphsScheduled(), before) << "context " << w;
+    EXPECT_DOUBLE_EQ(again.cost, want.cost) << "context " << w;
+    EXPECT_EQ(again.feasible, want.feasible) << "context " << w;
+  }
+}
+
+}  // namespace
+}  // namespace ides

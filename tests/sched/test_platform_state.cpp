@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 #include "test_helpers.h"
+#include "util/rng.h"
 
 namespace ides {
 namespace {
@@ -223,6 +228,86 @@ TEST(PlatformStateJournal, EnablingClearsHistory) {
   EXPECT_EQ(st.mark(), 0u);
   st.rollbackTo(0);
   EXPECT_EQ(st.nodeBusy(NodeId{0}).totalLength(), 10);
+}
+
+// ---- first-free-round cursor ---------------------------------------------
+// findBusSlot keeps a per-slot cursor past the fully-booked round prefix.
+// These tests pin the invariant: placements are identical to a plain linear
+// scan, across saturation, partial fills, and journal rollbacks.
+
+/// Reference: what the pre-cursor linear scan would return.
+std::optional<PlatformState::BusPlacement> linearFindBusSlot(
+    const PlatformState& st, std::size_t slot, Time ready, Time txTicks,
+    std::int64_t minRound = 0) {
+  if (txTicks > st.bus().slot(slot).length) return std::nullopt;
+  if (ready < 0) ready = 0;
+  std::int64_t round =
+      std::max(minRound, st.bus().firstRoundAtOrAfter(slot, ready));
+  for (; round < st.roundCount(); ++round) {
+    if (st.slotUsedTicks(slot, round) + txTicks >
+        st.bus().slot(slot).length) {
+      continue;
+    }
+    const Time start =
+        st.bus().slotStart(round, slot) + st.slotUsedTicks(slot, round);
+    return PlatformState::BusPlacement{round, start, start + txTicks};
+  }
+  return std::nullopt;
+}
+
+TEST(PlatformStateCursor, SkipsSaturatedPrefix) {
+  PlatformState st = makeState(400);  // 20 rounds, slot length 10
+  for (std::int64_t r = 0; r < 12; ++r) st.occupyBus(0, r, 10);
+  const auto got = st.findBusSlot(0, 0, 4);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->round, 12);
+  EXPECT_EQ(got->start, st.bus().slotStart(12, 0));
+  // A partially-used round ahead of the cursor still serves smaller fits.
+  st.occupyBus(0, 12, 7);
+  EXPECT_EQ(st.findBusSlot(0, 0, 3)->round, 12);
+  EXPECT_EQ(st.findBusSlot(0, 0, 4)->round, 13);
+}
+
+TEST(PlatformStateCursor, RollbackReopensRounds) {
+  PlatformState st = makeState(400);
+  st.setJournaling(true);
+  for (std::int64_t r = 0; r < 5; ++r) st.occupyBus(0, r, 10);
+  const PlatformState::Mark m = st.mark();
+  for (std::int64_t r = 5; r < 10; ++r) st.occupyBus(0, r, 10);
+  EXPECT_EQ(st.findBusSlot(0, 0, 1)->round, 10);
+  st.rollbackTo(m);
+  // Rounds 5..9 reopened; the cursor must not skip them.
+  EXPECT_EQ(st.findBusSlot(0, 0, 1)->round, 5);
+  EXPECT_EQ(st.findBusSlot(0, 0, 10)->round, 5);
+}
+
+TEST(PlatformStateCursor, MatchesLinearScanUnderRandomChurn) {
+  PlatformState st = makeState(800);  // 40 rounds, 2 slots
+  st.setJournaling(true);
+  Rng rng(99);
+  std::vector<PlatformState::Mark> marks;
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t slot = rng.index(st.bus().slotCount());
+    const Time ready = rng.uniformInt(0, st.horizon() - 1);
+    const Time tx = rng.uniformInt(1, 10);
+    const auto got = st.findBusSlot(slot, ready, tx);
+    const auto want = linearFindBusSlot(st, slot, ready, tx);
+    ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+    if (got.has_value()) {
+      EXPECT_EQ(got->round, want->round) << "step " << step;
+      EXPECT_EQ(got->start, want->start) << "step " << step;
+    }
+    // Churn: mostly occupy (sometimes through the found placement),
+    // sometimes roll back to a random earlier mark.
+    if (!marks.empty() && rng.chance(0.15)) {
+      const std::size_t k = rng.index(marks.size());
+      st.rollbackTo(marks[k]);
+      marks.resize(k);
+    } else if (got.has_value()) {
+      marks.push_back(st.mark());
+      st.occupyBus(slot, got->round, tx);
+    }
+  }
 }
 
 }  // namespace
