@@ -6,9 +6,11 @@
 // future-fit rate, showing that (a) emphasizing C2 is what protects the
 // periodic slack, and (b) the conclusion "MH supports incremental design"
 // is robust across reasonable weightings.
+//
+// The weight cases × seeds grid runs through the sharded BatchRunner
+// (core/batch_suites.h weightsSweep), future-fit counts via the probe.
 #include "bench_common.h"
 
-#include "core/future_fit.h"
 #include "util/stats.h"
 
 int main() {
@@ -20,45 +22,35 @@ int main() {
               "MH results under different w2/w1 ratios (current app: 240 "
               "processes)", scale);
 
-  struct WeightCase {
-    const char* name;
-    MetricWeights weights;
-  };
-  const std::vector<WeightCase> cases = {
-      {"C1-only (w2=0)", {1.0, 1.0, 0.0, 0.0}},
-      {"balanced (w2=1)", {1.0, 1.0, 1.0, 1.0}},
-      {"default (w2=2)", {1.0, 1.0, 2.0, 2.0}},
-      {"C2-heavy (w2=8)", {1.0, 1.0, 8.0, 8.0}},
-  };
+  const InstanceSuite suite = weightsSweep(scale);
+  const BatchReport report = runAndPublish(suite, "ablation_weights", scale);
+
+  // Case names in suite order (the canonical grouping).
+  std::vector<std::string> caseNames;
+  for (const BatchInstance& instance : suite.instances()) {
+    if (caseNames.empty() || caseNames.back() != instance.group) {
+      caseNames.push_back(instance.group);
+    }
+  }
 
   CsvTable table({"weights", "C1P_pct", "C2P_ticks", "future_fit_pct"});
 
-  const std::size_t size = 240;
-  for (const WeightCase& wc : cases) {
+  for (const std::string& name : caseNames) {
     StatAccumulator c1p, c2p;
-    int fits = 0, samples = 0;
+    double fits = 0.0, samples = 0.0;
     for (int s = 0; s < scale.seeds; ++s) {
-      const Suite suite =
-          buildSuite(paperConfig(size, scale.futureAppsPerInstance),
-                     5000 + static_cast<std::uint64_t>(s));
-      DesignerOptions opts = designerOptions(scale);
-      opts.weights = wc.weights;
-      IncrementalDesigner designer(suite.system, suite.profile, opts);
-      const DesignResult mh = designer.run(Strategy::MappingHeuristic);
-      c1p.add(mh.metrics.c1p);
-      c2p.add(static_cast<double>(mh.metrics.c2p));
-      const PlatformState after = designer.stateWith(mh);
-      for (ApplicationId app :
-           suite.system.applicationsOfKind(AppKind::Future)) {
-        fits += tryMapFutureApplication(suite.system, app, after).fits;
-        ++samples;
-      }
+      const InstanceResult* mh = findInstance(report, name, s, "MH");
+      if (mh == nullptr) continue;
+      c1p.add(mh->outcome.report.metrics.c1p);
+      c2p.add(static_cast<double>(mh->outcome.report.metrics.c2p));
+      fits += extraValue(*mh, "future_fit");
+      samples += extraValue(*mh, "future_samples");
     }
-    const double fitPct = 100.0 * fits / samples;
-    table.addRow({wc.name, CsvTable::num(c1p.mean()),
+    const double fitPct = samples > 0.0 ? 100.0 * fits / samples : 0.0;
+    table.addRow({name, CsvTable::num(c1p.mean()),
                   CsvTable::num(c2p.mean(), 0), CsvTable::num(fitPct, 1)});
     std::printf("  %-18s C1P=%5.2f%%  C2P=%7.0f  future-fit=%5.1f%%\n",
-                wc.name, c1p.mean(), c2p.mean(), fitPct);
+                name.c_str(), c1p.mean(), c2p.mean(), fitPct);
   }
 
   std::printf("\n");

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch_runner.h"
+#include "core/batch_suites.h"
 #include "core/incremental_designer.h"
 #include "tgen/benchmark_suite.h"
 #include "util/ascii_chart.h"
@@ -24,50 +26,29 @@
 
 namespace ides::bench {
 
-struct BenchScale {
-  std::string name = "default";
-  int seeds = 3;
-  int saIterations = 12000;
-  std::vector<std::size_t> sizes{40, 80, 160, 240, 320};
-  std::size_t futureAppsPerInstance = 5;
-};
+/// The scale knob and the paper-scale instance definitions moved into the
+/// library (core/batch_suites.h) when the figure drivers were ported onto
+/// the BatchRunner; these aliases keep the remaining hand-rolled benches
+/// (ablation A1, the modification extension, the micro benches) unchanged.
+using BenchScale = SweepScale;
 
-inline BenchScale benchScale() {
-  BenchScale s;
-  const char* env = std::getenv("IDES_BENCH_SCALE");
-  const std::string v = env == nullptr ? "default" : env;
-  if (v == "smoke") {
-    s = {"smoke", 1, 4000, {40, 160, 320}, 3};
-  } else if (v == "full") {
-    s = {"full", 5, 30000, {40, 80, 160, 240, 320}, 10};
-  }
-  return s;
-}
+inline BenchScale benchScale() { return sweepScale(); }
 
-/// The paper-scale experiment instance (slides 15-17): 10 nodes, 400
-/// processes of existing applications, current application of `current`
-/// processes. tneed is pinned to 12000 ticks per Tmin window — the "most
-/// demanding future application" — which puts the transition where naive
-/// mapping starts starving the periodic slack inside the sweep range (see
-/// DESIGN.md section 3 and EXPERIMENTS.md).
 inline SuiteConfig paperConfig(std::size_t current,
                                std::size_t futureApps = 0) {
-  SuiteConfig cfg;
-  cfg.nodeCount = 10;
-  cfg.existingProcesses = 400;
-  cfg.currentProcesses = current;
-  cfg.futureAppCount = futureApps;
-  cfg.futureProcesses = 80;
-  cfg.tneedOverride = 12000;
-  return cfg;
+  return paperSuiteConfig(current, futureApps);
 }
 
 inline DesignerOptions designerOptions(const BenchScale& scale,
                                        std::uint64_t saSeed = 1) {
-  DesignerOptions opts;
-  opts.sa.iterations = scale.saIterations;
-  opts.sa.seed = saSeed;
-  return opts;
+  return sweepDesignerOptions(scale, saSeed);
+}
+
+/// Shards for the BatchRunner-backed drivers: IDES_BENCH_SHARDS, default 0
+/// (= all cores). Aggregated results are bit-identical for every value.
+inline int benchShards() {
+  const char* env = std::getenv("IDES_BENCH_SHARDS");
+  return env == nullptr || *env == '\0' ? 0 : std::atoi(env);
 }
 
 /// Percent deviation from the reference cost, clamped at 0 and guarded
@@ -91,6 +72,68 @@ inline void printTableAndCsv(const CsvTable& table) {
   table.writePretty(std::cout);
   std::printf("\nCSV:\n");
   table.writeCsv(std::cout);
+}
+
+/// Writes a pre-rendered BENCH_<name>.json payload (e.g. from
+/// batchReportJson) via the library's shared publishing helper; reports
+/// the path (or the failure) on stdout.
+inline void writeBenchJsonString(const std::string& name,
+                                 const std::string& payload) {
+  const std::string path = benchJsonPath(name);
+  if (writeBenchJsonFile(name, payload)) {
+    std::printf("machine-readable results: %s\n", path.c_str());
+  } else {
+    std::printf("(could not write %s)\n", path.c_str());
+  }
+}
+
+/// Convenience for the BatchRunner-backed drivers: run the sweep with the
+/// env-selected shard count, echo per-instance completions, and write the
+/// canonical JSON (timing included — the deterministic prefix of each
+/// record is still byte-stable; the determinism tests compare with timing
+/// off).
+inline BatchReport runAndPublish(const InstanceSuite& suite,
+                                 const std::string& benchName,
+                                 const BenchScale& scale) {
+  BatchOptions options;
+  options.shards = benchShards();
+  options.onInstanceDone = [](const InstanceResult& r) {
+    if (r.outcome.hasReport) {
+      std::printf("  [%s] C=%.2f (%.3fs)\n", r.id.c_str(),
+                  r.outcome.report.objective, r.outcome.report.seconds);
+    } else {
+      std::printf("  [%s] done\n", r.id.c_str());
+    }
+  };
+  const BatchReport report = runBatch(suite, options);
+  BatchJsonOptions json;
+  json.scale = scale.name;
+  writeBenchJsonString(benchName, batchReportJson(benchName, report, json));
+  return report;
+}
+
+/// Completed instance of (group, seed[, strategy]) in a batch report, or
+/// null. Strategy "" matches any (custom-job instances have no report).
+inline const InstanceResult* findInstance(const BatchReport& report,
+                                          const std::string& group, int seed,
+                                          const std::string& strategy = "") {
+  for (const InstanceResult& r : report.results) {
+    if (!r.ran || r.group != group || r.seedIndex != seed) continue;
+    if (!strategy.empty() &&
+        (!r.outcome.hasReport || r.outcome.report.strategy != strategy)) {
+      continue;
+    }
+    return &r;
+  }
+  return nullptr;
+}
+
+inline double extraValue(const InstanceResult& r, const std::string& key,
+                         double fallback = 0.0) {
+  for (const auto& [k, v] : r.outcome.extras.fields) {
+    if (k == key) return v;
+  }
+  return fallback;
 }
 
 /// Machine-readable bench results: BENCH_<name>.json, one flat record per

@@ -8,9 +8,11 @@
 // platform's "lifetime" is how many increments it absorbs. Future-aware
 // mapping (MH) should keep the platform alive for more versions than
 // naive mapping (AH).
+//
+// Each (seed, policy) lifetime simulation is one custom-job instance of
+// the sharded BatchRunner suite (core/batch_suites.h incrementsSweep).
 #include "bench_common.h"
 
-#include "core/multi_increment.h"
 #include "util/stats.h"
 
 int main() {
@@ -23,48 +25,32 @@ int main() {
               "How many queued increments (16 processes each) are absorbed "
               "under AH vs MH?", scale);
 
-  SuiteConfig cfg;
-  cfg.nodeCount = 4;
-  cfg.basePeriod = 6000;
-  cfg.tmin = 3000;
-  cfg.existingProcesses = 40;
-  cfg.currentProcesses = 16;
-  cfg.futureAppCount = 8;  // the queue of version N+1, N+2, ...
-  cfg.futureProcesses = 16;
-  cfg.futureGraphSize = 16;
-  cfg.tneedOverride = 2 * 16 * 69;
+  const InstanceSuite suite = incrementsSweep(scale);
+  const BatchReport report = runAndPublish(suite, "ext_increments", scale);
 
   CsvTable table({"policy", "avg_accepted", "min", "max", "queue"});
   StatAccumulator ahAcc, mhAcc;
+  double queueSize = 0.0;
 
   for (int s = 0; s < scale.seeds; ++s) {
-    const Suite suite = buildSuite(cfg, 7000 + static_cast<std::uint64_t>(s));
-    std::vector<ApplicationId> queue =
-        suite.system.applicationsOfKind(AppKind::Current);
-    const auto futures = suite.system.applicationsOfKind(AppKind::Future);
-    queue.insert(queue.end(), futures.begin(), futures.end());
-
-    MultiIncrementOptions ahOpts;
-    ahOpts.strategy = Strategy::AdHoc;
-    MultiIncrementOptions mhOpts;
-    mhOpts.strategy = Strategy::MappingHeuristic;
-    const MultiIncrementResult ah =
-        runIncrementSequence(suite.system, suite.profile, queue, ahOpts);
-    const MultiIncrementResult mh =
-        runIncrementSequence(suite.system, suite.profile, queue, mhOpts);
-    ahAcc.add(static_cast<double>(ah.accepted));
-    mhAcc.add(static_cast<double>(mh.accepted));
-    std::printf("  [seed=%d] absorbed: AH %zu/%zu  MH %zu/%zu\n", s,
-                ah.accepted, queue.size(), mh.accepted, queue.size());
+    const InstanceResult* ah = findInstance(report, "AH", s);
+    const InstanceResult* mh = findInstance(report, "MH", s);
+    if (ah == nullptr || mh == nullptr) continue;
+    const double ahAccepted = extraValue(*ah, "accepted");
+    const double mhAccepted = extraValue(*mh, "accepted");
+    queueSize = extraValue(*ah, "queue");
+    ahAcc.add(ahAccepted);
+    mhAcc.add(mhAccepted);
+    std::printf("  [seed=%d] absorbed: AH %.0f/%.0f  MH %.0f/%.0f\n", s,
+                ahAccepted, queueSize, mhAccepted, queueSize);
   }
 
-  const auto queueSize = static_cast<long long>(1 + cfg.futureAppCount);
   table.addRow({"AH", CsvTable::num(ahAcc.mean(), 2),
                 CsvTable::num(ahAcc.min(), 0), CsvTable::num(ahAcc.max(), 0),
-                CsvTable::num(queueSize)});
+                CsvTable::num(static_cast<long long>(queueSize))});
   table.addRow({"MH", CsvTable::num(mhAcc.mean(), 2),
                 CsvTable::num(mhAcc.min(), 0), CsvTable::num(mhAcc.max(), 0),
-                CsvTable::num(queueSize)});
+                CsvTable::num(static_cast<long long>(queueSize))});
 
   std::printf("\n");
   printTableAndCsv(table);

@@ -5,54 +5,49 @@
 //
 // Expected shape (paper): MH keeps the success rate high across the sweep;
 // AH's rate collapses as the current application grows.
+//
+// The sweep runs through the sharded BatchRunner; the per-instance
+// future-fit counts come from the suite's probe (extras future_fit /
+// future_samples), so the whole figure is shard-invariant.
 #include "bench_common.h"
-
-#include "core/future_fit.h"
 #include "util/stats.h"
 
 int main() {
   using namespace ides;
   using namespace ides::bench;
 
-  BenchScale scale = benchScale();
-  // The paper's third figure sweeps 40..240; 240 (where naive mapping
-  // starts to destroy extensibility) is always included.
+  const BenchScale scale = benchScale();
+  printHeader("Figure F3 — support for incremental design",
+              "% of future applications (80 processes) mappable after AH vs "
+              "MH", scale);
+
+  const InstanceSuite suite = futureSweep(scale);
+  const BatchReport report = runAndPublish(suite, "fig_future", scale);
+
+  // Recover the sweep's size axis from the suite (sizes capped at 240).
   std::vector<std::size_t> sizes;
   for (std::size_t n : scale.sizes) {
     if (n < 240) sizes.push_back(n);
   }
   sizes.push_back(240);
 
-  printHeader("Figure F3 — support for incremental design",
-              "% of future applications (80 processes) mappable after AH vs "
-              "MH", scale);
-
   CsvTable table({"current_processes", "fit_AH_pct", "fit_MH_pct",
                   "samples"});
   std::vector<double> xs, ahSeries, mhSeries;
 
   for (const std::size_t size : sizes) {
+    std::string group = "n";
+    group += std::to_string(size);
     int ahFits = 0, mhFits = 0, samples = 0;
     for (int s = 0; s < scale.seeds; ++s) {
-      const Suite suite =
-          buildSuite(paperConfig(size, scale.futureAppsPerInstance),
-                     3000 + static_cast<std::uint64_t>(s));
-      IncrementalDesigner designer(
-          suite.system, suite.profile,
-          designerOptions(scale, static_cast<std::uint64_t>(s) + 1));
-      const DesignResult ah = designer.run(Strategy::AdHoc);
-      const DesignResult mh = designer.run(Strategy::MappingHeuristic);
-      const PlatformState afterAh = designer.stateWith(ah);
-      const PlatformState afterMh = designer.stateWith(mh);
-      for (ApplicationId app :
-           suite.system.applicationsOfKind(AppKind::Future)) {
-        ahFits +=
-            tryMapFutureApplication(suite.system, app, afterAh).fits ? 1 : 0;
-        mhFits +=
-            tryMapFutureApplication(suite.system, app, afterMh).fits ? 1 : 0;
-        ++samples;
-      }
+      const InstanceResult* ah = findInstance(report, group, s, "AH");
+      const InstanceResult* mh = findInstance(report, group, s, "MH");
+      if (ah == nullptr || mh == nullptr) continue;
+      ahFits += static_cast<int>(extraValue(*ah, "future_fit"));
+      mhFits += static_cast<int>(extraValue(*mh, "future_fit"));
+      samples += static_cast<int>(extraValue(*ah, "future_samples"));
     }
+    if (samples == 0) continue;
     const double ahPct = 100.0 * ahFits / samples;
     const double mhPct = 100.0 * mhFits / samples;
     table.addRow({CsvTable::num(static_cast<long long>(size)),

@@ -4,6 +4,10 @@
 //
 // Expected shape (paper): AH far above MH at every size where the current
 // application actually stresses the system; MH within a few percent of SA.
+//
+// The sweep itself (sizes × seeds × {AH, MH, SA}) runs through the sharded
+// BatchRunner (IDES_BENCH_SHARDS, default all cores); per-strategy results
+// are bit-identical to the old per-designer loop and to any shard count.
 #include "bench_common.h"
 #include "util/stats.h"
 
@@ -16,28 +20,32 @@ int main() {
               "Avg % deviation of AH and MH cost C from near-optimal (SA)",
               scale);
 
+  const InstanceSuite suite = qualitySweep(scale);
+  const BatchReport report = runAndPublish(suite, "fig_quality", scale);
+
   CsvTable table({"current_processes", "dev_AH_pct", "dev_MH_pct",
                   "C_AH", "C_MH", "C_SA"});
   std::vector<double> xs, ahSeries, mhSeries;
 
   for (const std::size_t size : scale.sizes) {
+    std::string group = "n";
+    group += std::to_string(size);
     StatAccumulator devAh, devMh, cAh, cMh, cSa;
     for (int s = 0; s < scale.seeds; ++s) {
-      const Suite suite =
-          buildSuite(paperConfig(size), 1000 + static_cast<std::uint64_t>(s));
-      IncrementalDesigner designer(
-          suite.system, suite.profile,
-          designerOptions(scale, static_cast<std::uint64_t>(s) + 1));
-      const DesignResult ah = designer.run(Strategy::AdHoc);
-      const DesignResult mh = designer.run(Strategy::MappingHeuristic);
-      const DesignResult sa = designer.run(Strategy::SimulatedAnnealing);
-      devAh.add(deviationPercent(ah.objective, sa.objective));
-      devMh.add(deviationPercent(mh.objective, sa.objective));
-      cAh.add(ah.objective);
-      cMh.add(mh.objective);
-      cSa.add(sa.objective);
+      const InstanceResult* ah = findInstance(report, group, s, "AH");
+      const InstanceResult* mh = findInstance(report, group, s, "MH");
+      const InstanceResult* sa = findInstance(report, group, s, "SA");
+      if (ah == nullptr || mh == nullptr || sa == nullptr) continue;
+      const double cahv = ah->outcome.report.objective;
+      const double cmhv = mh->outcome.report.objective;
+      const double csav = sa->outcome.report.objective;
+      devAh.add(deviationPercent(cahv, csav));
+      devMh.add(deviationPercent(cmhv, csav));
+      cAh.add(cahv);
+      cMh.add(cmhv);
+      cSa.add(csav);
       std::printf("  [n=%zu seed=%d] C: AH=%.2f MH=%.2f SA=%.2f\n", size, s,
-                  ah.objective, mh.objective, sa.objective);
+                  cahv, cmhv, csav);
     }
     table.addRow({CsvTable::num(static_cast<long long>(size)),
                   CsvTable::num(devAh.mean()), CsvTable::num(devMh.mean()),

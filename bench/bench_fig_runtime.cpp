@@ -5,6 +5,11 @@
 // all growing with the application size. Absolute values differ from the
 // paper (2001 workstation, paper-scale SA budgets); the ordering and the
 // growth are the reproduced claims.
+//
+// The sweep runs through the sharded BatchRunner. NOTE: shards > 1 run
+// strategy timings concurrently, which inflates the absolute wall-clock
+// numbers under contention — set IDES_BENCH_SHARDS=1 for clean timing
+// curves (objectives and evaluation counts are shard-invariant either way).
 #include "bench_common.h"
 #include "util/stats.h"
 
@@ -17,26 +22,27 @@ int main() {
               "Avg strategy runtime [s] vs size of the current application",
               scale);
 
+  const InstanceSuite suite = runtimeSweep(scale);
+  const BatchReport report = runAndPublish(suite, "fig_runtime", scale);
+
   CsvTable table({"current_processes", "AH_seconds", "MH_seconds",
                   "SA_seconds", "MH_evals", "SA_evals"});
   std::vector<double> xs, ahSeries, mhSeries, saSeries;
 
   for (const std::size_t size : scale.sizes) {
+    std::string group = "n";
+    group += std::to_string(size);
     StatAccumulator tAh, tMh, tSa, eMh, eSa;
     for (int s = 0; s < scale.seeds; ++s) {
-      const Suite suite =
-          buildSuite(paperConfig(size), 2000 + static_cast<std::uint64_t>(s));
-      IncrementalDesigner designer(
-          suite.system, suite.profile,
-          designerOptions(scale, static_cast<std::uint64_t>(s) + 1));
-      const DesignResult ah = designer.run(Strategy::AdHoc);
-      const DesignResult mh = designer.run(Strategy::MappingHeuristic);
-      const DesignResult sa = designer.run(Strategy::SimulatedAnnealing);
-      tAh.add(ah.seconds);
-      tMh.add(mh.seconds);
-      tSa.add(sa.seconds);
-      eMh.add(static_cast<double>(mh.evaluations));
-      eSa.add(static_cast<double>(sa.evaluations));
+      const InstanceResult* ah = findInstance(report, group, s, "AH");
+      const InstanceResult* mh = findInstance(report, group, s, "MH");
+      const InstanceResult* sa = findInstance(report, group, s, "SA");
+      if (ah == nullptr || mh == nullptr || sa == nullptr) continue;
+      tAh.add(ah->outcome.report.seconds);
+      tMh.add(mh->outcome.report.seconds);
+      tSa.add(sa->outcome.report.seconds);
+      eMh.add(static_cast<double>(mh->outcome.report.evaluations));
+      eSa.add(static_cast<double>(sa->outcome.report.evaluations));
     }
     table.addRow({CsvTable::num(static_cast<long long>(size)),
                   CsvTable::num(tAh.mean(), 4), CsvTable::num(tMh.mean(), 3),

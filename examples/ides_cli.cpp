@@ -3,21 +3,32 @@
 // Subcommands:
 //   stats    [--nodes N --existing E --current C --seed S]
 //            generate a suite and print its statistics report
-//   design   [--strategy AH|MH|SA|PSA] [--sa-iters N] [--restarts K]
-//            [--threads T] [--spec-workers W] [--spec-depth D] [suite flags]
-//            run one strategy, print metrics and validation
+//   design   [--strategy NAME] [--sa-iters N] [--restarts K] [--threads T]
+//            [--spec-workers W] [--spec-depth D] [--deadline S] [suite flags]
+//            run one registered strategy, print metrics and validation
 //   schedule [--out FILE] [suite flags]
 //            run MH and dump the merged schedule (CSV form, stdout or file)
 //   dot      [suite flags]
 //            emit the current application's process graphs as Graphviz DOT
+//   sweep    --suite NAME [--shards N] [--deadline S] [--scale SCALE]
+//            run a paper sweep through the sharded BatchRunner and write
+//            BENCH_sweep_<NAME>.json (IDES_BENCH_JSON_DIR)
+//   list-strategies
+//            print the registered optimizer names (also --list-strategies)
 //
-// All flags have defaults; every run is deterministic for a given --seed.
+// Strategies resolve by name against StrategyRegistry::builtin(), so any
+// registered optimizer works; unknown names list the valid set. All flags
+// have defaults; every run is deterministic for a given --seed (and for a
+// sweep, for any --shards value).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "core/batch_runner.h"
+#include "core/batch_suites.h"
 #include "core/incremental_designer.h"
 #include "model/dot_export.h"
 #include "model/model_io.h"
@@ -26,6 +37,7 @@
 #include "sched/validate.h"
 #include "tgen/benchmark_suite.h"
 #include "tgen/profile_presets.h"
+#include "util/stop_token.h"
 
 namespace {
 
@@ -43,6 +55,11 @@ struct CliArgs {
   int restarts = 4;      // PSA: chains
   int specWorkers = 0;   // SA: speculative eval workers (0 = off; PSA: auto)
   int specDepth = 0;     // max speculation depth (0 = 4 * workers)
+  bool listStrategies = false;
+  std::string suiteName;   // sweep: which paper sweep to run
+  std::string scaleName;   // sweep: explicit scale (else IDES_BENCH_SCALE)
+  int shards = 0;          // sweep: 0 = all cores
+  double deadlineSeconds = 0.0;  // 0 = no deadline
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
   Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
@@ -52,18 +69,29 @@ struct CliArgs {
 
 void usage() {
   std::puts(
-      "usage: ides_cli <stats|design|schedule|dot> [options]\n"
+      "usage: ides_cli <stats|design|schedule|dot|sweep|list-strategies> "
+      "[options]\n"
       "  --nodes N      architecture size        (default 10)\n"
       "  --existing E   existing processes       (default 400)\n"
       "  --current C    current-app processes    (default 160)\n"
       "  --seed S       generator seed           (default 1)\n"
-      "  --strategy X   AH | MH | SA | PSA       (default MH)\n"
+      "  --strategy X   registered strategy name (default MH;\n"
+      "                 see --list-strategies)\n"
       "  --sa-iters N   SA iterations (per chain for PSA)\n"
       "  --restarts K   PSA chains               (default 4)\n"
       "  --threads T    PSA threads, 0 = all cores (default 0)\n"
       "  --spec-workers W  speculative eval workers per SA chain\n"
       "                 (SA default 1 = off; PSA default 0 = auto split)\n"
       "  --spec-depth D max speculation depth (default 4 * workers)\n"
+      "  --deadline S   cooperative wall-clock budget in seconds; the run\n"
+      "                 stops early with its best solution so far\n"
+      "  --suite NAME   sweep to run: quality | runtime | future |\n"
+      "                 weights | increments\n"
+      "  --shards N     sweep worker threads, 0 = all cores (default 0);\n"
+      "                 results are bit-identical for every value\n"
+      "  --scale NAME   sweep scale smoke | default | full\n"
+      "                 (default: IDES_BENCH_SCALE)\n"
+      "  --list-strategies  print the registered strategy names\n"
       "  --out FILE     write schedule to FILE   (schedule command)\n"
       "  --model FILE   load an 'ides model v1' file instead of generating\n"
       "  --tmin T --tneed T --bneed B  future profile for --model runs");
@@ -72,9 +100,21 @@ void usage() {
 bool parse(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  int i = 2;
+  while (i < argc) {
     const std::string flag = argv[i];
+    // Valueless flags first.
+    if (flag == "--list-strategies") {
+      args.listStrategies = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+      return false;
+    }
     const std::string value = argv[i + 1];
+    i += 2;
     if (flag == "--nodes") {
       args.nodes = std::stoul(value);
     } else if (flag == "--existing") {
@@ -95,6 +135,14 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.specWorkers = std::stoi(value);
     } else if (flag == "--spec-depth") {
       args.specDepth = std::stoi(value);
+    } else if (flag == "--suite") {
+      args.suiteName = value;
+    } else if (flag == "--shards") {
+      args.shards = std::stoi(value);
+    } else if (flag == "--scale") {
+      args.scaleName = value;
+    } else if (flag == "--deadline") {
+      args.deadlineSeconds = std::stod(value);
     } else if (flag == "--out") {
       args.outFile = value;
     } else if (flag == "--model") {
@@ -140,14 +188,6 @@ Suite makeSuite(const CliArgs& args) {
   return buildSuite(cfg, args.seed);
 }
 
-Strategy parseStrategy(const std::string& name) {
-  if (name == "AH") return Strategy::AdHoc;
-  if (name == "MH") return Strategy::MappingHeuristic;
-  if (name == "SA") return Strategy::SimulatedAnnealing;
-  if (name == "PSA") return Strategy::ParallelAnnealing;
-  throw std::invalid_argument("unknown strategy: " + name);
-}
-
 DesignerOptions designerOptions(const CliArgs& args) {
   DesignerOptions opts;
   opts.sa.seed = args.seed;
@@ -162,6 +202,13 @@ DesignerOptions designerOptions(const CliArgs& args) {
   return opts;
 }
 
+int cmdListStrategies() {
+  for (const std::string& name : StrategyRegistry::builtin().names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 int cmdStats(const CliArgs& args) {
   const Suite suite = makeSuite(args);
   std::fputs(statsReport(suite.system).c_str(), stdout);
@@ -172,13 +219,26 @@ int cmdStats(const CliArgs& args) {
   return 0;
 }
 
+/// Registry-resolved strategy run with the optional --deadline stop token.
+DesignResult runStrategy(IncrementalDesigner& designer, const CliArgs& args) {
+  StopToken stop;
+  RunContext context;
+  if (args.deadlineSeconds > 0.0) {
+    stop.setTimeout(args.deadlineSeconds);
+    context.stop = &stop;
+  }
+  return designer.run(args.strategy, context);
+}
+
 int cmdDesign(const CliArgs& args) {
   const Suite suite = makeSuite(args);
   IncrementalDesigner designer(suite.system, suite.profile,
                                designerOptions(args));
-  const DesignResult r = designer.run(parseStrategy(args.strategy));
+  const DesignResult r = runStrategy(designer, args);
   std::printf("strategy: %s\nfeasible: %s\nobjective C: %.2f\n",
-              toString(r.strategy), r.feasible ? "yes" : "no", r.objective);
+              r.strategyName.c_str(), r.feasible ? "yes" : "no",
+              r.objective);
+  if (r.stopped) std::puts("stopped: deadline/cancellation hit");
   std::printf("metrics: C1P=%.2f%% C1m=%.2f%% C2P=%lld C2m=%lldB\n",
               r.metrics.c1p, r.metrics.c1m,
               static_cast<long long>(r.metrics.c2p),
@@ -203,7 +263,7 @@ int cmdSchedule(const CliArgs& args) {
   const Suite suite = makeSuite(args);
   IncrementalDesigner designer(suite.system, suite.profile,
                                designerOptions(args));
-  const DesignResult r = designer.run(parseStrategy(args.strategy));
+  const DesignResult r = runStrategy(designer, args);
   if (!r.feasible) {
     std::fputs("no feasible design\n", stderr);
     return 1;
@@ -234,6 +294,59 @@ int cmdDot(const CliArgs& args) {
   return 0;
 }
 
+int cmdSweep(const CliArgs& args) {
+  if (args.suiteName.empty()) {
+    std::string known;
+    for (const std::string& n : sweepNames()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    std::fprintf(stderr, "sweep needs --suite NAME (available: %s)\n",
+                 known.c_str());
+    return 2;
+  }
+  const SweepScale scale = args.scaleName.empty()
+                               ? sweepScale()
+                               : sweepScaleNamed(args.scaleName);
+  const InstanceSuite suite = namedSweep(args.suiteName, scale);
+  std::printf("sweep %s: %zu instances, scale=%s, shards=%s\n",
+              suite.name().c_str(), suite.size(), scale.name.c_str(),
+              args.shards > 0 ? std::to_string(args.shards).c_str()
+                              : "all cores");
+
+  StopToken stop;
+  BatchOptions options;
+  options.shards = args.shards;
+  if (args.deadlineSeconds > 0.0) {
+    stop.setTimeout(args.deadlineSeconds);
+    options.stop = &stop;
+  }
+  options.onInstanceDone = [&](const InstanceResult& r) {
+    if (r.outcome.hasReport) {
+      std::printf("  [%s] C=%.2f (%.3fs)%s\n", r.id.c_str(),
+                  r.outcome.report.objective, r.outcome.report.seconds,
+                  r.outcome.report.stopped ? " [stopped]" : "");
+    } else {
+      std::printf("  [%s] done\n", r.id.c_str());
+    }
+  };
+
+  const BatchReport report = runBatch(suite, options);
+  std::printf("completed %zu/%zu instances%s\n", report.completed,
+              report.results.size(),
+              report.stopped ? " (stopped by deadline)" : "");
+
+  BatchJsonOptions json;
+  json.scale = scale.name;
+  const std::string name = "sweep_" + args.suiteName;
+  if (!writeBenchJsonFile(name, batchReportJson(name, report, json))) {
+    std::fprintf(stderr, "cannot write %s\n", benchJsonPath(name).c_str());
+    return 1;
+  }
+  std::printf("machine-readable results: %s\n",
+              benchJsonPath(name).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,10 +356,14 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+    if (args.listStrategies || args.command == "list-strategies") {
+      return cmdListStrategies();
+    }
     if (args.command == "stats") return cmdStats(args);
     if (args.command == "design") return cmdDesign(args);
     if (args.command == "schedule") return cmdSchedule(args);
     if (args.command == "dot") return cmdDot(args);
+    if (args.command == "sweep") return cmdSweep(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

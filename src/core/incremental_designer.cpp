@@ -1,7 +1,7 @@
 #include "core/incremental_designer.h"
 
-#include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "model/system_model.h"
 
@@ -17,12 +17,42 @@ const char* toString(Strategy s) {
   return "?";
 }
 
+namespace {
+
+/// Enum value for a registry name, for DesignResult's deprecated shim
+/// field. Custom strategies fall back to AdHoc (strategyName is
+/// authoritative).
+Strategy strategyEnumFor(const std::string& name) {
+  if (name == "MH") return Strategy::MappingHeuristic;
+  if (name == "SA") return Strategy::SimulatedAnnealing;
+  if (name == "PSA") return Strategy::ParallelAnnealing;
+  return Strategy::AdHoc;
+}
+
+DesignResult toDesignResult(RunReport&& report) {
+  DesignResult result;
+  result.strategyName = report.strategy;
+  result.strategy = strategyEnumFor(report.strategy);
+  result.feasible = report.feasible;
+  result.mapping = std::move(report.mapping);
+  result.schedule = std::move(report.schedule);
+  result.metrics = report.metrics;
+  result.objective = report.objective;
+  result.seconds = report.seconds;
+  result.evaluations = report.evaluations;
+  result.stopped = report.stopped;
+  return result;
+}
+
+}  // namespace
+
 IncrementalDesigner::IncrementalDesigner(const SystemModel& sys,
                                          FutureProfile profile,
                                          DesignerOptions options)
     : sys_(&sys),
       options_(options),
       frozen_(freezeExistingApplications(sys)) {
+  validateOptions(options_);
   if (!frozen_.feasible) {
     throw std::runtime_error(
         "IncrementalDesigner: existing applications are not schedulable");
@@ -31,63 +61,24 @@ IncrementalDesigner::IncrementalDesigner(const SystemModel& sys,
       sys, frozen_.state, std::move(profile), options_.weights);
 }
 
+DesignResult IncrementalDesigner::run(const std::string& strategyName) {
+  return run(strategyName, context_);
+}
+
+DesignResult IncrementalDesigner::run(const std::string& strategyName,
+                                      RunContext& context) {
+  const std::unique_ptr<Optimizer> optimizer =
+      StrategyRegistry::builtin().create(strategyName, options_);
+  return run(*optimizer, context);
+}
+
+DesignResult IncrementalDesigner::run(const Optimizer& optimizer,
+                                      RunContext& context) {
+  return toDesignResult(optimizer.run(*evaluator_, context));
+}
+
 DesignResult IncrementalDesigner::run(Strategy strategy) {
-  using Clock = std::chrono::steady_clock;
-  const auto start = Clock::now();
-
-  DesignResult result;
-  result.strategy = strategy;
-
-  // All strategies start from the same Initial Mapping.
-  PlatformState state = frozen_.state;
-  const ScheduleOutcome im = initialMapping(*sys_, state);
-  result.evaluations = 1;
-  if (!im.feasible) {
-    result.feasible = false;
-    result.seconds = std::chrono::duration<double>(Clock::now() - start)
-                         .count();
-    return result;
-  }
-
-  MappingSolution solution = im.mapping;
-  switch (strategy) {
-    case Strategy::AdHoc:
-      // AH stops at the first valid solution.
-      break;
-    case Strategy::MappingHeuristic: {
-      MhResult mh = runMappingHeuristic(*evaluator_, solution, options_.mh);
-      solution = std::move(mh.solution);
-      result.evaluations += mh.evaluations;
-      break;
-    }
-    case Strategy::SimulatedAnnealing: {
-      SaResult sa = runSimulatedAnnealing(*evaluator_, solution, options_.sa);
-      solution = std::move(sa.solution);
-      result.evaluations += sa.evaluations;
-      break;
-    }
-    case Strategy::ParallelAnnealing: {
-      ParallelSaOptions opts = options_.psa;
-      opts.base = options_.sa;  // single source of truth for chain knobs
-      ParallelSaResult psa =
-          runParallelAnnealing(*evaluator_, solution, opts);
-      solution = std::move(psa.solution);
-      result.evaluations += psa.evaluations;
-      break;
-    }
-  }
-
-  ScheduleOutcome outcome;
-  const EvalResult eval = evaluator_->evaluate(solution, &outcome, nullptr);
-  ++result.evaluations;
-  result.feasible = eval.feasible;
-  result.mapping = std::move(solution);
-  result.schedule = std::move(outcome.schedule);
-  result.metrics = eval.metrics;
-  result.objective = eval.cost;
-  result.seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
-  return result;
+  return run(std::string(toString(strategy)));
 }
 
 }  // namespace ides

@@ -6,24 +6,33 @@
 // wall-clock runtime. One designer instance can run several strategies on
 // the same frozen baseline, which is how the benchmark harness compares
 // AH / MH / SA on identical instances.
+//
+// Strategies resolve through the pluggable optimizer API (core/optimizer.h):
+// run("SA") looks the name up in StrategyRegistry::builtin() and executes
+// the optimizer with this designer's options and a shared RunContext (one
+// EvalContextPool lease across successive runs). The Strategy enum overload
+// is a deprecated shim kept for source compatibility — it forwards to the
+// name-based path and produces bit-identical results; new code should use
+// the registry names (see README "Optimizer API").
 #pragma once
 
 #include <memory>
-#include <optional>
+#include <string>
 
 #include "core/evaluator.h"
 #include "core/future_profile.h"
 #include "core/initial_mapping.h"
-#include "core/mapping_heuristic.h"
 #include "core/metrics.h"
-#include "core/parallel_annealing.h"
-#include "core/simulated_annealing.h"
+#include "core/optimizer.h"
 #include "sched/schedule.h"
 
 namespace ides {
 
 class SystemModel;
 
+/// Deprecated shim: the closed strategy set predating the registry. Kept
+/// so existing callers (and the multi-increment simulation) compile
+/// unchanged; internally every value maps onto its registry name.
 enum class Strategy {
   AdHoc,               ///< AH: stop at the first valid solution (IM)
   MappingHeuristic,    ///< MH: the paper's iterative improvement
@@ -31,20 +40,15 @@ enum class Strategy {
   ParallelAnnealing,   ///< PSA: best-of-K multi-start SA on a thread pool
 };
 
+/// Registry name of a legacy enum value ("AH", "MH", "SA", "PSA").
 const char* toString(Strategy s);
 
-struct DesignerOptions {
-  MetricWeights weights;
-  MhOptions mh;
-  /// Chain parameters for both SA and PSA (PSA overrides `psa.base` with
-  /// this, so one knob set configures the single chain and the ensemble).
-  SaOptions sa;
-  /// PSA ensemble shape (threads/restarts/perChainIterations); `psa.base`
-  /// is ignored here — see `sa`.
-  ParallelSaOptions psa;
-};
-
 struct DesignResult {
+  /// Registry name of the strategy that produced this result.
+  std::string strategyName = "AH";
+  /// Deprecated shim: enum value when the strategy is one of the four
+  /// built-ins (left at AdHoc for custom registry strategies —
+  /// `strategyName` is authoritative).
   Strategy strategy = Strategy::AdHoc;
   bool feasible = false;
   MappingSolution mapping;
@@ -56,18 +60,38 @@ struct DesignResult {
   /// Wall-clock strategy runtime in seconds (includes IM).
   double seconds = 0.0;
   std::size_t evaluations = 0;
+  /// True when a StopToken ended the run before its configured budget.
+  bool stopped = false;
 };
 
+/// Not thread-safe: the designer's runs share one RunContext (and its
+/// EvalContextPool lease), so concurrent run() calls on one instance race
+/// on the pooled evaluation scratch. Run strategies sequentially — results
+/// are identical either way — or give each thread its own designer; for
+/// shared-evaluator concurrency use Optimizer::run directly with one
+/// RunContext per thread (the evaluator itself is const-safe).
 class IncrementalDesigner {
  public:
   /// Freezes the existing applications immediately; throws
-  /// std::runtime_error if they cannot be feasibly scheduled.
+  /// std::runtime_error if they cannot be feasibly scheduled and
+  /// std::invalid_argument if `options` fail validation.
   IncrementalDesigner(const SystemModel& sys, FutureProfile profile,
                       DesignerOptions options = {});
 
-  /// Run one strategy from a fresh IM start.
+  /// Run a registered strategy by name from a fresh IM start; throws
+  /// std::invalid_argument for an unknown name (listing the valid set).
+  DesignResult run(const std::string& strategyName);
+  /// Same, with caller-provided cross-cutting services (stop token,
+  /// progress sink, pool lease).
+  DesignResult run(const std::string& strategyName, RunContext& context);
+  /// Run a caller-constructed optimizer (e.g. one with bespoke typed
+  /// options that differ from this designer's DesignerOptions).
+  DesignResult run(const Optimizer& optimizer, RunContext& context);
+  /// Deprecated shim: enum-based dispatch, forwards to run(toString(s)).
   DesignResult run(Strategy strategy);
 
+  [[nodiscard]] const SystemModel& system() const { return *sys_; }
+  [[nodiscard]] const DesignerOptions& options() const { return options_; }
   [[nodiscard]] const SolutionEvaluator& evaluator() const {
     return *evaluator_;
   }
@@ -87,6 +111,9 @@ class IncrementalDesigner {
   DesignerOptions options_;
   FrozenBase frozen_;
   std::unique_ptr<SolutionEvaluator> evaluator_;
+  /// Shared services across this designer's runs: one EvalContextPool
+  /// lease serves the whole AH/MH/SA comparison on this instance.
+  RunContext context_;
 };
 
 }  // namespace ides

@@ -1,7 +1,9 @@
 #include "core/mapping_heuristic.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -182,25 +184,53 @@ std::vector<Time> gapHints(const IntervalSet& free, Time period, int count) {
 
 }  // namespace
 
+void validateOptions(const MhOptions& options) {
+  const auto check = [](const char* field, int value) {
+    if (value < 0) {
+      throw std::invalid_argument(std::string("MhOptions: ") + field +
+                                  " must be >= 0 (got " +
+                                  std::to_string(value) + ")");
+    }
+  };
+  check("maxIterations", options.maxIterations);
+  check("candidateProcesses", options.candidateProcesses);
+  check("targetNodes", options.targetNodes);
+  check("gapsPerNode", options.gapsPerNode);
+  check("candidateMessages", options.candidateMessages);
+  check("busWindows", options.busWindows);
+}
+
 MhResult runMappingHeuristic(const SolutionEvaluator& evaluator,
                              const MappingSolution& initial,
-                             const MhOptions& options) {
+                             const MhOptions& options,
+                             EvalContext* scratch) {
+  validateOptions(options);
+  if (scratch != nullptr && &scratch->evaluator() != &evaluator) {
+    throw std::invalid_argument(
+        "runMappingHeuristic: scratch context bound to another evaluator");
+  }
   const SystemModel& sys = evaluator.system();
   MhResult result;
   result.solution = initial;
 
   // One journaled scratch state for the whole run; the refresh after an
-  // applied move re-reads the cached state instead of re-scheduling.
-  EvalContext ctx(evaluator);
+  // applied move re-reads the cached state instead of re-scheduling. A
+  // caller-provided context (the RunContext pool lease) is reused verbatim.
+  EvalContext* ctx = scratch;
+  std::unique_ptr<EvalContext> owned;
+  if (ctx == nullptr && options.incrementalEval) {
+    owned = std::make_unique<EvalContext>(evaluator);
+    ctx = owned.get();
+  }
   auto evaluateTrial = [&](const MappingSolution& s,
                            const MoveHint& hint) -> EvalResult {
-    return options.incrementalEval ? ctx.evaluate(s, hint)
+    return options.incrementalEval ? ctx->evaluate(s, hint)
                                    : evaluator.evaluate(s);
   };
   auto evaluateWithOutputs = [&](const MappingSolution& s,
                                  ScheduleOutcome* o,
                                  SlackInfo* sl) -> EvalResult {
-    return options.incrementalEval ? ctx.evaluate(s, o, sl)
+    return options.incrementalEval ? ctx->evaluate(s, o, sl)
                                    : evaluator.evaluate(s, o, sl);
   };
 
@@ -218,6 +248,10 @@ MhResult runMappingHeuristic(const SolutionEvaluator& evaluator,
   // iterations commit a move after a handful of evaluations, because the
   // potential analysis looked at the right processes first.
   for (int iter = 0; iter < options.maxIterations; ++iter) {
+    if (options.stop != nullptr && options.stop->stopRequested()) {
+      result.stopped = true;
+      break;
+    }
     const std::vector<ProcessId> procs = selectProcessCandidates(
         sys, evaluator, outcome, slack, options.candidateProcesses);
     const std::vector<MessageId> msgs =

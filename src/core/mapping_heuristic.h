@@ -20,6 +20,7 @@
 
 #include "core/evaluator.h"
 #include "sched/mapping.h"
+#include "util/stop_token.h"
 
 namespace ides {
 
@@ -48,18 +49,33 @@ struct MhOptions {
   /// evaluation; results are bit-identical either way (asserted by the
   /// property tests).
   bool incrementalEval = true;
+  /// Cooperative cancellation, polled once per improvement round. When it
+  /// fires MH stops at the current (always valid) incumbent and sets
+  /// MhResult::stopped. Null = run to the local minimum.
+  const StopToken* stop = nullptr;
 };
+
+/// Range-checks every knob; throws std::invalid_argument naming the
+/// offending field (negative iteration/candidate budgets). Called on entry
+/// of runMappingHeuristic.
+void validateOptions(const MhOptions& options);
 
 struct MhResult {
   MappingSolution solution;
   EvalResult eval;
   std::size_t evaluations = 0;  ///< schedule evaluations performed
   int iterations = 0;           ///< improvement rounds executed
+  /// True when MhOptions::stop ended the search before a local minimum.
+  bool stopped = false;
 };
 
 /// Requires `initial` to be feasible (as produced by IM); throws otherwise.
+/// `scratch`, when given, is a caller-owned EvalContext bound to the same
+/// evaluator that MH uses instead of constructing its own (pure reuse;
+/// results are bit-identical either way).
 MhResult runMappingHeuristic(const SolutionEvaluator& evaluator,
                              const MappingSolution& initial,
-                             const MhOptions& options = {});
+                             const MhOptions& options = {},
+                             EvalContext* scratch = nullptr);
 
 }  // namespace ides

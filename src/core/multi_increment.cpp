@@ -21,6 +21,10 @@ MultiIncrementResult runIncrementSequence(
   MultiIncrementResult result{{}, 0, base.state};
 
   for (const ApplicationId appId : increments) {
+    if (options.stop != nullptr && options.stop->stopRequested()) {
+      result.stopped = true;
+      break;
+    }
     const Application& app = sys.application(appId);
     IncrementStep step;
     step.application = appId;
@@ -39,11 +43,20 @@ MultiIncrementResult runIncrementSequence(
         const SolutionEvaluator evaluator(sys, result.finalState, profile,
                                           options.weights, app.graphs);
         if (options.strategy == Strategy::MappingHeuristic) {
-          solution =
-              runMappingHeuristic(evaluator, solution, options.mh).solution;
+          MhOptions mh = options.mh;
+          if (mh.stop == nullptr) mh.stop = options.stop;
+          solution = runMappingHeuristic(evaluator, solution, mh).solution;
         } else {
-          solution =
-              runSimulatedAnnealing(evaluator, solution, options.sa).solution;
+          SaOptions sa = options.sa;
+          if (sa.stop == nullptr) sa.stop = options.stop;
+          solution = runSimulatedAnnealing(evaluator, solution, sa).solution;
+        }
+        // A token that fired mid-optimization left `solution` at whatever
+        // quality the cut-short search reached; committing it would
+        // silently bias the lifetime result, so discard the increment.
+        if (options.stop != nullptr && options.stop->stopRequested()) {
+          result.stopped = true;
+          break;
         }
       }
       // Commit the optimized mapping.

@@ -18,6 +18,7 @@
 #include "core/metrics.h"
 #include "sched/platform_state.h"
 #include "util/ids.h"
+#include "util/stop_token.h"
 
 namespace ides {
 
@@ -38,6 +39,10 @@ struct MultiIncrementResult {
   std::size_t accepted = 0;
   /// Platform occupancy after the last accepted increment.
   PlatformState finalState;
+  /// True when MultiIncrementOptions::stop cut the simulation short; the
+  /// committed prefix is complete and untainted (no increment optimized
+  /// under a fired token is ever committed).
+  bool stopped = false;
 };
 
 struct MultiIncrementOptions {
@@ -49,6 +54,11 @@ struct MultiIncrementOptions {
   /// (product management picks another feature); if true the simulation
   /// stops at the first rejection.
   bool stopAtFirstReject = false;
+  /// Cooperative cancellation, polled between increments and re-checked
+  /// after each increment's optimization: an increment whose improvement
+  /// was cut short by the token is discarded, not frozen, so a deadline
+  /// never silently commits degraded mappings. Null = run the full queue.
+  const StopToken* stop = nullptr;
 };
 
 /// Implement the applications in `increments` (any kind; they are treated

@@ -1,0 +1,217 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/initial_mapping.h"
+#include "model/system_model.h"
+
+namespace ides {
+
+void validateOptions(const DesignerOptions& options) {
+  const auto weightOk = [](double w) { return std::isfinite(w) && w >= 0.0; };
+  if (!weightOk(options.weights.w1p) || !weightOk(options.weights.w1m) ||
+      !weightOk(options.weights.w2p) || !weightOk(options.weights.w2m)) {
+    throw std::invalid_argument(
+        "DesignerOptions: metric weights must be finite and >= 0");
+  }
+  validateOptions(options.mh);
+  validateOptions(options.sa);
+  // PSA runs with psa.base replaced by `sa`, so validate that combination
+  // (psa.base itself is documented as ignored).
+  ParallelSaOptions psa = options.psa;
+  psa.base = options.sa;
+  validateOptions(psa);
+}
+
+EvalContextPool& RunContext::leasePool(const SolutionEvaluator& evaluator,
+                                       std::size_t size) {
+  if (pool_ == nullptr || poolEvaluator_ != &evaluator ||
+      pool_->size() < size) {
+    pool_ = std::make_unique<EvalContextPool>(evaluator, std::max<std::size_t>(
+                                                             size, 1));
+    poolEvaluator_ = &evaluator;
+  }
+  return *pool_;
+}
+
+RunReport Optimizer::run(const SolutionEvaluator& evaluator,
+                         RunContext& context) const {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  RunReport report;
+  report.strategy = name();
+
+  // Every strategy starts from the same Initial Mapping on the frozen
+  // baseline — exactly the legacy IncrementalDesigner::run flow, so
+  // reports through this interface are bit-identical to the old enum path.
+  PlatformState state = evaluator.baseline();
+  const ScheduleOutcome im = initialMapping(evaluator.system(), state);
+  report.evaluations = 1;
+  context.report({report.strategy, "initial-mapping", 0, 0, 0.0});
+  if (!im.feasible) {
+    report.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return report;
+  }
+
+  MappingSolution solution = im.mapping;
+  if (context.stopRequested()) {
+    report.stopped = true;
+  } else {
+    bool stopped = false;
+    report.evaluations += improve(evaluator, solution, context, &stopped);
+    report.stopped = stopped;
+  }
+
+  // Final full evaluation through the leased context (bit-identical to the
+  // stateless pass; re-uses whatever checkpoints the improvement left).
+  EvalContext& final = context.leasePool(evaluator, 1)[0];
+  ScheduleOutcome outcome;
+  const EvalResult eval = final.evaluate(solution, &outcome, nullptr);
+  ++report.evaluations;
+  context.report(
+      {report.strategy, "final", report.evaluations, 0, eval.cost});
+
+  report.feasible = eval.feasible;
+  report.mapping = std::move(solution);
+  report.schedule = std::move(outcome.schedule);
+  report.metrics = eval.metrics;
+  report.objective = eval.cost;
+  report.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+// ---- built-in optimizers --------------------------------------------------
+
+MappingHeuristicOptimizer::MappingHeuristicOptimizer(MhOptions options)
+    : options_(options) {
+  validateOptions(options_);
+}
+
+std::size_t MappingHeuristicOptimizer::improve(
+    const SolutionEvaluator& evaluator, MappingSolution& solution,
+    RunContext& context, bool* stopped) const {
+  MhOptions options = options_;
+  if (options.stop == nullptr) options.stop = context.stop;
+  EvalContext* scratch = options.incrementalEval
+                             ? &context.leasePool(evaluator, 1)[0]
+                             : nullptr;
+  MhResult mh = runMappingHeuristic(evaluator, solution, options, scratch);
+  solution = std::move(mh.solution);
+  *stopped = mh.stopped;
+  context.report({"MH", "improve", mh.evaluations, 0, mh.eval.cost});
+  return mh.evaluations;
+}
+
+SimulatedAnnealingOptimizer::SimulatedAnnealingOptimizer(SaOptions options)
+    : options_(options) {
+  validateOptions(options_);
+}
+
+std::size_t SimulatedAnnealingOptimizer::improve(
+    const SolutionEvaluator& evaluator, MappingSolution& solution,
+    RunContext& context, bool* stopped) const {
+  SaOptions options = options_;
+  if (options.stop == nullptr) options.stop = context.stop;
+  // The speculative engine owns its worker contexts; only the sequential
+  // chain borrows the leased scratch.
+  EvalContext* scratch =
+      options.incrementalEval && options.speculation.workers <= 1
+          ? &context.leasePool(evaluator, 1)[0]
+          : nullptr;
+  SaResult sa = runSimulatedAnnealing(evaluator, solution, options, scratch);
+  solution = std::move(sa.solution);
+  *stopped = sa.stopped;
+  context.report({"SA", "improve", sa.evaluations, 0, sa.eval.cost});
+  return sa.evaluations;
+}
+
+ParallelAnnealingOptimizer::ParallelAnnealingOptimizer(
+    ParallelSaOptions options)
+    : options_(options) {
+  validateOptions(options_);
+}
+
+std::size_t ParallelAnnealingOptimizer::improve(
+    const SolutionEvaluator& evaluator, MappingSolution& solution,
+    RunContext& context, bool* stopped) const {
+  ParallelSaOptions options = options_;
+  if (options.base.stop == nullptr) options.base.stop = context.stop;
+  ParallelSaResult psa = runParallelAnnealing(evaluator, solution, options);
+  solution = std::move(psa.solution);
+  *stopped = psa.stopped;
+  context.report({"PSA", "improve", psa.evaluations, 0, psa.eval.cost});
+  return psa.evaluations;
+}
+
+// ---- registry -------------------------------------------------------------
+
+void StrategyRegistry::add(std::string name, Factory factory) {
+  if (contains(name)) {
+    throw std::invalid_argument("StrategyRegistry: duplicate strategy \"" +
+                                name + "\"");
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<Optimizer> StrategyRegistry::create(
+    const std::string& name, const DesignerOptions& options) const {
+  for (const auto& [n, factory] : factories_) {
+    if (n == name) {
+      validateOptions(options);
+      return factory(options);
+    }
+  }
+  std::string known;
+  for (const auto& [n, f] : factories_) {
+    known += known.empty() ? n : ", " + n;
+  }
+  throw std::invalid_argument("unknown strategy \"" + name +
+                              "\" (registered: " + known + ")");
+}
+
+const StrategyRegistry& StrategyRegistry::builtin() {
+  static const StrategyRegistry registry = [] {
+    StrategyRegistry r;
+    r.add("AH", [](const DesignerOptions&) {
+      return std::make_unique<AdHocOptimizer>();
+    });
+    r.add("MH", [](const DesignerOptions& o) {
+      return std::make_unique<MappingHeuristicOptimizer>(o.mh);
+    });
+    r.add("SA", [](const DesignerOptions& o) {
+      return std::make_unique<SimulatedAnnealingOptimizer>(o.sa);
+    });
+    r.add("PSA", [](const DesignerOptions& o) {
+      // One knob set for chain parameters: PSA takes its per-chain options
+      // from `sa`, exactly like the legacy designer switch did.
+      ParallelSaOptions psa = o.psa;
+      psa.base = o.sa;
+      return std::make_unique<ParallelAnnealingOptimizer>(psa);
+    });
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace ides

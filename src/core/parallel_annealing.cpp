@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -34,6 +35,21 @@ SaOptions chainOptionsFor(const SaOptions& base, int index) {
 
 }  // namespace
 
+void validateOptions(const ParallelSaOptions& options) {
+  const auto check = [](const char* field, int value, int min) {
+    if (value < min) {
+      throw std::invalid_argument(
+          std::string("ParallelSaOptions: ") + field + " must be >= " +
+          std::to_string(min) + " (got " + std::to_string(value) + ")");
+    }
+  };
+  check("restarts", options.restarts, 1);
+  check("threads", options.threads, 0);  // 0 = hardware concurrency
+  check("perChainIterations", options.perChainIterations, 0);
+  check("speculativeWorkers", options.speculativeWorkers, 0);
+  validateOptions(options.base);
+}
+
 std::uint64_t parallelSaChainSeed(std::uint64_t baseSeed, int index) {
   // The splitmix64 finalizer decorrelates consecutive chain indices so
   // adjacent chains do not start mt19937_64 from near-identical states.
@@ -47,9 +63,7 @@ ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
 
-  if (options.restarts < 1) {
-    throw std::invalid_argument("runParallelAnnealing: restarts < 1");
-  }
+  validateOptions(options);
   const int chains = options.restarts;
 
   SaOptions chainOptions = options.base;
@@ -120,6 +134,7 @@ ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
     const SaResult& r = results[static_cast<std::size_t>(i)];
     out.evaluations += r.evaluations;
     out.accepted += r.accepted;
+    out.stopped = out.stopped || r.stopped;
     out.chainCosts.push_back(r.eval.cost);
     // Every chain's incumbent is feasible (SA only promotes feasible
     // states); strict < keeps ties on the lowest chain index.

@@ -48,6 +48,12 @@ struct ParallelSaOptions {
   int speculativeWorkers = 0;
 };
 
+/// Range-checks every knob (restarts >= 1, non-negative thread/iteration
+/// budgets) including the embedded base SaOptions; throws
+/// std::invalid_argument naming the offending field. Called on entry of
+/// runParallelAnnealing.
+void validateOptions(const ParallelSaOptions& options);
+
 /// Seed of chain `index` for a given ensemble seed: chain 0 keeps the base
 /// seed, later chains get splitmix64-scrambled derivatives.
 std::uint64_t parallelSaChainSeed(std::uint64_t baseSeed, int index);
@@ -66,6 +72,9 @@ struct ParallelSaResult {
   std::size_t accepted = 0;
   /// Wall-clock time of the whole ensemble, in seconds.
   double seconds = 0.0;
+  /// True when base.stop cancelled at least one chain before its budget
+  /// (the incumbent is still the best feasible solution seen so far).
+  bool stopped = false;
 };
 
 /// Requires `initial` to be feasible (same contract as

@@ -1,12 +1,68 @@
 #include "core/simulated_annealing.h"
 
+#include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "core/speculative_eval.h"
 #include "model/system_model.h"
 #include "util/log.h"
 
 namespace ides {
+
+namespace {
+
+[[noreturn]] void invalidOption(const char* field, const std::string& detail) {
+  throw std::invalid_argument(std::string("SaOptions: ") + field + " " +
+                              detail);
+}
+
+}  // namespace
+
+void validateOptions(const SaOptions& options) {
+  if (options.iterations < 0) {
+    invalidOption("iterations",
+                  "must be >= 0 (got " + std::to_string(options.iterations) +
+                      ")");
+  }
+  if (!(options.initialTempFactor >= 0.0) ||
+      !std::isfinite(options.initialTempFactor)) {
+    invalidOption("initialTempFactor", "must be finite and >= 0");
+  }
+  if (!(options.finalTemp > 0.0) || !std::isfinite(options.finalTemp)) {
+    invalidOption("finalTemp", "must be finite and > 0");
+  }
+  const auto isProbability = [](double p) {
+    return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+  };
+  if (!isProbability(options.probRemap) ||
+      !isProbability(options.probProcessHint) ||
+      options.probRemap + options.probProcessHint > 1.0) {
+    invalidOption("move mix",
+                  "probRemap and probProcessHint must each lie in [0, 1] "
+                  "and sum to at most 1");
+  }
+  const SpeculationOptions& spec = options.speculation;
+  if (spec.workers < 0) {
+    invalidOption("speculation.workers",
+                  "must be >= 0 (got " + std::to_string(spec.workers) + ")");
+  }
+  if (spec.maxDepth < 0) {
+    invalidOption("speculation.maxDepth",
+                  "must be >= 0 (got " + std::to_string(spec.maxDepth) + ")");
+  }
+  if (!(spec.acceptanceThreshold >= 0.0) ||
+      !std::isfinite(spec.acceptanceThreshold)) {
+    invalidOption("speculation.acceptanceThreshold",
+                  "must be finite and >= 0 (0 disables speculation, values "
+                  "above 1 force it)");
+  }
+  if (spec.window < 1) {
+    invalidOption("speculation.window",
+                  "must be >= 1 (got " + std::to_string(spec.window) + ")");
+  }
+}
 
 SaMoveProposer::SaMoveProposer(const SolutionEvaluator& evaluator,
                                const SaOptions& options)
@@ -99,11 +155,17 @@ SaSchedule saSchedule(const SaOptions& options, double initialCost) {
 
 SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
                                const MappingSolution& initial,
-                               const SaOptions& options) {
+                               const SaOptions& options,
+                               EvalContext* scratch) {
+  validateOptions(options);
   if (options.speculation.workers > 1) {
     // The speculative engine replays the exact same two-stream chain with
     // batches of moves pre-evaluated on parallel workers.
     return runSpeculativeAnnealing(evaluator, initial, options);
+  }
+  if (scratch != nullptr && &scratch->evaluator() != &evaluator) {
+    throw std::invalid_argument(
+        "runSimulatedAnnealing: scratch context bound to another evaluator");
   }
 
   const SaMoveProposer proposer(evaluator, options);
@@ -111,18 +173,25 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
   Rng acceptanceRng(rngStreamSeed(options.seed, kSaAcceptanceStream));
 
   // One journaled scratch state for the whole chain: each move re-schedules
-  // only the graphs it touches (full pass when incrementalEval is off).
-  EvalContext ctx(evaluator);
+  // only the graphs it touches (full pass when incrementalEval is off). A
+  // caller-provided context (the RunContext pool lease) is reused verbatim —
+  // its checkpoints are verified, never trusted, so results are identical.
+  EvalContext* ctx = scratch;
+  std::unique_ptr<EvalContext> owned;
+  if (ctx == nullptr && options.incrementalEval) {
+    owned = std::make_unique<EvalContext>(evaluator);
+    ctx = owned.get();
+  }
   auto evaluateMove = [&](const MappingSolution& s,
                           const MoveHint& hint) -> EvalResult {
-    return options.incrementalEval ? ctx.evaluate(s, hint)
+    return options.incrementalEval ? ctx->evaluate(s, hint)
                                    : evaluator.evaluate(s);
   };
 
   SaResult result;
   result.solution = initial;
   result.eval =
-      options.incrementalEval ? ctx.evaluate(initial)
+      options.incrementalEval ? ctx->evaluate(initial)
                               : evaluator.evaluate(initial);
   result.evaluations = 1;
   if (!result.eval.feasible) {
@@ -140,6 +209,10 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
 
   MappingSolution trial;
   for (int it = 0; it < options.iterations; ++it, temp *= schedule.alpha) {
+    if (options.stop != nullptr && options.stop->stopRequested()) {
+      result.stopped = true;
+      break;
+    }
     const SaMove move = proposer.propose(current, proposalRng);
     if (move.kind != SaMove::Kind::None) {
       trial = current;

@@ -32,6 +32,7 @@
 #include "core/evaluator.h"
 #include "sched/mapping.h"
 #include "util/rng.h"
+#include "util/stop_token.h"
 
 namespace ides {
 
@@ -87,7 +88,19 @@ struct SaOptions {
 
   /// Speculative parallel move evaluation inside this chain.
   SpeculationOptions speculation;
+
+  /// Cooperative cancellation: polled once per iteration (per batch in the
+  /// speculative engine). When it fires the chain stops, keeps its best
+  /// incumbent so far and sets SaResult::stopped. Null = never stops early.
+  /// The token does not perturb the trajectory while unfired, so two runs
+  /// that both finish their budget are bit-identical with or without it.
+  const StopToken* stop = nullptr;
 };
+
+/// Range-checks every knob; throws std::invalid_argument with a message
+/// naming the offending field (e.g. negative iterations, probabilities
+/// outside [0, 1] or summing past 1). Called on entry of both SA engines.
+void validateOptions(const SaOptions& options);
 
 struct SaResult {
   MappingSolution solution;  ///< best feasible solution seen
@@ -101,6 +114,8 @@ struct SaResult {
   /// Always 0 for the sequential chain.
   std::size_t discardedEvaluations = 0;
   std::size_t speculativeBatches = 0;
+  /// True when SaOptions::stop ended the chain before its iteration budget.
+  bool stopped = false;
   /// Current-state cost after every iteration (only when
   /// SaOptions::recordCostTrace).
   std::vector<double> costTrace;
@@ -176,8 +191,15 @@ struct SaSchedule {
 /// Requires `initial` to be feasible; throws otherwise. Routes through the
 /// speculative engine when options.speculation.workers > 1 (bit-identical
 /// result, K moves evaluated in parallel).
+///
+/// `scratch`, when given, is a caller-owned EvalContext bound to the same
+/// evaluator (e.g. one leased from a RunContext pool) that the sequential
+/// chain uses instead of constructing its own — a pure reuse optimization;
+/// results are bit-identical either way. Ignored by the speculative engine
+/// (its workers own a pool of contexts already).
 SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
                                const MappingSolution& initial,
-                               const SaOptions& options = {});
+                               const SaOptions& options = {},
+                               EvalContext* scratch = nullptr);
 
 }  // namespace ides

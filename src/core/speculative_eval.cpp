@@ -151,6 +151,7 @@ EvalResult SpeculativeEvalPool::evaluateOne(const MappingSolution& solution,
 SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
                                  const MappingSolution& initial,
                                  const SaOptions& options) {
+  validateOptions(options);
   const SpeculationOptions& spec = options.speculation;
   const int workers = std::max(1, spec.workers);
   const int maxDepth =
@@ -190,6 +191,13 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
 
   int it = 0;
   while (it < options.iterations) {
+    // Cooperative stop, polled once per sequential step / speculation
+    // batch. The poll never touches the RNG streams, so an unfired token
+    // leaves the trajectory bit-identical.
+    if (options.stop != nullptr && options.stop->stopRequested()) {
+      result.stopped = true;
+      break;
+    }
     const bool speculate =
         workers > 1 && window.rate() < spec.acceptanceThreshold;
 

@@ -1,0 +1,72 @@
+// Cooperative cancellation for long-running optimizer and batch runs.
+//
+// A StopToken combines an explicit cancellation flag with an optional
+// wall-clock deadline. Consumers (the strategy inner loops, the batch
+// runner's shard workers) poll stopRequested() at their natural step
+// boundaries — an SA iteration, an MH improvement round, a batch instance —
+// and wind down gracefully, returning a well-formed partial result. The
+// token never interrupts anything by force, so every result produced under
+// cancellation is still internally consistent and reproducible up to the
+// point the stop landed.
+//
+// Thread-safe: one token is typically shared by many workers. The deadline
+// latches into the flag on first observation, so later checks are a single
+// relaxed atomic load instead of a clock read.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace ides {
+
+class StopToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  StopToken() = default;
+
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Request cancellation. Idempotent; visible to every polling thread.
+  void requestStop() { stopped_.store(true, std::memory_order_release); }
+
+  /// Absolute deadline; stopRequested() turns true once the clock passes
+  /// it. A second call replaces the previous deadline (unless the token
+  /// already latched).
+  void setDeadline(Clock::time_point deadline) {
+    deadline_.store(deadline.time_since_epoch().count(),
+                    std::memory_order_release);
+  }
+
+  /// Convenience: deadline `seconds` from now. Non-positive values fire
+  /// immediately.
+  void setTimeout(double seconds) {
+    setDeadline(Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+  }
+
+  /// True once cancellation was requested or the deadline passed.
+  [[nodiscard]] bool stopRequested() const {
+    if (stopped_.load(std::memory_order_acquire)) return true;
+    const Clock::rep d = deadline_.load(std::memory_order_acquire);
+    if (d != kNoDeadline &&
+        Clock::now().time_since_epoch().count() >= d) {
+      stopped_.store(true, std::memory_order_release);  // latch
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr Clock::rep kNoDeadline =
+      std::numeric_limits<Clock::rep>::max();
+
+  /// Mutable: the deadline check latches into the flag from const readers.
+  mutable std::atomic<bool> stopped_{false};
+  std::atomic<Clock::rep> deadline_{kNoDeadline};
+};
+
+}  // namespace ides

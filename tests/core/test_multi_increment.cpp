@@ -31,6 +31,35 @@ class MultiIncrementTest : public ::testing::Test {
   std::vector<ApplicationId> increments_;
 };
 
+TEST_F(MultiIncrementTest, PreFiredStopTokenYieldsAnEmptyUntaintedRun) {
+  StopToken stop;
+  stop.requestStop();
+  MultiIncrementOptions options;
+  options.stop = &stop;
+  const MultiIncrementResult r = runIncrementSequence(
+      suite_->system, suite_->profile, increments_, options);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_TRUE(r.steps.empty());
+  EXPECT_EQ(r.accepted, 0u);
+}
+
+TEST_F(MultiIncrementTest, UnfiredStopTokenChangesNothing) {
+  StopToken stop;  // never fires
+  MultiIncrementOptions options;
+  options.stop = &stop;
+  const MultiIncrementResult withToken = runIncrementSequence(
+      suite_->system, suite_->profile, increments_, options);
+  const MultiIncrementResult without = runIncrementSequence(
+      suite_->system, suite_->profile, increments_, {});
+  EXPECT_FALSE(withToken.stopped);
+  EXPECT_EQ(withToken.accepted, without.accepted);
+  ASSERT_EQ(withToken.steps.size(), without.steps.size());
+  for (std::size_t i = 0; i < withToken.steps.size(); ++i) {
+    EXPECT_EQ(withToken.steps[i].accepted, without.steps[i].accepted) << i;
+    EXPECT_EQ(withToken.steps[i].objective, without.steps[i].objective) << i;
+  }
+}
+
 TEST_F(MultiIncrementTest, AcceptsAtLeastTheFirstIncrement) {
   const MultiIncrementResult r = runIncrementSequence(
       suite_->system, suite_->profile, increments_, {});
