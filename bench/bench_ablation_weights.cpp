@@ -24,6 +24,7 @@ int main() {
 
   const InstanceSuite suite = weightsSweep(scale);
   const BatchReport report = runAndPublish(suite, "ablation_weights", scale);
+  const BatchIndex index(report);  // O(1) per-(group, seed) lookup
 
   // Case names in suite order (the canonical grouping).
   std::vector<std::string> caseNames;
@@ -39,7 +40,7 @@ int main() {
     StatAccumulator c1p, c2p;
     double fits = 0.0, samples = 0.0;
     for (int s = 0; s < scale.seeds; ++s) {
-      const InstanceResult* mh = findInstance(report, name, s, "MH");
+      const InstanceResult* mh = index.find(name, s, "MH");
       if (mh == nullptr) continue;
       c1p.add(mh->outcome.report.metrics.c1p);
       c2p.add(static_cast<double>(mh->outcome.report.metrics.c2p));

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,9 +21,12 @@
 #include "core/batch_runner.h"
 #include "core/batch_suites.h"
 #include "core/incremental_designer.h"
+#include "store/sweep_store.h"
 #include "tgen/benchmark_suite.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
+#include "util/json_reader.h"
+#include "util/provenance.h"
 
 namespace ides::bench {
 
@@ -92,40 +96,47 @@ inline void writeBenchJsonString(const std::string& name,
 /// canonical JSON (timing included — the deterministic prefix of each
 /// record is still byte-stable; the determinism tests compare with timing
 /// off).
+///
+/// Sweep-store opt-in: when IDES_SWEEP_STORE names a directory, completed
+/// instances persist there and already-stored ones are reused, so
+/// regenerating a figure after a code-irrelevant change (or re-rendering
+/// another axis of the same sweep) is near-instant. Delete the store — or
+/// bump kSweepFingerprintEpoch in a result-changing PR — to force fresh
+/// runs.
 inline BatchReport runAndPublish(const InstanceSuite& suite,
                                  const std::string& benchName,
                                  const BenchScale& scale) {
   BatchOptions options;
   options.shards = benchShards();
   options.onInstanceDone = [](const InstanceResult& r) {
-    if (r.outcome.hasReport) {
+    if (r.cached) {
+      std::printf("  [%s] from store\n", r.id.c_str());
+    } else if (r.outcome.hasReport) {
       std::printf("  [%s] C=%.2f (%.3fs)\n", r.id.c_str(),
                   r.outcome.report.objective, r.outcome.report.seconds);
     } else {
       std::printf("  [%s] done\n", r.id.c_str());
     }
   };
+
+  std::optional<SweepStore> store;
+  std::optional<SweepStoreCache> cache;
+  const char* storeDir = std::getenv("IDES_SWEEP_STORE");
+  if (storeDir != nullptr && *storeDir != '\0') {
+    store.emplace(storeDir);
+    cache.emplace(*store, suite.name(), /*reuse=*/true);
+    options.cache = &*cache;
+  }
+
   const BatchReport report = runBatch(suite, options);
+  if (cache.has_value()) {
+    std::printf("sweep store %s: %zu reused, %zu newly stored\n", storeDir,
+                cache->hits(), cache->stored());
+  }
   BatchJsonOptions json;
   json.scale = scale.name;
   writeBenchJsonString(benchName, batchReportJson(benchName, report, json));
   return report;
-}
-
-/// Completed instance of (group, seed[, strategy]) in a batch report, or
-/// null. Strategy "" matches any (custom-job instances have no report).
-inline const InstanceResult* findInstance(const BatchReport& report,
-                                          const std::string& group, int seed,
-                                          const std::string& strategy = "") {
-  for (const InstanceResult& r : report.results) {
-    if (!r.ran || r.group != group || r.seedIndex != seed) continue;
-    if (!strategy.empty() &&
-        (!r.outcome.hasReport || r.outcome.report.strategy != strategy)) {
-      continue;
-    }
-    return &r;
-  }
-  return nullptr;
 }
 
 inline double extraValue(const InstanceResult& r, const std::string& key,
@@ -181,8 +192,13 @@ class BenchJson {
       std::printf("(could not write %s)\n", path.c_str());
       return;
     }
+    const Provenance& prov = buildProvenance();
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"scale\": \"" << scale_
-        << "\",\n  \"results\": [";
+        << "\",\n  \"git_sha\": " << jsonQuote(prov.gitSha)
+        << ",\n  \"hostname\": " << jsonQuote(prov.hostname)
+        << ",\n  \"hardware_concurrency\": " << prov.hardwareConcurrency
+        << ",\n  \"compiler\": " << jsonQuote(prov.compiler)
+        << ",\n  \"results\": [";
     for (std::size_t r = 0; r < records_.size(); ++r) {
       out << (r == 0 ? "" : ",") << "\n    {";
       for (std::size_t f = 0; f < records_[r].size(); ++f) {

@@ -27,14 +27,15 @@ int main() {
 
   const InstanceSuite suite = incrementsSweep(scale);
   const BatchReport report = runAndPublish(suite, "ext_increments", scale);
+  const BatchIndex index(report);  // O(1) per-(group, seed) lookup
 
   CsvTable table({"policy", "avg_accepted", "min", "max", "queue"});
   StatAccumulator ahAcc, mhAcc;
   double queueSize = 0.0;
 
   for (int s = 0; s < scale.seeds; ++s) {
-    const InstanceResult* ah = findInstance(report, "AH", s);
-    const InstanceResult* mh = findInstance(report, "MH", s);
+    const InstanceResult* ah = index.find("AH", s);
+    const InstanceResult* mh = index.find("MH", s);
     if (ah == nullptr || mh == nullptr) continue;
     const double ahAccepted = extraValue(*ah, "accepted");
     const double mhAccepted = extraValue(*mh, "accepted");

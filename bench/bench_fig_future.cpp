@@ -23,6 +23,7 @@ int main() {
 
   const InstanceSuite suite = futureSweep(scale);
   const BatchReport report = runAndPublish(suite, "fig_future", scale);
+  const BatchIndex index(report);  // O(1) per-(group, seed, strategy) lookup
 
   // Recover the sweep's size axis from the suite (sizes capped at 240).
   std::vector<std::size_t> sizes;
@@ -40,8 +41,8 @@ int main() {
     group += std::to_string(size);
     int ahFits = 0, mhFits = 0, samples = 0;
     for (int s = 0; s < scale.seeds; ++s) {
-      const InstanceResult* ah = findInstance(report, group, s, "AH");
-      const InstanceResult* mh = findInstance(report, group, s, "MH");
+      const InstanceResult* ah = index.find(group, s, "AH");
+      const InstanceResult* mh = index.find(group, s, "MH");
       if (ah == nullptr || mh == nullptr) continue;
       ahFits += static_cast<int>(extraValue(*ah, "future_fit"));
       mhFits += static_cast<int>(extraValue(*mh, "future_fit"));

@@ -22,6 +22,7 @@ int main() {
 
   const InstanceSuite suite = qualitySweep(scale);
   const BatchReport report = runAndPublish(suite, "fig_quality", scale);
+  const BatchIndex index(report);  // O(1) per-(group, seed, strategy) lookup
 
   CsvTable table({"current_processes", "dev_AH_pct", "dev_MH_pct",
                   "C_AH", "C_MH", "C_SA"});
@@ -32,9 +33,9 @@ int main() {
     group += std::to_string(size);
     StatAccumulator devAh, devMh, cAh, cMh, cSa;
     for (int s = 0; s < scale.seeds; ++s) {
-      const InstanceResult* ah = findInstance(report, group, s, "AH");
-      const InstanceResult* mh = findInstance(report, group, s, "MH");
-      const InstanceResult* sa = findInstance(report, group, s, "SA");
+      const InstanceResult* ah = index.find(group, s, "AH");
+      const InstanceResult* mh = index.find(group, s, "MH");
+      const InstanceResult* sa = index.find(group, s, "SA");
       if (ah == nullptr || mh == nullptr || sa == nullptr) continue;
       const double cahv = ah->outcome.report.objective;
       const double cmhv = mh->outcome.report.objective;

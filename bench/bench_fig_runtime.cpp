@@ -24,6 +24,7 @@ int main() {
 
   const InstanceSuite suite = runtimeSweep(scale);
   const BatchReport report = runAndPublish(suite, "fig_runtime", scale);
+  const BatchIndex index(report);  // O(1) per-(group, seed, strategy) lookup
 
   CsvTable table({"current_processes", "AH_seconds", "MH_seconds",
                   "SA_seconds", "MH_evals", "SA_evals"});
@@ -34,9 +35,9 @@ int main() {
     group += std::to_string(size);
     StatAccumulator tAh, tMh, tSa, eMh, eSa;
     for (int s = 0; s < scale.seeds; ++s) {
-      const InstanceResult* ah = findInstance(report, group, s, "AH");
-      const InstanceResult* mh = findInstance(report, group, s, "MH");
-      const InstanceResult* sa = findInstance(report, group, s, "SA");
+      const InstanceResult* ah = index.find(group, s, "AH");
+      const InstanceResult* mh = index.find(group, s, "MH");
+      const InstanceResult* sa = index.find(group, s, "SA");
       if (ah == nullptr || mh == nullptr || sa == nullptr) continue;
       tAh.add(ah->outcome.report.seconds);
       tMh.add(mh->outcome.report.seconds);

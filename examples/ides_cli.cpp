@@ -11,8 +11,18 @@
 //   dot      [suite flags]
 //            emit the current application's process graphs as Graphviz DOT
 //   sweep    --suite NAME [--shards N] [--deadline S] [--scale SCALE]
+//            [--store-dir DIR [--resume]] [--no-timing] [--cancel-after N]
 //            run a paper sweep through the sharded BatchRunner and write
-//            BENCH_sweep_<NAME>.json (IDES_BENCH_JSON_DIR)
+//            BENCH_sweep_<NAME>.json (IDES_BENCH_JSON_DIR). With a store
+//            dir, completed instances persist as content-addressed records;
+//            --resume skips instances whose records already exist.
+//   sweep --serve DIR  --suite NAME [--scale SCALE] [--lease-seconds S]
+//            coordinate a cross-process sweep over a shared directory:
+//            publish the work manifest, participate in running instances,
+//            and merge the records into the canonical BENCH json
+//   sweep --worker DIR [--lease-seconds S]
+//            join a served sweep: claim instances through file leases, run
+//            them, write records; exits when the sweep is complete
 //   list-strategies
 //            print the registered optimizer names (also --list-strategies)
 //
@@ -27,6 +37,9 @@
 #include <iostream>
 #include <string>
 
+#include <chrono>
+#include <thread>
+
 #include "core/batch_runner.h"
 #include "core/batch_suites.h"
 #include "core/incremental_designer.h"
@@ -35,9 +48,16 @@
 #include "model/system_stats.h"
 #include "sched/schedule_io.h"
 #include "sched/validate.h"
+#include "store/sweep_store.h"
+#include "store/work_queue.h"
 #include "tgen/benchmark_suite.h"
 #include "tgen/profile_presets.h"
+#include "util/provenance.h"
 #include "util/stop_token.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -60,6 +80,13 @@ struct CliArgs {
   std::string scaleName;   // sweep: explicit scale (else IDES_BENCH_SCALE)
   int shards = 0;          // sweep: 0 = all cores
   double deadlineSeconds = 0.0;  // 0 = no deadline
+  std::string storeDir;    // sweep: persistent record store (write-through)
+  bool resume = false;     // sweep: also REUSE store records (skip done)
+  std::string serveDir;    // sweep: coordinate a cross-process run here
+  std::string workerDir;   // sweep: join the cross-process run here
+  double leaseSeconds = 600.0;   // claim lease duration (serve/worker)
+  bool noTiming = false;   // deterministic BENCH json (no wall-clock)
+  int cancelAfter = 0;     // testing aid: request stop after N instances
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
   Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
@@ -91,6 +118,18 @@ void usage() {
       "                 results are bit-identical for every value\n"
       "  --scale NAME   sweep scale smoke | default | full\n"
       "                 (default: IDES_BENCH_SCALE)\n"
+      "  --store-dir D  persist completed sweep instances as records in D\n"
+      "  --resume       with --store-dir: skip instances whose records\n"
+      "                 already exist (resume a cancelled sweep)\n"
+      "  --serve D      coordinate a cross-process sweep over directory D\n"
+      "                 (publishes the manifest, participates, merges)\n"
+      "  --worker D     join the sweep served at directory D\n"
+      "  --lease-seconds S  claim lease duration for serve/worker\n"
+      "                 (default 600; size above the slowest instance)\n"
+      "  --no-timing    render BENCH json without wall-clock fields\n"
+      "                 (byte-identical across runs/workers/resume)\n"
+      "  --cancel-after N  request stop after N completed instances\n"
+      "                 (deterministic cancellation for resume tests)\n"
       "  --list-strategies  print the registered strategy names\n"
       "  --out FILE     write schedule to FILE   (schedule command)\n"
       "  --model FILE   load an 'ides model v1' file instead of generating\n"
@@ -106,6 +145,16 @@ bool parse(int argc, char** argv, CliArgs& args) {
     // Valueless flags first.
     if (flag == "--list-strategies") {
       args.listStrategies = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--resume") {
+      args.resume = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--no-timing") {
+      args.noTiming = true;
       ++i;
       continue;
     }
@@ -141,6 +190,16 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.shards = std::stoi(value);
     } else if (flag == "--scale") {
       args.scaleName = value;
+    } else if (flag == "--store-dir") {
+      args.storeDir = value;
+    } else if (flag == "--serve") {
+      args.serveDir = value;
+    } else if (flag == "--worker") {
+      args.workerDir = value;
+    } else if (flag == "--lease-seconds") {
+      args.leaseSeconds = std::stod(value);
+    } else if (flag == "--cancel-after") {
+      args.cancelAfter = std::stoi(value);
     } else if (flag == "--deadline") {
       args.deadlineSeconds = std::stod(value);
     } else if (flag == "--out") {
@@ -294,6 +353,46 @@ int cmdDot(const CliArgs& args) {
   return 0;
 }
 
+/// This process's participant name in lease files: host + pid.
+std::string workerName() {
+  std::string name = buildProvenance().hostname;
+#if defined(__unix__) || defined(__APPLE__)
+  // += instead of chained + : avoids GCC's bogus -Wrestrict (PR105651).
+  name += ':';
+  name += std::to_string(static_cast<long>(getpid()));
+#endif
+  return name;
+}
+
+void printInstanceDone(const InstanceResult& r) {
+  if (r.cached) {
+    std::printf("  [%s] from store\n", r.id.c_str());
+  } else if (r.outcome.hasReport) {
+    std::printf("  [%s] C=%.2f (%.3fs)%s\n", r.id.c_str(),
+                r.outcome.report.objective, r.outcome.report.seconds,
+                r.outcome.report.stopped ? " [stopped]" : "");
+  } else {
+    std::printf("  [%s] done\n", r.id.c_str());
+  }
+}
+
+/// Renders and publishes BENCH_sweep_<suite>.json; 0 on success.
+int publishSweepJson(const std::string& suiteArg, const BatchReport& report,
+                     const SweepScale& scale, bool noTiming) {
+  BatchJsonOptions json;
+  json.scale = scale.name;
+  json.timing = !noTiming;
+  const std::string name = "sweep_" + suiteArg;
+  if (!writeBenchJsonFile(name, batchReportJson(name, report, json))) {
+    std::fprintf(stderr, "cannot write %s\n", benchJsonPath(name).c_str());
+    return 1;
+  }
+  std::printf("machine-readable results: %s\n",
+              benchJsonPath(name).c_str());
+  return 0;
+}
+
+/// The single-process path (optionally store-backed and resumable).
 int cmdSweep(const CliArgs& args) {
   if (args.suiteName.empty()) {
     std::string known;
@@ -302,6 +401,10 @@ int cmdSweep(const CliArgs& args) {
     }
     std::fprintf(stderr, "sweep needs --suite NAME (available: %s)\n",
                  known.c_str());
+    return 2;
+  }
+  if (args.resume && args.storeDir.empty()) {
+    std::fprintf(stderr, "--resume needs --store-dir DIR\n");
     return 2;
   }
   const SweepScale scale = args.scaleName.empty()
@@ -320,30 +423,159 @@ int cmdSweep(const CliArgs& args) {
     stop.setTimeout(args.deadlineSeconds);
     options.stop = &stop;
   }
+  // --cancel-after must be able to fire even without --deadline, so the
+  // token is wired in up front; onInstanceDone is serialized across shards.
+  if (args.cancelAfter > 0) options.stop = &stop;
+  std::size_t done = 0;
   options.onInstanceDone = [&](const InstanceResult& r) {
-    if (r.outcome.hasReport) {
-      std::printf("  [%s] C=%.2f (%.3fs)%s\n", r.id.c_str(),
-                  r.outcome.report.objective, r.outcome.report.seconds,
-                  r.outcome.report.stopped ? " [stopped]" : "");
-    } else {
-      std::printf("  [%s] done\n", r.id.c_str());
+    printInstanceDone(r);
+    if (args.cancelAfter > 0 &&
+        ++done >= static_cast<std::size_t>(args.cancelAfter)) {
+      stop.requestStop();
     }
   };
 
-  const BatchReport report = runBatch(suite, options);
-  std::printf("completed %zu/%zu instances%s\n", report.completed,
-              report.results.size(),
-              report.stopped ? " (stopped by deadline)" : "");
+  std::optional<SweepStore> store;
+  std::optional<SweepStoreCache> cache;
+  if (!args.storeDir.empty()) {
+    store.emplace(args.storeDir);
+    cache.emplace(*store, suite.name(), args.resume);
+    options.cache = &*cache;
+  }
 
-  BatchJsonOptions json;
-  json.scale = scale.name;
-  const std::string name = "sweep_" + args.suiteName;
-  if (!writeBenchJsonFile(name, batchReportJson(name, report, json))) {
-    std::fprintf(stderr, "cannot write %s\n", benchJsonPath(name).c_str());
+  const BatchReport report = runBatch(suite, options);
+  std::printf("completed %zu/%zu instances", report.completed,
+              report.results.size());
+  if (report.cacheHits > 0) {
+    std::printf(" (%zu from store)", report.cacheHits);
+  }
+  std::printf("%s\n", report.stopped ? " (stopped)" : "");
+
+  return publishSweepJson(args.suiteName, report, scale, args.noTiming);
+}
+
+/// Flags of the single-process path that the serve/worker modes do not
+/// honor; silently ignoring them would misrepresent what ran.
+int rejectUnsupportedQueueFlags(const CliArgs& args, const char* mode) {
+  const char* offending = nullptr;
+  if (args.shards != 0) {
+    offending = "--shards (one claim at a time; start more workers instead)";
+  }
+  if (!args.storeDir.empty()) {
+    offending = "--store-dir (the serve/worker directory IS the store)";
+  }
+  if (args.resume) {
+    offending = "--resume (a served sweep always reuses its records)";
+  }
+  if (args.cancelAfter > 0) offending = "--cancel-after";
+  if (!args.serveDir.empty() && !args.workerDir.empty()) {
+    offending = "--serve together with --worker";
+  }
+  if (offending != nullptr) {
+    std::fprintf(stderr, "sweep %s does not support %s\n", mode, offending);
+    return 2;
+  }
+  return 0;
+}
+
+/// Coordinator: publish the manifest, participate in the queue, wait for
+/// all records, merge in canonical order.
+int cmdSweepServe(const CliArgs& args) {
+  if (const int rc = rejectUnsupportedQueueFlags(args, "--serve")) return rc;
+  if (args.suiteName.empty()) {
+    std::fprintf(stderr, "sweep --serve needs --suite NAME\n");
+    return 2;
+  }
+  const SweepScale scale = args.scaleName.empty()
+                               ? sweepScale()
+                               : sweepScaleNamed(args.scaleName);
+  const InstanceSuite suite = namedSweep(args.suiteName, scale);
+  SweepStore store(args.serveDir);
+  WorkQueue queue(args.serveDir, workerName(), args.leaseSeconds);
+  queue.clearStop();  // a sentinel from a previous cancelled run is stale
+  const SweepManifest manifest = makeManifest(args.suiteName, scale, suite);
+  writeManifest(args.serveDir, manifest);
+  std::printf(
+      "serving sweep %s at %s: %zu instances, scale=%s\n"
+      "join with: ides_cli sweep --worker %s\n",
+      suite.name().c_str(), args.serveDir.c_str(), suite.size(),
+      scale.name.c_str(), args.serveDir.c_str());
+
+  StopToken stop;
+  if (args.deadlineSeconds > 0.0) stop.setTimeout(args.deadlineSeconds);
+
+  const auto onDone = [](const WorkItem& item, const InstanceOutcome&) {
+    std::printf("  [%s] done (this process)\n", item.id.c_str());
+  };
+  bool stopped = false;
+  while (true) {
+    const QueueRunStats stats =
+        runQueuedInstances(suite, manifest, store, queue, &stop, onDone);
+    if (stats.stopped || stop.stopRequested()) {
+      stopped = true;
+      queue.requestStop();  // tell the workers to wind down too
+      break;
+    }
+    if (queue.allDone(store, manifest)) break;
+    // Peers hold live leases; wait for their records (or lease expiry).
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  BatchReport report = reportFromStore(suite, store);
+  report.stopped = report.stopped || stopped;
+  std::printf("merged %zu/%zu records from %s%s\n", report.completed,
+              report.results.size(), args.serveDir.c_str(),
+              report.stopped ? " (stopped)" : "");
+  return publishSweepJson(args.suiteName, report, scale, args.noTiming);
+}
+
+/// Worker: wait for the manifest, rebuild + verify the suite, then claim
+/// and run instances until the sweep is complete (or a stop lands).
+int cmdSweepWorker(const CliArgs& args) {
+  if (const int rc = rejectUnsupportedQueueFlags(args, "--worker")) return rc;
+  if (!args.suiteName.empty() || !args.scaleName.empty()) {
+    std::fprintf(stderr,
+                 "sweep --worker reads the suite and scale from the served "
+                 "manifest; drop --suite/--scale\n");
+    return 2;
+  }
+  std::optional<SweepManifest> manifest;
+  // The coordinator may not have published yet; poll briefly.
+  for (int attempt = 0; attempt < 150; ++attempt) {
+    manifest = readManifest(args.workerDir);
+    if (manifest.has_value()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (!manifest.has_value()) {
+    std::fprintf(stderr, "no manifest at %s (is a --serve running?)\n",
+                 args.workerDir.c_str());
     return 1;
   }
-  std::printf("machine-readable results: %s\n",
-              benchJsonPath(name).c_str());
+  const InstanceSuite suite = suiteFromManifest(*manifest);
+  SweepStore store(args.workerDir);
+  WorkQueue queue(args.workerDir, workerName(), args.leaseSeconds);
+  std::printf("worker %s joined sweep %s (%zu instances)\n",
+              queue.workerId().c_str(), suite.name().c_str(), suite.size());
+
+  StopToken stop;
+  if (args.deadlineSeconds > 0.0) stop.setTimeout(args.deadlineSeconds);
+
+  std::size_t executed = 0;
+  const auto onDone = [&](const WorkItem& item, const InstanceOutcome&) {
+    std::printf("  [%s] done\n", item.id.c_str());
+    ++executed;
+  };
+  while (true) {
+    const QueueRunStats stats =
+        runQueuedInstances(suite, *manifest, store, queue, &stop, onDone);
+    if (stats.stopped || stop.stopRequested() || queue.stopRequested()) {
+      std::printf("worker stopping (%zu instances executed)\n", executed);
+      return 0;
+    }
+    if (queue.allDone(store, *manifest)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("sweep complete (%zu instances executed here)\n", executed);
   return 0;
 }
 
@@ -363,7 +595,11 @@ int main(int argc, char** argv) {
     if (args.command == "design") return cmdDesign(args);
     if (args.command == "schedule") return cmdSchedule(args);
     if (args.command == "dot") return cmdDot(args);
-    if (args.command == "sweep") return cmdSweep(args);
+    if (args.command == "sweep") {
+      if (!args.workerDir.empty()) return cmdSweepWorker(args);
+      if (!args.serveDir.empty()) return cmdSweepServe(args);
+      return cmdSweep(args);
+    }
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -10,15 +10,17 @@
 #include <thread>
 
 #include "core/incremental_designer.h"
+#include "util/json_reader.h"
+#include "util/provenance.h"
 
 namespace ides {
 
-namespace {
+InstanceOutcome runBatchInstance(const BatchInstance& instance,
+                                 const StopToken* stop) {
+  if (instance.job) return instance.job(instance, stop);
 
-/// The standard instance job: generate the suite, resolve the strategy by
-/// name, run it through the optimizer API, append probe extras.
-InstanceOutcome runDefaultJob(const BatchInstance& instance,
-                              const StopToken* stop) {
+  // The standard instance job: generate the suite, resolve the strategy by
+  // name, run it through the optimizer API, append probe extras.
   const Suite suite = buildSuite(instance.config, instance.suiteSeed);
   IncrementalDesigner designer(suite.system, suite.profile, instance.options);
   const std::unique_ptr<Optimizer> optimizer =
@@ -37,8 +39,6 @@ InstanceOutcome runDefaultJob(const BatchInstance& instance,
   }
   return outcome;
 }
-
-}  // namespace
 
 BatchReport runBatch(const InstanceSuite& suite, const BatchOptions& options) {
   if (options.shards < 0) {
@@ -73,6 +73,7 @@ BatchReport runBatch(const InstanceSuite& suite, const BatchOptions& options) {
   // aggregate is in canonical order no matter which shard ran what.
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> cacheHits{0};
   std::mutex doneMutex;  // serializes onInstanceDone across shards
   std::vector<std::exception_ptr> errors(shards);
 
@@ -85,8 +86,16 @@ BatchReport runBatch(const InstanceSuite& suite, const BatchOptions& options) {
         if (i >= count) break;
         const BatchInstance& instance = suite.instances()[i];
         InstanceResult& slot = report.results[i];
-        slot.outcome = instance.job ? instance.job(instance, options.stop)
-                                    : runDefaultJob(instance, options.stop);
+        if (options.cache != nullptr &&
+            options.cache->lookup(instance, slot.outcome)) {
+          slot.cached = true;
+          cacheHits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          slot.outcome = runBatchInstance(instance, options.stop);
+          if (options.cache != nullptr) {
+            options.cache->store(instance, slot.outcome);
+          }
+        }
         slot.ran = true;
         completed.fetch_add(1, std::memory_order_relaxed);
         if (options.onInstanceDone) {
@@ -113,6 +122,7 @@ BatchReport runBatch(const InstanceSuite& suite, const BatchOptions& options) {
   }
 
   report.completed = completed.load(std::memory_order_relaxed);
+  report.cacheHits = cacheHits.load(std::memory_order_relaxed);
   report.stopped = options.stop != nullptr && options.stop->stopRequested();
   return report;
 }
@@ -137,24 +147,24 @@ std::string num(double value) {
 
 std::string num(long long value) { return std::to_string(value); }
 
-std::string quoted(const std::string& value) {
-  std::string out = "\"";
-  for (const char c : value) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
 }  // namespace
 
 std::string batchReportJson(const std::string& benchName,
                             const BatchReport& report,
                             const BatchJsonOptions& options) {
-  std::string out = "{\n  \"bench\": " + quoted(benchName) +
-                    ",\n  \"scale\": " + quoted(options.scale) +
-                    ",\n  \"suite\": " + quoted(report.suiteName) +
+  // Header provenance (git SHA, host, compiler) is deliberately NOT keyed
+  // on run shape: two runs of the same build on the same machine render the
+  // same header regardless of shard count, worker count or cache hits, so
+  // the deterministic (timing=false) rendering still diffs byte-clean.
+  const Provenance& prov = buildProvenance();
+  std::string out = "{\n  \"bench\": " + jsonQuote(benchName) +
+                    ",\n  \"scale\": " + jsonQuote(options.scale) +
+                    ",\n  \"suite\": " + jsonQuote(report.suiteName) +
+                    ",\n  \"git_sha\": " + jsonQuote(prov.gitSha) +
+                    ",\n  \"hostname\": " + jsonQuote(prov.hostname) +
+                    ",\n  \"hardware_concurrency\": " +
+                    num(static_cast<long long>(prov.hardwareConcurrency)) +
+                    ",\n  \"compiler\": " + jsonQuote(prov.compiler) +
                     ",\n  \"instances\": " +
                     num(static_cast<long long>(report.results.size())) +
                     ",\n  \"completed\": " +
@@ -172,8 +182,8 @@ std::string batchReportJson(const std::string& benchName,
     // identity fields first, then the report, extras, and timing last (so
     // the deterministic prefix is stable with timing on or off).
     const InstanceOutcome& o = r.outcome;
-    appendField(out, first, "id", quoted(r.id));
-    appendField(out, first, "group", quoted(r.group));
+    appendField(out, first, "id", jsonQuote(r.id));
+    appendField(out, first, "group", jsonQuote(r.group));
     appendField(out, first, "axis", num(r.axis));
     appendField(out, first, "seed",
                 num(static_cast<long long>(r.seedIndex)));
@@ -181,7 +191,7 @@ std::string batchReportJson(const std::string& benchName,
                 num(static_cast<long long>(r.suiteSeed)));
     if (o.hasReport) {
       const RunReport& rep = o.report;
-      appendField(out, first, "strategy", quoted(rep.strategy));
+      appendField(out, first, "strategy", jsonQuote(rep.strategy));
       appendField(out, first, "feasible",
                   num(static_cast<long long>(rep.feasible ? 1 : 0)));
       appendField(out, first, "objective", num(rep.objective));
@@ -226,6 +236,40 @@ bool writeBenchJsonFile(const std::string& name, const std::string& payload) {
   if (!out) return false;
   out << payload;
   return true;
+}
+
+namespace {
+
+/// Lookup key of (group, seed, strategy); '\n' never appears in the parts.
+std::string indexKey(const std::string& group, int seed,
+                     const std::string& strategy) {
+  std::string key = group;
+  key += '\n';
+  key += std::to_string(seed);
+  key += '\n';
+  key += strategy;
+  return key;
+}
+
+}  // namespace
+
+BatchIndex::BatchIndex(const BatchReport& report) {
+  for (const InstanceResult& r : report.results) {
+    if (!r.ran) continue;
+    // emplace keeps the first entry per key — canonical order wins, exactly
+    // like the linear scan this index replaces.
+    if (r.outcome.hasReport) {
+      byKey_.emplace(indexKey(r.group, r.seedIndex, r.outcome.report.strategy),
+                     &r);
+    }
+    byKey_.emplace(indexKey(r.group, r.seedIndex, ""), &r);
+  }
+}
+
+const InstanceResult* BatchIndex::find(const std::string& group, int seed,
+                                       const std::string& strategy) const {
+  const auto it = byKey_.find(indexKey(group, seed, strategy));
+  return it == byKey_.end() ? nullptr : it->second;
 }
 
 }  // namespace ides

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -114,6 +115,11 @@ class InstanceSuite {
 struct InstanceResult {
   std::size_t index = 0;  ///< canonical position in the suite
   bool ran = false;       ///< false when cancellation skipped the instance
+  /// True when the outcome came out of a ResultCache instead of a fresh
+  /// run. Cached outcomes carry the full deterministic record (report
+  /// fields + extras + original wall-clock seconds) but not the mapping or
+  /// schedule — aggregation never reads those, re-runs do.
+  bool cached = false;
   /// Identity copied from the instance, so the report (and its JSON
   /// rendering) stays self-contained after the suite is gone.
   std::string id;
@@ -129,7 +135,32 @@ struct BatchReport {
   /// One entry per suite instance, in canonical order (ran or not).
   std::vector<InstanceResult> results;
   std::size_t completed = 0;
+  /// How many of `completed` were served from the ResultCache. Not part of
+  /// the JSON rendering — a resumed run and a from-scratch run must render
+  /// byte-identically.
+  std::size_t cacheHits = 0;
   bool stopped = false;
+};
+
+/// Persistent result reuse hook of the batch runner (implemented by the
+/// sweep store, src/store/sweep_store.h). Both calls may come from any
+/// shard thread concurrently; implementations synchronize internally.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+
+  /// Fill `outcome` with a previously stored result for `instance` and
+  /// return true, or return false to make the runner execute it. Hits must
+  /// reproduce the deterministic record fields exactly — the runner trusts
+  /// them into the canonical aggregate.
+  virtual bool lookup(const BatchInstance& instance,
+                      InstanceOutcome& outcome) = 0;
+
+  /// Offer a freshly completed outcome for persistence. Implementations
+  /// decide what is cacheable (the sweep store refuses outcomes cut short
+  /// by a stop token — a partial result must never shadow the full one).
+  virtual void store(const BatchInstance& instance,
+                     const InstanceOutcome& outcome) = 0;
 };
 
 struct BatchOptions {
@@ -137,10 +168,20 @@ struct BatchOptions {
   /// Aggregates are bit-identical for every value (asserted in tests).
   int shards = 1;
   const StopToken* stop = nullptr;
+  /// Optional persistent result reuse (resume / figure regeneration);
+  /// null = every instance runs fresh.
+  ResultCache* cache = nullptr;
   /// Per-completed-instance notification, serialized across shards (safe
   /// to print / request stop from).
   std::function<void(const InstanceResult&)> onInstanceDone;
 };
+
+/// Executes one instance exactly as the shard workers do: the custom job
+/// when set, otherwise generate + resolve strategy + optimize + probe.
+/// Exposed for the cross-process work-queue path, which runs claimed
+/// instances outside a runBatch call but must produce identical records.
+InstanceOutcome runBatchInstance(const BatchInstance& instance,
+                                 const StopToken* stop);
 
 /// Runs every instance and aggregates in canonical order. Throws
 /// std::invalid_argument for negative shards; rethrows the first instance
@@ -172,5 +213,25 @@ std::string benchJsonPath(const std::string& name);
 /// Writes a pre-rendered payload to benchJsonPath(name); returns false
 /// (without throwing) when the file cannot be opened.
 bool writeBenchJsonFile(const std::string& name, const std::string& payload);
+
+/// Hash index over a report's completed instances for figure aggregation.
+/// Built once per report, it answers the drivers' (group, seed[, strategy])
+/// lookups in O(1) instead of the old per-lookup linear scan over the whole
+/// result vector (quadratic per figure at full scale). Holds pointers into
+/// the report: the report must outlive the index.
+class BatchIndex {
+ public:
+  explicit BatchIndex(const BatchReport& report);
+
+  /// Completed instance of (group, seed[, strategy]), or null. Strategy ""
+  /// matches any — the first in canonical order, exactly like the old
+  /// linear scan (custom-job instances have no report/strategy).
+  [[nodiscard]] const InstanceResult* find(
+      const std::string& group, int seed,
+      const std::string& strategy = "") const;
+
+ private:
+  std::unordered_map<std::string, const InstanceResult*> byKey_;
+};
 
 }  // namespace ides

@@ -8,6 +8,7 @@
 #include "core/incremental_designer.h"
 #include "core/multi_increment.h"
 #include "model/system_model.h"
+#include "util/hashing.h"
 
 namespace ides {
 
@@ -226,6 +227,95 @@ InstanceSuite incrementsSweep(const SweepScale& scale) {
     }
   }
   return suite;
+}
+
+namespace {
+
+void hashSuiteConfig(Fnv1aHasher& h, const SuiteConfig& cfg) {
+  h.u64(cfg.nodeCount);
+  h.u64(cfg.speedFactors.size());
+  for (const double f : cfg.speedFactors) h.f64(f);
+  h.i64(cfg.slotLength);
+  h.i64(cfg.bytesPerTick);
+  h.i64(cfg.basePeriod);
+  h.u64(cfg.periodDivisors.size());
+  for (const Time d : cfg.periodDivisors) h.i64(d);
+  h.i64(cfg.tmin);
+  h.u64(cfg.existingProcesses);
+  h.u64(cfg.existingGraphSize);
+  h.u64(cfg.offsetPhases);
+  h.u64(cfg.currentProcesses);
+  h.u64(cfg.currentGraphSize);
+  h.u64(cfg.futureAppCount);
+  h.u64(cfg.futureProcesses);
+  h.u64(cfg.futureGraphSize);
+  const GraphGenConfig& gen = cfg.graphGen;
+  h.u64(gen.processCount);
+  h.f64(gen.edgeDensity);
+  h.u64(gen.layerWidth);
+  h.i64(gen.wcetMin);
+  h.i64(gen.wcetMax);
+  h.f64(gen.wcetNodeVariation);
+  h.f64(gen.restrictedMappingProb);
+  h.f64(gen.restrictedFraction);
+  h.i64(gen.msgMin);
+  h.i64(gen.msgMax);
+  h.i64(cfg.tneedOverride);
+  h.i64(cfg.bneedOverride);
+  // maxBuildAttempts IS result-relevant: a config that needs retries lands
+  // on a different derived seed when the cap moves the retry sequence.
+  h.i64(cfg.maxBuildAttempts);
+}
+
+void hashDesignerOptions(Fnv1aHasher& h, const DesignerOptions& opts) {
+  h.f64(opts.weights.w1p);
+  h.f64(opts.weights.w1m);
+  h.f64(opts.weights.w2p);
+  h.f64(opts.weights.w2m);
+  h.i64(opts.mh.maxIterations);
+  h.i64(opts.mh.candidateProcesses);
+  h.i64(opts.mh.targetNodes);
+  h.i64(opts.mh.gapsPerNode);
+  h.i64(opts.mh.candidateMessages);
+  h.i64(opts.mh.busWindows);
+  h.u64(opts.mh.maxEvaluations);
+  h.u64(opts.sa.seed);
+  h.i64(opts.sa.iterations);
+  h.f64(opts.sa.initialTempFactor);
+  h.f64(opts.sa.finalTemp);
+  h.f64(opts.sa.probRemap);
+  h.f64(opts.sa.probProcessHint);
+  h.i64(opts.psa.restarts);
+  h.i64(opts.psa.perChainIterations);
+  // Excluded by design (bit-identical results across all values, asserted
+  // by the optimizer/speculation test suites): sa.incrementalEval,
+  // sa.recordCostTrace, sa.speculation.*, psa.threads,
+  // psa.speculativeWorkers, and the stop token.
+}
+
+}  // namespace
+
+std::string instanceFingerprint(const std::string& suiteName,
+                                const BatchInstance& instance) {
+  // Two independently-seeded FNV lanes over the same field stream give the
+  // 128-bit content address; see util/hashing.h.
+  Fnv1aHasher lanes[2] = {Fnv1aHasher(Fnv1aHasher::kDefaultBasis),
+                          Fnv1aHasher(0x9e3779b97f4a7c15ULL)};
+  for (Fnv1aHasher& h : lanes) {
+    h.u64(kSweepFingerprintEpoch);
+    h.str(suiteName);
+    h.str(instance.id);
+    h.str(instance.group);
+    h.f64(instance.axis);
+    h.i64(instance.seedIndex);
+    h.u64(instance.suiteSeed);
+    hashSuiteConfig(h, instance.config);
+    h.str(instance.strategy);
+    hashDesignerOptions(h, instance.options);
+    h.boolean(static_cast<bool>(instance.probe));
+    h.boolean(static_cast<bool>(instance.job));
+  }
+  return hashHex(lanes[0].value(), lanes[1].value());
 }
 
 std::vector<std::string> sweepNames() {

@@ -69,4 +69,24 @@ std::vector<std::string> sweepNames();
 /// "increments"); throws std::invalid_argument listing the valid names.
 InstanceSuite namedSweep(const std::string& name, const SweepScale& scale);
 
+/// Bump when a change makes previously stored sweep results stale even
+/// though the configuration fields hash the same — e.g. new generator
+/// semantics, a different SA move kernel, or changed metric definitions.
+/// The epoch is part of every instance fingerprint, so bumping it makes
+/// the sweep store treat all old records as different content.
+inline constexpr std::uint64_t kSweepFingerprintEpoch = 1;
+
+/// Stable 128-bit content fingerprint (32 hex chars) of one sweep
+/// instance: suite name, instance identity, the full generator config and
+/// every result-relevant option, plus kSweepFingerprintEpoch. This is the
+/// sweep store's record key. Deliberately EXCLUDED are the knobs whose
+/// result-neutrality the test suite defends — thread/shard counts,
+/// speculation shape, incremental-eval toggles, trace recording — so a
+/// record computed at any parallelism serves every other (the stored
+/// wall-clock seconds refer to the recording run). Custom probes/jobs are
+/// code and cannot be hashed; their presence is fingerprinted and their
+/// identity is covered by the suite name + epoch.
+std::string instanceFingerprint(const std::string& suiteName,
+                                const BatchInstance& instance);
+
 }  // namespace ides

@@ -1,0 +1,286 @@
+#include "store/sweep_store.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/batch_suites.h"
+#include "util/json_reader.h"
+#include "util/provenance.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace ides {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// %.17g: enough digits that strtod recovers the exact double, so a loaded
+/// record re-renders (%.6g in the BENCH json) byte-identically to the
+/// original run.
+std::string roundTripNum(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string uniqueSuffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(getpid());
+#else
+  const long pid = 0;
+#endif
+  // Hostname included: pids collide across the machines sharing a store
+  // directory, and a colliding tmp name would let a slow writer scribble
+  // into a record another machine already renamed into place.
+  std::string suffix = buildProvenance().hostname;
+  suffix += '.';
+  suffix += std::to_string(pid);
+  suffix += '.';
+  suffix += std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  return suffix;
+}
+
+/// A record must re-render exactly on load; "inf"/"nan" from %.17g would
+/// make it permanently unparseable to the strict reader (quarantined and
+/// re-run on every resume, forever), so non-finite outcomes are refused.
+bool outcomeIsFinite(const InstanceOutcome& outcome) {
+  if (outcome.hasReport) {
+    const RunReport& report = outcome.report;
+    for (const double v : {report.objective, report.metrics.c1p,
+                           report.metrics.c1m, report.seconds}) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  for (const auto& [key, value] : outcome.extras.fields) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+std::string renderRecord(const std::string& fingerprint,
+                         const std::string& suiteName,
+                         const std::string& instanceId,
+                         const InstanceOutcome& outcome) {
+  const Provenance& prov = buildProvenance();
+  std::string out = "{\n";
+  out += "  \"schema\": " + std::to_string(SweepStore::kSchemaVersion) +
+         ",\n";
+  out += "  \"fingerprint\": " + jsonQuote(fingerprint) + ",\n";
+  out += "  \"suite\": " + jsonQuote(suiteName) + ",\n";
+  out += "  \"id\": " + jsonQuote(instanceId) + ",\n";
+  out += "  \"git_sha\": " + jsonQuote(prov.gitSha) + ",\n";
+  out += "  \"hostname\": " + jsonQuote(prov.hostname) + ",\n";
+  out += "  \"hardware_concurrency\": " +
+         std::to_string(prov.hardwareConcurrency) + ",\n";
+  out += "  \"compiler\": " + jsonQuote(prov.compiler) + ",\n";
+  out += std::string("  \"has_report\": ") +
+         (outcome.hasReport ? "true" : "false") + ",\n";
+  if (outcome.hasReport) {
+    const RunReport& report = outcome.report;
+    out += "  \"strategy\": " + jsonQuote(report.strategy) + ",\n";
+    out += std::string("  \"feasible\": ") +
+           (report.feasible ? "true" : "false") + ",\n";
+    out += "  \"objective\": " + roundTripNum(report.objective) + ",\n";
+    out += "  \"c1p\": " + roundTripNum(report.metrics.c1p) + ",\n";
+    out += "  \"c1m\": " + roundTripNum(report.metrics.c1m) + ",\n";
+    out += "  \"c2p\": " +
+           std::to_string(static_cast<long long>(report.metrics.c2p)) +
+           ",\n";
+    out += "  \"c2m_bytes\": " +
+           std::to_string(static_cast<long long>(report.metrics.c2mBytes)) +
+           ",\n";
+    out += "  \"evaluations\": " + std::to_string(report.evaluations) +
+           ",\n";
+    out += std::string("  \"run_stopped\": ") +
+           (report.stopped ? "true" : "false") + ",\n";
+    out += "  \"seconds\": " + roundTripNum(report.seconds) + ",\n";
+  }
+  out += "  \"extras\": [";
+  bool first = true;
+  for (const auto& [key, value] : outcome.extras.fields) {
+    out += first ? "\n    [" : ",\n    [";
+    first = false;
+    out += jsonQuote(key) + ", " + roundTripNum(value) + "]";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+InstanceOutcome parseRecord(const JsonValue& root,
+                            const std::string& fingerprint) {
+  if (root.intAt("schema") != SweepStore::kSchemaVersion) {
+    throw std::runtime_error("record schema mismatch");
+  }
+  if (root.stringAt("fingerprint") != fingerprint) {
+    throw std::runtime_error("record fingerprint does not match file name");
+  }
+  InstanceOutcome outcome;
+  outcome.hasReport = root.boolAt("has_report");
+  if (outcome.hasReport) {
+    RunReport& report = outcome.report;
+    report.strategy = root.stringAt("strategy");
+    report.feasible = root.boolAt("feasible");
+    report.objective = root.numberAt("objective");
+    report.metrics.c1p = root.numberAt("c1p");
+    report.metrics.c1m = root.numberAt("c1m");
+    report.metrics.c2p = root.intAt("c2p");
+    report.metrics.c2mBytes = root.intAt("c2m_bytes");
+    report.evaluations =
+        static_cast<std::size_t>(root.intAt("evaluations"));
+    report.stopped = root.boolAt("run_stopped");
+    report.seconds = root.numberAt("seconds");
+  }
+  const JsonValue& extras = root.at("extras");
+  if (!extras.isArray()) throw std::runtime_error("extras is not an array");
+  for (const JsonValue& entry : extras.items) {
+    if (!entry.isArray() || entry.items.size() != 2 ||
+        entry.items[0].kind != JsonValue::Kind::String ||
+        entry.items[1].kind != JsonValue::Kind::Number) {
+      throw std::runtime_error("malformed extras entry");
+    }
+    outcome.extras.add(entry.items[0].stringValue,
+                       entry.items[1].numberValue);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+SweepStore::SweepStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / "records", ec);
+  if (!ec) fs::create_directories(fs::path(dir_) / "quarantine", ec);
+  if (ec) {
+    throw std::runtime_error("SweepStore: cannot create " + dir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string SweepStore::recordPath(const std::string& fingerprint) const {
+  return (fs::path(dir_) / "records" / (fingerprint + ".json")).string();
+}
+
+bool SweepStore::contains(const std::string& fingerprint) const {
+  std::error_code ec;
+  return fs::exists(recordPath(fingerprint), ec);
+}
+
+std::size_t SweepStore::recordCount() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "records", ec)) {
+    if (entry.path().extension() == ".json") ++count;
+  }
+  return count;
+}
+
+bool SweepStore::outcomeIsComplete(const InstanceOutcome& outcome) {
+  if (outcome.hasReport && outcome.report.stopped) return false;
+  for (const auto& [key, value] : outcome.extras.fields) {
+    if (key == "run_stopped" && value != 0.0) return false;
+  }
+  return true;
+}
+
+bool SweepStore::store(const std::string& fingerprint,
+                       const std::string& suiteName,
+                       const std::string& instanceId,
+                       const InstanceOutcome& outcome) {
+  if (!outcomeIsComplete(outcome) || !outcomeIsFinite(outcome)) {
+    return false;
+  }
+  const std::string finalPath = recordPath(fingerprint);
+  std::error_code ec;
+  if (fs::exists(finalPath, ec)) return false;
+
+  const std::string tmpPath = finalPath + ".tmp." + uniqueSuffix();
+  {
+    std::ofstream out(tmpPath, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("SweepStore: cannot write " + tmpPath);
+    }
+    out << renderRecord(fingerprint, suiteName, instanceId, outcome);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("SweepStore: short write to " + tmpPath);
+    }
+  }
+  // First writer wins: a record that appeared while we were rendering is
+  // equivalent (only wall-clock differs), keep it and drop ours. The
+  // exists/rename race window leaves at worst the concurrent writer's
+  // equally valid record in place — rename is atomic either way.
+  if (fs::exists(finalPath, ec)) {
+    fs::remove(tmpPath, ec);
+    return false;
+  }
+  fs::rename(tmpPath, finalPath, ec);
+  if (ec) {
+    fs::remove(tmpPath, ec);
+    throw std::runtime_error("SweepStore: cannot rename into " + finalPath);
+  }
+  return true;
+}
+
+std::optional<InstanceOutcome> SweepStore::load(
+    const std::string& fingerprint) {
+  const std::string path = recordPath(fingerprint);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  in.close();
+  try {
+    return parseRecord(parseJson(text), fingerprint);
+  } catch (const std::exception&) {
+    quarantine(fingerprint);
+    return std::nullopt;
+  }
+}
+
+void SweepStore::quarantine(const std::string& fingerprint) {
+  const std::string from = recordPath(fingerprint);
+  const std::string to =
+      (fs::path(dir_) / "quarantine" /
+       (fingerprint + ".json." + uniqueSuffix()))
+          .string();
+  std::error_code ec;
+  fs::rename(from, to, ec);  // best effort; a lost race just means a peer
+  ++quarantined_;            // quarantined the same corrupt file first
+}
+
+SweepStoreCache::SweepStoreCache(SweepStore& store, std::string suiteName,
+                                 bool reuse)
+    : store_(store), suiteName_(std::move(suiteName)), reuse_(reuse) {}
+
+bool SweepStoreCache::lookup(const BatchInstance& instance,
+                             InstanceOutcome& outcome) {
+  if (!reuse_) return false;
+  std::optional<InstanceOutcome> loaded =
+      store_.load(instanceFingerprint(suiteName_, instance));
+  if (!loaded.has_value()) return false;
+  outcome = std::move(*loaded);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SweepStoreCache::store(const BatchInstance& instance,
+                            const InstanceOutcome& outcome) {
+  if (store_.store(instanceFingerprint(suiteName_, instance), suiteName_,
+                   instance.id, outcome)) {
+    stored_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ides

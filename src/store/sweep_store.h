@@ -1,0 +1,129 @@
+// SweepStore — persistent, content-addressed sweep results.
+//
+// The paper's experiments are large deterministic sweeps; a full-scale run
+// is hours of work whose instances are all independent and reproducible.
+// The store persists one self-contained JSON record per completed instance,
+// keyed by the instance fingerprint (core/batch_suites.h: a stable hash of
+// suite name, generator config, seeds, strategy + result-relevant options
+// and a code epoch). That turns every sweep into an incremental, resumable
+// artifact:
+//
+//   * resume — a cancelled sweep rerun with the store attached skips every
+//     instance whose record exists; the merged report renders byte-identical
+//     (timing off) to an uncancelled run, because records hold the exact
+//     deterministic field values;
+//   * reuse — figure regeneration after a code-irrelevant change (or on
+//     another axis of the same instances) is near-instant;
+//   * distribution — records are plain files under one directory, so any
+//     number of processes (or machines over a shared filesystem) can fill
+//     the same store; see store/work_queue.h.
+//
+// Durability protocol, append-only by construction:
+//   records/<fingerprint>.json       one completed instance (atomic rename)
+//   records/<fingerprint>.json.tmp.* in-flight writes (never read)
+//   quarantine/                      corrupt records, moved aside on load
+//
+// A record is written to a unique tmp file and renamed into place — readers
+// see a complete record or none. The first writer wins; a concurrent
+// duplicate is discarded (contents only differ in recorded wall-clock).
+// Records that fail to parse or that disagree with their file name are
+// quarantined (renamed into quarantine/) and treated as absent, so one
+// corrupt file costs one re-run, not the sweep.
+//
+// Partial results are never persisted: an outcome whose run was cut short
+// by a StopToken is refused, because a resumed sweep must reproduce the
+// FULL result for that instance, not the truncated one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/batch_runner.h"
+
+namespace ides {
+
+/// Thread-safe: the filesystem protocol carries all the coordination
+/// (atomic renames, first-writer-wins), so concurrent load/store calls on
+/// one object need no locking — the shard workers of a resumed runBatch
+/// hit the store in parallel.
+class SweepStore {
+ public:
+  /// Record layout version, written into every record and checked on load.
+  static constexpr std::int64_t kSchemaVersion = 1;
+
+  /// Opens (creating if needed) a store rooted at `dir`.
+  /// Throws std::runtime_error when the directories cannot be created.
+  explicit SweepStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Path of the (existing or future) record for a fingerprint.
+  [[nodiscard]] std::string recordPath(const std::string& fingerprint) const;
+
+  [[nodiscard]] bool contains(const std::string& fingerprint) const;
+
+  /// Number of records currently on disk.
+  [[nodiscard]] std::size_t recordCount() const;
+
+  /// True when `outcome` may be persisted: it finished its full budget
+  /// (no stop token fired mid-run). Custom jobs signal truncation through
+  /// a non-zero "run_stopped" extra, mirroring the report flag.
+  [[nodiscard]] static bool outcomeIsComplete(const InstanceOutcome& outcome);
+
+  /// Persists a completed outcome under `fingerprint` (atomic tmp+rename).
+  /// Returns false without writing when the outcome is incomplete or a
+  /// record already exists (first writer wins). Throws std::runtime_error
+  /// on I/O failure.
+  bool store(const std::string& fingerprint, const std::string& suiteName,
+             const std::string& instanceId, const InstanceOutcome& outcome);
+
+  /// Loads a record; nullopt when absent. A present-but-corrupt record
+  /// (unparseable, wrong schema, fingerprint mismatch) is quarantined and
+  /// reported absent, so the caller re-runs the instance.
+  std::optional<InstanceOutcome> load(const std::string& fingerprint);
+
+  /// Records this store object quarantined so far (observability/tests).
+  [[nodiscard]] std::size_t quarantinedCount() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void quarantine(const std::string& fingerprint);
+
+  std::string dir_;
+  std::atomic<std::size_t> quarantined_{0};
+};
+
+/// ResultCache adapter binding a SweepStore to one suite's runBatch call:
+/// write-through persistence always, lookups only when `reuse` is set (a
+/// sweep run with reuse off records results without trusting prior state).
+/// Thread-safe without serializing the I/O — shards read/write records
+/// concurrently (the store needs no locking); only the counters are shared
+/// state.
+class SweepStoreCache final : public ResultCache {
+ public:
+  SweepStoreCache(SweepStore& store, std::string suiteName, bool reuse);
+
+  bool lookup(const BatchInstance& instance,
+              InstanceOutcome& outcome) override;
+  void store(const BatchInstance& instance,
+             const InstanceOutcome& outcome) override;
+
+  [[nodiscard]] std::size_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t stored() const {
+    return stored_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SweepStore& store_;
+  std::string suiteName_;
+  bool reuse_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> stored_{0};
+};
+
+}  // namespace ides

@@ -1,0 +1,374 @@
+#include "store/work_queue.h"
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json_reader.h"
+#include "util/provenance.h"
+
+#include <sys/stat.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace ides {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string manifestPath(const std::string& dir) {
+  return (fs::path(dir) / "manifest.json").string();
+}
+
+std::string stopPath(const std::string& dir) {
+  return (fs::path(dir) / "stop").string();
+}
+
+/// Age of `path` measured against the SHARED FILESYSTEM's clock: "now" is
+/// the mtime of a probe file the caller wrote just before asking, so both
+/// ends of the subtraction come from the same (file-server) clock and
+/// per-machine wall-clock skew cancels out — a worker whose clock drifts
+/// can neither hold every lease hostage nor reclaim live ones. POSIX stat
+/// for the mtimes: std::filesystem::file_time_type is not portably
+/// comparable before C++20's clock_cast is universal.
+bool fileAgeSeconds(const std::string& path, const std::string& probePath,
+                    double& ageSeconds) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) != 0) return false;
+  struct stat probeSt = {};
+  if (::stat(probePath.c_str(), &probeSt) != 0) return false;
+  ageSeconds = std::difftime(probeSt.st_mtime, st.st_mtime);
+  return true;
+}
+
+}  // namespace
+
+SweepManifest makeManifest(const std::string& sweepName,
+                           const SweepScale& scale,
+                           const InstanceSuite& suite) {
+  SweepManifest manifest;
+  manifest.sweep = sweepName;
+  manifest.suiteName = suite.name();
+  manifest.scale = scale;
+  manifest.items.reserve(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const BatchInstance& instance = suite.instances()[i];
+    manifest.items.push_back(
+        {i, instance.id, instanceFingerprint(suite.name(), instance)});
+  }
+  return manifest;
+}
+
+void writeManifest(const std::string& dir, const SweepManifest& manifest) {
+  std::string out = "{\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"sweep\": " + jsonQuote(manifest.sweep) + ",\n";
+  out += "  \"suite\": " + jsonQuote(manifest.suiteName) + ",\n";
+  out += "  \"scale\": {\n";
+  out += "    \"name\": " + jsonQuote(manifest.scale.name) + ",\n";
+  out += "    \"seeds\": " + std::to_string(manifest.scale.seeds) + ",\n";
+  out += "    \"sa_iterations\": " +
+         std::to_string(manifest.scale.saIterations) + ",\n";
+  out += "    \"sizes\": [";
+  for (std::size_t i = 0; i < manifest.scale.sizes.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + std::to_string(manifest.scale.sizes[i]);
+  }
+  out += "],\n";
+  out += "    \"future_apps\": " +
+         std::to_string(manifest.scale.futureAppsPerInstance) + "\n  },\n";
+  out += "  \"instances\": [";
+  for (std::size_t i = 0; i < manifest.items.size(); ++i) {
+    const WorkItem& item = manifest.items[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"index\": " + std::to_string(item.index) +
+           ", \"id\": " + jsonQuote(item.id) +
+           ", \"fingerprint\": " + jsonQuote(item.fingerprint) + "}";
+  }
+  out += "\n  ]\n}\n";
+
+  const std::string finalPath = manifestPath(dir);
+  // Host+pid-unique tmp name: a second coordinator racing the publish must
+  // not interleave writes into the same tmp file (the later rename still
+  // wins wholesale, which is fine — both manifests are complete).
+  std::string tmpPath = finalPath;
+  tmpPath += ".tmp.";
+  tmpPath += buildProvenance().hostname;
+#if defined(__unix__) || defined(__APPLE__)
+  tmpPath += '.';
+  tmpPath += std::to_string(static_cast<long>(getpid()));
+#endif
+  {
+    std::ofstream file(tmpPath, std::ios::binary);
+    if (!file) {
+      throw std::runtime_error("work queue: cannot write " + tmpPath);
+    }
+    file << out;
+    file.flush();
+    if (!file) {
+      throw std::runtime_error("work queue: short write to " + tmpPath);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmpPath, finalPath, ec);
+  if (ec) {
+    throw std::runtime_error("work queue: cannot publish " + finalPath +
+                             ": " + ec.message());
+  }
+}
+
+std::optional<SweepManifest> readManifest(const std::string& dir) {
+  std::ifstream in(manifestPath(dir), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  try {
+    root = parseJson(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("work queue: bad manifest: ") +
+                             e.what());
+  }
+  if (root.intAt("schema") != 1) {
+    throw std::runtime_error("work queue: unsupported manifest schema");
+  }
+  SweepManifest manifest;
+  manifest.sweep = root.stringAt("sweep");
+  manifest.suiteName = root.stringAt("suite");
+  const JsonValue& scale = root.at("scale");
+  manifest.scale.name = scale.stringAt("name");
+  manifest.scale.seeds = static_cast<int>(scale.intAt("seeds"));
+  manifest.scale.saIterations =
+      static_cast<int>(scale.intAt("sa_iterations"));
+  manifest.scale.sizes.clear();
+  for (const JsonValue& size : scale.at("sizes").items) {
+    manifest.scale.sizes.push_back(
+        static_cast<std::size_t>(size.numberValue));
+  }
+  manifest.scale.futureAppsPerInstance =
+      static_cast<std::size_t>(scale.intAt("future_apps"));
+  for (const JsonValue& entry : root.at("instances").items) {
+    WorkItem item;
+    item.index = static_cast<std::size_t>(entry.intAt("index"));
+    item.id = entry.stringAt("id");
+    item.fingerprint = entry.stringAt("fingerprint");
+    manifest.items.push_back(std::move(item));
+  }
+  return manifest;
+}
+
+InstanceSuite suiteFromManifest(const SweepManifest& manifest) {
+  InstanceSuite suite = namedSweep(manifest.sweep, manifest.scale);
+  if (suite.size() != manifest.items.size()) {
+    throw std::runtime_error(
+        "work queue: local suite has " + std::to_string(suite.size()) +
+        " instances, manifest lists " +
+        std::to_string(manifest.items.size()) +
+        " — code version skew, refusing to join");
+  }
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const std::string local =
+        instanceFingerprint(suite.name(), suite.instances()[i]);
+    if (local != manifest.items[i].fingerprint) {
+      throw std::runtime_error(
+          "work queue: fingerprint mismatch at instance " +
+          std::to_string(i) + " (" + suite.instances()[i].id +
+          ") — code version skew, refusing to join");
+    }
+  }
+  return suite;
+}
+
+WorkQueue::WorkQueue(std::string dir, std::string workerId,
+                     double leaseSeconds)
+    : dir_(std::move(dir)),
+      workerId_(std::move(workerId)),
+      leaseSeconds_(leaseSeconds) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / "claims", ec);
+  if (ec) {
+    throw std::runtime_error("work queue: cannot create claims dir: " +
+                             ec.message());
+  }
+}
+
+std::string WorkQueue::leasePath(const WorkItem& item) const {
+  return (fs::path(dir_) / "claims" / (item.fingerprint + ".lease"))
+      .string();
+}
+
+bool WorkQueue::tryClaimExclusive(const WorkItem& item) {
+  // fopen "wx" = O_CREAT | O_EXCL: exactly one participant wins the create,
+  // even over NFS-style shared directories with close-to-open consistency.
+  std::FILE* file = std::fopen(leasePath(item).c_str(), "wx");
+  if (file == nullptr) return false;
+  const std::string content =
+      "{\"worker\": " + jsonQuote(workerId_) +
+      ", \"lease_seconds\": " + std::to_string(leaseSeconds_) + "}\n";
+  std::fputs(content.c_str(), file);
+  std::fclose(file);
+  return true;
+}
+
+bool WorkQueue::reclaimIfStale(const WorkItem& item, bool& probeFresh) {
+  const std::string path = leasePath(item);
+  double declared = leaseSeconds_;
+  {
+    // The WRITER's declared duration governs expiry; fall back to ours
+    // when the lease is unreadable (it may be mid-write or corrupt).
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        declared = parseJson(buffer.str()).numberAt("lease_seconds");
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  // One probe write per claim() scan, not per contested lease: the waiting
+  // loops poll claim() continuously, and a per-lease rewrite would be
+  // sustained metadata churn on a shared (NFS-style) directory.
+  const std::string probe =
+      (fs::path(dir_) / "claims" / (".clock." + workerId_)).string();
+  if (!probeFresh) {
+    std::ofstream out(probe, std::ios::trunc);
+    if (!out) return false;
+    out << '\n';
+    out.flush();
+    if (!out) return false;
+    probeFresh = true;
+  }
+  double age = 0.0;
+  if (!fileAgeSeconds(path, probe, age) || age <= declared) return false;
+  // Atomically move the stale lease aside: exactly one reclaimer's rename
+  // succeeds. The winner does NOT own the claim yet — it just cleared the
+  // way; ownership is still decided by the exclusive create that follows.
+  const std::string aside =
+      path + ".stale." + workerId_ + "." + std::to_string(reclaimSeq_++);
+  std::error_code ec;
+  fs::rename(path, aside, ec);
+  if (ec) return false;
+  fs::remove(aside, ec);
+  return true;
+}
+
+std::optional<WorkItem> WorkQueue::claim(const SweepStore& store,
+                                         const SweepManifest& manifest) {
+  bool probeFresh = false;  // refreshed at most once per scan
+  for (const WorkItem& item : manifest.items) {
+    if (store.contains(item.fingerprint)) continue;
+    const auto claimedDoneItem = [&] {
+      // A record may have landed between the contains() check and the
+      // claim — including the whole instance completing behind a lease
+      // that then went stale. Running it again would only produce a
+      // duplicate for store() to discard; skip instead.
+      if (!store.contains(item.fingerprint)) return false;
+      release(item);
+      return true;
+    };
+    if (tryClaimExclusive(item)) {
+      if (claimedDoneItem()) continue;
+      return item;
+    }
+    if (reclaimIfStale(item, probeFresh) && tryClaimExclusive(item)) {
+      if (claimedDoneItem()) continue;
+      return item;
+    }
+  }
+  return std::nullopt;
+}
+
+void WorkQueue::release(const WorkItem& item) {
+  std::error_code ec;
+  fs::remove(leasePath(item), ec);
+}
+
+void WorkQueue::complete(const WorkItem& item) { release(item); }
+
+bool WorkQueue::allDone(const SweepStore& store,
+                        const SweepManifest& manifest) const {
+  for (const WorkItem& item : manifest.items) {
+    if (!store.contains(item.fingerprint)) return false;
+  }
+  return true;
+}
+
+void WorkQueue::requestStop() {
+  std::ofstream out(stopPath(dir_));
+  out << workerId_ << "\n";
+}
+
+bool WorkQueue::stopRequested() const {
+  std::error_code ec;
+  return fs::exists(stopPath(dir_), ec);
+}
+
+void WorkQueue::clearStop() {
+  std::error_code ec;
+  fs::remove(stopPath(dir_), ec);
+}
+
+QueueRunStats runQueuedInstances(
+    const InstanceSuite& suite, const SweepManifest& manifest,
+    SweepStore& store, WorkQueue& queue, const StopToken* stop,
+    const std::function<void(const WorkItem&, const InstanceOutcome&)>&
+        onDone) {
+  QueueRunStats stats;
+  while (true) {
+    if ((stop != nullptr && stop->stopRequested()) ||
+        queue.stopRequested()) {
+      stats.stopped = true;
+      return stats;
+    }
+    std::optional<WorkItem> item = queue.claim(store, manifest);
+    if (!item.has_value()) return stats;
+    const BatchInstance& instance = suite.instances()[item->index];
+    InstanceOutcome outcome = runBatchInstance(instance, stop);
+    if (!SweepStore::outcomeIsComplete(outcome)) {
+      // Cut short mid-instance: the partial result must not enter the
+      // store. Release the claim so a peer (or a resume) redoes it.
+      queue.release(*item);
+      stats.stopped = true;
+      return stats;
+    }
+    store.store(item->fingerprint, suite.name(), instance.id, outcome);
+    queue.complete(*item);
+    ++stats.executed;
+    if (onDone) onDone(*item, outcome);
+  }
+}
+
+BatchReport reportFromStore(const InstanceSuite& suite, SweepStore& store) {
+  BatchReport report;
+  report.suiteName = suite.name();
+  report.results.resize(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const BatchInstance& instance = suite.instances()[i];
+    InstanceResult& slot = report.results[i];
+    slot.index = i;
+    slot.id = instance.id;
+    slot.group = instance.group;
+    slot.axis = instance.axis;
+    slot.seedIndex = instance.seedIndex;
+    slot.suiteSeed = instance.suiteSeed;
+    std::optional<InstanceOutcome> outcome =
+        store.load(instanceFingerprint(suite.name(), instance));
+    if (outcome.has_value()) {
+      slot.outcome = std::move(*outcome);
+      slot.ran = true;
+      slot.cached = true;
+      ++report.completed;
+      ++report.cacheHits;
+    }
+  }
+  report.stopped = report.completed != suite.size();
+  return report;
+}
+
+}  // namespace ides

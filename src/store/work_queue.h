@@ -1,0 +1,153 @@
+// Cross-process sweep execution over a shared directory.
+//
+// One coordinator (`ides_cli sweep --serve <dir>`) publishes a manifest of
+// the sweep's canonical instances; any number of independent worker
+// processes (`ides_cli sweep --worker <dir>`), on this machine or on others
+// sharing the directory, claim instances through file-based leases, run
+// them, and write records into the SweepStore. The coordinator (itself a
+// participant) merges the records in canonical order once all are present —
+// byte-identical (timing off) to the single-process runBatch path for ANY
+// worker count, because the records hold the exact deterministic fields and
+// the merge order is the suite's, not the arrival order.
+//
+// Directory protocol (everything lives under the store dir):
+//   manifest.json               sweep identity + canonical work list
+//   claims/<fingerprint>.lease  exclusive claim (created with O_EXCL
+//                               semantics; content: worker id + lease
+//                               duration)
+//   records/<fingerprint>.json  completion marker AND the result itself
+//   stop                        cooperative cancellation sentinel
+//
+// Lease expiry: a lease older than its declared duration whose record
+// never appeared marks a dead worker. Any participant may reclaim it —
+// rename the stale lease aside (atomic, exactly one winner), then race for
+// a fresh exclusive claim. Because completion is the record file and
+// records are content-addressed and first-writer-wins, even a worker that
+// was merely slow (not dead) cannot corrupt anything: both runs produce
+// the same record, one write is discarded.
+//
+// Clocks: staleness compares the lease file's mtime against the mtime of
+// a probe file written at check time, so the shared filesystem's
+// timestamps arbitrate on both sides of the subtraction and per-machine
+// wall-clock skew cancels out. Size leases comfortably above the slowest
+// instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/batch_runner.h"
+#include "core/batch_suites.h"
+#include "store/sweep_store.h"
+#include "util/stop_token.h"
+
+namespace ides {
+
+/// One manifest entry: an instance's canonical position and record key.
+struct WorkItem {
+  std::size_t index = 0;
+  std::string id;
+  std::string fingerprint;
+};
+
+/// The coordinator's published description of the sweep: enough for a
+/// worker on another machine to rebuild the identical InstanceSuite and
+/// verify it (fingerprints catch code/version skew before any work runs).
+struct SweepManifest {
+  std::string sweep;      ///< namedSweep key, e.g. "quality"
+  std::string suiteName;  ///< InstanceSuite::name(), e.g. "fig-quality"
+  SweepScale scale;       ///< full scale parameters, not just the name
+  std::vector<WorkItem> items;
+};
+
+/// Builds the manifest for a named sweep's suite (fingerprints computed
+/// against the suite's canonical instance list).
+SweepManifest makeManifest(const std::string& sweepName,
+                           const SweepScale& scale,
+                           const InstanceSuite& suite);
+
+/// Atomically (tmp+rename) publishes the manifest into `dir`.
+void writeManifest(const std::string& dir, const SweepManifest& manifest);
+
+/// Loads the manifest; nullopt when none is published yet. Throws
+/// std::runtime_error on a malformed manifest.
+std::optional<SweepManifest> readManifest(const std::string& dir);
+
+/// Rebuilds the manifest's InstanceSuite via namedSweep and verifies every
+/// fingerprint against the manifest. Throws std::runtime_error on any
+/// mismatch — running skewed code against a shared store would poison it.
+InstanceSuite suiteFromManifest(const SweepManifest& manifest);
+
+/// File-based claim/lease queue of one participant process.
+class WorkQueue {
+ public:
+  /// `workerId` names this participant in lease files (diagnostics only;
+  /// exclusivity comes from the filesystem). `leaseSeconds` is how long
+  /// this participant's own claims stay valid before peers may reclaim.
+  WorkQueue(std::string dir, std::string workerId,
+            double leaseSeconds = 600.0);
+
+  [[nodiscard]] const std::string& workerId() const { return workerId_; }
+
+  /// Claims the first instance (canonical order) that has no record and no
+  /// live lease, reclaiming expired leases on the way. nullopt = nothing
+  /// claimable right now (all done, or peers hold live leases).
+  std::optional<WorkItem> claim(const SweepStore& store,
+                                const SweepManifest& manifest);
+
+  /// Drops our lease without a record (the run was cut short) so another
+  /// participant can redo the instance.
+  void release(const WorkItem& item);
+
+  /// Drops our lease after the record became visible.
+  void complete(const WorkItem& item);
+
+  /// True when every manifest item has a record.
+  [[nodiscard]] bool allDone(const SweepStore& store,
+                             const SweepManifest& manifest) const;
+
+  /// Cooperative cross-process cancellation via the `stop` sentinel file.
+  void requestStop();
+  [[nodiscard]] bool stopRequested() const;
+  /// Removes a stale sentinel (coordinator, before publishing a manifest).
+  void clearStop();
+
+ private:
+  [[nodiscard]] std::string leasePath(const WorkItem& item) const;
+  bool tryClaimExclusive(const WorkItem& item);
+  /// `probeFresh` tracks whether this claim() scan already refreshed the
+  /// filesystem-clock probe file (one write per scan, not per lease).
+  bool reclaimIfStale(const WorkItem& item, bool& probeFresh);
+
+  std::string dir_;
+  std::string workerId_;
+  double leaseSeconds_;
+  std::uint64_t reclaimSeq_ = 0;
+};
+
+struct QueueRunStats {
+  std::size_t executed = 0;  ///< instances this participant ran to records
+  bool stopped = false;      ///< a stop (token or sentinel) ended the loop
+};
+
+/// The participant work loop shared by --serve and --worker: claim, run
+/// (core/batch_runner.h runBatchInstance — identical records to the
+/// in-process path), persist, until nothing is claimable or a stop lands.
+/// An outcome cut short by `stop` is discarded and its claim released.
+QueueRunStats runQueuedInstances(
+    const InstanceSuite& suite, const SweepManifest& manifest,
+    SweepStore& store, WorkQueue& queue, const StopToken* stop,
+    const std::function<void(const WorkItem&, const InstanceOutcome&)>&
+        onDone = {});
+
+/// Canonical-order merge: one InstanceResult per suite instance, loaded
+/// from the store (missing records stay ran=false). The BENCH rendering of
+/// a fully populated store is byte-identical (timing off) to a
+/// single-process run — every completed field came from the same
+/// deterministic computation, whoever ran it.
+BatchReport reportFromStore(const InstanceSuite& suite, SweepStore& store);
+
+}  // namespace ides

@@ -1,0 +1,67 @@
+#include "util/hashing.h"
+
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace ides {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+}  // namespace
+
+void Fnv1aHasher::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= p[i];
+    state_ *= kFnvPrime;
+  }
+}
+
+void Fnv1aHasher::u64(std::uint64_t value) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  bytes(buf, sizeof(buf));
+}
+
+void Fnv1aHasher::f64(double value) {
+  if (value == 0.0) value = 0.0;  // collapse -0.0 onto +0.0
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  u64(bits);
+}
+
+void Fnv1aHasher::str(std::string_view value) {
+  u64(value.size());
+  bytes(value.data(), value.size());
+}
+
+std::uint64_t Fnv1aHasher::value() const { return splitmix64(state_); }
+
+std::uint64_t fnv1a64(std::string_view data) {
+  // Unfinalized on purpose: this is the textbook FNV-1a (matches the
+  // published test vectors), while Fnv1aHasher::value() finalizes.
+  std::uint64_t state = Fnv1aHasher::kDefaultBasis;
+  for (const char c : data) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::string hashHex(std::uint64_t hi, std::uint64_t lo) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace ides

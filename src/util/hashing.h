@@ -1,0 +1,59 @@
+// Portable content hashing for the sweep store.
+//
+// The store keys every persisted instance record by a fingerprint of the
+// inputs that determine its result (suite name, generator config, seeds,
+// strategy and options, plus a code epoch). The hash therefore has to be
+// stable across platforms, compilers and process runs — std::hash is none
+// of those — so this is a plain FNV-1a over an explicitly serialized field
+// stream, with splitmix64 finalization for avalanche and a second
+// independently-seeded lane to stretch the digest to 128 bits (the store
+// is content-addressed; 64 bits alone would make record-file collisions
+// merely improbable instead of negligible).
+//
+// Field framing: every typed append is length- or width-delimited (strings
+// are length-prefixed, scalars fixed-width), so adjacent fields can never
+// alias each other ("ab"+"c" hashes differently from "a"+"bc").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ides {
+
+/// Streaming FNV-1a (64-bit) over a typed field stream.
+class Fnv1aHasher {
+ public:
+  static constexpr std::uint64_t kDefaultBasis = 0xcbf29ce484222325ULL;
+
+  explicit Fnv1aHasher(std::uint64_t basis = kDefaultBasis)
+      : state_(basis) {}
+
+  /// Raw bytes, no framing (building block for the typed appends).
+  void bytes(const void* data, std::size_t size);
+
+  /// Fixed-width scalars, hashed little-endian regardless of host order.
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  void boolean(bool value) { u64(value ? 1 : 0); }
+  /// IEEE-754 bit pattern; -0.0 is normalized to 0.0 so numerically equal
+  /// configurations fingerprint equally.
+  void f64(double value);
+  /// Length-prefixed, so consecutive strings cannot alias.
+  void str(std::string_view value);
+
+  /// Current digest, splitmix64-finalized for avalanche (the raw FNV state
+  /// changes only a few bits per small input).
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot FNV-1a of a byte string (unfinalized, standard test vectors).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+/// 32-hex-character rendering of a 128-bit digest, high lane first.
+[[nodiscard]] std::string hashHex(std::uint64_t hi, std::uint64_t lo);
+
+}  // namespace ides

@@ -1,0 +1,58 @@
+#include "util/provenance.h"
+
+#include <cstdlib>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace ides {
+
+namespace {
+
+std::string detectHostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+#endif
+  const char* env = std::getenv("HOSTNAME");
+  if (env != nullptr && *env != '\0') return env;
+  return "unknown";
+}
+
+std::string detectCompiler() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const Provenance& buildProvenance() {
+  static const Provenance provenance = [] {
+    Provenance p;
+#ifdef IDES_GIT_SHA
+    p.gitSha = IDES_GIT_SHA;
+#else
+    p.gitSha = "unknown";
+#endif
+    p.hostname = detectHostname();
+    p.hardwareConcurrency = std::thread::hardware_concurrency();
+    p.compiler = detectCompiler();
+    return p;
+  }();
+  return provenance;
+}
+
+}  // namespace ides

@@ -1,0 +1,30 @@
+// Build/host provenance for benchmark artifacts and store records.
+//
+// Every BENCH_*.json header and every sweep-store record carries the four
+// facts needed to interpret a number later: which code produced it (git
+// SHA, captured at CMake configure time), on which machine (hostname,
+// hardware_concurrency) and with which compiler. All four are stable for a
+// given build on a given machine, so deterministic renderings still diff
+// cleanly between runs — provenance only changes when something that could
+// legitimately move the numbers changed too.
+#pragma once
+
+#include <string>
+
+namespace ides {
+
+struct Provenance {
+  /// Short git SHA of the configured source tree ("unknown" outside git).
+  /// Captured when CMake configures, not per build — a dirty tree or an
+  /// unconfigured SHA bump is not reflected until the next configure.
+  std::string gitSha;
+  std::string hostname;
+  unsigned hardwareConcurrency = 0;
+  /// Compiler id and version, e.g. "gcc 12.2.0".
+  std::string compiler;
+};
+
+/// The process-wide provenance, computed once on first use.
+const Provenance& buildProvenance();
+
+}  // namespace ides

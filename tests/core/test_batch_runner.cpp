@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/batch_suites.h"
@@ -200,6 +202,121 @@ TEST(BatchRunnerTest, EmptySuiteProducesAnEmptyWellFormedReport) {
   EXPECT_TRUE(report.results.empty());
   const std::string json = batchReportJson("empty", report, {});
   EXPECT_NE(json.find("\"results\": [\n  ]"), std::string::npos);
+}
+
+// ---- the ResultCache hook -------------------------------------------------
+
+/// In-memory cache double: serves scripted hits, records store() offers.
+class FakeCache final : public ResultCache {
+ public:
+  bool lookup(const BatchInstance& instance,
+              InstanceOutcome& outcome) override {
+    const auto it = hits.find(instance.id);
+    if (it == hits.end()) return false;
+    outcome = it->second;
+    return true;
+  }
+  void store(const BatchInstance& instance,
+             const InstanceOutcome& outcome) override {
+    stored.emplace_back(instance.id, outcome);
+  }
+
+  std::map<std::string, InstanceOutcome> hits;
+  std::vector<std::pair<std::string, InstanceOutcome>> stored;
+};
+
+TEST(BatchRunnerTest, CacheHitsSkipExecutionAndMissesAreOffered) {
+  const InstanceSuite suite = smallBatchSuite();
+  FakeCache cache;
+  InstanceOutcome canned;
+  canned.report.strategy = "AH";
+  canned.report.feasible = true;
+  canned.report.objective = 42.0;
+  cache.hits[suite.instances()[0].id] = canned;
+
+  BatchOptions options;
+  options.cache = &cache;
+  const BatchReport report = runBatch(suite, options);
+  EXPECT_EQ(report.completed, suite.size());
+  EXPECT_EQ(report.cacheHits, 1u);
+  EXPECT_TRUE(report.results[0].cached);
+  EXPECT_EQ(report.results[0].outcome.report.objective, 42.0);
+  // Every miss (and only the misses) was offered for persistence.
+  EXPECT_EQ(cache.stored.size(), suite.size() - 1);
+  for (const auto& [id, outcome] : cache.stored) {
+    EXPECT_NE(id, suite.instances()[0].id);
+  }
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_FALSE(report.results[i].cached) << i;
+  }
+}
+
+TEST(BatchRunnerTest, CacheHitsCountTowardCompletionNotJson) {
+  const InstanceSuite suite = smallBatchSuite();
+  // Full-hit cache primed from a real run: the rendering must be
+  // byte-identical to the uncached one (cache state never leaks into it).
+  BatchJsonOptions json;
+  json.timing = false;
+  FakeCache cache;
+  const BatchReport fresh = runBatch(suite, {});
+  for (const InstanceResult& r : fresh.results) {
+    cache.hits[r.id] = r.outcome;
+  }
+  BatchOptions options;
+  options.cache = &cache;
+  const BatchReport cached = runBatch(suite, options);
+  EXPECT_EQ(cached.cacheHits, suite.size());
+  EXPECT_TRUE(cache.stored.empty());
+  EXPECT_EQ(batchReportJson("unit", cached, json),
+            batchReportJson("unit", fresh, json));
+}
+
+// ---- BatchIndex -----------------------------------------------------------
+
+TEST(BatchIndexTest, MatchesTheLinearScanItReplaces) {
+  const InstanceSuite suite = smallBatchSuite();
+  const BatchReport report = runBatch(suite, {});
+  const BatchIndex index(report);
+
+  // The index answers exactly like the old first-match linear scan.
+  const auto scan = [&](const std::string& group, int seed,
+                        const std::string& strategy) -> const
+      InstanceResult* {
+    for (const InstanceResult& r : report.results) {
+      if (!r.ran || r.group != group || r.seedIndex != seed) continue;
+      if (!strategy.empty() &&
+          (!r.outcome.hasReport || r.outcome.report.strategy != strategy)) {
+        continue;
+      }
+      return &r;
+    }
+    return nullptr;
+  };
+  for (const std::string group : {"n12", "n20", "n99"}) {
+    for (int seed = 0; seed < 3; ++seed) {
+      for (const std::string strategy : {"", "AH", "MH", "SA", "PSA"}) {
+        EXPECT_EQ(index.find(group, seed, strategy),
+                  scan(group, seed, strategy))
+            << group << "/" << seed << "/" << strategy;
+      }
+    }
+  }
+}
+
+TEST(BatchIndexTest, SkipsInstancesThatNeverRan) {
+  const InstanceSuite suite = smallBatchSuite();
+  StopToken stop;
+  BatchOptions options;
+  options.shards = 1;
+  options.stop = &stop;
+  std::size_t seen = 0;
+  options.onInstanceDone = [&](const InstanceResult&) {
+    if (++seen == 2) stop.requestStop();
+  };
+  const BatchReport partial = runBatch(suite, options);
+  const BatchIndex index(partial);
+  EXPECT_NE(index.find("n12", 0, "AH"), nullptr);
+  EXPECT_EQ(index.find("n20", 1, "SA"), nullptr);  // skipped by the stop
 }
 
 // ---- the named paper sweeps ----------------------------------------------

@@ -1,0 +1,288 @@
+// Work queue: manifest round-trip and verification, exclusive claims,
+// stale-lease reclaim, stop sentinel, and the cross-process guarantee —
+// N independent participants over one shared directory produce a merged
+// report byte-identical (timing off) to the single-process runBatch path.
+// Participants are simulated with threads, each holding its own
+// SweepStore/WorkQueue objects; the protocol is entirely file-based, so
+// thread- vs process-separation is irrelevant to what is being tested.
+#include "store/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_helpers.h"
+
+namespace ides {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ides_queue_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// 2 sizes x 1 seed x {AH, MH} on the loaded 4-node config — small enough
+/// for a unit test, real enough that claims interleave.
+InstanceSuite smallSuite() {
+  InstanceSuite suite("unit-queue");
+  const std::size_t sizes[] = {12, 20};
+  for (const std::size_t size : sizes) {
+    for (const char* strategy : {"AH", "MH"}) {
+      BatchInstance instance;
+      instance.group = "n";  // += avoids GCC -Wrestrict (PR105651)
+      instance.group += std::to_string(size);
+      instance.id = instance.group;
+      instance.id += "/s0/";
+      instance.id += strategy;
+      instance.axis = static_cast<double>(size);
+      instance.suiteSeed = 100;
+      instance.config = ides::testing::smallSuiteConfig(40, size);
+      instance.strategy = strategy;
+      suite.add(std::move(instance));
+    }
+  }
+  return suite;
+}
+
+SweepScale tinyScale() {
+  SweepScale tiny;
+  tiny.name = "tiny";
+  tiny.seeds = 1;
+  tiny.saIterations = 60;
+  tiny.sizes = {40};
+  tiny.futureAppsPerInstance = 2;
+  return tiny;
+}
+
+TEST(WorkQueueTest, ManifestRoundTripsThroughDisk) {
+  const std::string dir = freshDir("manifest");
+  fs::create_directories(dir);
+  EXPECT_FALSE(readManifest(dir).has_value());
+
+  const SweepScale scale = tinyScale();
+  const InstanceSuite suite = namedSweep("increments", scale);
+  const SweepManifest manifest = makeManifest("increments", scale, suite);
+  writeManifest(dir, manifest);
+
+  const auto loaded = readManifest(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sweep, "increments");
+  EXPECT_EQ(loaded->suiteName, "ext-increments");
+  EXPECT_EQ(loaded->scale.name, scale.name);
+  EXPECT_EQ(loaded->scale.seeds, scale.seeds);
+  EXPECT_EQ(loaded->scale.saIterations, scale.saIterations);
+  EXPECT_EQ(loaded->scale.sizes, scale.sizes);
+  EXPECT_EQ(loaded->scale.futureAppsPerInstance,
+            scale.futureAppsPerInstance);
+  ASSERT_EQ(loaded->items.size(), manifest.items.size());
+  for (std::size_t i = 0; i < manifest.items.size(); ++i) {
+    EXPECT_EQ(loaded->items[i].index, manifest.items[i].index);
+    EXPECT_EQ(loaded->items[i].id, manifest.items[i].id);
+    EXPECT_EQ(loaded->items[i].fingerprint, manifest.items[i].fingerprint);
+  }
+}
+
+TEST(WorkQueueTest, SuiteFromManifestVerifiesFingerprints) {
+  const std::string dir = freshDir("verify");
+  fs::create_directories(dir);
+  const SweepScale scale = tinyScale();
+  const InstanceSuite suite = namedSweep("increments", scale);
+  SweepManifest manifest = makeManifest("increments", scale, suite);
+
+  // Round-tripping through disk reproduces the identical suite.
+  writeManifest(dir, manifest);
+  const InstanceSuite rebuilt = suiteFromManifest(*readManifest(dir));
+  EXPECT_EQ(rebuilt.name(), suite.name());
+  EXPECT_EQ(rebuilt.size(), suite.size());
+
+  // A tampered fingerprint (version-skewed peer) is refused loudly.
+  manifest.items[0].fingerprint[0] =
+      manifest.items[0].fingerprint[0] == 'a' ? 'b' : 'a';
+  EXPECT_THROW((void)suiteFromManifest(manifest), std::runtime_error);
+}
+
+TEST(WorkQueueTest, ClaimsAreExclusiveAndOrdered) {
+  const std::string dir = freshDir("claims");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue alice(dir, "alice");
+  WorkQueue bob(dir, "bob");
+
+  const auto a = alice.claim(store, manifest);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->index, 0u);
+  const auto b = bob.claim(store, manifest);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->index, 1u);  // alice's live lease is respected
+
+  // A released claim becomes claimable again.
+  alice.release(*a);
+  const auto b2 = bob.claim(store, manifest);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->index, 0u);
+
+  // A completed (recorded) item is never claimed again.
+  InstanceOutcome outcome;
+  outcome.hasReport = false;
+  outcome.extras.add("echo", 1.0);
+  store.store(b->fingerprint, suite.name(), b->id, outcome);
+  bob.complete(*b);
+  const auto next = alice.claim(store, manifest);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->index, 2u);
+}
+
+TEST(WorkQueueTest, StaleLeaseIsReclaimedLiveLeaseIsNot) {
+  const std::string dir = freshDir("stale");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue dead(dir, "dead", /*leaseSeconds=*/5.0);
+  WorkQueue live(dir, "live", /*leaseSeconds=*/600.0);
+
+  const auto claimed = dead.claim(store, manifest);
+  ASSERT_TRUE(claimed.has_value());
+
+  // While the lease is fresh, every claim goes elsewhere.
+  const auto other = live.claim(store, manifest);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(other->index, claimed->index);
+
+  // Backdate the dead worker's lease beyond its declared duration: the
+  // next claimer reclaims it.
+  const std::string lease =
+      (fs::path(dir) / "claims" / (claimed->fingerprint + ".lease"))
+          .string();
+  fs::last_write_time(lease, fs::file_time_type::clock::now() -
+                                 std::chrono::seconds(60));
+  const auto reclaimed = live.claim(store, manifest);
+  ASSERT_TRUE(reclaimed.has_value());
+  EXPECT_EQ(reclaimed->index, claimed->index);
+}
+
+TEST(WorkQueueTest, StopSentinelCrossesQueues) {
+  const std::string dir = freshDir("stop");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue coordinator(dir, "coordinator");
+  WorkQueue worker(dir, "worker");
+
+  EXPECT_FALSE(worker.stopRequested());
+  coordinator.requestStop();
+  EXPECT_TRUE(worker.stopRequested());
+
+  const QueueRunStats stats =
+      runQueuedInstances(suite, manifest, store, worker, nullptr);
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_EQ(stats.executed, 0u);
+
+  coordinator.clearStop();
+  EXPECT_FALSE(worker.stopRequested());
+}
+
+TEST(WorkQueueTest, PartialOutcomeIsReleasedNotStored) {
+  const std::string dir = freshDir("partial");
+  InstanceSuite suite("unit-queue");
+  BatchInstance instance;
+  instance.id = "cut/s0/none";
+  instance.group = "cut";
+  instance.job = [](const BatchInstance&,
+                    const StopToken*) -> InstanceOutcome {
+    InstanceOutcome outcome;  // a job wound down by a stop mid-increment
+    outcome.hasReport = false;
+    outcome.extras.add("accepted", 1.0);
+    outcome.extras.add("run_stopped", 1.0);
+    return outcome;
+  };
+  suite.add(std::move(instance));
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue queue(dir, "w");
+
+  const QueueRunStats stats =
+      runQueuedInstances(suite, manifest, store, queue, nullptr);
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(store.recordCount(), 0u);
+  // The claim was released, so a later (resumed) participant retries.
+  const auto again = queue.claim(store, manifest);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->index, 0u);
+}
+
+TEST(WorkQueueTest, ThreeWorkersMatchSingleProcessByteIdentical) {
+  const InstanceSuite suite = smallSuite();
+  BatchJsonOptions json;
+  json.timing = false;
+  const std::string reference =
+      batchReportJson("unit", runBatch(suite, {}), json);
+
+  const std::string dir = freshDir("distributed");
+  {
+    SweepStore store(dir);
+    const SweepManifest manifest = makeManifest("custom", {}, suite);
+    writeManifest(dir, manifest);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w) {
+      workers.emplace_back([&, w] {
+        // Each participant owns its store/queue objects, exactly like a
+        // separate process sharing the directory would.
+        SweepStore workerStore(dir);
+        WorkQueue queue(dir, "worker-" + std::to_string(w));
+        const auto loaded = readManifest(dir);
+        ASSERT_TRUE(loaded.has_value());
+        const QueueRunStats stats = runQueuedInstances(
+            suite, *loaded, workerStore, queue, nullptr);
+        EXPECT_FALSE(stats.stopped);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    WorkQueue merger(dir, "merger");
+    EXPECT_TRUE(merger.allDone(store, manifest));
+  }
+
+  SweepStore store(dir);
+  BatchReport merged = reportFromStore(suite, store);
+  EXPECT_EQ(merged.completed, suite.size());
+  EXPECT_FALSE(merged.stopped);
+  EXPECT_EQ(batchReportJson("unit", merged, json), reference);
+}
+
+TEST(WorkQueueTest, ReportFromStoreMarksMissingRecordsNotRun) {
+  const std::string dir = freshDir("missing");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue queue(dir, "solo");
+
+  // Run exactly one instance, then merge.
+  const auto item = queue.claim(store, manifest);
+  ASSERT_TRUE(item.has_value());
+  const InstanceOutcome outcome =
+      runBatchInstance(suite.instances()[item->index], nullptr);
+  ASSERT_TRUE(store.store(item->fingerprint, suite.name(), item->id,
+                          outcome));
+  queue.complete(*item);
+
+  const BatchReport merged = reportFromStore(suite, store);
+  EXPECT_EQ(merged.completed, 1u);
+  EXPECT_TRUE(merged.stopped);  // incomplete merge is marked as such
+  EXPECT_TRUE(merged.results[0].ran);
+  EXPECT_TRUE(merged.results[0].cached);
+  for (std::size_t i = 1; i < merged.results.size(); ++i) {
+    EXPECT_FALSE(merged.results[i].ran);
+    EXPECT_EQ(merged.results[i].id, suite.instances()[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,80 @@
+// Fnv1aHasher: stability, framing (no field aliasing), canonical doubles,
+// and the 128-bit hex rendering the sweep store keys records with.
+#include "util/hashing.h"
+
+#include <gtest/gtest.h>
+
+namespace ides {
+namespace {
+
+TEST(HashingTest, Fnv1a64MatchesPublishedTestVectors) {
+  // Landon Curt Noll's reference values for FNV-1a 64.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashingTest, HasherIsDeterministicAcrossInstances) {
+  const auto digest = [] {
+    Fnv1aHasher h;
+    h.str("suite");
+    h.u64(42);
+    h.f64(3.25);
+    h.boolean(true);
+    return h.value();
+  };
+  EXPECT_EQ(digest(), digest());
+}
+
+TEST(HashingTest, StringFramingPreventsAliasing) {
+  Fnv1aHasher a, b;
+  a.str("ab");
+  a.str("c");
+  b.str("a");
+  b.str("bc");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(HashingTest, ScalarWidthPreventsAliasing) {
+  Fnv1aHasher a, b;
+  a.u64(1);
+  a.u64(0);
+  b.u64(0);
+  b.u64(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(HashingTest, NegativeZeroHashesLikePositiveZero) {
+  Fnv1aHasher a, b;
+  a.f64(0.0);
+  b.f64(-0.0);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(HashingTest, DifferentBasesGiveIndependentLanes) {
+  Fnv1aHasher a(Fnv1aHasher::kDefaultBasis);
+  Fnv1aHasher b(0x9e3779b97f4a7c15ULL);
+  a.str("same input");
+  b.str("same input");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(HashingTest, SingleBitChangesAvalanche) {
+  Fnv1aHasher a, b;
+  a.u64(0);
+  b.u64(1);
+  const std::uint64_t diff = a.value() ^ b.value();
+  int flipped = 0;
+  for (int i = 0; i < 64; ++i) flipped += (diff >> i) & 1;
+  // splitmix64 finalization: roughly half the output bits should flip.
+  EXPECT_GE(flipped, 16);
+}
+
+TEST(HashingTest, HashHexRenders32LowercaseDigits) {
+  EXPECT_EQ(hashHex(0, 0), "00000000000000000000000000000000");
+  EXPECT_EQ(hashHex(0x0123456789abcdefULL, 0xfedcba9876543210ULL),
+            "0123456789abcdeffedcba9876543210");
+}
+
+}  // namespace
+}  // namespace ides
