@@ -23,6 +23,11 @@
 //   sweep --worker DIR [--lease-seconds S]
 //            join a served sweep: claim instances through file leases, run
 //            them, write records; exits when the sweep is complete
+//   store <ls|verify> --store-dir DIR
+//            read-only audit of a sweep store: ls lists records
+//            (fingerprint, suite, instance, strategy, age), verify checks
+//            schema + fingerprint per record and reports the quarantine;
+//            verify exits 1 when anything is bad
 //   list-strategies
 //            print the registered optimizer names (also --list-strategies)
 //
@@ -48,6 +53,8 @@
 #include "model/system_stats.h"
 #include "sched/schedule_io.h"
 #include "sched/validate.h"
+#include "serve/design_job.h"
+#include "store/store_audit.h"
 #include "store/sweep_store.h"
 #include "store/work_queue.h"
 #include "tgen/benchmark_suite.h"
@@ -65,6 +72,7 @@ using namespace ides;
 
 struct CliArgs {
   std::string command;
+  std::string action;  // store: "ls" | "verify"
   std::size_t nodes = 10;
   std::size_t existing = 400;
   std::size_t current = 160;
@@ -85,6 +93,7 @@ struct CliArgs {
   std::string serveDir;    // sweep: coordinate a cross-process run here
   std::string workerDir;   // sweep: join the cross-process run here
   double leaseSeconds = 600.0;   // claim lease duration (serve/worker)
+  bool jsonOutput = false; // design: deterministic result JSON on stdout
   bool noTiming = false;   // deterministic BENCH json (no wall-clock)
   int cancelAfter = 0;     // testing aid: request stop after N instances
   std::string outFile;
@@ -96,8 +105,8 @@ struct CliArgs {
 
 void usage() {
   std::puts(
-      "usage: ides_cli <stats|design|schedule|dot|sweep|list-strategies> "
-      "[options]\n"
+      "usage: ides_cli <stats|design|schedule|dot|sweep|store|"
+      "list-strategies> [options]\n"
       "  --nodes N      architecture size        (default 10)\n"
       "  --existing E   existing processes       (default 400)\n"
       "  --current C    current-app processes    (default 160)\n"
@@ -112,6 +121,8 @@ void usage() {
       "  --spec-depth D max speculation depth (default 4 * workers)\n"
       "  --deadline S   cooperative wall-clock budget in seconds; the run\n"
       "                 stops early with its best solution so far\n"
+      "  --json         design: print the deterministic result JSON (the\n"
+      "                 exact bytes ides_serve returns for the same job)\n"
       "  --suite NAME   sweep to run: quality | runtime | future |\n"
       "                 weights | increments\n"
       "  --shards N     sweep worker threads, 0 = all cores (default 0);\n"
@@ -119,6 +130,7 @@ void usage() {
       "  --scale NAME   sweep scale smoke | default | full\n"
       "                 (default: IDES_BENCH_SCALE)\n"
       "  --store-dir D  persist completed sweep instances as records in D\n"
+      "                 (also: the directory store ls/verify audits)\n"
       "  --resume       with --store-dir: skip instances whose records\n"
       "                 already exist (resume a cancelled sweep)\n"
       "  --serve D      coordinate a cross-process sweep over directory D\n"
@@ -140,9 +152,19 @@ bool parse(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   int i = 2;
+  // Positional sub-action (store ls / store verify).
+  if (i < argc && argv[i][0] != '-') {
+    args.action = argv[i];
+    ++i;
+  }
   while (i < argc) {
     const std::string flag = argv[i];
     // Valueless flags first.
+    if (flag == "--json") {
+      args.jsonOutput = true;
+      ++i;
+      continue;
+    }
     if (flag == "--list-strategies") {
       args.listStrategies = true;
       ++i;
@@ -289,7 +311,39 @@ DesignResult runStrategy(IncrementalDesigner& designer, const CliArgs& args) {
   return designer.run(args.strategy, context);
 }
 
+/// --json: the daemon-identical path. Spec -> shared runDesignJob ->
+/// deterministic JSON, so `ides_cli design --json` and a GET
+/// /jobs/<id>/result for the same spec diff byte-equal (serve-e2e).
+int cmdDesignJson(const CliArgs& args) {
+  if (!args.modelFile.empty()) {
+    std::fprintf(stderr, "--json supports generated suites only\n");
+    return 2;
+  }
+  DesignJobSpec spec;
+  spec.nodes = args.nodes;
+  spec.existing = args.existing;
+  spec.current = args.current;
+  spec.seed = args.seed;
+  spec.strategy = args.strategy;
+  spec.saIterations = args.saIterations;
+  spec.restarts = args.restarts;
+  spec.threads = args.threads;
+  spec.specWorkers = args.specWorkers;
+  spec.specDepth = args.specDepth;
+
+  StopToken stop;
+  RunContext context;
+  if (args.deadlineSeconds > 0.0) {
+    stop.setTimeout(args.deadlineSeconds);
+    context.stop = &stop;
+  }
+  const DesignJobResult result = runDesignJob(spec, context);
+  std::fputs(designResultJson(result, /*timing=*/false).c_str(), stdout);
+  return result.validationOk && result.result.feasible ? 0 : 1;
+}
+
 int cmdDesign(const CliArgs& args) {
+  if (args.jsonOutput) return cmdDesignJson(args);
   const Suite suite = makeSuite(args);
   IncrementalDesigner designer(suite.system, suite.profile,
                                designerOptions(args));
@@ -351,6 +405,28 @@ int cmdDot(const CliArgs& args) {
                          .front();
   writeDot(std::cout, suite.system, opts);
   return 0;
+}
+
+/// Read-only store audit (`store ls` / `store verify`). Never mutates the
+/// store, so it is safe against a directory live workers are filling.
+int cmdStore(const CliArgs& args) {
+  if (args.action != "ls" && args.action != "verify") {
+    std::fprintf(stderr, "usage: ides_cli store <ls|verify> --store-dir D\n");
+    return 2;
+  }
+  if (args.storeDir.empty()) {
+    std::fprintf(stderr, "store %s needs --store-dir DIR\n",
+                 args.action.c_str());
+    return 2;
+  }
+  const StoreAuditReport report = auditSweepStore(args.storeDir);
+  if (args.action == "ls") {
+    std::fputs(storeLsText(report).c_str(), stdout);
+    return 0;
+  }
+  std::fputs(storeVerifyText(report).c_str(), stdout);
+  // verify is the CI-able health check: anything bad fails the command.
+  return report.badCount == 0 ? 0 : 1;
 }
 
 /// This process's participant name in lease files: host + pid.
@@ -595,6 +671,7 @@ int main(int argc, char** argv) {
     if (args.command == "design") return cmdDesign(args);
     if (args.command == "schedule") return cmdSchedule(args);
     if (args.command == "dot") return cmdDot(args);
+    if (args.command == "store") return cmdStore(args);
     if (args.command == "sweep") {
       if (!args.workerDir.empty()) return cmdSweepWorker(args);
       if (!args.serveDir.empty()) return cmdSweepServe(args);

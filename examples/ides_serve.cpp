@@ -1,0 +1,115 @@
+// ides_serve — design-as-a-service daemon.
+//
+// Long-running front of the library: accepts design and sweep jobs over a
+// JSON HTTP API, runs them on a bounded worker pool (one StopToken per
+// job: cooperative cancel via DELETE, per-job deadlines), and answers
+// identical sweep jobs out of the content-addressed sweep store with no
+// re-optimization. See serve/daemon.h for the endpoint surface and
+// README "Design-as-a-service" for a curl walkthrough.
+//
+// Process discipline: --config/flags (daemon.h), optional pidfile
+// (refuses an existing one), structured request log to --log or stderr,
+// SIGINT/SIGTERM graceful drain — stop accepting connections, cancel
+// queued jobs, fire running jobs' stop tokens, join, remove the pidfile,
+// exit 0.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "serve/daemon.h"
+#include "serve/http_server.h"
+#include "serve/job_manager.h"
+#include "util/stop_token.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free atomics; StopToken::requestStop
+// is a single atomic store, which is exactly that.
+ides::StopToken g_stop;
+
+extern "C" void handleSignal(int) { g_stop.requestStop(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ides;
+
+  ServeOptions options;
+  std::string error;
+  bool helpRequested = false;
+  if (!parseServeOptions(argc, argv, options, error, helpRequested)) {
+    std::fprintf(stderr, "ides_serve: %s\n%s", error.c_str(), serveUsage());
+    return 2;
+  }
+  if (helpRequested) {
+    std::fputs(serveUsage(), stdout);
+    return 0;
+  }
+
+  std::FILE* log = stderr;
+  if (!options.logFile.empty()) {
+    log = std::fopen(options.logFile.c_str(), "a");
+    if (log == nullptr) {
+      std::fprintf(stderr, "ides_serve: cannot open log file %s\n",
+                   options.logFile.c_str());
+      return 1;
+    }
+  }
+  const auto logLine = [log](const std::string& line) {
+    std::fprintf(log, "%s\n", line.c_str());
+    std::fflush(log);
+  };
+
+  if (!options.pidFile.empty() && !writePidFile(options.pidFile, error)) {
+    std::fprintf(stderr, "ides_serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, handleSignal);
+  std::signal(SIGTERM, handleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // a hung-up client must not kill us
+
+  int exitCode = 0;
+  try {
+    JobManagerOptions jobOptions;
+    jobOptions.workers = options.workers;
+    jobOptions.maxQueued = static_cast<std::size_t>(options.maxQueued);
+    jobOptions.storeDir = options.storeDir;
+    JobManager jobs(jobOptions);
+
+    HttpServer server(options.bindAddress, options.port);
+    logLine("event=listening bind=" + options.bindAddress + " port=" +
+            std::to_string(server.port()) + " workers=" +
+            std::to_string(options.workers) + " store=" +
+            (options.storeDir.empty() ? "-" : options.storeDir));
+    // Ephemeral ports (tests, parallel CI) need the resolved port on a
+    // parseable channel regardless of where the log goes.
+    std::printf("ides_serve listening on %s:%d\n",
+                options.bindAddress.c_str(), server.port());
+    std::fflush(stdout);
+
+    server.serve(
+        [&jobs](const HttpRequest& request) {
+          return routeRequest(jobs, request);
+        },
+        &g_stop,
+        [&logLine](const RequestLogEntry& entry) {
+          logLine(requestLogLine(entry));
+        });
+
+    logLine("event=draining queued=" + std::to_string(jobs.queuedCount()) +
+            " running=" + std::to_string(jobs.runningCount()));
+    jobs.drain();
+    logLine("event=shutdown requests=" +
+            std::to_string(server.requestsServed()) + " finished_jobs=" +
+            std::to_string(jobs.finishedCount()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ides_serve: %s\n", e.what());
+    logLine(std::string("event=fatal error=") + e.what());
+    exitCode = 1;
+  }
+
+  if (!options.pidFile.empty()) removePidFile(options.pidFile);
+  if (log != stderr) std::fclose(log);
+  return exitCode;
+}

@@ -1,0 +1,308 @@
+#include "serve/daemon.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json_reader.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace ides {
+
+namespace {
+
+/// Applies one key/value pair shared by the flag and config paths.
+bool applyOption(std::string_view key, const std::string& value,
+                 ServeOptions& options, std::string& error) {
+  try {
+    if (key == "bind") {
+      options.bindAddress = value;
+    } else if (key == "port") {
+      options.port = std::stoi(value);
+      if (options.port < 0 || options.port > 65535) {
+        error = "port out of range: " + value;
+        return false;
+      }
+    } else if (key == "workers") {
+      options.workers = std::stoi(value);
+      if (options.workers < 1) {
+        error = "workers must be >= 1";
+        return false;
+      }
+    } else if (key == "max-queued") {
+      const int queued = std::stoi(value);
+      if (queued < 1) {
+        error = "max-queued must be >= 1";
+        return false;
+      }
+      options.maxQueued = static_cast<std::size_t>(queued);
+    } else if (key == "store-dir") {
+      options.storeDir = value;
+    } else if (key == "pidfile") {
+      options.pidFile = value;
+    } else if (key == "log") {
+      options.logFile = value;
+    } else {
+      error = "unknown option \"" + std::string(key) + "\"";
+      return false;
+    }
+  } catch (const std::exception&) {
+    error = "bad value for " + std::string(key) + ": " + value;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parseServeConfig(std::string_view text, ServeOptions& options,
+                      std::string& error) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments, then surrounding whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+
+    // `key value` or `key=value`.
+    std::size_t split = line.find_first_of(" \t=");
+    if (split == std::string::npos) {
+      error = "config line " + std::to_string(lineNo) +
+              ": expected \"key value\"";
+      return false;
+    }
+    const std::string key = line.substr(0, split);
+    split = line.find_first_not_of(" \t=", split);
+    if (split == std::string::npos) {
+      error = "config line " + std::to_string(lineNo) + ": missing value";
+      return false;
+    }
+    if (!applyOption(key, line.substr(split), options, error)) {
+      error = "config line " + std::to_string(lineNo) + ": " + error;
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* serveUsage() {
+  return
+      "usage: ides_serve [options]\n"
+      "  --bind ADDR      listen address            (default 127.0.0.1)\n"
+      "  --port N         listen port, 0 = ephemeral (default 8080)\n"
+      "  --workers N      job worker threads        (default 2)\n"
+      "  --max-queued N   admission limit on waiting jobs (default 32)\n"
+      "  --store-dir D    sweep store: content-addressed result cache\n"
+      "                   (identical sweep jobs answer from records)\n"
+      "  --pidfile FILE   write the pid; refuses an existing file\n"
+      "  --log FILE       request/event log          (default stderr)\n"
+      "  --config FILE    `key value` per line, keys = flag names\n"
+      "                   without --; explicit flags override it\n"
+      "  --help           this text\n"
+      "\n"
+      "Signals: SIGINT/SIGTERM drain gracefully — stop accepting, cancel\n"
+      "queued jobs, fire running jobs' stop tokens, exit 0.\n";
+}
+
+bool parseServeOptions(int argc, char** argv, ServeOptions& options,
+                       std::string& error, bool& helpRequested) {
+  helpRequested = false;
+
+  // First pass: --help and --config (config applies before other flags).
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      helpRequested = true;
+      return true;
+    }
+    if (flag == "--config") {
+      if (i + 1 >= argc) {
+        error = "--config needs a value";
+        return false;
+      }
+      std::ifstream in(argv[i + 1]);
+      if (!in) {
+        error = std::string("cannot open config file ") + argv[i + 1];
+        return false;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      if (!parseServeConfig(buffer.str(), options, error)) {
+        error = std::string(argv[i + 1]) + ": " + error;
+        return false;
+      }
+    }
+  }
+
+  // Second pass: every flag; explicit flags win over the config file.
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (i + 1 >= argc) {
+      error = "flag " + std::string(flag) + " needs a value";
+      return false;
+    }
+    const std::string value = argv[i + 1];
+    ++i;
+    if (flag == "--config") continue;  // already applied
+    if (flag.size() < 3 || flag.substr(0, 2) != "--") {
+      error = "unknown argument \"" + std::string(flag) + "\"";
+      return false;
+    }
+    if (!applyOption(flag.substr(2), value, options, error)) return false;
+  }
+  return true;
+}
+
+bool writePidFile(const std::string& path, std::string& error) {
+  if (std::filesystem::exists(path)) {
+    error = "pidfile " + path +
+            " already exists (another instance running, or a stale file "
+            "from a crash — remove it to proceed)";
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    error = "cannot write pidfile " + path;
+    return false;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  out << static_cast<long>(getpid()) << '\n';
+#else
+  out << 0 << '\n';
+#endif
+  return static_cast<bool>(out);
+}
+
+void removePidFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+namespace {
+
+HttpResponse jsonResponse(int status, std::string body) {
+  return HttpResponse{status, "application/json", std::move(body)};
+}
+
+HttpResponse errorResponse(int status, const std::string& message) {
+  return jsonResponse(status,
+                      "{\"error\": " + jsonQuote(message) + "}\n");
+}
+
+}  // namespace
+
+HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request) {
+  const std::string& path = request.path;
+
+  if (path == "/healthz") {
+    if (request.method != "GET") {
+      return errorResponse(405, "use GET on /healthz");
+    }
+    std::string body = "{\"status\": \"ok\", \"queued\": " +
+                       std::to_string(jobs.queuedCount()) +
+                       ", \"running\": " +
+                       std::to_string(jobs.runningCount()) +
+                       ", \"finished\": " +
+                       std::to_string(jobs.finishedCount()) + "}\n";
+    return jsonResponse(200, std::move(body));
+  }
+
+  if (path == "/jobs") {
+    if (request.method == "GET") return jsonResponse(200, jobs.listJson());
+    if (request.method != "POST") {
+      return errorResponse(405, "use GET or POST on /jobs");
+    }
+    JobSpec spec;
+    try {
+      spec = parseJobSpec(request.body);
+    } catch (const std::invalid_argument& e) {
+      return errorResponse(400, e.what());
+    }
+    const JobManager::Submission submission = jobs.submit(std::move(spec));
+    if (!submission.accepted) return errorResponse(503, submission.error);
+    return jsonResponse(
+        202, "{\"id\": " + jsonQuote(submission.id) +
+                 ", \"status_url\": " +
+                 jsonQuote("/jobs/" + submission.id) + "}\n");
+  }
+
+  // /jobs/<id> and /jobs/<id>/result
+  if (path.rfind("/jobs/", 0) == 0) {
+    std::string id = path.substr(6);
+    bool wantResult = false;
+    const std::size_t slash = id.find('/');
+    if (slash != std::string::npos) {
+      if (id.substr(slash) != "/result") {
+        return errorResponse(404, "no such endpoint");
+      }
+      wantResult = true;
+      id.erase(slash);
+    }
+    const std::optional<JobState> state = jobs.state(id);
+    if (!state.has_value()) {
+      return errorResponse(404, "no such job \"" + id + "\"");
+    }
+
+    if (wantResult) {
+      if (request.method != "GET") {
+        return errorResponse(405, "use GET on /jobs/<id>/result");
+      }
+      const std::optional<std::string> result = jobs.resultJson(id);
+      if (!result.has_value()) {
+        return errorResponse(
+            409, "job " + id + " is " + toString(*state) +
+                     "; a result exists once it is done (or cancelled "
+                     "mid-run with a partial result)");
+      }
+      return jsonResponse(200, *result);
+    }
+
+    if (request.method == "DELETE") {
+      if (!jobs.cancel(id)) {
+        return errorResponse(409, "job " + id + " is already " +
+                                      toString(*state));
+      }
+      return jsonResponse(200, "{\"id\": " + jsonQuote(id) +
+                                   ", \"cancelled\": true}\n");
+    }
+    if (request.method != "GET") {
+      return errorResponse(405, "use GET or DELETE on /jobs/<id>");
+    }
+    return jsonResponse(200, *jobs.statusJson(id));
+  }
+
+  return errorResponse(404, "no such endpoint");
+}
+
+std::string requestLogLine(const RequestLogEntry& entry) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", entry.milliseconds);
+  std::string out = "peer=";
+  out += entry.peer;
+  out += " method=";
+  out += entry.method;
+  out += " target=";
+  out += entry.target;
+  out += " status=";
+  out += std::to_string(entry.status);
+  out += " in=";
+  out += std::to_string(entry.bytesIn);
+  out += " out=";
+  out += std::to_string(entry.bytesOut);
+  out += " ms=";
+  out += buf;
+  return out;
+}
+
+}  // namespace ides

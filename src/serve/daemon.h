@@ -1,0 +1,68 @@
+// ides_serve process discipline: options, config file, pidfile, router.
+//
+// The daemon's process model follows the classic unix daemon shape
+// (peapod-style): flags OR a `--config FILE` of `key value` lines (flags
+// win), a pidfile that refuses to clobber a live instance, a structured
+// request log, and graceful SIGINT/SIGTERM drain wired through a
+// StopToken in the binary. Everything here is socket-free and pure over
+// (JobManager, HttpRequest) — the endpoint surface is unit-tested without
+// ever opening a port; the binary only adds sockets and signals.
+//
+// Endpoints (all JSON):
+//   GET    /healthz           liveness + queue counters
+//   POST   /jobs              submit a design/sweep job spec -> 202 {id}
+//   GET    /jobs              all jobs with status
+//   GET    /jobs/<id>         one job's status + progress
+//   GET    /jobs/<id>/result  terminal result payload (409 until done)
+//   DELETE /jobs/<id>         cooperative cancel
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/http_server.h"
+#include "serve/job_manager.h"
+
+namespace ides {
+
+struct ServeOptions {
+  std::string bindAddress = "127.0.0.1";
+  int port = 8080;          ///< 0 = ephemeral (printed at startup)
+  int workers = 2;          ///< job worker threads
+  int maxQueued = 32;       ///< admission limit on waiting jobs
+  std::string storeDir;     ///< sweep result cache; empty = uncached
+  std::string pidFile;      ///< empty = no pidfile
+  std::string logFile;      ///< request/event log; empty = stderr
+};
+
+/// Parses one config file body: `key value` (or `key=value`) per line,
+/// '#' comments and blank lines skipped; keys are the flag names without
+/// the leading "--". False + `error` on unknown keys or bad values.
+bool parseServeConfig(std::string_view text, ServeOptions& options,
+                      std::string& error);
+
+/// Parses argv in the CLI's flag style (--port N, --config FILE, ...).
+/// A --config file is applied first, then the remaining flags override
+/// it. False + `error` on any unknown flag, bad value or unreadable
+/// config file; `--help` sets `helpRequested` instead.
+bool parseServeOptions(int argc, char** argv, ServeOptions& options,
+                       std::string& error, bool& helpRequested);
+
+/// Usage text for --help / bad invocations.
+const char* serveUsage();
+
+/// Creates `path` with this process's pid. Refuses (false + error) when
+/// the file already exists — either another instance is live or a crashed
+/// one left it behind; the operator decides, the daemon never steals.
+bool writePidFile(const std::string& path, std::string& error);
+void removePidFile(const std::string& path);
+
+/// The daemon's endpoint dispatch over a JobManager. Pure: no sockets,
+/// no global state — unit-testable by constructing HttpRequests directly.
+HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request);
+
+/// One structured request-log line: space-separated key=value fields
+/// (peer, method, target, status, bytes in/out, duration).
+std::string requestLogLine(const RequestLogEntry& entry);
+
+}  // namespace ides

@@ -1,0 +1,141 @@
+// Minimal dependency-free HTTP/1.1 server for the ides_serve daemon.
+//
+// The daemon's API is a handful of small JSON endpoints, so this is a
+// deliberately tiny server on POSIX sockets: one request per connection
+// (Connection: close), a strict incremental request parser that works on a
+// plain byte buffer (unit-testable without sockets), and a single-threaded
+// accept loop — the expensive work (optimization jobs) runs on the
+// JobManager's worker pool, never on the request path, so one thread
+// handling cheap submit/status/result exchanges is all the daemon needs.
+//
+// The parser is strict where sloppiness could bite a long-running daemon:
+// request line and header sizes are capped, Content-Length must be exact
+// digits within the body cap, Transfer-Encoding is refused (501), and
+// pipelined requests (bytes beyond the parsed request) are rejected rather
+// than silently dropped. Every rejection carries the HTTP status the
+// server should answer with.
+//
+// The accept loop polls with a short timeout and re-checks its StopToken,
+// so a SIGTERM-fired token drains the server within one poll interval.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stop_token.h"
+
+namespace ides {
+
+/// Hard caps of the request parser. Defaults fit the daemon's JSON API
+/// with room to spare; anything larger is a client bug or abuse.
+struct HttpLimits {
+  std::size_t maxRequestLine = 4096;
+  std::size_t maxHeaderCount = 64;
+  /// Request line + all header lines, terminator included.
+  std::size_t maxHeaderBytes = 16384;
+  std::size_t maxBodyBytes = 4u << 20;
+};
+
+struct HttpRequest {
+  std::string method;  ///< as received, e.g. "GET"
+  std::string target;  ///< full request target, e.g. "/jobs/job-1?k=v"
+  std::string path;    ///< target up to the first '?'
+  std::string query;   ///< after the first '?', may be empty
+  /// Headers in arrival order, names as received.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this name (case-insensitive), or null.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+enum class HttpParseStatus {
+  NeedMore,  ///< the buffer holds a valid prefix; read more bytes
+  Done,      ///< one complete request parsed into `out`
+  Bad,       ///< malformed or over a limit; answer `errorStatus` and close
+};
+
+struct HttpParseResult {
+  HttpParseStatus status = HttpParseStatus::NeedMore;
+  /// Bytes of the buffer consumed by the request (Done only). Trailing
+  /// bytes mean the client pipelined — the server rejects that.
+  std::size_t consumed = 0;
+  /// Suggested response status for Bad (400/413/414/431/501/505).
+  int errorStatus = 0;
+  std::string error;
+};
+
+/// Parses one HTTP/1.1 request from the start of `buffer`. Pure function
+/// of the bytes — no sockets, no state — so the malformed-input matrix is
+/// unit-testable directly.
+HttpParseResult parseHttpRequest(std::string_view buffer, HttpRequest& out,
+                                 const HttpLimits& limits = {});
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for the status codes this server emits.
+const char* httpStatusReason(int status);
+
+/// Serializes status line + headers + body (Connection: close always —
+/// one request per connection keeps the server stateless).
+std::string renderHttpResponse(const HttpResponse& response);
+
+/// One served request, for the daemon's structured request log.
+struct RequestLogEntry {
+  std::string peer;    ///< client address, e.g. "127.0.0.1:52114"
+  std::string method;  ///< "-" when the request never parsed
+  std::string target;
+  int status = 0;
+  std::size_t bytesIn = 0;
+  std::size_t bytesOut = 0;
+  double milliseconds = 0.0;
+};
+
+/// Blocking single-threaded HTTP server. Construction binds and listens;
+/// serve() accepts until the StopToken fires.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using LogSink = std::function<void(const RequestLogEntry&)>;
+
+  /// Binds `bindAddress:port` (port 0 = ephemeral; see port()). Throws
+  /// std::runtime_error when the socket cannot be set up.
+  HttpServer(const std::string& bindAddress, int port,
+             HttpLimits limits = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Accept loop: one connection at a time, each read fully, parsed,
+  /// dispatched to `handler` (exceptions become 500), answered, closed.
+  /// Returns when `stop` fires (checked every poll interval) — accepted-
+  /// but-unserved connections do not exist at that point, so returning IS
+  /// the "stop accepting" half of a graceful drain.
+  void serve(const Handler& handler, const StopToken* stop,
+             const LogSink& log = {});
+
+  [[nodiscard]] std::size_t requestsServed() const { return served_; }
+
+ private:
+  void handleConnection(int fd, const std::string& peer,
+                        const Handler& handler, const LogSink& log);
+
+  int listenFd_ = -1;
+  int port_ = 0;
+  HttpLimits limits_;
+  std::size_t served_ = 0;
+};
+
+}  // namespace ides

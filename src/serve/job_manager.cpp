@@ -1,0 +1,478 @@
+#include "serve/job_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/batch_runner.h"
+#include "core/batch_suites.h"
+#include "core/optimizer.h"
+#include "util/json_reader.h"
+
+namespace ides {
+
+namespace {
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Typed field extraction with "which key, what went wrong" messages —
+/// submit-time errors are the API's main feedback channel.
+const JsonValue* fieldOrNull(const JsonValue& root, std::string_view key) {
+  return root.find(key);
+}
+
+std::string requireString(const JsonValue& root, std::string_view key) {
+  const JsonValue* v = root.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::String) {
+    throw std::invalid_argument("field \"" + std::string(key) +
+                                "\" must be a string");
+  }
+  return v->stringValue;
+}
+
+std::string optionalString(const JsonValue& root, std::string_view key,
+                           std::string fallback) {
+  const JsonValue* v = fieldOrNull(root, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::String) {
+    throw std::invalid_argument("field \"" + std::string(key) +
+                                "\" must be a string");
+  }
+  return v->stringValue;
+}
+
+double optionalNumber(const JsonValue& root, std::string_view key,
+                      double fallback) {
+  const JsonValue* v = fieldOrNull(root, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::Number) {
+    throw std::invalid_argument("field \"" + std::string(key) +
+                                "\" must be a number");
+  }
+  return v->numberValue;
+}
+
+long long optionalInt(const JsonValue& root, std::string_view key,
+                      long long fallback) {
+  const double value = optionalNumber(
+      root, key, static_cast<double>(fallback));
+  const long long asInt = static_cast<long long>(value);
+  if (static_cast<double>(asInt) != value) {
+    throw std::invalid_argument("field \"" + std::string(key) +
+                                "\" must be an integer");
+  }
+  return asInt;
+}
+
+void rejectUnknownKeys(const JsonValue& root,
+                       const std::vector<std::string_view>& known) {
+  for (const auto& [key, value] : root.members) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument("unknown field \"" + key + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+JobSpec parseJobSpec(std::string_view body) {
+  JsonValue root;
+  try {
+    root = parseJson(body);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("malformed JSON: ") + e.what());
+  }
+  if (!root.isObject()) {
+    throw std::invalid_argument("job spec must be a JSON object");
+  }
+
+  JobSpec spec;
+  const std::string type = requireString(root, "type");
+  spec.deadlineSeconds = optionalNumber(root, "deadline_seconds", 0.0);
+  if (spec.deadlineSeconds < 0.0) {
+    throw std::invalid_argument("deadline_seconds must be >= 0");
+  }
+
+  if (type == "design") {
+    spec.kind = JobSpec::Kind::Design;
+    rejectUnknownKeys(root,
+                      {"type", "deadline_seconds", "nodes", "existing",
+                       "current", "seed", "strategy", "sa_iters", "restarts",
+                       "threads", "spec_workers", "spec_depth"});
+    DesignJobSpec& d = spec.design;
+    d.nodes = static_cast<std::size_t>(optionalInt(root, "nodes", 10));
+    d.existing =
+        static_cast<std::size_t>(optionalInt(root, "existing", 400));
+    d.current = static_cast<std::size_t>(optionalInt(root, "current", 160));
+    d.seed = static_cast<std::uint64_t>(optionalInt(root, "seed", 1));
+    d.strategy = optionalString(root, "strategy", "MH");
+    d.saIterations = static_cast<int>(optionalInt(root, "sa_iters", 0));
+    d.restarts = static_cast<int>(optionalInt(root, "restarts", 4));
+    d.threads = static_cast<int>(optionalInt(root, "threads", 0));
+    d.specWorkers = static_cast<int>(optionalInt(root, "spec_workers", 0));
+    d.specDepth = static_cast<int>(optionalInt(root, "spec_depth", 0));
+    if (d.nodes < 2) throw std::invalid_argument("nodes must be >= 2");
+    if (!StrategyRegistry::builtin().contains(d.strategy)) {
+      std::string known;
+      for (const std::string& n : StrategyRegistry::builtin().names()) {
+        known += known.empty() ? n : ", " + n;
+      }
+      throw std::invalid_argument("unknown strategy \"" + d.strategy +
+                                  "\" (available: " + known + ")");
+    }
+    // Fail configuration errors at submit time, not when a worker picks
+    // the job up hours later.
+    validateOptions(designJobOptions(d));
+    return spec;
+  }
+
+  if (type == "sweep") {
+    spec.kind = JobSpec::Kind::Sweep;
+    rejectUnknownKeys(
+        root, {"type", "deadline_seconds", "sweep", "scale", "shards"});
+    SweepJobSpec& s = spec.sweep;
+    s.sweep = requireString(root, "sweep");
+    s.scaleName = optionalString(root, "scale", "smoke");
+    s.shards = static_cast<int>(optionalInt(root, "shards", 1));
+    if (s.shards < 0) throw std::invalid_argument("shards must be >= 0");
+    const std::vector<std::string> names = sweepNames();
+    if (std::find(names.begin(), names.end(), s.sweep) == names.end()) {
+      std::string known;
+      for (const std::string& n : names) {
+        known += known.empty() ? n : ", " + n;
+      }
+      throw std::invalid_argument("unknown sweep \"" + s.sweep +
+                                  "\" (available: " + known + ")");
+    }
+    (void)sweepScaleNamed(s.scaleName);  // throws listing the valid names
+    return spec;
+  }
+
+  throw std::invalid_argument("unknown job type \"" + type +
+                              "\" (available: design, sweep)");
+}
+
+const char* toString(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+struct JobManager::Job {
+  std::string id;
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  StopToken stop;
+  bool cancelRequested = false;
+
+  // Progress, updated by the executing worker under the manager mutex.
+  std::string phase;
+  std::size_t step = 0;
+  std::size_t total = 0;
+  double cost = 0.0;
+
+  std::chrono::steady_clock::time_point startedAt{};
+  double runtimeSeconds = 0.0;
+  bool stopped = false;              ///< a StopToken ended the run early
+  std::size_t cacheHits = 0;         ///< sweep: instances from the store
+  std::size_t executed = 0;          ///< sweep: instances optimized fresh
+  std::string result;                ///< terminal payload (Done/Cancelled)
+  std::string error;                 ///< Failed only
+};
+
+JobManager::JobManager(JobManagerOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers < 1) {
+    throw std::invalid_argument("JobManager: workers must be >= 1");
+  }
+  if (!options_.storeDir.empty()) {
+    store_ = std::make_unique<SweepStore>(options_.storeDir);
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+JobManager::~JobManager() { drain(); }
+
+JobManager::Submission JobManager::submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Submission submission;
+  if (draining_) {
+    submission.error = "daemon is draining";
+    return submission;
+  }
+  if (queue_.size() >= options_.maxQueued) {
+    submission.error = "job queue is full (" +
+                       std::to_string(options_.maxQueued) +
+                       " jobs waiting)";
+    return submission;
+  }
+  auto job = std::make_shared<Job>();
+  job->id = "job-" + std::to_string(nextId_++);
+  job->spec = std::move(spec);
+  queue_.push_back(job);
+  jobs_.push_back(job);
+  byId_.emplace(job->id, job);
+  submission.accepted = true;
+  submission.id = job->id;
+  wake_.notify_one();
+  return submission;
+}
+
+std::optional<JobState> JobManager::state(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byId_.find(id);
+  if (it == byId_.end()) return std::nullopt;
+  return it->second->state;
+}
+
+std::string JobManager::statusJsonLocked(const Job& job) const {
+  std::string out = "{\n";
+  out += "  \"id\": " + jsonQuote(job.id) + ",\n";
+  out += "  \"type\": ";
+  out += job.spec.kind == JobSpec::Kind::Design ? "\"design\"" : "\"sweep\"";
+  out += ",\n";
+  out += "  \"state\": " + jsonQuote(toString(job.state)) + ",\n";
+  out += "  \"phase\": " + jsonQuote(job.phase) + ",\n";
+  out += "  \"step\": " + std::to_string(job.step) + ",\n";
+  out += "  \"total\": " + std::to_string(job.total) + ",\n";
+  out += "  \"cost\": " + num(job.cost) + ",\n";
+  if (job.spec.kind == JobSpec::Kind::Sweep) {
+    out += "  \"cache_hits\": " + std::to_string(job.cacheHits) + ",\n";
+    out += "  \"executed\": " + std::to_string(job.executed) + ",\n";
+  }
+  out += std::string("  \"stopped\": ") + (job.stopped ? "true" : "false");
+  if (job.state != JobState::Queued) {
+    const double seconds =
+        job.state == JobState::Running
+            ? std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - job.startedAt)
+                  .count()
+            : job.runtimeSeconds;
+    out += ",\n  \"runtime_seconds\": " + num(seconds);
+  }
+  if (!job.error.empty()) {
+    out += ",\n  \"error\": " + jsonQuote(job.error);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::optional<std::string> JobManager::statusJson(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byId_.find(id);
+  if (it == byId_.end()) return std::nullopt;
+  return statusJsonLocked(*it->second);
+}
+
+std::optional<std::string> JobManager::resultJson(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byId_.find(id);
+  if (it == byId_.end() || it->second->result.empty()) return std::nullopt;
+  return it->second->result;
+}
+
+std::string JobManager::listJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"jobs\": [";
+  bool first = true;
+  for (const auto& job : jobs_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += statusJsonLocked(*job);
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool JobManager::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byId_.find(id);
+  if (it == byId_.end()) return false;
+  Job& job = *it->second;
+  if (job.state == JobState::Queued) {
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [&](const std::shared_ptr<Job>& j) {
+                                  return j->id == id;
+                                }),
+                 queue_.end());
+    job.state = JobState::Cancelled;
+    job.cancelRequested = true;
+    return true;
+  }
+  if (job.state == JobState::Running) {
+    job.cancelRequested = true;
+    job.stop.requestStop();
+    return true;
+  }
+  return false;  // already terminal
+}
+
+void JobManager::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      // Second caller (destructor after an explicit drain): workers are
+      // already winding down; fall through to join below.
+    }
+    draining_ = true;
+    for (const auto& job : queue_) {
+      job->state = JobState::Cancelled;
+      job->cancelRequested = true;
+    }
+    queue_.clear();
+    for (const auto& job : jobs_) {
+      if (job->state == JobState::Running) job->stop.requestStop();
+    }
+    wake_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t JobManager::queuedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t JobManager::runningCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& job : jobs_) {
+    if (job->state == JobState::Running) ++count;
+  }
+  return count;
+}
+
+std::size_t JobManager::finishedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& job : jobs_) {
+    if (job->state == JobState::Done || job->state == JobState::Failed ||
+        job->state == JobState::Cancelled) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void JobManager::workerLoop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::Running;
+      job->startedAt = std::chrono::steady_clock::now();
+      // The deadline is a RUN budget: armed when execution starts, not at
+      // submission — a job must not burn its budget waiting in the queue.
+      if (job->spec.deadlineSeconds > 0.0) {
+        job->stop.setTimeout(job->spec.deadlineSeconds);
+      }
+    }
+
+    std::string result;
+    std::string error;
+    try {
+      result = execute(*job);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->runtimeSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              job->startedAt)
+                              .count();
+    if (!error.empty()) {
+      job->state = JobState::Failed;
+      job->error = error;
+    } else {
+      job->state =
+          job->cancelRequested ? JobState::Cancelled : JobState::Done;
+      job->result = std::move(result);
+    }
+  }
+}
+
+std::string JobManager::execute(Job& job) {
+  if (job.spec.kind == JobSpec::Kind::Design) {
+    RunContext context;
+    context.stop = &job.stop;
+    context.progress = [this, &job](const ProgressEvent& event) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job.phase = std::string(event.phase);
+      job.step = event.step;
+      job.total = event.total;
+      job.cost = event.cost;
+    };
+    const DesignJobResult result = runDesignJob(job.spec.design, context);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job.stopped = result.result.stopped;
+      job.cost = result.result.objective;
+    }
+    return designResultJson(result, /*timing=*/false);
+  }
+
+  // Sweep job: named suite through the batch runner, store-cached.
+  const SweepJobSpec& spec = job.spec.sweep;
+  const SweepScale scale = sweepScaleNamed(spec.scaleName);
+  const InstanceSuite suite = namedSweep(spec.sweep, scale);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.phase = "sweep";
+    job.total = suite.size();
+  }
+
+  std::optional<SweepStoreCache> cache;
+  if (store_ != nullptr) {
+    // Reuse ON is the whole point: an identical resubmitted job is a
+    // cache hit answered from records, no optimizer runs.
+    cache.emplace(*store_, suite.name(), /*reuse=*/true);
+  }
+
+  BatchOptions options;
+  options.shards = spec.shards;
+  options.stop = &job.stop;
+  options.cache = cache.has_value() ? &*cache : nullptr;
+  options.onInstanceDone = [this, &job,
+                            &cache](const InstanceResult& r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++job.step;
+    if (r.outcome.hasReport) job.cost = r.outcome.report.objective;
+    if (cache.has_value()) job.cacheHits = cache->hits();
+  };
+
+  const BatchReport report = runBatch(suite, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.stopped = report.stopped;
+    job.cacheHits = report.cacheHits;
+    job.executed = report.completed - report.cacheHits;
+  }
+  BatchJsonOptions json;
+  json.scale = scale.name;
+  json.timing = false;  // deterministic: diffs clean against the CLI
+  return batchReportJson("sweep_" + spec.sweep, report, json);
+}
+
+}  // namespace ides

@@ -1,0 +1,143 @@
+// JobManager — the daemon's bounded job queue and worker pool.
+//
+// Jobs arrive as parsed JobSpecs (design: one strategy on one generated
+// instance; sweep: a named paper sweep through the BatchRunner), queue
+// FIFO behind an admission limit, and run on a fixed pool of worker
+// threads — one RunContext and one StopToken per job, so every job has
+// cooperative cancellation (DELETE /jobs/<id>) and an optional per-job
+// deadline armed when the run starts. Progress flows from the optimizer's
+// ProgressSink (design) or the per-instance completion hook (sweep) into
+// the job's status fields under the manager mutex.
+//
+// Sweep jobs route through the persistent SweepStore as a content-
+// addressed result cache: lookups are keyed by instanceFingerprint, so a
+// resubmitted identical sweep is answered from records with no
+// re-optimization (the job status reports cache_hits vs executed), and
+// completed instances always write through — the daemon doubles as the
+// network-facing front of the sweep fabric.
+//
+// Results are rendered deterministically (timing off): a design job's
+// result JSON is byte-identical to `ides_cli design --json` for the same
+// spec, and a sweep job's to the CLI's BENCH_sweep_<name>.json with
+// --no-timing. Wall-clock lives in the job status, not the result.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/design_job.h"
+#include "store/sweep_store.h"
+#include "util/stop_token.h"
+
+namespace ides {
+
+struct SweepJobSpec {
+  std::string sweep;              ///< namedSweep key, e.g. "quality"
+  std::string scaleName = "smoke";
+  int shards = 1;                 ///< 0 = all cores
+};
+
+struct JobSpec {
+  enum class Kind { Design, Sweep };
+  Kind kind = Kind::Design;
+  /// Run budget armed on the job's StopToken when execution starts
+  /// (0 = none). A fired deadline ends the job with its best-so-far
+  /// result and stopped=true — same semantics as `ides_cli --deadline`.
+  double deadlineSeconds = 0.0;
+  DesignJobSpec design;
+  SweepJobSpec sweep;
+};
+
+/// Parses and validates a POST /jobs body. Strict: unknown type, unknown
+/// field, unregistered strategy, unknown sweep/scale name or a wrong field
+/// type all throw std::invalid_argument with a client-facing message.
+JobSpec parseJobSpec(std::string_view body);
+
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+const char* toString(JobState state);
+
+struct JobManagerOptions {
+  int workers = 2;
+  /// Admission limit on WAITING jobs (running jobs do not count): a full
+  /// queue rejects the submit (the daemon answers 503).
+  std::size_t maxQueued = 32;
+  /// Sweep-store directory for the result cache; empty = sweep jobs run
+  /// uncached (design jobs never touch the store).
+  std::string storeDir;
+};
+
+class JobManager {
+ public:
+  explicit JobManager(JobManagerOptions options);
+  /// Drains (cancels queued, stops running, joins workers).
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  struct Submission {
+    bool accepted = false;
+    std::string id;     ///< "job-<n>" when accepted
+    std::string error;  ///< reason when rejected (queue full / draining)
+  };
+  Submission submit(JobSpec spec);
+
+  [[nodiscard]] std::optional<JobState> state(const std::string& id) const;
+
+  /// Status JSON of one job; nullopt for an unknown id.
+  [[nodiscard]] std::optional<std::string> statusJson(
+      const std::string& id) const;
+
+  /// Terminal result payload (design result JSON / sweep BENCH JSON);
+  /// nullopt while the job is queued/running/failed or the id is unknown.
+  [[nodiscard]] std::optional<std::string> resultJson(
+      const std::string& id) const;
+
+  /// All jobs (submission order) as {"jobs": [status...]}.
+  [[nodiscard]] std::string listJson() const;
+
+  /// Queued job: removed and marked cancelled. Running job: its StopToken
+  /// fires and the job finishes as cancelled with a partial result. False
+  /// for unknown ids and jobs already in a terminal state.
+  bool cancel(const std::string& id);
+
+  /// Graceful drain: reject further submits, cancel everything queued,
+  /// fire the StopTokens of running jobs, join the workers. Idempotent.
+  void drain();
+
+  [[nodiscard]] std::size_t queuedCount() const;
+  [[nodiscard]] std::size_t runningCount() const;
+  [[nodiscard]] std::size_t finishedCount() const;
+
+ private:
+  struct Job;
+
+  void workerLoop();
+  /// Executes `job` outside the mutex; returns the result payload.
+  std::string execute(Job& job);
+  [[nodiscard]] std::string statusJsonLocked(const Job& job) const;
+
+  JobManagerOptions options_;
+  std::unique_ptr<SweepStore> store_;  ///< null when storeDir is empty
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool draining_ = false;
+  std::uint64_t nextId_ = 1;
+  std::deque<std::shared_ptr<Job>> queue_;
+  /// Submission-ordered registry of every job ever accepted.
+  std::vector<std::shared_ptr<Job>> jobs_;
+  std::map<std::string, std::shared_ptr<Job>, std::less<>> byId_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ides

@@ -116,8 +116,10 @@ std::string renderRecord(const std::string& fingerprint,
   return out;
 }
 
-InstanceOutcome parseRecord(const JsonValue& root,
-                            const std::string& fingerprint) {
+}  // namespace
+
+InstanceOutcome parseSweepRecord(const JsonValue& root,
+                                 const std::string& fingerprint) {
   if (root.intAt("schema") != SweepStore::kSchemaVersion) {
     throw std::runtime_error("record schema mismatch");
   }
@@ -153,8 +155,6 @@ InstanceOutcome parseRecord(const JsonValue& root,
   }
   return outcome;
 }
-
-}  // namespace
 
 SweepStore::SweepStore(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
@@ -242,7 +242,7 @@ std::optional<InstanceOutcome> SweepStore::load(
   const std::string text = buffer.str();
   in.close();
   try {
-    return parseRecord(parseJson(text), fingerprint);
+    return parseSweepRecord(parseJson(text), fingerprint);
   } catch (const std::exception&) {
     quarantine(fingerprint);
     return std::nullopt;

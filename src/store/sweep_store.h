@@ -44,6 +44,15 @@
 
 namespace ides {
 
+class JsonValue;
+
+/// Parses one record document and verifies schema + embedded fingerprint
+/// against `fingerprint`; throws std::runtime_error naming the problem.
+/// Shared by SweepStore::load (which quarantines on failure) and the
+/// read-only `store verify` audit (which only reports).
+InstanceOutcome parseSweepRecord(const JsonValue& root,
+                                 const std::string& fingerprint);
+
 /// Thread-safe: the filesystem protocol carries all the coordination
 /// (atomic renames, first-writer-wins), so concurrent load/store calls on
 /// one object need no locking — the shard workers of a resumed runBatch

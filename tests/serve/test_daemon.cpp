@@ -1,0 +1,285 @@
+// Daemon process discipline without a process: the endpoint router is
+// pure over (JobManager, HttpRequest), option/config parsing is pure over
+// strings, and the pidfile contract is a couple of filesystem calls — all
+// of it unit-tested with no sockets and no signals.
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ides {
+namespace {
+
+using namespace std::chrono_literals;
+
+HttpRequest makeRequest(std::string method, std::string target,
+                        std::string body = {}) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.target = std::move(target);
+  const std::size_t qmark = request.target.find('?');
+  request.path = request.target.substr(0, qmark);
+  request.body = std::move(body);
+  return request;
+}
+
+bool waitFor(const std::function<bool()>& done, double seconds = 30.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return done();
+}
+
+/// Fast design job body (AH on a tiny generated instance).
+const char* kFastJob =
+    "{\"type\": \"design\", \"nodes\": 4, \"existing\": 30, "
+    "\"current\": 12, \"strategy\": \"AH\"}";
+
+TEST(RouteRequest, HealthzReportsCounters) {
+  JobManager jobs(JobManagerOptions{});
+  const HttpResponse response =
+      routeRequest(jobs, makeRequest("GET", "/healthz"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"queued\": 0"), std::string::npos);
+
+  EXPECT_EQ(routeRequest(jobs, makeRequest("POST", "/healthz")).status, 405);
+}
+
+TEST(RouteRequest, SubmitPollFetchLifecycle) {
+  JobManager jobs(JobManagerOptions{});
+
+  const HttpResponse accepted =
+      routeRequest(jobs, makeRequest("POST", "/jobs", kFastJob));
+  EXPECT_EQ(accepted.status, 202);
+  EXPECT_NE(accepted.body.find("\"id\": \"job-1\""), std::string::npos);
+  EXPECT_NE(accepted.body.find("\"status_url\": \"/jobs/job-1\""),
+            std::string::npos);
+
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state("job-1") == JobState::Done; }));
+
+  const HttpResponse status =
+      routeRequest(jobs, makeRequest("GET", "/jobs/job-1"));
+  EXPECT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("\"state\": \"done\""), std::string::npos);
+
+  const HttpResponse result =
+      routeRequest(jobs, makeRequest("GET", "/jobs/job-1/result"));
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"strategy\": \"AH\""), std::string::npos);
+
+  const HttpResponse list = routeRequest(jobs, makeRequest("GET", "/jobs"));
+  EXPECT_EQ(list.status, 200);
+  EXPECT_NE(list.body.find("\"id\": \"job-1\""), std::string::npos);
+}
+
+TEST(RouteRequest, BadSpecAnswers400WithReason) {
+  JobManager jobs(JobManagerOptions{});
+  const HttpResponse response = routeRequest(
+      jobs, makeRequest("POST", "/jobs", "{\"type\": \"mystery\"}"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("unknown job type"), std::string::npos);
+  EXPECT_EQ(jobs.finishedCount() + jobs.queuedCount(), 0u);
+}
+
+TEST(RouteRequest, ResultBeforeDoneAnswers409) {
+  JobManagerOptions options;
+  options.workers = 1;
+  JobManager jobs(options);
+  // Long SA job so the result query happens while queued/running.
+  const HttpResponse accepted = routeRequest(
+      jobs, makeRequest("POST", "/jobs",
+                        "{\"type\": \"design\", \"nodes\": 4, "
+                        "\"existing\": 60, \"current\": 24, \"strategy\": "
+                        "\"SA\", \"sa_iters\": 50000000}"));
+  ASSERT_EQ(accepted.status, 202);
+
+  const HttpResponse early =
+      routeRequest(jobs, makeRequest("GET", "/jobs/job-1/result"));
+  EXPECT_EQ(early.status, 409);
+
+  const HttpResponse cancelled =
+      routeRequest(jobs, makeRequest("DELETE", "/jobs/job-1"));
+  EXPECT_EQ(cancelled.status, 200);
+  EXPECT_NE(cancelled.body.find("\"cancelled\": true"), std::string::npos);
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state("job-1") == JobState::Cancelled; }));
+
+  // Terminal cancel: a second DELETE conflicts.
+  EXPECT_EQ(routeRequest(jobs, makeRequest("DELETE", "/jobs/job-1")).status,
+            409);
+}
+
+TEST(RouteRequest, UnknownTargetsAnswer404) {
+  JobManager jobs(JobManagerOptions{});
+  EXPECT_EQ(routeRequest(jobs, makeRequest("GET", "/")).status, 404);
+  EXPECT_EQ(routeRequest(jobs, makeRequest("GET", "/jobs/job-9")).status,
+            404);
+  EXPECT_EQ(
+      routeRequest(jobs, makeRequest("GET", "/jobs/job-9/result")).status,
+      404);
+  EXPECT_EQ(
+      routeRequest(jobs, makeRequest("GET", "/jobs/job-1/resultx")).status,
+      404);
+  EXPECT_EQ(routeRequest(jobs, makeRequest("PUT", "/jobs")).status, 405);
+}
+
+TEST(RouteRequest, FullQueueAnswers503) {
+  JobManagerOptions options;
+  options.workers = 1;
+  options.maxQueued = 1;
+  JobManager jobs(options);
+  const char* longJob =
+      "{\"type\": \"design\", \"nodes\": 4, \"existing\": 60, "
+      "\"current\": 24, \"strategy\": \"SA\", \"sa_iters\": 50000000}";
+  ASSERT_EQ(routeRequest(jobs, makeRequest("POST", "/jobs", longJob)).status,
+            202);
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state("job-1") == JobState::Running; }));
+  ASSERT_EQ(routeRequest(jobs, makeRequest("POST", "/jobs", longJob)).status,
+            202);
+
+  const HttpResponse rejected =
+      routeRequest(jobs, makeRequest("POST", "/jobs", longJob));
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_NE(rejected.body.find("full"), std::string::npos);
+  jobs.drain();
+}
+
+TEST(ServeConfig, ParsesKeysCommentsAndBlanks) {
+  ServeOptions options;
+  std::string error;
+  const bool ok = parseServeConfig(
+      "# ides_serve config\n"
+      "port 9090\n"
+      "workers = 3\n"
+      "store-dir /tmp/store  # inline comment\n"
+      "\n"
+      "bind 0.0.0.0\n",
+      options, error);
+  ASSERT_TRUE(ok) << error;
+  EXPECT_EQ(options.port, 9090);
+  EXPECT_EQ(options.workers, 3);
+  EXPECT_EQ(options.storeDir, "/tmp/store");
+  EXPECT_EQ(options.bindAddress, "0.0.0.0");
+}
+
+TEST(ServeConfig, RejectsUnknownKeysAndBadValues) {
+  ServeOptions options;
+  std::string error;
+  EXPECT_FALSE(parseServeConfig("volume 11\n", options, error));
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+  EXPECT_FALSE(parseServeConfig("port zero\n", options, error));
+  EXPECT_NE(error.find("bad value"), std::string::npos);
+  EXPECT_FALSE(parseServeConfig("port 70000\n", options, error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_FALSE(parseServeConfig("workers 0\n", options, error));
+  EXPECT_FALSE(parseServeConfig("orphan\n", options, error));
+  EXPECT_NE(error.find("expected"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, FlagsOverrideConfigFile) {
+  const std::string configPath =
+      ::testing::TempDir() + "ides_serve_config_test.conf";
+  {
+    std::ofstream out(configPath);
+    out << "port 9090\nworkers 5\n";
+  }
+
+  std::vector<std::string> argStorage = {"ides_serve", "--config",
+                                         configPath, "--port", "18080"};
+  std::vector<char*> argv;
+  argv.reserve(argStorage.size());
+  for (std::string& arg : argStorage) argv.push_back(arg.data());
+
+  ServeOptions options;
+  std::string error;
+  bool help = false;
+  ASSERT_TRUE(parseServeOptions(static_cast<int>(argv.size()), argv.data(),
+                                options, error, help))
+      << error;
+  EXPECT_FALSE(help);
+  EXPECT_EQ(options.port, 18080);  // flag wins over the config's 9090
+  EXPECT_EQ(options.workers, 5);   // config survives where no flag is set
+  std::filesystem::remove(configPath);
+}
+
+TEST(ServeOptionsTest, HelpUnknownFlagAndMissingConfig) {
+  ServeOptions options;
+  std::string error;
+  bool help = false;
+
+  std::vector<std::string> helpArgs = {"ides_serve", "--help"};
+  std::vector<char*> helpArgv;
+  for (std::string& arg : helpArgs) helpArgv.push_back(arg.data());
+  ASSERT_TRUE(parseServeOptions(2, helpArgv.data(), options, error, help));
+  EXPECT_TRUE(help);
+
+  std::vector<std::string> badArgs = {"ides_serve", "--volume", "11"};
+  std::vector<char*> badArgv;
+  for (std::string& arg : badArgs) badArgv.push_back(arg.data());
+  EXPECT_FALSE(parseServeOptions(3, badArgv.data(), options, error, help));
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+
+  std::vector<std::string> cfgArgs = {"ides_serve", "--config",
+                                      "/nonexistent/serve.conf"};
+  std::vector<char*> cfgArgv;
+  for (std::string& arg : cfgArgs) cfgArgv.push_back(arg.data());
+  EXPECT_FALSE(parseServeOptions(3, cfgArgv.data(), options, error, help));
+  EXPECT_NE(error.find("cannot open config file"), std::string::npos);
+
+  EXPECT_NE(std::string(serveUsage()).find("--store-dir"),
+            std::string::npos);
+}
+
+TEST(PidFileTest, WritesRefusesAndRemoves) {
+  const std::string path = ::testing::TempDir() + "ides_serve_test.pid";
+  std::filesystem::remove(path);
+
+  std::string error;
+  ASSERT_TRUE(writePidFile(path, error)) << error;
+  {
+    std::ifstream in(path);
+    long pid = 0;
+    in >> pid;
+    EXPECT_GT(pid, 0);
+  }
+
+  // A second instance must refuse to clobber the live pidfile.
+  EXPECT_FALSE(writePidFile(path, error));
+  EXPECT_NE(error.find("already exists"), std::string::npos);
+
+  removePidFile(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  removePidFile(path);  // idempotent on a missing file
+}
+
+TEST(RequestLogTest, RendersKeyValueFields) {
+  RequestLogEntry entry;
+  entry.peer = "127.0.0.1:52114";
+  entry.method = "POST";
+  entry.target = "/jobs";
+  entry.status = 202;
+  entry.bytesIn = 96;
+  entry.bytesOut = 54;
+  entry.milliseconds = 1.5;
+  EXPECT_EQ(requestLogLine(entry),
+            "peer=127.0.0.1:52114 method=POST target=/jobs status=202 "
+            "in=96 out=54 ms=1.5");
+}
+
+}  // namespace
+}  // namespace ides

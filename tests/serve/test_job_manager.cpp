@@ -1,0 +1,280 @@
+// JobManager: spec parsing/validation at submit time, FIFO admission with
+// a bounded queue, cooperative cancel of queued and running jobs, per-job
+// run deadlines, and the determinism bridge — a job's result JSON is
+// byte-identical to running the same spec directly.
+#include "serve/job_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "serve/design_job.h"
+
+namespace ides {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Small, fast design job (a few milliseconds under AH).
+JobSpec fastJob() {
+  JobSpec spec;
+  spec.design.nodes = 4;
+  spec.design.existing = 30;
+  spec.design.current = 12;
+  spec.design.seed = 7;
+  spec.design.strategy = "AH";
+  return spec;
+}
+
+/// A job that runs for many seconds unless cancelled or deadlined: long
+/// SA on a small instance, so the stop token is polled often.
+JobSpec longJob() {
+  JobSpec spec;
+  spec.design.nodes = 4;
+  spec.design.existing = 60;
+  spec.design.current = 24;
+  spec.design.strategy = "SA";
+  spec.design.saIterations = 50'000'000;
+  return spec;
+}
+
+bool waitFor(const std::function<bool()>& done, double seconds = 30.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return done();
+}
+
+bool isTerminal(std::optional<JobState> state) {
+  return state.has_value() &&
+         (*state == JobState::Done || *state == JobState::Failed ||
+          *state == JobState::Cancelled);
+}
+
+TEST(ParseJobSpec, DesignDefaults) {
+  const JobSpec spec = parseJobSpec("{\"type\": \"design\"}");
+  EXPECT_EQ(spec.kind, JobSpec::Kind::Design);
+  EXPECT_EQ(spec.deadlineSeconds, 0.0);
+  EXPECT_EQ(spec.design.nodes, 10u);
+  EXPECT_EQ(spec.design.existing, 400u);
+  EXPECT_EQ(spec.design.current, 160u);
+  EXPECT_EQ(spec.design.seed, 1u);
+  EXPECT_EQ(spec.design.strategy, "MH");
+}
+
+TEST(ParseJobSpec, DesignFieldsRoundTrip) {
+  const JobSpec spec = parseJobSpec(
+      "{\"type\": \"design\", \"nodes\": 6, \"existing\": 80, "
+      "\"current\": 32, \"seed\": 9, \"strategy\": \"SA\", "
+      "\"sa_iters\": 500, \"deadline_seconds\": 2.5}");
+  EXPECT_EQ(spec.design.nodes, 6u);
+  EXPECT_EQ(spec.design.existing, 80u);
+  EXPECT_EQ(spec.design.current, 32u);
+  EXPECT_EQ(spec.design.seed, 9u);
+  EXPECT_EQ(spec.design.strategy, "SA");
+  EXPECT_EQ(spec.design.saIterations, 500);
+  EXPECT_DOUBLE_EQ(spec.deadlineSeconds, 2.5);
+}
+
+TEST(ParseJobSpec, SweepDefaults) {
+  const JobSpec spec =
+      parseJobSpec("{\"type\": \"sweep\", \"sweep\": \"quality\"}");
+  EXPECT_EQ(spec.kind, JobSpec::Kind::Sweep);
+  EXPECT_EQ(spec.sweep.sweep, "quality");
+  EXPECT_EQ(spec.sweep.scaleName, "smoke");
+  EXPECT_EQ(spec.sweep.shards, 1);
+}
+
+TEST(ParseJobSpec, RejectsBadSpecs) {
+  // Each entry is (body, substring expected in the error message).
+  const std::pair<const char*, const char*> cases[] = {
+      {"not json", "malformed JSON"},
+      {"[1, 2]", "must be a JSON object"},
+      {"{\"type\": \"mystery\"}", "unknown job type"},
+      {"{\"type\": \"design\", \"frobnicate\": 1}", "unknown field"},
+      {"{\"type\": \"design\", \"strategy\": \"ZZ\"}", "unknown strategy"},
+      {"{\"type\": \"design\", \"nodes\": 1}", "nodes must be >= 2"},
+      {"{\"type\": \"design\", \"nodes\": \"four\"}", "must be a number"},
+      {"{\"type\": \"design\", \"nodes\": 2.5}", "must be an integer"},
+      {"{\"type\": \"design\", \"deadline_seconds\": -1}",
+       "deadline_seconds must be >= 0"},
+      {"{\"type\": \"sweep\"}", "\"sweep\" must be a string"},
+      {"{\"type\": \"sweep\", \"sweep\": \"nope\"}", "unknown sweep"},
+      {"{\"type\": \"sweep\", \"sweep\": \"quality\", \"scale\": \"mega\"}",
+       "unknown scale"},
+      {"{\"type\": \"sweep\", \"sweep\": \"quality\", \"shards\": -1}",
+       "shards must be >= 0"},
+  };
+  for (const auto& [body, expected] : cases) {
+    try {
+      (void)parseJobSpec(body);
+      FAIL() << "accepted: " << body;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+          << body << " -> " << e.what();
+    }
+  }
+}
+
+TEST(JobManagerTest, RunsDesignJobToDone) {
+  JobManager jobs(JobManagerOptions{});
+  const auto submission = jobs.submit(fastJob());
+  ASSERT_TRUE(submission.accepted);
+  EXPECT_EQ(submission.id, "job-1");
+
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(submission.id) == JobState::Done; }));
+  EXPECT_EQ(jobs.finishedCount(), 1u);
+
+  const auto status = jobs.statusJson(submission.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(status->find("\"runtime_seconds\":"), std::string::npos);
+  EXPECT_NE(status->find("\"stopped\": false"), std::string::npos);
+
+  // The headline guarantee: identical bytes to a direct run of the spec.
+  RunContext context;
+  const DesignJobResult direct = runDesignJob(fastJob().design, context);
+  const auto result = jobs.resultJson(submission.id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, designResultJson(direct, /*timing=*/false));
+}
+
+TEST(JobManagerTest, UnknownIdsAnswerEmpty) {
+  JobManager jobs(JobManagerOptions{});
+  EXPECT_FALSE(jobs.state("job-99").has_value());
+  EXPECT_FALSE(jobs.statusJson("job-99").has_value());
+  EXPECT_FALSE(jobs.resultJson("job-99").has_value());
+  EXPECT_FALSE(jobs.cancel("job-99"));
+}
+
+TEST(JobManagerTest, AdmissionLimitRejectsWhenQueueIsFull) {
+  JobManagerOptions options;
+  options.workers = 1;
+  options.maxQueued = 1;
+  JobManager jobs(options);
+
+  const auto running = jobs.submit(longJob());
+  ASSERT_TRUE(running.accepted);
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(running.id) == JobState::Running; }));
+
+  const auto queued = jobs.submit(fastJob());
+  ASSERT_TRUE(queued.accepted);
+  EXPECT_EQ(jobs.queuedCount(), 1u);
+
+  const auto rejected = jobs.submit(fastJob());
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_NE(rejected.error.find("full"), std::string::npos);
+
+  // Unblock the worker; the queued job must still run to completion.
+  EXPECT_TRUE(jobs.cancel(running.id));
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(queued.id) == JobState::Done; }));
+  EXPECT_EQ(jobs.state(running.id), JobState::Cancelled);
+}
+
+TEST(JobManagerTest, CancelQueuedJobNeverRuns) {
+  JobManagerOptions options;
+  options.workers = 1;
+  JobManager jobs(options);
+
+  const auto running = jobs.submit(longJob());
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(running.id) == JobState::Running; }));
+  const auto queued = jobs.submit(fastJob());
+  ASSERT_TRUE(queued.accepted);
+
+  EXPECT_TRUE(jobs.cancel(queued.id));
+  EXPECT_EQ(jobs.state(queued.id), JobState::Cancelled);
+  EXPECT_EQ(jobs.queuedCount(), 0u);
+  // Never ran: no result, and a second cancel is a no-op.
+  EXPECT_FALSE(jobs.resultJson(queued.id).has_value());
+  EXPECT_FALSE(jobs.cancel(queued.id));
+
+  EXPECT_TRUE(jobs.cancel(running.id));
+  ASSERT_TRUE(waitFor([&] { return isTerminal(jobs.state(running.id)); }));
+}
+
+TEST(JobManagerTest, CancelRunningJobKeepsPartialResult) {
+  JobManager jobs(JobManagerOptions{});
+  const auto submission = jobs.submit(longJob());
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(submission.id) == JobState::Running; }));
+
+  EXPECT_TRUE(jobs.cancel(submission.id));
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(submission.id) == JobState::Cancelled; }));
+
+  // Cooperative cancel: the optimizer returned its best-so-far result.
+  const auto result = jobs.resultJson(submission.id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NE(result->find("\"stopped\": true"), std::string::npos);
+  const auto status = jobs.statusJson(submission.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("\"state\": \"cancelled\""), std::string::npos);
+}
+
+TEST(JobManagerTest, DeadlineEndsRunAsDoneWithStoppedFlag) {
+  JobManager jobs(JobManagerOptions{});
+  JobSpec spec = longJob();
+  spec.deadlineSeconds = 0.2;
+  const auto submission = jobs.submit(spec);
+  ASSERT_TRUE(submission.accepted);
+
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(submission.id) == JobState::Done; }));
+  const auto status = jobs.statusJson(submission.id);
+  ASSERT_TRUE(status.has_value());
+  // A fired deadline is a normal end with a partial result, not a cancel.
+  EXPECT_NE(status->find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(status->find("\"stopped\": true"), std::string::npos);
+  EXPECT_TRUE(jobs.resultJson(submission.id).has_value());
+  EXPECT_FALSE(jobs.cancel(submission.id));  // already terminal
+}
+
+TEST(JobManagerTest, DrainCancelsQueuedAndRejectsNewSubmits) {
+  JobManagerOptions options;
+  options.workers = 1;
+  JobManager jobs(options);
+
+  const auto running = jobs.submit(longJob());
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(running.id) == JobState::Running; }));
+  const auto queued = jobs.submit(fastJob());
+
+  jobs.drain();
+  EXPECT_EQ(jobs.state(queued.id), JobState::Cancelled);
+  EXPECT_TRUE(isTerminal(jobs.state(running.id)));
+
+  const auto late = jobs.submit(fastJob());
+  EXPECT_FALSE(late.accepted);
+  EXPECT_NE(late.error.find("draining"), std::string::npos);
+}
+
+TEST(JobManagerTest, ListJsonCoversEveryJobInSubmissionOrder) {
+  JobManager jobs(JobManagerOptions{});
+  const auto first = jobs.submit(fastJob());
+  const auto second = jobs.submit(fastJob());
+  ASSERT_TRUE(waitFor([&] {
+    return isTerminal(jobs.state(first.id)) &&
+           isTerminal(jobs.state(second.id));
+  }));
+  const std::string list = jobs.listJson();
+  const std::size_t posFirst = list.find("\"id\": \"job-1\"");
+  const std::size_t posSecond = list.find("\"id\": \"job-2\"");
+  ASSERT_NE(posFirst, std::string::npos);
+  ASSERT_NE(posSecond, std::string::npos);
+  EXPECT_LT(posFirst, posSecond);
+}
+
+}  // namespace
+}  // namespace ides
