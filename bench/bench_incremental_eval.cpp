@@ -12,6 +12,16 @@
 // Costs are asserted bit-identical move by move; the table reports the
 // median per-evaluation wall time of each path, the speedup, and how many
 // graph schedules the checkpoints saved.
+//
+// A second series splits the incremental pass by rewind depth, using the
+// context's restart telemetry (lastRestartGraph / lastRestartPosition /
+// zeroDeltaServes):
+//   zero-delta  — the re-scheduled suffix came back entry-identical and the
+//                 cached result was served (downstream occupancy restored by
+//                 journal replay, no scheduling, no metrics);
+//   mid-graph   — the rewind landed on a fine checkpoint inside the restart
+//                 graph (only the commit-order suffix re-scheduled);
+//   graph-start — the rewind landed on a whole-graph checkpoint.
 #include <algorithm>
 #include <chrono>
 
@@ -141,16 +151,30 @@ int main() {
       fullCosts.push_back(r.cost);
     }
 
-    // Pass 2: the delta engine replaying the identical sequence.
+    // Pass 2: the delta engine replaying the identical sequence, each move
+    // classified by how deep the context actually rewound.
     EvalContext ctx(evaluator);
     ctx.evaluate(im.mapping);  // prime the checkpoints, like SA does
     std::vector<double> incMs;
+    std::vector<double> zeroDeltaMs;
+    std::vector<double> midGraphMs;
+    std::vector<double> graphStartMs;
     incMs.reserve(seq.trials.size());
     std::size_t mismatches = 0;
+    std::size_t serves = ctx.zeroDeltaServes();
     for (std::size_t i = 0; i < seq.trials.size(); ++i) {
       const auto t0 = std::chrono::steady_clock::now();
       const EvalResult r = ctx.evaluate(seq.trials[i], seq.hints[i]);
-      incMs.push_back(msSince(t0));
+      const double ms = msSince(t0);
+      incMs.push_back(ms);
+      if (ctx.zeroDeltaServes() != serves) {
+        serves = ctx.zeroDeltaServes();
+        zeroDeltaMs.push_back(ms);
+      } else if (ctx.lastRestartPosition() > 0) {
+        midGraphMs.push_back(ms);
+      } else {
+        graphStartMs.push_back(ms);
+      }
       if (r.cost != fullCosts[i]) ++mismatches;
     }
 
@@ -166,17 +190,31 @@ int main() {
                   CsvTable::num(fullMed, 4), CsvTable::num(incMed, 4),
                   CsvTable::num(speedup, 2), CsvTable::num(reusedPct, 1),
                   CsvTable::num(static_cast<long long>(mismatches))});
+    const double zdMed = medianMs(zeroDeltaMs);
+    const double midMed = medianMs(midGraphMs);
+    const double wholeMed = medianMs(graphStartMs);
     json.beginRecord()
         .field("instance", static_cast<long long>(size))
         .field("full_median_ms", fullMed)
         .field("inc_median_ms", incMed)
         .field("speedup", speedup)
         .field("graphs_reused_pct", reusedPct)
+        .field("zero_delta_count", static_cast<long long>(zeroDeltaMs.size()))
+        .field("zero_delta_median_ms", zdMed)
+        .field("mid_graph_count", static_cast<long long>(midGraphMs.size()))
+        .field("mid_graph_median_ms", midMed)
+        .field("graph_start_count",
+               static_cast<long long>(graphStartMs.size()))
+        .field("graph_start_median_ms", wholeMed)
         .field("mismatches", static_cast<long long>(mismatches));
     std::printf(
         "  [n=%zu, %zu graphs] full=%.4fms inc=%.4fms -> %.2fx "
-        "(%.1f%% graph schedules reused, %zu mismatches)\n",
-        size, graphCount, fullMed, incMed, speedup, reusedPct, mismatches);
+        "(%.1f%% graph schedules reused, %zu mismatches)\n"
+        "      by rewind depth: zero-delta %zux %.4fms | mid-graph %zux "
+        "%.4fms | graph-start %zux %.4fms\n",
+        size, graphCount, fullMed, incMed, speedup, reusedPct, mismatches,
+        zeroDeltaMs.size(), zdMed, midGraphMs.size(), midMed,
+        graphStartMs.size(), wholeMed);
   }
 
   std::printf("\n");

@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
     JobManagerOptions jobOptions;
     jobOptions.workers = options.workers;
     jobOptions.maxQueued = static_cast<std::size_t>(options.maxQueued);
+    jobOptions.retainFinished =
+        static_cast<std::size_t>(options.retainFinished);
     jobOptions.storeDir = options.storeDir;
     JobManager jobs(jobOptions);
 

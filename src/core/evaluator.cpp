@@ -58,6 +58,43 @@ SolutionEvaluator::SolutionEvaluator(const SystemModel& sys,
   for (GraphId g : currentGraphs_) {
     priorities_.push_back(criticalPathPriorities(sys, g));
   }
+  // Static commit orders and the flat job-index layout derived from them.
+  const std::size_t n = currentGraphs_.size();
+  orders_.reserve(n);
+  jobBase_.assign(n + 1, 0);
+  graphIdx_.assign(sys.graphs().size(), n);
+  procGraph_.assign(sys.processes().size(), n);
+  procLocal_.assign(sys.processes().size(), -1);
+  for (std::size_t gi = 0; gi < n; ++gi) {
+    const GraphId g = currentGraphs_[gi];
+    orders_.push_back(computeJobOrder(sys, g, priorities_[gi]));
+    jobBase_[gi + 1] = jobBase_[gi] + orders_[gi].jobCount();
+    graphIdx_[static_cast<std::size_t>(g.index())] = gi;
+    const std::vector<ProcessId>& procs = sys.graph(g).processes;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const auto pi = static_cast<std::size_t>(procs[i].index());
+      procGraph_[pi] = gi;
+      procLocal_[pi] = static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+std::size_t SolutionEvaluator::graphIndexOf(GraphId g) const {
+  if (!g.valid() || static_cast<std::size_t>(g.index()) >= graphIdx_.size()) {
+    return currentGraphs_.size();
+  }
+  return graphIdx_[static_cast<std::size_t>(g.index())];
+}
+
+std::size_t SolutionEvaluator::jobIndexOf(ProcessId p,
+                                          std::int32_t instance) const {
+  const auto pi = static_cast<std::size_t>(p.index());
+  const std::size_t gi = procGraph_[pi];
+  const GraphJobOrder& order = orders_[gi];
+  const std::size_t flat =
+      static_cast<std::size_t>(instance) * order.processCount +
+      static_cast<std::size_t>(procLocal_[pi]);
+  return jobBase_[gi] + static_cast<std::size_t>(order.positionOf[flat]);
 }
 
 EvalResult SolutionEvaluator::evaluate(const MappingSolution& solution) const {
@@ -113,6 +150,12 @@ EvalContext::EvalContext(const SolutionEvaluator& evaluator)
   for (std::size_t gi = 0; gi < n; ++gi) {
     graphIndex_[ev_->currentGraphs()[gi].index()] = gi;
   }
+  fineMarks_.resize(n);
+  fineCount_.assign(n, 0);
+  nodeStamp_.assign(state_.nodeCount(), 0);
+  occStamp_.assign(state_.bus().slotCount() *
+                       static_cast<std::size_t>(state_.roundCount()),
+                   0);
 }
 
 std::size_t EvalContext::indexOfGraph(GraphId g) const {
@@ -151,14 +194,103 @@ std::size_t EvalContext::restartIndex(const MappingSolution& solution,
   return idx;
 }
 
+std::size_t EvalContext::restartPosition(const MappingSolution& solution,
+                                         std::size_t gi) const {
+  const GraphJobOrder& order = ev_->jobOrders()[gi];
+  const ProcessGraph& graph = sys_->graph(ev_->currentGraphs()[gi]);
+  const std::int64_t instances = sys_->instanceCount(graph.id);
+  std::size_t pos = order.jobCount();
+  const auto coverProcess = [&](ProcessId p) {
+    const auto local = static_cast<std::size_t>(ev_->localProcessIndex(p));
+    for (std::int64_t k = 0; k < instances; ++k) {
+      const std::size_t flat =
+          static_cast<std::size_t>(k) * order.processCount + local;
+      pos = std::min(pos, static_cast<std::size_t>(order.positionOf[flat]));
+    }
+  };
+  for (const ProcessId p : graph.processes) {
+    if (reference_.nodeOf(p) != solution.nodeOf(p) ||
+        reference_.startHint(p) != solution.startHint(p)) {
+      coverProcess(p);
+    }
+  }
+  for (const MessageId m : graph.messages) {
+    if (reference_.messageHint(m) != solution.messageHint(m)) {
+      // The hint is only read when scheduling the destination; the
+      // destination of instance k commits after the source of instance k,
+      // so its positions bound every reader.
+      coverProcess(sys_->message(m).dst);
+    }
+  }
+  return pos;
+}
+
+void EvalContext::beginDirty() {
+  if (++stamp_ == 0) {  // wrapped: reset the lazily-aged stamps
+    std::fill(nodeStamp_.begin(), nodeStamp_.end(), 0u);
+    std::fill(occStamp_.begin(), occStamp_.end(), 0u);
+    stamp_ = 1;
+  }
+  dirtyNodes_.clear();
+  dirtyOccs_.clear();
+}
+
+void EvalContext::collectDirty(PlatformState::Mark from) {
+  const std::vector<PlatformState::JournalEntry>& journal = state_.journal();
+  const auto rounds = static_cast<std::uint64_t>(state_.roundCount());
+  for (std::size_t i = from; i < journal.size(); ++i) {
+    const PlatformState::JournalEntry& e = journal[i];
+    if (e.kind == PlatformState::JournalEntry::Kind::Node) {
+      if (nodeStamp_[e.index] != stamp_) {
+        nodeStamp_[e.index] = stamp_;
+        dirtyNodes_.push_back(e.index);
+      }
+    } else {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(e.index) * rounds +
+          static_cast<std::uint64_t>(e.round);
+      if (occStamp_[static_cast<std::size_t>(key)] != stamp_) {
+        occStamp_[static_cast<std::size_t>(key)] = stamp_;
+        dirtyOccs_.push_back(key);
+      }
+    }
+  }
+}
+
+void EvalContext::fillOutcome(ScheduleOutcome& outcome,
+                              const MappingSolution& solution,
+                              const EvalResult& result) const {
+  outcome.placed = result.placed;
+  outcome.feasible = result.feasible;
+  outcome.deadlineMisses = result.deadlineMisses;
+  outcome.totalLateness = result.lateness;
+  outcome.schedule = Schedule{};
+  for (const ScheduledProcess& sp : processes_) {
+    outcome.schedule.addProcess(sp);
+  }
+  for (const ScheduledMessage& sm : messages_) {
+    outcome.schedule.addMessage(sm);
+  }
+  outcome.mapping = solution;
+}
+
 EvalResult EvalContext::evaluate(const MappingSolution& solution) {
-  return run(solution, 0, nullptr, nullptr);
+  return run(solution, 0, 0, nullptr, nullptr);
 }
 
 EvalResult EvalContext::evaluate(const MappingSolution& solution,
                                  const MoveHint& hint) {
-  return run(solution, restartIndex(solution, indexOfGraph(hint.graph)),
-             nullptr, nullptr);
+  std::size_t gi = restartIndex(solution, indexOfGraph(hint.graph));
+  std::size_t pos = 0;
+  while (gi < validGraphs_) {
+    pos = restartPosition(solution, gi);
+    if (pos < ev_->jobOrders()[gi].jobCount()) break;
+    // Graph unchanged (stale or too-coarse hint): the verified-equal prefix
+    // extends over it; look at the next committed graph.
+    pos = 0;
+    ++gi;
+  }
+  return run(solution, gi, pos, nullptr, nullptr);
 }
 
 EvalResult EvalContext::evaluate(const MappingSolution& solution,
@@ -168,48 +300,186 @@ EvalResult EvalContext::evaluate(const MappingSolution& solution,
   // Serve the cached state when re-reading the solution just evaluated.
   const std::size_t first =
       restartIndex(solution, n) == n && validGraphs_ == n ? n : 0;
-  return run(solution, first, outcomeOut, slackOut);
+  return run(solution, first, 0, outcomeOut, slackOut);
 }
 
 EvalResult EvalContext::run(const MappingSolution& solution,
-                            std::size_t firstGraph,
+                            std::size_t firstGraph, std::size_t firstPos,
                             ScheduleOutcome* outcomeOut, SlackInfo* slackOut) {
   const std::vector<GraphId>& graphs = ev_->currentGraphs();
   const std::size_t n = graphs.size();
   ++evaluations_;
 
   firstGraph = std::min(firstGraph, validGraphs_);
-  graphsReused_ += firstGraph;
 
-  // Rewind to the checkpoint before the first affected graph.
-  const Checkpoint& restart = checkpoints_[firstGraph];
-  state_.rollbackTo(restart.mark);
-  processes_.resize(restart.processCount);
-  messages_.resize(restart.messageCount);
-  int misses = restart.deadlineMisses;
-  Time lateness = restart.lateness;
+  if (firstGraph == n && resultValid_) {
+    // Re-reading the solution already committed: the state, the log and the
+    // cached result all describe it verbatim.
+    graphsReused_ += n;
+    lastRestartGraph_ = n;
+    lastRestartPos_ = 0;
+    reference_ = solution;
+    if (slackOut != nullptr && result_.feasible) {
+      extractSlackInto(state_, slack_);
+      *slackOut = slack_;
+    }
+    if (outcomeOut != nullptr) fillOutcome(*outcomeOut, solution, result_);
+    return result_;
+  }
+
+  firstPos = firstGraph < n ? std::min(firstPos, fineCount_[firstGraph]) : 0;
+  graphsReused_ += firstGraph;
+  lastRestartGraph_ = firstGraph;
+  lastRestartPos_ = firstPos;
+
+  // The checkpoint to rewind to: a fine (mid-graph) one when resuming
+  // inside the restart graph, the whole-graph one otherwise.
+  PlatformState::Mark restartMark;
+  std::size_t pc0;
+  std::size_t mc0;
+  if (firstGraph < n && firstPos > 0) {
+    const SchedulerSession::JobCheckpoint& cp = fineMarks_[firstGraph][firstPos];
+    restartMark = cp.mark;
+    pc0 = cp.processCount;
+    mc0 = cp.messageCount;
+  } else {
+    const Checkpoint& cp = checkpoints_[firstGraph];
+    restartMark = cp.mark;
+    pc0 = cp.processCount;
+    mc0 = cp.messageCount;
+  }
+
+  // Zero-delta candidate: every graph is committed for the reference and
+  // the caller wants the plain result. Save the suffix being re-scheduled;
+  // if it comes back entry-identical and the downstream graphs' mapping
+  // entries are untouched, the whole evaluation is the cached one.
+  const bool trySkip = resultValid_ && validGraphs_ == n && firstGraph < n &&
+                       outcomeOut == nullptr && slackOut == nullptr;
+  if (trySkip) {
+    oldProcs_.assign(
+        processes_.begin() + static_cast<std::ptrdiff_t>(pc0),
+        processes_.begin() +
+            static_cast<std::ptrdiff_t>(checkpoints_[firstGraph + 1].processCount));
+    oldMsgs_.assign(
+        messages_.begin() + static_cast<std::ptrdiff_t>(mc0),
+        messages_.begin() +
+            static_cast<std::ptrdiff_t>(checkpoints_[firstGraph + 1].messageCount));
+    if (firstGraph + 1 < n) {
+      // Also save the downstream graphs' tail (entries, arrival bounds and
+      // journal records) so a confirmed zero-delta restores it verbatim
+      // instead of re-scheduling every graph behind the restart graph.
+      const Checkpoint& cpNext = checkpoints_[firstGraph + 1];
+      tailProcs_.assign(
+          processes_.begin() + static_cast<std::ptrdiff_t>(cpNext.processCount),
+          processes_.end());
+      tailMsgs_.assign(
+          messages_.begin() + static_cast<std::ptrdiff_t>(cpNext.messageCount),
+          messages_.end());
+      tailArrivals_.assign(
+          arrivals_.begin() + static_cast<std::ptrdiff_t>(cpNext.processCount),
+          arrivals_.end());
+      const std::vector<PlatformState::JournalEntry>& j = state_.journal();
+      tailJournal_.assign(j.begin() + static_cast<std::ptrdiff_t>(cpNext.mark),
+                          j.end());
+    }
+  }
+
+  // Dirty tracking for the metrics cache: the records about to be undone
+  // plus (after scheduling) the records newly committed.
+  const bool trackDirty = metricsCache_.valid();
+  if (trackDirty) {
+    beginDirty();
+    collectDirty(restartMark);
+  }
+
+  // Rewind: two resizes plus the journal rollback, for any granularity.
+  state_.rollbackTo(restartMark);
+  processes_.resize(pc0);
+  messages_.resize(mc0);
+  arrivals_.resize(pc0);
+  int misses = checkpoints_[firstGraph].deadlineMisses;
+  Time lateness = checkpoints_[firstGraph].lateness;
 
   bool placed = true;
   for (std::size_t gi = firstGraph; gi < n; ++gi) {
-    checkpoints_[gi] = {state_.mark(), processes_.size(), messages_.size(),
-                        misses, lateness};
-    const SchedulerSession::GraphResult r = session_.scheduleGraph(
-        graphs[gi], solution, &ev_->priorities()[gi], processes_, messages_);
+    const std::size_t resumeAt = gi == firstGraph ? firstPos : 0;
+    if (resumeAt == 0) {
+      checkpoints_[gi] = {state_.mark(), processes_.size(), messages_.size(),
+                          misses, lateness};
+    }
+    const SchedulerSession::GraphResult r = session_.scheduleGraphResume(
+        graphs[gi], solution, &ev_->priorities()[gi], ev_->jobOrders()[gi],
+        resumeAt, checkpoints_[gi].processCount, processes_, messages_,
+        fineMarks_[gi], &arrivals_);
     ++graphsScheduled_;
-    misses += r.deadlineMisses;
-    lateness += r.totalLateness;
     if (!r.placed) {
       // Drop the failed graph's partial placement so the checkpoints for
       // the prefix stay valid; the result still reports the partial
       // tallies, exactly like the full pass does.
+      if (trackDirty && checkpoints_[gi].mark < restartMark) {
+        // A failing mid-graph restart rewinds below the restart mark: the
+        // prefix records it undoes were not in the pre-rollback scan, so
+        // collect them before they leave the journal.
+        collectDirty(checkpoints_[gi].mark);
+      }
       state_.rollbackTo(checkpoints_[gi].mark);
       processes_.resize(checkpoints_[gi].processCount);
       messages_.resize(checkpoints_[gi].messageCount);
+      arrivals_.resize(checkpoints_[gi].processCount);
+      fineCount_[gi] = 0;
       validGraphs_ = gi;
+      misses = checkpoints_[gi].deadlineMisses + r.deadlineMisses;
+      lateness = checkpoints_[gi].lateness + r.totalLateness;
       placed = false;
       break;
     }
+    fineCount_[gi] = ev_->jobOrders()[gi].jobCount();
+    misses = checkpoints_[gi].deadlineMisses + r.deadlineMisses;
+    lateness = checkpoints_[gi].lateness + r.totalLateness;
     validGraphs_ = gi + 1;
+
+    if (gi == firstGraph && trySkip) {
+      // Entry-identical suffix: the journal grew back identically, so the
+      // platform state after this graph is byte for byte the one the cached
+      // result was computed from. If the remaining graphs' mapping entries
+      // are also unchanged they would re-commit identically too (each
+      // graph's placement is a pure function of its entries and the state
+      // before it) — so instead of re-running their schedulers, their saved
+      // occupancy and entries are restored verbatim and the cached result
+      // is served.
+      bool identical =
+          processes_.size() - pc0 == oldProcs_.size() &&
+          messages_.size() - mc0 == oldMsgs_.size() &&
+          std::equal(oldProcs_.begin(), oldProcs_.end(),
+                     processes_.begin() + static_cast<std::ptrdiff_t>(pc0)) &&
+          std::equal(oldMsgs_.begin(), oldMsgs_.end(),
+                     messages_.begin() + static_cast<std::ptrdiff_t>(mc0));
+      for (std::size_t gj = gi + 1; identical && gj < n; ++gj) {
+        identical = graphEntriesEqual(reference_, solution, gj);
+      }
+      if (identical) {
+        if (gi + 1 < n) {
+          // Restore the downstream tail saved before the rewind. The replay
+          // goes through the normal occupy paths, so the journal regrows by
+          // byte-identical records: every downstream checkpoint, fine mark
+          // and the final tally checkpoint stay valid as-is.
+          state_.replay(tailJournal_.data(),
+                        tailJournal_.data() + tailJournal_.size());
+          processes_.insert(processes_.end(), tailProcs_.begin(),
+                            tailProcs_.end());
+          messages_.insert(messages_.end(), tailMsgs_.begin(),
+                           tailMsgs_.end());
+          arrivals_.insert(arrivals_.end(), tailArrivals_.begin(),
+                           tailArrivals_.end());
+          graphsReused_ += n - gi - 1;
+          validGraphs_ = n;
+        }
+        ++zeroDeltaServes_;
+        reference_ = solution;
+        hasReference_ = true;
+        return result_;
+      }
+    }
   }
   if (placed) {
     checkpoints_[n] = {state_.mark(), processes_.size(), messages_.size(),
@@ -219,28 +489,28 @@ EvalResult EvalContext::run(const MappingSolution& solution,
   hasReference_ = true;
 
   EvalResult result = makeResult(placed, misses, lateness);
+  // Keep the metrics snapshot aligned on every evaluation once it exists —
+  // including infeasible ones (cheap: only the dirty entries are touched).
+  if (trackDirty) {
+    collectDirty(restartMark);
+    metricsCache_.update(state_, dirtyNodes_, dirtyOccs_);
+  }
   if (result.feasible) {
-    extractSlackInto(state_, slack_);
-    result.metrics = computeMetrics(slack_, ev_->profile());
+    if (!metricsCache_.valid()) {
+      metricsCache_.rebuild(state_, ev_->profile());
+    }
+    result.metrics = metricsCache_.metrics(ev_->profile());
     result.objective =
         objectiveValue(result.metrics, ev_->profile(), ev_->weights());
     result.cost = result.objective;
-    if (slackOut != nullptr) *slackOut = slack_;
-  }
-  if (outcomeOut != nullptr) {
-    outcomeOut->placed = placed;
-    outcomeOut->feasible = result.feasible;
-    outcomeOut->deadlineMisses = misses;
-    outcomeOut->totalLateness = lateness;
-    outcomeOut->schedule = Schedule{};
-    for (const ScheduledProcess& sp : processes_) {
-      outcomeOut->schedule.addProcess(sp);
+    if (slackOut != nullptr) {
+      extractSlackInto(state_, slack_);
+      *slackOut = slack_;
     }
-    for (const ScheduledMessage& sm : messages_) {
-      outcomeOut->schedule.addMessage(sm);
-    }
-    outcomeOut->mapping = solution;
   }
+  result_ = result;
+  resultValid_ = placed;
+  if (outcomeOut != nullptr) fillOutcome(*outcomeOut, solution, result);
   return result;
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -102,6 +103,30 @@ class SolutionEvaluator {
     return priorities_;
   }
 
+  /// Static per-graph commit orders, parallel to currentGraphs(). A pure
+  /// function of (topology, priorities) — see GraphJobOrder — computed once
+  /// here so every EvalContext can restart a graph mid-order.
+  [[nodiscard]] const std::vector<GraphJobOrder>& jobOrders() const {
+    return orders_;
+  }
+  /// Index of `g` in currentGraphs(), or currentGraphs().size() if absent.
+  [[nodiscard]] std::size_t graphIndexOf(GraphId g) const;
+  /// First slot of graph `gi`'s segment in a fully placed commit-order
+  /// schedule log (sum of the earlier graphs' job counts). jobBase(n) is
+  /// the total job count.
+  [[nodiscard]] std::size_t jobBase(std::size_t gi) const {
+    return jobBase_[gi];
+  }
+  /// Position of (p, instance) in a fully placed commit-order schedule log:
+  /// segment base plus static order position. Only valid for processes of
+  /// current graphs.
+  [[nodiscard]] std::size_t jobIndexOf(ProcessId p,
+                                       std::int32_t instance) const;
+  /// Index of `p` within its graph's process list.
+  [[nodiscard]] std::int32_t localProcessIndex(ProcessId p) const {
+    return procLocal_[static_cast<std::size_t>(p.index())];
+  }
+
  private:
   const SystemModel* sys_;
   PlatformState baseline_;
@@ -109,18 +134,38 @@ class SolutionEvaluator {
   MetricWeights weights_;
   std::vector<GraphId> currentGraphs_;
   std::vector<std::vector<double>> priorities_;  // per current graph
+  std::vector<GraphJobOrder> orders_;            // per current graph
+  std::vector<std::size_t> jobBase_;             // per current graph, + total
+  std::vector<std::size_t> graphIdx_;            // by GraphId::index()
+  std::vector<std::size_t> procGraph_;           // by ProcessId::index()
+  std::vector<std::int32_t> procLocal_;          // by ProcessId::index()
 };
 
 /// Reusable per-thread evaluation scratch: one journaled platform state, a
 /// scheduler session bound to it, the accumulated schedule of the current
-/// graphs, and a checkpoint (journal mark + schedule prefix + running
-/// tallies) taken before every graph.
+/// graphs, and checkpoints at two granularities — one (journal mark +
+/// schedule prefix + running tallies) before every graph, and one
+/// JobCheckpoint before every commit-order position inside a graph.
 ///
-/// evaluate(solution) is a full pass; evaluate(solution, hint) restores the
-/// checkpoint before the first graph whose mapping entries differ from the
-/// last evaluated solution and re-schedules only the graphs from that point
-/// on. Not thread-safe: each optimization thread owns its own context (the
-/// underlying SolutionEvaluator is shared and const).
+/// evaluate(solution) is a full pass; evaluate(solution, hint) diffs the
+/// solution against the last evaluated one, rewinds to the fine checkpoint
+/// before the first commit-order position whose placement can differ, and
+/// re-schedules only the suffix from there (the graphs after the restart
+/// graph re-schedule whole, from their own checkpoints). Two accelerations
+/// sit on top:
+///  * zero-delta serve — when the re-scheduled suffix of the restart graph
+///    comes out entry-identical and the downstream graphs' mapping entries
+///    are unchanged, the platform state is provably byte-identical to the
+///    reference, and the cached EvalResult is returned without scheduling
+///    or metrics work;
+///  * incremental metrics — an IncrementalMetrics snapshot is kept in sync
+///    from the platform journal's dirty entries, so C1 containers and C2
+///    window minima are recomputed only where occupancy changed.
+/// Results stay bit-identical to the full pass by construction — the
+/// context verifies (never trusts) the hint, so a stale hint costs
+/// performance, not correctness. Not thread-safe: each optimization thread
+/// owns its own context (the underlying SolutionEvaluator is shared and
+/// const).
 class EvalContext {
  public:
   explicit EvalContext(const SolutionEvaluator& evaluator);
@@ -150,6 +195,38 @@ class EvalContext {
     return graphsScheduled_;
   }
   [[nodiscard]] std::size_t graphsReused() const { return graphsReused_; }
+  /// Evaluations answered from the cached result because the re-scheduled
+  /// suffix came out entry-identical (zero-delta serve).
+  [[nodiscard]] std::size_t zeroDeltaServes() const {
+    return zeroDeltaServes_;
+  }
+  /// Restart point of the last evaluate(): graph index (== graph count when
+  /// the cached result was served without touching the state) and the
+  /// commit-order position within that graph. Bench telemetry for the
+  /// rewind-depth breakdown.
+  [[nodiscard]] std::size_t lastRestartGraph() const {
+    return lastRestartGraph_;
+  }
+  [[nodiscard]] std::size_t lastRestartPosition() const {
+    return lastRestartPos_;
+  }
+
+  /// Commit-order schedule log of the reference solution (complete when
+  /// resultValid()), and the hint-independent arrival bound of every entry:
+  /// the earliest start permitted by release time and input-message
+  /// arrivals, before the start hint joins. Indexable via
+  /// SolutionEvaluator::jobIndexOf. The zero-delta proposal filter
+  /// (core/simulated_annealing.h) snapshots these to prove hint moves
+  /// schedule-identical without evaluating them.
+  [[nodiscard]] const std::vector<ScheduledProcess>& processes() const {
+    return processes_;
+  }
+  [[nodiscard]] const std::vector<Time>& arrivalBounds() const {
+    return arrivals_;
+  }
+  /// Last evaluation placed every graph; its result is cached and the log
+  /// above is complete.
+  [[nodiscard]] bool resultValid() const { return resultValid_; }
 
  private:
   struct Checkpoint {
@@ -171,9 +248,28 @@ class EvalContext {
   /// hinted graph index (verified against the reference solution).
   [[nodiscard]] std::size_t restartIndex(const MappingSolution& solution,
                                          std::size_t hintIndex) const;
+  /// First commit-order position of graph `gi` whose placement can differ
+  /// between the reference and `solution` (jobCount if the graph is
+  /// unchanged): the min over changed processes' instances — and changed
+  /// messages' destination instances — of the static order position. Every
+  /// reader of a changed entry commits at or after it, so the prefix
+  /// before it commits identically.
+  [[nodiscard]] std::size_t restartPosition(const MappingSolution& solution,
+                                            std::size_t gi) const;
+
+  /// Dirty tracking for the metrics cache: reset the per-evaluation stamp,
+  /// then collect the journal records in [from, state mark) — called once
+  /// before the rollback and once after re-scheduling, so the dirty set
+  /// covers both the undone and the newly committed occupancy.
+  void beginDirty();
+  void collectDirty(PlatformState::Mark from);
+
+  void fillOutcome(ScheduleOutcome& outcome, const MappingSolution& solution,
+                   const EvalResult& result) const;
 
   EvalResult run(const MappingSolution& solution, std::size_t firstGraph,
-                 ScheduleOutcome* outcomeOut, SlackInfo* slackOut);
+                 std::size_t firstPos, ScheduleOutcome* outcomeOut,
+                 SlackInfo* slackOut);
 
   const SolutionEvaluator* ev_;
   const SystemModel* sys_;
@@ -195,9 +291,48 @@ class EvalContext {
   std::size_t validGraphs_ = 0;
   std::vector<std::size_t> graphIndex_;  // by GraphId::index()
 
+  /// Fine checkpoints: one JobCheckpoint per commit-order position, per
+  /// graph; fineCount_[gi] positions are valid (jobCount once the graph is
+  /// committed, 0 after a failure there).
+  std::vector<std::vector<SchedulerSession::JobCheckpoint>> fineMarks_;
+  std::vector<std::size_t> fineCount_;
+  /// Hint-independent arrival bound per committed entry (see
+  /// arrivalBounds()), parallel to processes_.
+  std::vector<Time> arrivals_;
+
+  /// Cached result of the last fully placed evaluation; served verbatim by
+  /// the zero-delta paths (the schedule is provably identical there).
+  EvalResult result_;
+  bool resultValid_ = false;
+
+  /// Metrics snapshot kept in sync from the journal's dirty entries.
+  IncrementalMetrics metricsCache_;
+  std::vector<std::uint32_t> dirtyNodes_;
+  std::vector<std::uint64_t> dirtyOccs_;
+  std::vector<std::uint32_t> nodeStamp_;  // per node, == stamp_ if dirty
+  std::vector<std::uint32_t> occStamp_;   // per slot occurrence
+  std::uint32_t stamp_ = 0;
+
+  /// Zero-delta suffix comparison scratch (the re-scheduled entries of the
+  /// restart graph before the rewind).
+  std::vector<ScheduledProcess> oldProcs_;
+  std::vector<ScheduledMessage> oldMsgs_;
+  /// Saved downstream tail (graphs after the restart graph) for the
+  /// zero-delta serve: entries, arrival bounds and journal records captured
+  /// before the rewind and restored verbatim — via PlatformState::replay —
+  /// when the restart graph's suffix comes back entry-identical, instead of
+  /// re-running the downstream schedulers.
+  std::vector<ScheduledProcess> tailProcs_;
+  std::vector<ScheduledMessage> tailMsgs_;
+  std::vector<Time> tailArrivals_;
+  std::vector<PlatformState::JournalEntry> tailJournal_;
+
   std::size_t evaluations_ = 0;
   std::size_t graphsScheduled_ = 0;
   std::size_t graphsReused_ = 0;
+  std::size_t zeroDeltaServes_ = 0;
+  std::size_t lastRestartGraph_ = 0;
+  std::size_t lastRestartPos_ = 0;
 };
 
 /// Fixed-size pool of per-worker EvalContexts over one shared evaluator —

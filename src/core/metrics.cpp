@@ -11,7 +11,7 @@ namespace {
 /// (value, count) runs of the trimmed largest-future-demand stream,
 /// descending by value — the compact form of largestFutureDemand that the
 /// hot path consumes without materializing one element per item.
-using DemandRuns = std::vector<std::pair<std::int64_t, std::int64_t>>;
+using DemandRuns = ValueCounts;
 
 /// Fills `runs` with the demand stream for `totalSlack`. The deterministic
 /// stream is runs of identical values in descending order (largest-
@@ -46,7 +46,7 @@ void demandRunsInto(const DiscreteDistribution& dist, std::int64_t totalSlack,
 /// Flat ordered multiset of container capacities: (capacity, count) pairs,
 /// ascending, reusing the caller's scratch. Only the multiset matters for
 /// the unpacked total, never container identity.
-using CapacityCounts = std::vector<std::pair<std::int64_t, std::int64_t>>;
+using CapacityCounts = ValueCounts;
 
 void capacityCountsInto(std::vector<std::int64_t>& capacities,
                         CapacityCounts& counts) {
@@ -148,24 +148,33 @@ C1Scratch& c1Scratch() {
   return scratch;
 }
 
+/// C1 for one resource class from the capacity multiset and its total.
+/// Consumes `counts`. Only the multiset enters the packing, so any producer
+/// that maintains the same multiset (notably IncrementalMetrics) gets the
+/// exact same doubles as a fresh extraction.
+double c1PercentFromCounts(CapacityCounts& counts, std::int64_t total,
+                           const DiscreteDistribution& dist,
+                           DemandRuns& runs) {
+  demandRunsInto(dist, total, runs);
+  std::int64_t demand = 0;
+  for (const auto& [value, count] : runs) demand += value * count;
+  if (demand == 0) {
+    // No future item fits even in contiguous slack: the design alternative
+    // leaves no usable slack at all.
+    return total > 0 ? 0.0 : 100.0;
+  }
+  const std::int64_t unpacked = bestFitUnpackedRuns(runs, counts);
+  return 100.0 * static_cast<double>(unpacked) / static_cast<double>(demand);
+}
+
 /// C1 for one resource class: slack containers vs. the deterministic
 /// largest-future-application demand. Returns percent unpacked. Consumes
 /// scratch.containers.
 double c1Percent(C1Scratch& scratch, const DiscreteDistribution& dist) {
   std::int64_t total = 0;
   for (std::int64_t c : scratch.containers) total += c;
-  demandRunsInto(dist, total, scratch.runs);
-  std::int64_t demand = 0;
-  for (const auto& [value, count] : scratch.runs) demand += value * count;
-  if (demand == 0) {
-    // No future item fits even in contiguous slack: the design alternative
-    // leaves no usable slack at all.
-    return total > 0 ? 0.0 : 100.0;
-  }
   capacityCountsInto(scratch.containers, scratch.counts);
-  const std::int64_t unpacked =
-      bestFitUnpackedRuns(scratch.runs, scratch.counts);
-  return 100.0 * static_cast<double>(unpacked) / static_cast<double>(demand);
+  return c1PercentFromCounts(scratch.counts, total, dist, scratch.runs);
 }
 
 }  // namespace
@@ -213,6 +222,208 @@ DesignMetrics computeMetrics(const SlackInfo& slack,
                                     w * profile.tmin, (w + 1) * profile.tmin));
     }
     m.c2mBytes = busMin * slack.busBytesPerTick;
+  }
+  return m;
+}
+
+// ---- IncrementalMetrics ---------------------------------------------------
+
+namespace {
+
+/// Insert one value into the ordered (value, count) multiset.
+void countsAdd(ValueCounts& counts, std::int64_t value) {
+  if (value <= 0) return;
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), value,
+      [](const auto& entry, std::int64_t v) { return entry.first < v; });
+  if (it != counts.end() && it->first == value) {
+    it->second += 1;
+  } else {
+    counts.insert(it, {value, 1});
+  }
+}
+
+/// Remove one value. The cache only ever removes what it added, so the
+/// value is always present.
+void countsRemove(ValueCounts& counts, std::int64_t value) {
+  if (value <= 0) return;
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), value,
+      [](const auto& entry, std::int64_t v) { return entry.first < v; });
+  if (--(it->second) == 0) counts.erase(it);
+}
+
+}  // namespace
+
+void IncrementalMetrics::refreshNode(const PlatformState& state,
+                                     std::size_t n) {
+  const NodeId id{static_cast<std::int32_t>(n)};
+  // Rollback + replay commonly restores the exact occupancy (a rejected
+  // move, or the untouched part of a partial rewind); recompute the free
+  // set first and bail before touching the multiset when nothing changed.
+  state.nodeBusy(id).complementWithinInto({0, horizon_}, scratchSet_);
+  IntervalSet& free = nodeFree_[n];
+  if (scratchSet_ == free) return;
+  for (const Interval& iv : free.intervals()) {
+    countsRemove(c1pCounts_, iv.length());
+    c1pTotal_ -= iv.length();
+  }
+  std::swap(free, scratchSet_);
+  for (const Interval& iv : free.intervals()) {
+    countsAdd(c1pCounts_, iv.length());
+    c1pTotal_ += iv.length();
+  }
+  if (windows_ > 0) {
+    Time rowMin = kTimeMax;
+    for (std::int64_t w = 0; w < windows_; ++w) {
+      rowMin =
+          std::min(rowMin, free.lengthWithin({w * tmin_, (w + 1) * tmin_}));
+    }
+    nodeMin_[n] = rowMin;
+  }
+}
+
+void IncrementalMetrics::refreshOccurrence(const PlatformState& state,
+                                           std::size_t slot,
+                                           std::int64_t round) {
+  const std::size_t key =
+      slot * static_cast<std::size_t>(roundCount_) +
+      static_cast<std::size_t>(round);
+  const Time oldUsed = slotUsed_[key];
+  const Time newUsed = state.slotUsedTicks(slot, round);
+  if (oldUsed == newUsed) return;
+  const TdmaBus& bus = state.bus();
+  const Time len = bus.slot(slot).length;
+  countsRemove(c1mCounts_, (len - oldUsed) * bytesPerTick_);
+  c1mTotal_ -= (len - oldUsed) * bytesPerTick_;
+  countsAdd(c1mCounts_, (len - newUsed) * bytesPerTick_);
+  c1mTotal_ += (len - newUsed) * bytesPerTick_;
+  if (windows_ > 0) {
+    // The occurrence's free chunk is [slotStart + used, slotStart + len);
+    // only the span between the two used marks flips state.
+    const Time slotStart = bus.slotStart(round, slot);
+    const Time lo = slotStart + std::min(oldUsed, newUsed);
+    const Time hi = std::min<Time>(slotStart + std::max(oldUsed, newUsed),
+                                   windows_ * tmin_);
+    const Time delta = newUsed > oldUsed ? -1 : 1;  // grew => free lost
+    for (std::int64_t w = lo / tmin_; w < windows_ && w * tmin_ < hi; ++w) {
+      const Time s = std::max(lo, w * tmin_);
+      const Time e = std::min(hi, (w + 1) * tmin_);
+      if (e > s) busWin_[static_cast<std::size_t>(w)] += delta * (e - s);
+    }
+  }
+  slotUsed_[key] = newUsed;
+}
+
+void IncrementalMetrics::rebuild(const PlatformState& state,
+                                 const FutureProfile& profile) {
+  const TdmaBus& bus = state.bus();
+  horizon_ = state.horizon();
+  tmin_ = profile.tmin;
+  windows_ = horizon_ / tmin_;
+  bytesPerTick_ = bus.bytesPerTick();
+  roundCount_ = state.roundCount();
+
+  const std::size_t nodes = state.nodeCount();
+  nodeFree_.resize(nodes);
+  nodeMin_.assign(nodes, 0);
+  C1Scratch& scratch = c1Scratch();
+  scratch.containers.clear();
+  c1pTotal_ = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const NodeId id{static_cast<std::int32_t>(n)};
+    state.nodeBusy(id).complementWithinInto({0, horizon_}, nodeFree_[n]);
+    for (const Interval& iv : nodeFree_[n].intervals()) {
+      scratch.containers.push_back(iv.length());
+      c1pTotal_ += iv.length();
+    }
+    if (windows_ > 0) {
+      Time rowMin = kTimeMax;
+      for (std::int64_t w = 0; w < windows_; ++w) {
+        rowMin = std::min(rowMin, nodeFree_[n].lengthWithin(
+                                      {w * tmin_, (w + 1) * tmin_}));
+      }
+      nodeMin_[n] = rowMin;
+    }
+  }
+  capacityCountsInto(scratch.containers, c1pCounts_);
+
+  slotUsed_.assign(bus.slotCount() * static_cast<std::size_t>(roundCount_),
+                   0);
+  busWin_.assign(static_cast<std::size_t>(windows_), 0);
+  scratch.containers.clear();
+  c1mTotal_ = 0;
+  for (std::size_t s = 0; s < bus.slotCount(); ++s) {
+    const Time len = bus.slot(s).length;
+    for (std::int64_t r = 0; r < roundCount_; ++r) {
+      const Time used = state.slotUsedTicks(s, r);
+      slotUsed_[s * static_cast<std::size_t>(roundCount_) +
+                static_cast<std::size_t>(r)] = used;
+      const Time freeTicks = len - used;
+      if (freeTicks <= 0) continue;
+      scratch.containers.push_back(freeTicks * bytesPerTick_);
+      c1mTotal_ += freeTicks * bytesPerTick_;
+      if (windows_ > 0) {
+        const Time lo = bus.slotStart(r, s) + used;
+        const Time hi =
+            std::min<Time>(bus.slotStart(r, s) + len, windows_ * tmin_);
+        for (std::int64_t w = lo / tmin_; w < windows_ && w * tmin_ < hi;
+             ++w) {
+          const Time ws = std::max(lo, w * tmin_);
+          const Time we = std::min(hi, (w + 1) * tmin_);
+          if (we > ws) busWin_[static_cast<std::size_t>(w)] += we - ws;
+        }
+      }
+    }
+  }
+  capacityCountsInto(scratch.containers, c1mCounts_);
+  memoValid_ = false;  // a rebuild may come with a different profile
+  valid_ = true;
+}
+
+void IncrementalMetrics::update(
+    const PlatformState& state, const std::vector<std::uint32_t>& dirtyNodes,
+    const std::vector<std::uint64_t>& dirtyOccurrences) {
+  for (const std::uint32_t n : dirtyNodes) refreshNode(state, n);
+  for (const std::uint64_t key : dirtyOccurrences) {
+    refreshOccurrence(state,
+                      static_cast<std::size_t>(
+                          key / static_cast<std::uint64_t>(roundCount_)),
+                      static_cast<std::int64_t>(
+                          key % static_cast<std::uint64_t>(roundCount_)));
+  }
+}
+
+DesignMetrics IncrementalMetrics::metrics(const FutureProfile& profile) {
+  profile.validate();
+  DesignMetrics m;
+  C1Scratch& scratch = c1Scratch();
+  if (memoValid_ && c1pCounts_ == c1pMemoCounts_) {
+    m.c1p = c1pMemoValue_;
+  } else {
+    scratch.counts = c1pCounts_;
+    m.c1p = c1PercentFromCounts(scratch.counts, c1pTotal_,
+                                profile.wcetDistribution, scratch.runs);
+    c1pMemoCounts_ = c1pCounts_;
+    c1pMemoValue_ = m.c1p;
+  }
+  if (memoValid_ && c1mCounts_ == c1mMemoCounts_) {
+    m.c1m = c1mMemoValue_;
+  } else {
+    scratch.counts = c1mCounts_;
+    m.c1m = c1PercentFromCounts(scratch.counts, c1mTotal_,
+                                profile.messageSizeDistribution, scratch.runs);
+    c1mMemoCounts_ = c1mCounts_;
+    c1mMemoValue_ = m.c1m;
+  }
+  memoValid_ = true;
+  if (windows_ > 0) {
+    Time sumOfMins = 0;
+    for (const Time v : nodeMin_) sumOfMins += v;
+    m.c2p = sumOfMins;
+    Time busMin = kTimeMax;
+    for (const Time v : busWin_) busMin = std::min(busMin, v);
+    m.c2mBytes = busMin * bytesPerTick_;
   }
   return m;
 }

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/future_profile.h"
 #include "sched/slack.h"
@@ -62,5 +64,78 @@ std::int64_t bestFitUnpacked(const std::vector<std::int64_t>& itemsDesc,
 /// `totalSlack` (descending). Exposed for tests.
 std::vector<std::int64_t> largestFutureDemand(const DiscreteDistribution& dist,
                                               std::int64_t totalSlack);
+
+/// Ordered (value, count) multiset in run-length form — the compact
+/// container/demand representation shared by the packing helpers and the
+/// incremental metrics cache.
+using ValueCounts = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+/// Incrementally maintained DesignMetrics over a journaled PlatformState.
+///
+/// Keeps a snapshot of every occupancy-derived quantity the metrics read —
+/// per-node free IntervalSets, the C1 capacity multisets with their totals,
+/// per-node per-window free ticks with row minima, and per-window bus free
+/// ticks — and re-derives only the nodes / slot occurrences named dirty (by
+/// the platform journal, see PlatformState::journal) since the last
+/// evaluation. Every maintained quantity is integral and order-independent
+/// (a multiset or a sum), so metrics() is bit-identical to
+/// computeMetrics(extractSlack(state), profile) by construction; the
+/// property suites assert exactly that equality.
+class IncrementalMetrics {
+ public:
+  [[nodiscard]] bool valid() const { return valid_; }
+  void invalidate() { valid_ = false; }
+
+  /// Full snapshot rebuild from `state` (first use, or whenever the dirty
+  /// set since the last sync is unknown).
+  void rebuild(const PlatformState& state, const FutureProfile& profile);
+
+  /// Re-derive the named nodes and slot occurrences (occurrence key:
+  /// slotIndex * roundCount + round) from `state`. Duplicates are fine; an
+  /// entry whose occupancy is unchanged costs one comparison. Requires
+  /// valid().
+  void update(const PlatformState& state,
+              const std::vector<std::uint32_t>& dirtyNodes,
+              const std::vector<std::uint64_t>& dirtyOccurrences);
+
+  /// Metrics of the snapshot occupancy. Requires valid(). Non-const: the
+  /// C1 packing result is memoized per capacity multiset, so evaluations
+  /// that left a class's multiset untouched (common for the bus under
+  /// process-only moves) skip the packing entirely.
+  [[nodiscard]] DesignMetrics metrics(const FutureProfile& profile);
+
+ private:
+  void refreshNode(const PlatformState& state, std::size_t n);
+  void refreshOccurrence(const PlatformState& state, std::size_t slot,
+                         std::int64_t round);
+
+  bool valid_ = false;
+  Time horizon_ = 0;
+  Time tmin_ = 0;
+  std::int64_t windows_ = 0;
+  std::int64_t bytesPerTick_ = 1;
+  std::int64_t roundCount_ = 0;
+
+  std::vector<IntervalSet> nodeFree_;  ///< per node
+  std::vector<Time> nodeMin_;          ///< per node: min in-window slack
+  std::vector<Time> slotUsed_;         ///< [slot * roundCount_ + round]
+  std::vector<Time> busWin_;           ///< per window: bus free ticks
+  IntervalSet scratchSet_;             ///< unchanged-node early-out buffer
+
+  ValueCounts c1pCounts_;  ///< node free interval lengths, ascending
+  std::int64_t c1pTotal_ = 0;
+  ValueCounts c1mCounts_;  ///< occurrence free bytes, ascending
+  std::int64_t c1mTotal_ = 0;
+
+  /// Packing memo per C1 class: the percent for the exact multiset last
+  /// packed. The packing is a pure function of (multiset, distribution) and
+  /// the distribution is fixed per run, so equality of the multiset gives
+  /// the identical double without re-packing.
+  bool memoValid_ = false;
+  ValueCounts c1pMemoCounts_;
+  double c1pMemoValue_ = 0.0;
+  ValueCounts c1mMemoCounts_;
+  double c1mMemoValue_ = 0.0;
+};
 
 }  // namespace ides

@@ -63,9 +63,7 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
   if (context.stopRequested()) {
     report.stopped = true;
   } else {
-    bool stopped = false;
-    report.evaluations += improve(evaluator, solution, context, &stopped);
-    report.stopped = stopped;
+    report.evaluations += improve(evaluator, solution, context, report);
   }
 
   // Final full evaluation through the leased context (bit-identical to the
@@ -96,7 +94,7 @@ MappingHeuristicOptimizer::MappingHeuristicOptimizer(MhOptions options)
 
 std::size_t MappingHeuristicOptimizer::improve(
     const SolutionEvaluator& evaluator, MappingSolution& solution,
-    RunContext& context, bool* stopped) const {
+    RunContext& context, RunReport& report) const {
   MhOptions options = options_;
   if (options.stop == nullptr) options.stop = context.stop;
   EvalContext* scratch = options.incrementalEval
@@ -104,7 +102,7 @@ std::size_t MappingHeuristicOptimizer::improve(
                              : nullptr;
   MhResult mh = runMappingHeuristic(evaluator, solution, options, scratch);
   solution = std::move(mh.solution);
-  *stopped = mh.stopped;
+  report.stopped = mh.stopped;
   context.report({"MH", "improve", mh.evaluations, 0, mh.eval.cost});
   return mh.evaluations;
 }
@@ -116,7 +114,7 @@ SimulatedAnnealingOptimizer::SimulatedAnnealingOptimizer(SaOptions options)
 
 std::size_t SimulatedAnnealingOptimizer::improve(
     const SolutionEvaluator& evaluator, MappingSolution& solution,
-    RunContext& context, bool* stopped) const {
+    RunContext& context, RunReport& report) const {
   SaOptions options = options_;
   if (options.stop == nullptr) options.stop = context.stop;
   // The speculative engine owns its worker contexts; only the sequential
@@ -127,7 +125,10 @@ std::size_t SimulatedAnnealingOptimizer::improve(
           : nullptr;
   SaResult sa = runSimulatedAnnealing(evaluator, solution, options, scratch);
   solution = std::move(sa.solution);
-  *stopped = sa.stopped;
+  report.stopped = sa.stopped;
+  report.proposals = sa.proposals;
+  report.accepted = sa.accepted;
+  report.zeroDeltaSkips = sa.zeroDeltaSkips;
   context.report({"SA", "improve", sa.evaluations, 0, sa.eval.cost});
   return sa.evaluations;
 }
@@ -140,12 +141,15 @@ ParallelAnnealingOptimizer::ParallelAnnealingOptimizer(
 
 std::size_t ParallelAnnealingOptimizer::improve(
     const SolutionEvaluator& evaluator, MappingSolution& solution,
-    RunContext& context, bool* stopped) const {
+    RunContext& context, RunReport& report) const {
   ParallelSaOptions options = options_;
   if (options.base.stop == nullptr) options.base.stop = context.stop;
   ParallelSaResult psa = runParallelAnnealing(evaluator, solution, options);
   solution = std::move(psa.solution);
-  *stopped = psa.stopped;
+  report.stopped = psa.stopped;
+  report.proposals = psa.proposals;
+  report.accepted = psa.accepted;
+  report.zeroDeltaSkips = psa.zeroDeltaSkips;
   context.report({"PSA", "improve", psa.evaluations, 0, psa.eval.cost});
   return psa.evaluations;
 }

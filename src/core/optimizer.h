@@ -123,6 +123,14 @@ struct RunReport {
   /// Wall-clock runtime in seconds (includes the Initial Mapping).
   double seconds = 0.0;
   std::size_t evaluations = 0;
+  /// Move-generation telemetry of the improvement phase, summed over every
+  /// annealing chain the strategy ran (all zero for AH and MH, which do not
+  /// draw from a proposal stream): proposals drawn, moves accepted, and the
+  /// subset of proposals the gap-fingerprint zero-delta filter replayed
+  /// without any evaluation (always 0 when incrementalEval is off).
+  std::size_t proposals = 0;
+  std::size_t accepted = 0;
+  std::size_t zeroDeltaSkips = 0;
   /// True when a StopToken ended the run before its configured budget.
   bool stopped = false;
 };
@@ -144,11 +152,13 @@ class Optimizer {
 
  protected:
   /// Strategy hook: improve `solution` (feasible on entry) in place and
-  /// return the number of schedule evaluations consumed. Set `*stopped`
-  /// when a stop token cut the improvement short.
+  /// return the number of schedule evaluations consumed. Sets
+  /// `report.stopped` when a stop token cut the improvement short and fills
+  /// the report's move-generation telemetry (proposals / accepted /
+  /// zeroDeltaSkips) where the strategy tracks it.
   virtual std::size_t improve(const SolutionEvaluator& evaluator,
                               MappingSolution& solution, RunContext& context,
-                              bool* stopped) const = 0;
+                              RunReport& report) const = 0;
 };
 
 /// AH — stop at the first valid solution (the Initial Mapping).
@@ -159,7 +169,7 @@ class AdHocOptimizer final : public Optimizer {
 
  protected:
   std::size_t improve(const SolutionEvaluator&, MappingSolution&,
-                      RunContext&, bool*) const override {
+                      RunContext&, RunReport&) const override {
     return 0;
   }
 };
@@ -174,7 +184,7 @@ class MappingHeuristicOptimizer final : public Optimizer {
  protected:
   std::size_t improve(const SolutionEvaluator& evaluator,
                       MappingSolution& solution, RunContext& context,
-                      bool* stopped) const override;
+                      RunReport& report) const override;
 
  private:
   MhOptions options_;
@@ -191,7 +201,7 @@ class SimulatedAnnealingOptimizer final : public Optimizer {
  protected:
   std::size_t improve(const SolutionEvaluator& evaluator,
                       MappingSolution& solution, RunContext& context,
-                      bool* stopped) const override;
+                      RunReport& report) const override;
 
  private:
   SaOptions options_;
@@ -208,7 +218,7 @@ class ParallelAnnealingOptimizer final : public Optimizer {
  protected:
   std::size_t improve(const SolutionEvaluator& evaluator,
                       MappingSolution& solution, RunContext& context,
-                      bool* stopped) const override;
+                      RunReport& report) const override;
 
  private:
   ParallelSaOptions options_;

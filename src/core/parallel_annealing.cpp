@@ -134,6 +134,8 @@ ParallelSaResult runParallelAnnealing(const SolutionEvaluator& evaluator,
     const SaResult& r = results[static_cast<std::size_t>(i)];
     out.evaluations += r.evaluations;
     out.accepted += r.accepted;
+    out.proposals += r.proposals;
+    out.zeroDeltaSkips += r.zeroDeltaSkips;
     out.stopped = out.stopped || r.stopped;
     out.chainCosts.push_back(r.eval.cost);
     // Every chain's incumbent is feasible (SA only promotes feasible

@@ -67,9 +67,12 @@ struct ParallelSaResult {
   int bestChain = -1;
   /// Final incumbent cost of every chain, in chain order.
   std::vector<double> chainCosts;
-  /// Evaluation / acceptance counters summed over all chains.
+  /// Evaluation / move-generation counters summed over all chains (see
+  /// SaResult for the per-chain semantics).
   std::size_t evaluations = 0;
   std::size_t accepted = 0;
+  std::size_t proposals = 0;
+  std::size_t zeroDeltaSkips = 0;
   /// Wall-clock time of the whole ensemble, in seconds.
   double seconds = 0.0;
   /// True when base.stop cancelled at least one chain before its budget

@@ -143,6 +143,85 @@ void SaMoveProposer::apply(const SaMove& move, MappingSolution& solution) {
   }
 }
 
+// ---- ZeroDeltaFilter ------------------------------------------------------
+
+ZeroDeltaFilter::ZeroDeltaFilter(const SolutionEvaluator& evaluator)
+    : ev_(&evaluator), sys_(&evaluator.system()) {
+  const SystemModel& sys = *sys_;
+  period_.assign(sys.processes().size(), 0);
+  instances_.assign(sys.processes().size(), 0);
+  for (const GraphId g : evaluator.currentGraphs()) {
+    const ProcessGraph& graph = sys.graph(g);
+    const auto instances = static_cast<std::int32_t>(sys.instanceCount(g));
+    for (const ProcessId p : graph.processes) {
+      const auto pi = static_cast<std::size_t>(p.index());
+      period_[pi] = graph.period;
+      instances_[pi] = instances;
+    }
+  }
+}
+
+void ZeroDeltaFilter::captureAccepted(const EvalContext& ctx,
+                                      const EvalResult& result) {
+  if (!result.feasible) {
+    valid_ = false;
+    return;
+  }
+  arrivals_ = ctx.arrivalBounds();
+  const std::vector<ScheduledProcess>& procs = ctx.processes();
+  ends_.resize(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) ends_[i] = procs[i].end;
+  valid_ = true;
+}
+
+void ZeroDeltaFilter::capture(const std::vector<Time>& arrivals,
+                              const std::vector<Time>& ends) {
+  arrivals_ = arrivals;
+  ends_ = ends;
+  valid_ = true;
+}
+
+bool ZeroDeltaFilter::zeroDelta(const SaMove& move,
+                                const MappingSolution& current) const {
+  if (!valid_) return false;
+  switch (move.kind) {
+    case SaMove::Kind::ProcessHint: {
+      const ProcessId p = move.process;
+      const Time bound =
+          std::max(current.startHint(p), move.hint);  // covers old and new
+      const auto pi = static_cast<std::size_t>(p.index());
+      const Time period = period_[pi];
+      for (std::int32_t k = 0; k < instances_[pi]; ++k) {
+        if (static_cast<Time>(k) * period + bound >
+            arrivals_[ev_->jobIndexOf(p, k)]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case SaMove::Kind::MessageHint: {
+      const Message& msg = sys_->message(move.message);
+      if (current.nodeOf(msg.src) == current.nodeOf(msg.dst)) {
+        return true;  // hand-off never reads the hint
+      }
+      const Time bound = std::max(current.messageHint(move.message), move.hint);
+      const auto pi = static_cast<std::size_t>(msg.src.index());
+      const Time period = period_[pi];
+      for (std::int32_t k = 0; k < instances_[pi]; ++k) {
+        if (static_cast<Time>(k) * period + bound >
+            ends_[ev_->jobIndexOf(msg.src, k)]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case SaMove::Kind::Remap:
+    case SaMove::Kind::None:
+      return false;
+  }
+  return false;
+}
+
 SaSchedule saSchedule(const SaOptions& options, double initialCost) {
   SaSchedule s;
   s.t0 = std::max(1.0, options.initialTempFactor * initialCost);
@@ -197,6 +276,12 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
   if (!result.eval.feasible) {
     throw std::invalid_argument("runSimulatedAnnealing: initial not feasible");
   }
+  // Gap-fingerprint filter: replay provably schedule-identical hint moves
+  // without evaluating them (incremental mode only — the fingerprint comes
+  // from the context's committed schedule).
+  const bool useFilter = options.incrementalEval;
+  ZeroDeltaFilter filter(evaluator);
+  if (useFilter) filter.captureAccepted(*ctx, result.eval);
   if (options.recordCostTrace) {
     result.costTrace.reserve(static_cast<std::size_t>(options.iterations));
   }
@@ -214,21 +299,34 @@ SaResult runSimulatedAnnealing(const SolutionEvaluator& evaluator,
       break;
     }
     const SaMove move = proposer.propose(current, proposalRng);
+    ++result.proposals;
     if (move.kind != SaMove::Kind::None) {
-      trial = current;
-      SaMoveProposer::apply(move, trial);
-      const EvalResult r = evaluateMove(trial, move.evalHint);
-      ++result.evaluations;
-      const double delta = r.cost - currentCost;
-      if (metropolisAccept(delta, temp, acceptanceRng)) {
-        current = std::move(trial);
-        currentCost = r.cost;
+      if (useFilter && filter.zeroDelta(move, current)) {
+        // The evaluation would return exactly currentCost: delta == 0
+        // accepts without an acceptance draw, and the incumbent cannot
+        // improve. Replay the certain acceptance without evaluating; the
+        // fingerprint stays valid (the schedule is unchanged).
+        SaMoveProposer::apply(move, current);
+        ++result.evaluations;
+        ++result.zeroDeltaSkips;
         ++result.accepted;
-        if (r.feasible && r.cost < result.eval.cost) {
-          result.solution = current;
-          result.eval = r;
-          IDES_LOG_AT(LogLevel::Debug)
-              << "SA iter " << it << ": best C=" << r.cost << " T=" << temp;
+      } else {
+        trial = current;
+        SaMoveProposer::apply(move, trial);
+        const EvalResult r = evaluateMove(trial, move.evalHint);
+        ++result.evaluations;
+        const double delta = r.cost - currentCost;
+        if (metropolisAccept(delta, temp, acceptanceRng)) {
+          current = std::move(trial);
+          currentCost = r.cost;
+          ++result.accepted;
+          if (r.feasible && r.cost < result.eval.cost) {
+            result.solution = current;
+            result.eval = r;
+            IDES_LOG_AT(LogLevel::Debug)
+                << "SA iter " << it << ": best C=" << r.cost << " T=" << temp;
+          }
+          if (useFilter) filter.captureAccepted(*ctx, r);
         }
       }
     }

@@ -105,10 +105,23 @@ void validateOptions(const SaOptions& options);
 struct SaResult {
   MappingSolution solution;  ///< best feasible solution seen
   EvalResult eval;
-  /// Evaluations consumed by the chain (initial + one per non-skipped
+  /// Evaluations consumed by the chain (initial + one per non-None
   /// iteration) — identical for the sequential and speculative engines.
+  /// Proposals the zero-delta filter replayed without computing are still
+  /// counted here (their result is known exactly), so the counter stays
+  /// invariant across incrementalEval on/off and across engines.
   std::size_t evaluations = 0;
   std::size_t accepted = 0;
+  /// Move-generation telemetry: proposals consumed by the chain (None
+  /// moves included; speculative proposals rewound after an acceptance are
+  /// not — they are re-drawn by the next batch) and the subset the
+  /// gap-fingerprint filter proved schedule-identical and replayed without
+  /// any evaluation (always 0 when incrementalEval is off). Both are pure
+  /// functions of the trajectory: identical across engines, and
+  /// zeroDeltaSkips is 0 when incrementalEval is off while proposals is
+  /// invariant to it.
+  std::size_t proposals = 0;
+  std::size_t zeroDeltaSkips = 0;
   /// Speculative telemetry: evaluations computed ahead of an acceptance and
   /// then thrown away, and the number of speculation batches dispatched.
   /// Always 0 for the sequential chain.
@@ -168,6 +181,63 @@ class SaMoveProposer {
   std::vector<NodeId> allowed_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>>
       allowedSpan_;  // by ProcessId::index(): [begin, count)
+};
+
+/// Gap-fingerprint zero-delta filter — detects hint moves that provably
+/// reproduce the current schedule and lets both engines replay them
+/// without any evaluation (performance only; the trajectory is untouched).
+///
+/// The fingerprint is a snapshot of two hint-independent quantities of the
+/// chain's current schedule, indexed by SolutionEvaluator::jobIndexOf:
+/// the arrival bound of every job (earliest start permitted by release
+/// time and input-message arrivals alone) and its committed end. Captured
+/// from whichever EvalContext just evaluated an accepted feasible
+/// solution; rejections leave the current schedule — and the snapshot —
+/// untouched, and a skipped move keeps it valid by construction.
+///
+/// A proposal is zero-delta when the scheduler provably never reads the
+/// changed hint:
+///  * ProcessHint h -> h': start = earliestFit(max(arrival, k*P + hint));
+///    if k*P + max(h, h') <= arrival(p, k) for every instance k, the hint
+///    stays shadowed by the arrival bound and every start is unchanged.
+///  * MessageHint: read only for cross-node transmissions, as
+///    ready = max(srcEnd, k*P + hint); same-node messages are always
+///    zero-delta, cross-node ones when k*P + max(old, new) <= srcEnd(k)
+///    for every instance.
+/// Remaps are never skipped. A zero-delta proposal evaluates to exactly
+/// the current cost, so delta == 0, Metropolis accepts without touching
+/// the acceptance stream, and the incumbent cannot improve — the replay
+/// is draw-for-draw and bit-for-bit the evaluated path.
+class ZeroDeltaFilter {
+ public:
+  explicit ZeroDeltaFilter(const SolutionEvaluator& evaluator);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  void invalidate() { valid_ = false; }
+
+  /// Re-arm from the context that just evaluated the accepted solution:
+  /// snapshots when the result is feasible, invalidates otherwise.
+  void captureAccepted(const EvalContext& ctx, const EvalResult& result);
+
+  /// Re-arm from a pre-copied fingerprint (the speculative pool snapshots
+  /// each feasible item on its worker, since a worker's context may have
+  /// moved past the accepted item by replay time).
+  void capture(const std::vector<Time>& arrivals,
+               const std::vector<Time>& ends);
+
+  /// True when applying `move` to `current` provably leaves the schedule
+  /// bit-identical. Requires nothing when invalid (returns false).
+  [[nodiscard]] bool zeroDelta(const SaMove& move,
+                               const MappingSolution& current) const;
+
+ private:
+  const SolutionEvaluator* ev_;
+  const SystemModel* sys_;
+  bool valid_ = false;
+  std::vector<Time> arrivals_;  ///< by global job index
+  std::vector<Time> ends_;      ///< by global job index
+  std::vector<Time> period_;    ///< by ProcessId::index(); movable only
+  std::vector<std::int32_t> instances_;  ///< by ProcessId::index()
 };
 
 /// Geometric cooling schedule of one chain, shared verbatim by both

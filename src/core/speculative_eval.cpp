@@ -100,10 +100,23 @@ void SpeculativeEvalPool::runShare(int w) {
          i += static_cast<std::size_t>(workers_)) {
       Item& item = items_[i];
       if (item.trial == nullptr) continue;
-      item.result = incremental_
-                        ? contexts_[static_cast<std::size_t>(w)].evaluate(
-                              *item.trial, item.hint)
-                        : ev_->evaluate(*item.trial);
+      if (incremental_) {
+        EvalContext& ctx = contexts_[static_cast<std::size_t>(w)];
+        item.result = ctx.evaluate(*item.trial, item.hint);
+        if (item.result.feasible) {
+          // Fingerprint for the zero-delta filter, taken now: this context
+          // moves on to the worker's next item before the replay decides
+          // which item the chain accepts.
+          item.arrivals = ctx.arrivalBounds();
+          const std::vector<ScheduledProcess>& procs = ctx.processes();
+          item.ends.resize(procs.size());
+          for (std::size_t p = 0; p < procs.size(); ++p) {
+            item.ends[p] = procs[p].end;
+          }
+        }
+      } else {
+        item.result = ev_->evaluate(*item.trial);
+      }
     }
   } catch (...) {
     errors_[static_cast<std::size_t>(w)] = std::current_exception();
@@ -176,6 +189,17 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
   MappingSolution current = initial;
   double currentCost = result.eval.cost;
 
+  // Gap-fingerprint filter (incremental mode only): provably
+  // schedule-identical hint moves are replayed without evaluation. Their
+  // acceptance is certain, so a batch stops generating at the first one —
+  // everything after it would be discarded anyway — which is what pushes
+  // the within-chain speedup toward workers-x on hint-heavy phases.
+  const bool useFilter = options.incrementalEval;
+  ZeroDeltaFilter filter(evaluator);
+  if (useFilter) {
+    filter.captureAccepted(pool.sequentialContext(), result.eval);
+  }
+
   const SaSchedule schedule = saSchedule(options, result.eval.cost);
   double temp = schedule.t0;
 
@@ -205,24 +229,40 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
       // Sequential stepping on worker 0's context — draw for draw the
       // plain chain of runSimulatedAnnealing.
       const SaMove move = proposer.propose(current, proposalRng);
+      ++result.proposals;
       if (move.kind != SaMove::Kind::None) {
-        trialScratch = current;
-        SaMoveProposer::apply(move, trialScratch);
-        const EvalResult r = pool.evaluateOne(trialScratch, move.evalHint);
-        ++result.evaluations;
-        const double delta = r.cost - currentCost;
-        const bool accepted = metropolisAccept(delta, temp, acceptanceRng);
-        window.push(accepted);
-        if (accepted) {
-          current = std::move(trialScratch);
-          currentCost = r.cost;
+        if (useFilter && filter.zeroDelta(move, current)) {
+          // Certain acceptance at delta == 0: no evaluation, no acceptance
+          // draw, no incumbent change. The window is not pushed either —
+          // these auto-accepts say nothing about the real acceptance rate,
+          // and counting them would disengage speculation exactly on the
+          // hint-heavy phases it speeds up.
+          SaMoveProposer::apply(move, current);
+          ++result.evaluations;
+          ++result.zeroDeltaSkips;
           ++result.accepted;
-          if (r.feasible && r.cost < result.eval.cost) {
-            result.solution = current;
-            result.eval = r;
-            IDES_LOG_AT(LogLevel::Debug)
-                << "SA iter " << it << ": best C=" << r.cost
-                << " T=" << temp;
+        } else {
+          trialScratch = current;
+          SaMoveProposer::apply(move, trialScratch);
+          const EvalResult r = pool.evaluateOne(trialScratch, move.evalHint);
+          ++result.evaluations;
+          const double delta = r.cost - currentCost;
+          const bool accepted = metropolisAccept(delta, temp, acceptanceRng);
+          window.push(accepted);
+          if (accepted) {
+            current = std::move(trialScratch);
+            currentCost = r.cost;
+            ++result.accepted;
+            if (r.feasible && r.cost < result.eval.cost) {
+              result.solution = current;
+              result.eval = r;
+              IDES_LOG_AT(LogLevel::Debug)
+                  << "SA iter " << it << ": best C=" << r.cost
+                  << " T=" << temp;
+            }
+            if (useFilter) {
+              filter.captureAccepted(pool.sequentialContext(), r);
+            }
           }
         }
       }
@@ -239,29 +279,52 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
     moves.clear();
     proposalAfter.clear();
     trials.resize(static_cast<std::size_t>(batchSize));
-    items.assign(static_cast<std::size_t>(batchSize), {});
+    if (items.size() < static_cast<std::size_t>(batchSize)) {
+      items.resize(static_cast<std::size_t>(batchSize));
+    }
+    int generated = 0;
+    int skipIndex = -1;  // first zero-delta proposal; never dispatched
     for (int j = 0; j < batchSize; ++j) {
       const SaMove move = proposer.propose(current, proposalRng);
       moves.push_back(move);
       proposalAfter.push_back(proposalRng);
-      if (move.kind != SaMove::Kind::None) {
-        const auto idx = static_cast<std::size_t>(j);
-        trials[idx] = current;
-        SaMoveProposer::apply(move, trials[idx]);
-        items[idx].trial = &trials[idx];
-        items[idx].hint = move.evalHint;
+      ++generated;
+      const auto idx = static_cast<std::size_t>(j);
+      items[idx].trial = nullptr;
+      if (move.kind == SaMove::Kind::None) continue;
+      trials[idx] = current;
+      SaMoveProposer::apply(move, trials[idx]);
+      if (useFilter && filter.zeroDelta(move, current)) {
+        // Certain acceptance: every later speculation would be discarded,
+        // so stop the batch here and leave this item undispatched.
+        skipIndex = j;
+        break;
       }
+      items[idx].trial = &trials[idx];
+      items[idx].hint = move.evalHint;
     }
-    pool.evaluate(items.data(), items.size());
+    pool.evaluate(items.data(), static_cast<std::size_t>(generated));
     ++result.speculativeBatches;
 
     // Replay the Metropolis decisions in chain order. Identical draw
     // consumption and floating-point sequence as the sequential path.
     bool acceptedInBatch = false;
-    for (int j = 0; j < batchSize; ++j) {
+    for (int j = 0; j < generated; ++j) {
       const SaMove& move = moves[static_cast<std::size_t>(j)];
+      // Counted at replay, not at generation: proposals rewound after an
+      // acceptance are re-drawn by the next batch, so counting consumed
+      // iterations keeps the counter identical to the sequential chain.
+      ++result.proposals;
       bool accepted = false;
-      if (move.kind != SaMove::Kind::None) {
+      if (j == skipIndex) {
+        // Zero-delta replay: certain acceptance at exactly currentCost,
+        // no acceptance draw, no incumbent change, window untouched.
+        ++result.evaluations;
+        ++result.zeroDeltaSkips;
+        accepted = true;
+        current = std::move(trials[static_cast<std::size_t>(j)]);
+        ++result.accepted;
+      } else if (move.kind != SaMove::Kind::None) {
         const EvalResult& r = items[static_cast<std::size_t>(j)].result;
         ++result.evaluations;
         const double delta = r.cost - currentCost;
@@ -278,6 +341,15 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
                 << "SA iter " << it << ": best C=" << r.cost << " T=" << temp
                 << " (speculative batch of " << batchSize << ")";
           }
+          if (useFilter) {
+            const SpeculativeEvalPool::Item& item =
+                items[static_cast<std::size_t>(j)];
+            if (r.feasible) {
+              filter.capture(item.arrivals, item.ends);
+            } else {
+              filter.invalidate();
+            }
+          }
         }
       }
       if (options.recordCostTrace) result.costTrace.push_back(currentCost);
@@ -290,9 +362,9 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
         // lazily, on their next evaluation (checkpoint rewind + committed
         // move), so the catch-up overlaps the next batch instead of
         // costing a dedicated round.
-        for (int k = j + 1; k < batchSize; ++k) {
-          if (moves[static_cast<std::size_t>(k)].kind !=
-              SaMove::Kind::None) {
+        for (int k = j + 1; k < generated; ++k) {
+          if (k != skipIndex && moves[static_cast<std::size_t>(k)].kind !=
+                                    SaMove::Kind::None) {
             ++result.discardedEvaluations;
           }
         }

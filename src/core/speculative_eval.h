@@ -57,6 +57,14 @@ class SpeculativeEvalPool {
     const MappingSolution* trial = nullptr;  ///< null = skip (no evaluation)
     MoveHint hint;
     EvalResult result;
+    /// Gap-fingerprint of the evaluated schedule (filled for feasible
+    /// results in incremental mode): hint-independent arrival bound and
+    /// committed end per job, in global job-index order. The chain's
+    /// ZeroDeltaFilter re-arms from the accepted item — a worker's context
+    /// may already hold a later speculation by replay time, so the
+    /// snapshot is taken on the worker, right after the evaluation.
+    std::vector<Time> arrivals;
+    std::vector<Time> ends;
   };
 
   SpeculativeEvalPool(const SolutionEvaluator& evaluator, int workers,
@@ -79,6 +87,12 @@ class SpeculativeEvalPool {
   /// sequential stepping path of the chain, and the initial evaluation.
   EvalResult evaluateOne(const MappingSolution& solution,
                          const MoveHint& hint);
+
+  /// Worker 0's context — the one evaluateOne just ran on (incremental
+  /// mode only; the chain's zero-delta filter re-arms from it).
+  [[nodiscard]] const EvalContext& sequentialContext() {
+    return contexts_[0];
+  }
 
  private:
   enum class Job : std::uint8_t { None, Evaluate, Stop };

@@ -39,6 +39,7 @@
 namespace ides {
 
 class SystemModel;
+struct ProcessGraph;
 
 struct ScheduleRequest {
   /// Graphs to schedule (normally all graphs of one application), in the
@@ -55,6 +56,32 @@ struct ScheduleRequest {
   /// keep the evaluation inner loop cheap.
   const std::vector<std::vector<double>>* priorities = nullptr;
 };
+
+/// Static commit order of one graph's jobs under a fixed priority vector.
+///
+/// The ready-heap pop order of SchedulerSession::run is a pure function of
+/// (graph topology, priorities): the comparator reads only static job keys
+/// (priority, release, pid, instance) and a job enters the heap exactly when
+/// its last intra-instance input commits — never depending on the mapping or
+/// on placement results. The order can therefore be computed once per graph
+/// and the evaluation inner loop driven off it directly, which is what makes
+/// a mid-graph (process-granular) restart well-defined: for a move that
+/// first affects order position k, every position before k commits
+/// identically, so re-scheduling the suffix [k, jobs) reproduces the full
+/// pass bit for bit.
+struct GraphJobOrder {
+  /// Dense job index: instance * processCount + local process index.
+  std::vector<std::int32_t> jobAt;       ///< position -> flat job index
+  std::vector<std::int32_t> positionOf;  ///< flat job index -> position
+  std::size_t processCount = 0;
+
+  [[nodiscard]] std::size_t jobCount() const { return jobAt.size(); }
+};
+
+/// Simulates the ready-heap discipline of the scheduler without placing
+/// anything, yielding the static commit order (see GraphJobOrder).
+GraphJobOrder computeJobOrder(const SystemModel& sys, GraphId g,
+                              const std::vector<double>& priorities);
 
 struct ScheduleOutcome {
   /// Every process/message instance was placed inside the horizon.
@@ -109,6 +136,43 @@ class SchedulerSession {
       std::vector<ScheduledProcess>& processesOut,
       std::vector<ScheduledMessage>& messagesOut);
 
+  /// State snapshot taken immediately before committing one order position:
+  /// journal mark plus output sizes and the graph-local running tallies.
+  /// Rewinding a graph to position k is the same two-resize rollback as a
+  /// whole-graph checkpoint, just finer.
+  struct JobCheckpoint {
+    PlatformState::Mark mark = 0;
+    std::uint32_t processCount = 0;  ///< processesOut.size() before position
+    std::uint32_t messageCount = 0;  ///< messagesOut.size() before position
+    std::int32_t deadlineMisses = 0;  ///< graph-local, before this position
+    Time lateness = 0;                ///< graph-local, before this position
+  };
+
+  /// Mapping-mode scheduling driven by the precomputed static `order`,
+  /// resumable mid-graph: positions [0, resumeAt) must already be committed
+  /// in the bound state, with their entries at
+  /// processesOut[graphBase + position] (graphBase = processesOut.size() at
+  /// the graph's whole-graph checkpoint); only positions [resumeAt, jobs)
+  /// are scheduled. Writes one JobCheckpoint per re-scheduled position into
+  /// `marksOut` (resized to the order size; earlier entries untouched) and,
+  /// when `arrivalsOut` is non-null, the hint-independent arrival bound of
+  /// every committed position at arrivalsOut[graphBase + position]: the
+  /// earliest start permitted by release time and input-message arrivals
+  /// alone. start == earliestFit(node, max(bound, period-relative hint)),
+  /// which is what lets a hint change be proven schedule-identical without
+  /// re-scheduling (see core/simulated_annealing.h's zero-delta filter).
+  ///
+  /// Bit-identical to scheduleGraph for resumeAt == 0 by the static-order
+  /// property (asserted across the whole property suite, which diffs this
+  /// path against the heap-driven full pass).
+  GraphResult scheduleGraphResume(
+      GraphId g, const MappingSolution& mapping,
+      const std::vector<double>* priorities, const GraphJobOrder& order,
+      std::size_t resumeAt, std::size_t graphBase,
+      std::vector<ScheduledProcess>& processesOut,
+      std::vector<ScheduledMessage>& messagesOut,
+      std::vector<JobCheckpoint>& marksOut, std::vector<Time>* arrivalsOut);
+
  private:
   struct Job {
     ProcessId pid;
@@ -126,6 +190,11 @@ class SchedulerSession {
                   const std::vector<double>* priorities,
                   std::vector<ScheduledProcess>& processesOut,
                   std::vector<ScheduledMessage>& messagesOut);
+
+  /// Fills jobs_/procLocal_ for graph `g` (shared by both scheduling loops).
+  void materializeJobs(const ProcessGraph& graph,
+                       const std::vector<double>& priorities,
+                       std::int64_t instances);
 
   const SystemModel* sys_;
   PlatformState* state_;

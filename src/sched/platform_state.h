@@ -107,7 +107,6 @@ class PlatformState {
   /// `m` is ahead of the journal or journaling is off.
   void rollbackTo(Mark m);
 
- private:
   struct JournalEntry {
     enum class Kind : std::uint8_t { Node, Bus } kind = Kind::Node;
     std::uint32_t index = 0;  ///< node index or slot index
@@ -115,6 +114,25 @@ class PlatformState {
     std::int64_t round = 0;   ///< Bus: the slot occurrence
     Time txTicks = 0;         ///< Bus: ticks consumed
   };
+
+  /// The journal records themselves, [0, mark()). Read-only dirty-tracking
+  /// hook: the records between two marks name exactly the nodes and slot
+  /// occurrences whose occupancy changed, which is what the incremental
+  /// metrics cache (core/evaluator.h) uses to recompute window minima and
+  /// slack containers only where occupancy actually moved.
+  [[nodiscard]] const std::vector<JournalEntry>& journal() const {
+    return journal_;
+  }
+
+  /// Re-apply journal records captured before a rollback, through the normal
+  /// occupy paths (same validation, cursor maintenance and journaling as the
+  /// original commits — the journal grows by byte-identical records). Used
+  /// by the zero-delta serve in EvalContext: when a mid-graph rewind turns
+  /// out to have changed nothing, the downstream graphs' occupancy is
+  /// restored verbatim instead of re-running their schedulers.
+  void replay(const JournalEntry* first, const JournalEntry* last);
+
+ private:
 
   const Architecture* arch_;  // non-owning; architectures outlive states
   const TdmaBus* bus_;

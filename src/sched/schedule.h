@@ -21,6 +21,9 @@ struct ScheduledProcess {
   NodeId node;
   Time start = 0;
   Time end = 0;
+
+  friend bool operator==(const ScheduledProcess&,
+                         const ScheduledProcess&) = default;
 };
 
 struct ScheduledMessage {
@@ -30,6 +33,9 @@ struct ScheduledMessage {
   std::int64_t round = 0;
   Time start = 0;  ///< first tick on the bus
   Time end = 0;    ///< arrival: tick after the last byte
+
+  friend bool operator==(const ScheduledMessage&,
+                         const ScheduledMessage&) = default;
 };
 
 class Schedule {

@@ -41,6 +41,12 @@ bool applyOption(std::string_view key, const std::string& value,
         return false;
       }
       options.maxQueued = static_cast<std::size_t>(queued);
+    } else if (key == "retain-finished") {
+      options.retainFinished = std::stoi(value);
+      if (options.retainFinished < 0) {
+        error = "retain-finished must be >= 0";
+        return false;
+      }
     } else if (key == "store-dir") {
       options.storeDir = value;
     } else if (key == "pidfile") {
@@ -103,6 +109,8 @@ const char* serveUsage() {
       "  --port N         listen port, 0 = ephemeral (default 8080)\n"
       "  --workers N      job worker threads        (default 2)\n"
       "  --max-queued N   admission limit on waiting jobs (default 32)\n"
+      "  --retain-finished N  terminal jobs kept in the registry; older\n"
+      "                   ones are evicted, 0 = keep all (default 256)\n"
       "  --store-dir D    sweep store: content-addressed result cache\n"
       "                   (identical sweep jobs answer from records)\n"
       "  --pidfile FILE   write the pid; refuses an existing file\n"
@@ -200,6 +208,51 @@ HttpResponse errorResponse(int status, const std::string& message) {
                       "{\"error\": " + jsonQuote(message) + "}\n");
 }
 
+/// GET /jobs pagination parameters, parsed strictly from the query
+/// string: unknown keys and malformed values are client errors, same
+/// policy as the JSON bodies.
+struct ListQuery {
+  std::size_t limit = 0;  ///< 0 = no limit
+  std::string after;      ///< empty = from the first retained job
+  std::string error;      ///< non-empty = answer 400 with this reason
+};
+
+ListQuery parseListQuery(std::string_view query) {
+  ListQuery out;
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{}
+                                     : pair.substr(eq + 1);
+    if (key == "limit") {
+      if (value.empty() || value.size() > 9 ||
+          value.find_first_not_of("0123456789") != std::string_view::npos) {
+        out.error = "limit must be a non-negative integer";
+        return out;
+      }
+      out.limit = static_cast<std::size_t>(
+          std::stoul(std::string(value)));
+    } else if (key == "after") {
+      if (!parseJobIdNumber(value).has_value()) {
+        out.error = "after must be a job id (\"job-<n>\")";
+        return out;
+      }
+      out.after = std::string(value);
+    } else {
+      out.error = "unknown query parameter \"" + std::string(key) +
+                  "\" (available: limit, after)";
+      return out;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request) {
@@ -219,7 +272,11 @@ HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request) {
   }
 
   if (path == "/jobs") {
-    if (request.method == "GET") return jsonResponse(200, jobs.listJson());
+    if (request.method == "GET") {
+      const ListQuery page = parseListQuery(request.query);
+      if (!page.error.empty()) return errorResponse(400, page.error);
+      return jsonResponse(200, jobs.listJson(page.limit, page.after));
+    }
     if (request.method != "POST") {
       return errorResponse(405, "use GET or POST on /jobs");
     }

@@ -11,7 +11,8 @@
 // Endpoints (all JSON):
 //   GET    /healthz           liveness + queue counters
 //   POST   /jobs              submit a design/sweep job spec -> 202 {id}
-//   GET    /jobs              all jobs with status
+//   GET    /jobs              job list; ?limit=N and ?after=job-<n>
+//                             paginate over the retained registry
 //   GET    /jobs/<id>         one job's status + progress
 //   GET    /jobs/<id>/result  terminal result payload (409 until done)
 //   DELETE /jobs/<id>         cooperative cancel
@@ -30,6 +31,7 @@ struct ServeOptions {
   int port = 8080;          ///< 0 = ephemeral (printed at startup)
   int workers = 2;          ///< job worker threads
   int maxQueued = 32;       ///< admission limit on waiting jobs
+  int retainFinished = 256; ///< terminal jobs kept; 0 = keep forever
   std::string storeDir;     ///< sweep result cache; empty = uncached
   std::string pidFile;      ///< empty = no pidfile
   std::string logFile;      ///< request/event log; empty = stderr

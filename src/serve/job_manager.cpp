@@ -157,6 +157,27 @@ JobSpec parseJobSpec(std::string_view body) {
                               "\" (available: design, sweep)");
 }
 
+std::optional<std::uint64_t> parseJobIdNumber(std::string_view id) {
+  if (id.rfind("job-", 0) != 0) return std::nullopt;
+  id.remove_prefix(4);
+  if (id.empty() || id.size() > 18) return std::nullopt;
+  std::uint64_t number = 0;
+  for (const char c : id) {
+    if (c < '0' || c > '9') return std::nullopt;
+    number = number * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return number;
+}
+
+namespace {
+
+bool isTerminal(JobState state) {
+  return state == JobState::Done || state == JobState::Failed ||
+         state == JobState::Cancelled;
+}
+
+}  // namespace
+
 const char* toString(JobState state) {
   switch (state) {
     case JobState::Queued: return "queued";
@@ -286,16 +307,34 @@ std::optional<std::string> JobManager::resultJson(
   return it->second->result;
 }
 
-std::string JobManager::listJson() const {
+std::string JobManager::listJson(std::size_t limit,
+                                 std::string_view after) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\"jobs\": [";
-  bool first = true;
-  for (const auto& job : jobs_) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += statusJsonLocked(*job);
+  // The cursor is a number comparison, not a registry lookup, so a page
+  // boundary that has since been evicted still resumes correctly.
+  const std::uint64_t afterNumber =
+      after.empty() ? 0 : parseJobIdNumber(after).value_or(0);
+  std::size_t begin = 0;
+  while (begin < jobs_.size() &&
+         parseJobIdNumber(jobs_[begin]->id).value_or(0) <= afterNumber) {
+    ++begin;
   }
-  out += "]}\n";
+  const std::size_t available = jobs_.size() - begin;
+  const std::size_t count =
+      limit == 0 ? available : std::min(limit, available);
+
+  std::string out = "{\"jobs\": [";
+  for (std::size_t i = 0; i < count; ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += statusJsonLocked(*jobs_[begin + i]);
+  }
+  out += "], \"count\": " + std::to_string(count) +
+         ", \"retained\": " + std::to_string(jobs_.size()) +
+         ", \"evicted\": " + std::to_string(evicted_);
+  if (count < available) {
+    out += ", \"next_after\": " + jsonQuote(jobs_[begin + count - 1]->id);
+  }
+  out += "}\n";
   return out;
 }
 
@@ -312,6 +351,7 @@ bool JobManager::cancel(const std::string& id) {
                  queue_.end());
     job.state = JobState::Cancelled;
     job.cancelRequested = true;
+    gcLocked();
     return true;
   }
   if (job.state == JobState::Running) {
@@ -335,6 +375,7 @@ void JobManager::drain() {
       job->cancelRequested = true;
     }
     queue_.clear();
+    gcLocked();
     for (const auto& job : jobs_) {
       if (job->state == JobState::Running) job->stop.requestStop();
     }
@@ -363,12 +404,33 @@ std::size_t JobManager::finishedCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t count = 0;
   for (const auto& job : jobs_) {
-    if (job->state == JobState::Done || job->state == JobState::Failed ||
-        job->state == JobState::Cancelled) {
-      ++count;
-    }
+    if (isTerminal(job->state)) ++count;
   }
   return count;
+}
+
+std::size_t JobManager::evictedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+void JobManager::gcLocked() {
+  if (options_.retainFinished == 0) return;  // retention disabled
+  std::size_t terminal = 0;
+  for (const auto& job : jobs_) {
+    if (isTerminal(job->state)) ++terminal;
+  }
+  auto it = jobs_.begin();
+  while (terminal > options_.retainFinished && it != jobs_.end()) {
+    if (!isTerminal((*it)->state)) {
+      ++it;  // queued/running jobs are immune regardless of age
+      continue;
+    }
+    byId_.erase((*it)->id);
+    it = jobs_.erase(it);
+    --terminal;
+    ++evicted_;
+  }
 }
 
 void JobManager::workerLoop() {
@@ -410,6 +472,7 @@ void JobManager::workerLoop() {
           job->cancelRequested ? JobState::Cancelled : JobState::Done;
       job->result = std::move(result);
     }
+    gcLocked();
   }
 }
 

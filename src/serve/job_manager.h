@@ -24,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -73,7 +74,19 @@ struct JobManagerOptions {
   /// Sweep-store directory for the result cache; empty = sweep jobs run
   /// uncached (design jobs never touch the store).
   std::string storeDir;
+  /// Retention cap on TERMINAL jobs (done/failed/cancelled): whenever a
+  /// job reaches a terminal state and the cap is exceeded, the oldest
+  /// terminal jobs are evicted from the registry (status/result answer
+  /// 404 afterwards). Queued and running jobs are never evicted. 0 keeps
+  /// every job forever — the pre-cap behavior, for a short-lived daemon.
+  std::size_t retainFinished = 256;
 };
+
+/// The numeric part of a "job-<n>" id; nullopt for anything else. Job ids
+/// are assigned monotonically and never reused, so these numbers order
+/// jobs by submission even across evictions — which is what makes an
+/// evicted id still usable as an `after` pagination cursor.
+std::optional<std::uint64_t> parseJobIdNumber(std::string_view id);
 
 class JobManager {
  public:
@@ -102,8 +115,15 @@ class JobManager {
   [[nodiscard]] std::optional<std::string> resultJson(
       const std::string& id) const;
 
-  /// All jobs (submission order) as {"jobs": [status...]}.
-  [[nodiscard]] std::string listJson() const;
+  /// Retained jobs (submission order) as {"jobs": [status...], "count":
+  /// k, "retained": r, "evicted": e} — a window of up to `limit` jobs
+  /// (0 = no limit) strictly after the id `after` (empty = from the
+  /// start). When the window is truncated, "next_after" carries the last
+  /// id included, so `?after=<next_after>` fetches the next page; an
+  /// evicted or unknown `after` id still works because ids are compared
+  /// numerically, never looked up.
+  [[nodiscard]] std::string listJson(std::size_t limit = 0,
+                                     std::string_view after = {}) const;
 
   /// Queued job: removed and marked cancelled. Running job: its StopToken
   /// fires and the job finishes as cancelled with a partial result. False
@@ -116,7 +136,10 @@ class JobManager {
 
   [[nodiscard]] std::size_t queuedCount() const;
   [[nodiscard]] std::size_t runningCount() const;
+  /// Terminal jobs still retained (evicted ones no longer count).
   [[nodiscard]] std::size_t finishedCount() const;
+  /// Terminal jobs evicted by the retention cap over the daemon's life.
+  [[nodiscard]] std::size_t evictedCount() const;
 
  private:
   struct Job;
@@ -125,6 +148,9 @@ class JobManager {
   /// Executes `job` outside the mutex; returns the result payload.
   std::string execute(Job& job);
   [[nodiscard]] std::string statusJsonLocked(const Job& job) const;
+  /// Evicts the oldest terminal jobs until the retention cap holds.
+  /// Called under the mutex at every terminal transition.
+  void gcLocked();
 
   JobManagerOptions options_;
   std::unique_ptr<SweepStore> store_;  ///< null when storeDir is empty
@@ -133,8 +159,10 @@ class JobManager {
   std::condition_variable wake_;
   bool draining_ = false;
   std::uint64_t nextId_ = 1;
+  std::size_t evicted_ = 0;
   std::deque<std::shared_ptr<Job>> queue_;
-  /// Submission-ordered registry of every job ever accepted.
+  /// Submission-ordered registry of every retained job: every job ever
+  /// accepted, minus terminal jobs evicted by the retention cap.
   std::vector<std::shared_ptr<Job>> jobs_;
   std::map<std::string, std::shared_ptr<Job>, std::less<>> byId_;
   std::vector<std::thread> workers_;

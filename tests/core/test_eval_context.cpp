@@ -126,8 +126,112 @@ TEST_F(EvalContextTest, RandomizedMoveSequenceIsBitIdentical) {
     if (rng.chance(0.4)) current = std::move(trial);  // accept sometimes
   }
   // The delta engine must have actually skipped work, not silently done
-  // full passes.
+  // full passes — including whole evaluations served from the cached
+  // result when a hint move left the schedule entry-identical.
   EXPECT_GT(ctx.graphsReused(), 0u);
+  EXPECT_GT(ctx.zeroDeltaServes(), 0u);
+}
+
+TEST_F(EvalContextTest, ZeroDeltaHintMoveIsServedByJournalReplay) {
+  // Construct a provable zero-delta: pick a process whose arrival bound
+  // shadows a start-hint bump on every instance (k*P + hint <= arrival),
+  // so the scheduler never reads the changed hint. The context must serve
+  // the cached result after re-scheduling only the restart graph — the
+  // downstream graphs' occupancy is restored by journal replay.
+  EvalContext ctx(*evaluator_);
+  ASSERT_TRUE(ctx.evaluate(initial_).feasible);
+
+  const SystemModel& sys = suite_->system;
+  ProcessId victim;
+  GraphId victimGraph;
+  Time newHint = 0;
+  for (GraphId g : evaluator_->currentGraphs()) {
+    const ProcessGraph& graph = sys.graph(g);
+    const std::int64_t instances = sys.instanceCount(g);
+    for (const ProcessId p : graph.processes) {
+      Time shadow = graph.deadline;  // min over instances of arrival - k*P
+      for (std::int64_t k = 0; k < instances; ++k) {
+        const Time arrival = ctx.arrivalBounds()[evaluator_->jobIndexOf(
+            p, static_cast<std::int32_t>(k))];
+        shadow = std::min(shadow, arrival - k * graph.period);
+      }
+      if (shadow > 0 && shadow != initial_.startHint(p)) {
+        victim = p;
+        victimGraph = g;
+        newHint = shadow;
+        break;
+      }
+    }
+    if (victim.valid()) break;
+  }
+  ASSERT_TRUE(victim.valid())
+      << "instance has no arrival-shadowed process to exercise the serve";
+
+  MappingSolution trial = initial_;
+  trial.setStartHint(victim, newHint);
+  MoveHint hint;
+  hint.graph = victimGraph;
+  hint.process = victim;
+
+  const std::size_t scheduledBefore = ctx.graphsScheduled();
+  const std::size_t servesBefore = ctx.zeroDeltaServes();
+  const EvalResult r = ctx.evaluate(trial, hint);
+  expectBitIdentical(r, evaluator_->evaluate(trial));
+  EXPECT_EQ(ctx.zeroDeltaServes(), servesBefore + 1);
+  // Only the restart graph was re-scheduled; everything downstream was
+  // replayed, not re-run.
+  EXPECT_LE(ctx.graphsScheduled(), scheduledBefore + 1);
+
+  // The restored state must keep serving exact results for follow-up moves
+  // (the replay left checkpoints, fine marks and the metrics cache whole).
+  Rng rng(17);
+  MappingSolution current = trial;
+  for (int step = 0; step < 40; ++step) {
+    MappingSolution next = current;
+    const MoveHint h = randomMove(next, rng);
+    expectBitIdentical(ctx.evaluate(next, h), evaluator_->evaluate(next));
+    if (rng.chance(0.5)) current = std::move(next);
+  }
+}
+
+TEST_F(EvalContextTest, PoolResyncAfterPartialRewindIsBitIdentical) {
+  // The speculative engine's substrate: several contexts share one
+  // evaluator, each evaluates a rotating subset of trials against its own
+  // (stale) reference, and re-aligns lazily — or via resync() — after a
+  // move commits. Every context must stay bit-identical to the stateless
+  // evaluator through randomized accept/reject sequences, including
+  // resyncs that land mid-graph (partial rewind).
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{3},
+                                    std::size_t{4}}) {
+    EvalContextPool pool(*evaluator_, workers);
+    ASSERT_EQ(pool.size(), workers);
+    pool.resync(initial_, MoveHint{});  // invalid hint degrades to full pass
+
+    Rng rng(4100 + workers);
+    MappingSolution current = initial_;
+    for (int step = 0; step < 120; ++step) {
+      MappingSolution trial = current;
+      const MoveHint hint = randomMove(trial, rng);
+      // Rotate the evaluating context like the speculative pool does; the
+      // others fall behind and catch up on their next evaluation.
+      EvalContext& ctx = pool[static_cast<std::size_t>(step) % workers];
+      const EvalResult inc = ctx.evaluate(trial, hint);
+      expectBitIdentical(inc, evaluator_->evaluate(trial));
+      if (rng.chance(0.5)) {
+        current = std::move(trial);
+        // Sometimes re-align the whole pool eagerly (the hint describes
+        // the committed move, so unchanged-prefix contexts rewind only the
+        // affected suffix); otherwise leave the catch-up lazy.
+        if (rng.chance(0.3)) pool.resync(current, hint);
+      }
+    }
+    // After the walk every context — however stale — must converge on the
+    // committed solution with an exact result.
+    const EvalResult reference = evaluator_->evaluate(current);
+    for (std::size_t w = 0; w < workers; ++w) {
+      expectBitIdentical(pool[w].evaluate(current), reference);
+    }
+  }
 }
 
 TEST_F(EvalContextTest, OutputsMatchFullEvaluator) {
@@ -186,6 +290,12 @@ TEST_F(EvalContextTest, SaIncrementalMatchesFullPass) {
   EXPECT_EQ(fast.evaluations, slow.evaluations);
   EXPECT_EQ(fast.accepted, slow.accepted);
   EXPECT_TRUE(fast.solution == slow.solution);
+  // The zero-delta filter replays proposals without evaluating — but the
+  // evaluation/acceptance counters above must stay invariant to it, and
+  // full-pass mode (no fingerprint) never skips.
+  EXPECT_EQ(fast.proposals, slow.proposals);
+  EXPECT_GT(fast.zeroDeltaSkips, 0u);
+  EXPECT_EQ(slow.zeroDeltaSkips, 0u);
 }
 
 TEST_F(EvalContextTest, PsaIncrementalMatchesFullPass) {

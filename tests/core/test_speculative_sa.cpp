@@ -64,6 +64,10 @@ void expectIdentical(const SaResult& a, const SaResult& b,
   EXPECT_EQ(a.eval.feasible, b.eval.feasible) << what;
   EXPECT_EQ(a.evaluations, b.evaluations) << what;
   EXPECT_EQ(a.accepted, b.accepted) << what;
+  // Pure functions of the trajectory, so invariant across engines — the
+  // zero-delta filter must skip exactly the same proposals everywhere.
+  EXPECT_EQ(a.proposals, b.proposals) << what;
+  EXPECT_EQ(a.zeroDeltaSkips, b.zeroDeltaSkips) << what;
   ASSERT_EQ(a.costTrace.size(), b.costTrace.size()) << what;
   for (std::size_t i = 0; i < a.costTrace.size(); ++i) {
     ASSERT_EQ(a.costTrace[i], b.costTrace[i])
@@ -78,6 +82,11 @@ TEST(SpeculativeSaTest, BitIdenticalAcrossPresetsWorkersAndDepths) {
     ASSERT_TRUE(inst->im.feasible);
     const SaResult reference = runSimulatedAnnealing(
         inst->evaluator, inst->im.mapping, baseOptions());
+    // One proposal per iteration; on these loaded presets the
+    // gap-fingerprint filter must have replayed some of them for free.
+    EXPECT_EQ(reference.proposals,
+              static_cast<std::size_t>(baseOptions().iterations));
+    EXPECT_GT(reference.zeroDeltaSkips, 0u);
     for (const int workers : {2, 3, 4}) {
       for (const int depth : {2, 8}) {
         SaOptions opts = baseOptions();
@@ -169,6 +178,9 @@ TEST(SpeculativeSaTest, FullPassModeIsAlsoIdentical) {
   opts.incrementalEval = false;
   const SaResult reference =
       runSimulatedAnnealing(inst->evaluator, inst->im.mapping, opts);
+  // The filter needs the incremental context's fingerprint; full-pass mode
+  // must never skip.
+  EXPECT_EQ(reference.zeroDeltaSkips, 0u);
   opts.speculation.workers = 4;
   opts.speculation.acceptanceThreshold = 2.0;
   const SaResult specR =

@@ -26,6 +26,9 @@ HttpRequest makeRequest(std::string method, std::string target,
   request.target = std::move(target);
   const std::size_t qmark = request.target.find('?');
   request.path = request.target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    request.query = request.target.substr(qmark + 1);
+  }
   request.body = std::move(body);
   return request;
 }
@@ -84,6 +87,40 @@ TEST(RouteRequest, SubmitPollFetchLifecycle) {
   const HttpResponse list = routeRequest(jobs, makeRequest("GET", "/jobs"));
   EXPECT_EQ(list.status, 200);
   EXPECT_NE(list.body.find("\"id\": \"job-1\""), std::string::npos);
+}
+
+TEST(RouteRequest, JobListPaginatesAndValidatesQueryParameters) {
+  JobManager jobs(JobManagerOptions{});
+  ASSERT_EQ(routeRequest(jobs, makeRequest("POST", "/jobs", kFastJob))
+                .status,
+            202);
+  ASSERT_EQ(routeRequest(jobs, makeRequest("POST", "/jobs", kFastJob))
+                .status,
+            202);
+  ASSERT_TRUE(waitFor([&] { return jobs.finishedCount() == 2u; }));
+
+  const HttpResponse page =
+      routeRequest(jobs, makeRequest("GET", "/jobs?limit=1"));
+  EXPECT_EQ(page.status, 200);
+  EXPECT_NE(page.body.find("\"id\": \"job-1\""), std::string::npos);
+  EXPECT_EQ(page.body.find("\"id\": \"job-2\""), std::string::npos);
+  EXPECT_NE(page.body.find("\"next_after\": \"job-1\""),
+            std::string::npos);
+
+  const HttpResponse rest =
+      routeRequest(jobs, makeRequest("GET", "/jobs?limit=1&after=job-1"));
+  EXPECT_EQ(rest.status, 200);
+  EXPECT_NE(rest.body.find("\"id\": \"job-2\""), std::string::npos);
+  EXPECT_EQ(rest.body.find("\"id\": \"job-1\""), std::string::npos);
+  EXPECT_EQ(rest.body.find("\"next_after\""), std::string::npos);
+
+  // Strict query validation, same policy as the JSON bodies.
+  EXPECT_EQ(routeRequest(jobs, makeRequest("GET", "/jobs?limit=x")).status,
+            400);
+  EXPECT_EQ(routeRequest(jobs, makeRequest("GET", "/jobs?after=7")).status,
+            400);
+  EXPECT_EQ(routeRequest(jobs, makeRequest("GET", "/jobs?frob=1")).status,
+            400);
 }
 
 TEST(RouteRequest, BadSpecAnswers400WithReason) {
@@ -167,6 +204,7 @@ TEST(ServeConfig, ParsesKeysCommentsAndBlanks) {
       "port 9090\n"
       "workers = 3\n"
       "store-dir /tmp/store  # inline comment\n"
+      "retain-finished 64\n"
       "\n"
       "bind 0.0.0.0\n",
       options, error);
@@ -174,6 +212,7 @@ TEST(ServeConfig, ParsesKeysCommentsAndBlanks) {
   EXPECT_EQ(options.port, 9090);
   EXPECT_EQ(options.workers, 3);
   EXPECT_EQ(options.storeDir, "/tmp/store");
+  EXPECT_EQ(options.retainFinished, 64);
   EXPECT_EQ(options.bindAddress, "0.0.0.0");
 }
 
@@ -187,6 +226,8 @@ TEST(ServeConfig, RejectsUnknownKeysAndBadValues) {
   EXPECT_FALSE(parseServeConfig("port 70000\n", options, error));
   EXPECT_NE(error.find("out of range"), std::string::npos);
   EXPECT_FALSE(parseServeConfig("workers 0\n", options, error));
+  EXPECT_FALSE(parseServeConfig("retain-finished -1\n", options, error));
+  EXPECT_NE(error.find("retain-finished must be >= 0"), std::string::npos);
   EXPECT_FALSE(parseServeConfig("orphan\n", options, error));
   EXPECT_NE(error.find("expected"), std::string::npos);
 }

@@ -260,6 +260,114 @@ TEST(JobManagerTest, DrainCancelsQueuedAndRejectsNewSubmits) {
   EXPECT_NE(late.error.find("draining"), std::string::npos);
 }
 
+TEST(ParseJobIdNumber, AcceptsIdsRejectsEverythingElse) {
+  EXPECT_EQ(parseJobIdNumber("job-1"), 1u);
+  EXPECT_EQ(parseJobIdNumber("job-42"), 42u);
+  EXPECT_FALSE(parseJobIdNumber("job-").has_value());
+  EXPECT_FALSE(parseJobIdNumber("job-x").has_value());
+  EXPECT_FALSE(parseJobIdNumber("job-1x").has_value());
+  EXPECT_FALSE(parseJobIdNumber("7").has_value());
+  EXPECT_FALSE(parseJobIdNumber("").has_value());
+  EXPECT_FALSE(parseJobIdNumber("job-99999999999999999999").has_value());
+}
+
+TEST(JobManagerTest, ListJsonPaginatesWithLimitAndAfter) {
+  JobManagerOptions options;
+  options.workers = 1;
+  JobManager jobs(options);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(jobs.submit(fastJob()).accepted);
+  ASSERT_TRUE(waitFor([&] { return jobs.finishedCount() == 5u; }));
+
+  const std::string page1 = jobs.listJson(2);
+  EXPECT_NE(page1.find("\"id\": \"job-1\""), std::string::npos);
+  EXPECT_NE(page1.find("\"id\": \"job-2\""), std::string::npos);
+  EXPECT_EQ(page1.find("\"id\": \"job-3\""), std::string::npos);
+  EXPECT_NE(page1.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(page1.find("\"retained\": 5"), std::string::npos);
+  EXPECT_NE(page1.find("\"next_after\": \"job-2\""), std::string::npos);
+
+  const std::string page2 = jobs.listJson(2, "job-2");
+  EXPECT_EQ(page2.find("\"id\": \"job-2\""), std::string::npos);
+  EXPECT_NE(page2.find("\"id\": \"job-3\""), std::string::npos);
+  EXPECT_NE(page2.find("\"id\": \"job-4\""), std::string::npos);
+  EXPECT_NE(page2.find("\"next_after\": \"job-4\""), std::string::npos);
+
+  // Unlimited tail from a cursor: the last page has no next_after.
+  const std::string tail = jobs.listJson(0, "job-4");
+  EXPECT_NE(tail.find("\"id\": \"job-5\""), std::string::npos);
+  EXPECT_EQ(tail.find("\"next_after\""), std::string::npos);
+
+  // A cursor at (or past) the newest job yields an empty page.
+  const std::string empty = jobs.listJson(2, "job-5");
+  EXPECT_NE(empty.find("\"count\": 0"), std::string::npos);
+  EXPECT_EQ(empty.find("\"id\":"), std::string::npos);
+  EXPECT_EQ(empty.find("\"next_after\""), std::string::npos);
+}
+
+TEST(JobManagerTest, RetentionCapEvictsOldestTerminalJobs) {
+  JobManagerOptions options;
+  options.workers = 1;
+  options.retainFinished = 2;
+  JobManager jobs(options);
+  for (int i = 0; i < 4; ++i) {
+    const auto submission = jobs.submit(fastJob());
+    ASSERT_TRUE(submission.accepted);
+    ASSERT_TRUE(
+        waitFor([&] { return isTerminal(jobs.state(submission.id)); }));
+  }
+
+  // The two oldest terminal jobs are gone; ids keep counting upward.
+  EXPECT_FALSE(jobs.state("job-1").has_value());
+  EXPECT_FALSE(jobs.state("job-2").has_value());
+  EXPECT_FALSE(jobs.statusJson("job-1").has_value());
+  EXPECT_FALSE(jobs.resultJson("job-1").has_value());
+  EXPECT_EQ(jobs.state("job-3"), JobState::Done);
+  EXPECT_EQ(jobs.state("job-4"), JobState::Done);
+  EXPECT_EQ(jobs.finishedCount(), 2u);
+  EXPECT_EQ(jobs.evictedCount(), 2u);
+
+  // An evicted id remains a valid pagination cursor (numeric compare).
+  const std::string page = jobs.listJson(0, "job-1");
+  EXPECT_NE(page.find("\"id\": \"job-3\""), std::string::npos);
+  EXPECT_NE(page.find("\"evicted\": 2"), std::string::npos);
+
+  // The id counter never reuses an evicted number.
+  const auto fifth = jobs.submit(fastJob());
+  EXPECT_EQ(fifth.id, "job-5");
+  ASSERT_TRUE(waitFor([&] { return isTerminal(jobs.state(fifth.id)); }));
+  EXPECT_FALSE(jobs.state("job-3").has_value());  // now the oldest
+  EXPECT_EQ(jobs.evictedCount(), 3u);
+}
+
+TEST(JobManagerTest, RetentionCapNeverEvictsQueuedOrRunningJobs) {
+  JobManagerOptions options;
+  options.workers = 1;
+  options.retainFinished = 1;
+  JobManager jobs(options);
+
+  const auto running = jobs.submit(longJob());
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(running.id) == JobState::Running; }));
+  const auto queued1 = jobs.submit(fastJob());
+  const auto queued2 = jobs.submit(fastJob());
+
+  // Cancelling both queued jobs makes two terminal jobs: the cap evicts
+  // the older cancelled one, never the still-running job-1 above them.
+  EXPECT_TRUE(jobs.cancel(queued1.id));
+  EXPECT_TRUE(jobs.cancel(queued2.id));
+  EXPECT_FALSE(jobs.state(queued1.id).has_value());
+  EXPECT_EQ(jobs.state(queued2.id), JobState::Cancelled);
+  EXPECT_EQ(jobs.state(running.id), JobState::Running);
+
+  // Once the running job ends it becomes the oldest terminal job — and
+  // the next GC pass (its own terminal transition) evicts it.
+  EXPECT_TRUE(jobs.cancel(running.id));
+  ASSERT_TRUE(
+      waitFor([&] { return !jobs.state(running.id).has_value(); }));
+  EXPECT_EQ(jobs.state(queued2.id), JobState::Cancelled);
+  EXPECT_EQ(jobs.evictedCount(), 2u);
+}
+
 TEST(JobManagerTest, ListJsonCoversEveryJobInSubmissionOrder) {
   JobManager jobs(JobManagerOptions{});
   const auto first = jobs.submit(fastJob());
