@@ -23,11 +23,21 @@
 //   sweep --worker DIR [--lease-seconds S]
 //            join a served sweep: claim instances through file leases, run
 //            them, write records; exits when the sweep is complete
+//   sweep --worker http://HOST:PORT/KEY [--lease-seconds S]
+//            join a sweep coordinated by ides_serve over HTTP: claims,
+//            renewals and records travel the network instead of a shared
+//            mount; exits nonzero with a reason when the coordinator
+//            vanishes (after capped-backoff retries)
 //   store <ls|verify> --store-dir DIR
 //            read-only audit of a sweep store: ls lists records
 //            (fingerprint, suite, instance, strategy, age), verify checks
 //            schema + fingerprint per record and reports the quarantine;
 //            verify exits 1 when anything is bad
+//   store gc --store-dir DIR [--epoch N] [--older-than AGE] [--apply]
+//            reap quarantined records (always) plus records superseded by
+//            an epoch bump or older than AGE (s/m/h/d suffix); dry run
+//            unless --apply; never touches records named by a live
+//            manifest.json in the store
 //   list-strategies
 //            print the registered optimizer names (also --list-strategies)
 //
@@ -54,7 +64,9 @@
 #include "sched/schedule_io.h"
 #include "sched/validate.h"
 #include "serve/design_job.h"
+#include "store/remote_queue.h"
 #include "store/store_audit.h"
+#include "store/store_gc.h"
 #include "store/sweep_store.h"
 #include "store/work_queue.h"
 #include "tgen/benchmark_suite.h"
@@ -95,6 +107,9 @@ struct CliArgs {
   double leaseSeconds = 600.0;   // claim lease duration (serve/worker)
   bool jsonOutput = false; // design: deterministic result JSON on stdout
   bool noTiming = false;   // deterministic BENCH json (no wall-clock)
+  std::int64_t gcEpoch = -1;   // store gc: reap records below this epoch
+  std::string olderThan;       // store gc: age threshold ("3600", "2h", ...)
+  bool apply = false;          // store gc: actually delete (else dry run)
   int cancelAfter = 0;     // testing aid: request stop after N instances
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
@@ -135,9 +150,15 @@ void usage() {
       "                 already exist (resume a cancelled sweep)\n"
       "  --serve D      coordinate a cross-process sweep over directory D\n"
       "                 (publishes the manifest, participates, merges)\n"
-      "  --worker D     join the sweep served at directory D\n"
+      "  --worker D     join the sweep served at directory D, or at an\n"
+      "                 ides_serve coordinator (http://HOST:PORT/KEY)\n"
       "  --lease-seconds S  claim lease duration for serve/worker\n"
-      "                 (default 600; size above the slowest instance)\n"
+      "                 (default 600; renewal heartbeats keep a live\n"
+      "                 worker's claim fresh, so slow instances are safe)\n"
+      "  --epoch N      store gc: reap records below fingerprint epoch N\n"
+      "  --older-than AGE  store gc: reap records older than AGE\n"
+      "                 (seconds, or s/m/h/d suffix: 2h, 30m, 7d)\n"
+      "  --apply        store gc: delete (without it, dry run only)\n"
       "  --no-timing    render BENCH json without wall-clock fields\n"
       "                 (byte-identical across runs/workers/resume)\n"
       "  --cancel-after N  request stop after N completed instances\n"
@@ -177,6 +198,11 @@ bool parse(int argc, char** argv, CliArgs& args) {
     }
     if (flag == "--no-timing") {
       args.noTiming = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--apply") {
+      args.apply = true;
       ++i;
       continue;
     }
@@ -222,6 +248,10 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.leaseSeconds = std::stod(value);
     } else if (flag == "--cancel-after") {
       args.cancelAfter = std::stoi(value);
+    } else if (flag == "--epoch") {
+      args.gcEpoch = std::stoll(value);
+    } else if (flag == "--older-than") {
+      args.olderThan = value;
     } else if (flag == "--deadline") {
       args.deadlineSeconds = std::stod(value);
     } else if (flag == "--out") {
@@ -407,11 +437,56 @@ int cmdDot(const CliArgs& args) {
   return 0;
 }
 
-/// Read-only store audit (`store ls` / `store verify`). Never mutates the
-/// store, so it is safe against a directory live workers are filling.
+/// --older-than AGE: plain seconds or an s/m/h/d-suffixed count.
+/// Throws std::invalid_argument on junk.
+double parseAgeSeconds(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("--older-than: empty age");
+  double multiplier = 1.0;
+  std::string number = text;
+  switch (number.back()) {
+    case 'd': multiplier *= 24.0; [[fallthrough]];
+    case 'h': multiplier *= 60.0; [[fallthrough]];
+    case 'm': multiplier *= 60.0; [[fallthrough]];
+    case 's': number.pop_back(); break;
+    default: break;
+  }
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(number, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != number.size() || value < 0.0) {
+    throw std::invalid_argument("--older-than: bad age \"" + text +
+                                "\" (want seconds or s/m/h/d suffix)");
+  }
+  return value * multiplier;
+}
+
+/// The store's reaper (`store gc`): dry run unless --apply; see
+/// store/store_gc.h for the exact predicates and manifest protection.
+int cmdStoreGc(const CliArgs& args) {
+  StoreGcOptions options;
+  options.apply = args.apply;
+  options.epoch = args.gcEpoch;
+  if (!args.olderThan.empty()) {
+    options.olderThanSeconds = parseAgeSeconds(args.olderThan);
+  }
+  const StoreGcReport report = gcSweepStore(args.storeDir, options);
+  std::fputs(storeGcText(report, options).c_str(), stdout);
+  return 0;
+}
+
+/// Store maintenance (`store ls` / `store verify` / `store gc`). ls and
+/// verify never mutate the store, so they are safe against a directory
+/// live workers are filling; gc deletes only with --apply and never
+/// touches records a live manifest references.
 int cmdStore(const CliArgs& args) {
-  if (args.action != "ls" && args.action != "verify") {
-    std::fprintf(stderr, "usage: ides_cli store <ls|verify> --store-dir D\n");
+  if (args.action != "ls" && args.action != "verify" &&
+      args.action != "gc") {
+    std::fprintf(stderr,
+                 "usage: ides_cli store <ls|verify|gc> --store-dir D\n");
     return 2;
   }
   if (args.storeDir.empty()) {
@@ -419,6 +494,7 @@ int cmdStore(const CliArgs& args) {
                  args.action.c_str());
     return 2;
   }
+  if (args.action == "gc") return cmdStoreGc(args);
   const StoreAuditReport report = auditSweepStore(args.storeDir);
   if (args.action == "ls") {
     std::fputs(storeLsText(report).c_str(), stdout);
@@ -605,6 +681,64 @@ int cmdSweepServe(const CliArgs& args) {
   return publishSweepJson(args.suiteName, report, scale, args.noTiming);
 }
 
+/// HTTP worker: join a sweep coordinated by ides_serve. Same loop shape
+/// as the directory worker, but claims/renewals/records travel the
+/// network and a vanished coordinator ends the worker nonzero with a
+/// printed reason instead of hanging.
+int cmdSweepWorkerHttp(const CliArgs& args) {
+  if (const int rc = rejectUnsupportedQueueFlags(args, "--worker")) return rc;
+  if (!args.suiteName.empty() || !args.scaleName.empty()) {
+    std::fprintf(stderr,
+                 "sweep --worker reads the suite and scale from the served "
+                 "manifest; drop --suite/--scale\n");
+    return 2;
+  }
+  StopToken stop;
+  if (args.deadlineSeconds > 0.0) stop.setTimeout(args.deadlineSeconds);
+
+  RemoteWorkQueue remote(args.workerDir, workerName(), args.leaseSeconds);
+  const std::optional<SweepManifest> manifest =
+      remote.fetchManifest(/*waitSeconds=*/30.0, &stop);
+  if (!manifest.has_value()) {
+    if (remote.failed()) {
+      std::fprintf(stderr, "%s\n", remote.failureReason().c_str());
+    }
+    return 1;
+  }
+  const InstanceSuite suite = suiteFromManifest(*manifest);
+  std::printf("worker %s joined sweep %s at %s (%zu instances)\n",
+              remote.workerId().c_str(), suite.name().c_str(),
+              args.workerDir.c_str(), suite.size());
+
+  std::size_t executed = 0;
+  const auto onDone = [&](const WorkItem& item, const InstanceOutcome&) {
+    std::printf("  [%s] done\n", item.id.c_str());
+    ++executed;
+  };
+  while (true) {
+    const QueueRunStats stats =
+        runSweepParticipant(suite, remote, &stop, onDone);
+    if (stats.failed) {
+      std::fprintf(stderr, "worker giving up: %s\n", stats.error.c_str());
+      return 1;
+    }
+    if (stats.stopped || stop.stopRequested()) {
+      std::printf("worker stopping (%zu instances executed)\n", executed);
+      return 0;
+    }
+    if (remote.allDone()) break;
+    if (remote.failed()) {
+      std::fprintf(stderr, "worker giving up: %s\n",
+                   remote.failureReason().c_str());
+      return 1;
+    }
+    // Peers hold live leases; poll until their records land.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("sweep complete (%zu instances executed here)\n", executed);
+  return 0;
+}
+
 /// Worker: wait for the manifest, rebuild + verify the suite, then claim
 /// and run instances until the sweep is complete (or a stop lands).
 int cmdSweepWorker(const CliArgs& args) {
@@ -673,6 +807,9 @@ int main(int argc, char** argv) {
     if (args.command == "dot") return cmdDot(args);
     if (args.command == "store") return cmdStore(args);
     if (args.command == "sweep") {
+      if (args.workerDir.rfind("http://", 0) == 0) {
+        return cmdSweepWorkerHttp(args);
+      }
       if (!args.workerDir.empty()) return cmdSweepWorker(args);
       if (!args.serveDir.empty()) return cmdSweepServe(args);
       return cmdSweep(args);

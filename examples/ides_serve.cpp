@@ -14,11 +14,13 @@
 // exit 0.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "serve/daemon.h"
 #include "serve/http_server.h"
 #include "serve/job_manager.h"
+#include "serve/sweep_coordinator.h"
 #include "util/stop_token.h"
 
 namespace {
@@ -79,6 +81,15 @@ int main(int argc, char** argv) {
     jobOptions.storeDir = options.storeDir;
     JobManager jobs(jobOptions);
 
+    // The sweep coordinator (HTTP transport of the sweep fabric) needs a
+    // store to persist records into; without --store-dir the /sweeps
+    // surface answers 503.
+    std::unique_ptr<SweepCoordinator> sweeps;
+    if (!options.storeDir.empty()) {
+      sweeps = std::make_unique<SweepCoordinator>(options.storeDir);
+    }
+    ServeRuntime runtime{jobs, sweeps.get(), options.storeDir};
+
     HttpServer server(options.bindAddress, options.port);
     logLine("event=listening bind=" + options.bindAddress + " port=" +
             std::to_string(server.port()) + " workers=" +
@@ -91,8 +102,8 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     server.serve(
-        [&jobs](const HttpRequest& request) {
-          return routeRequest(jobs, request);
+        [&runtime](const HttpRequest& request) {
+          return routeRequest(runtime, request);
         },
         &g_stop,
         [&logLine](const RequestLogEntry& entry) {

@@ -253,22 +253,213 @@ ListQuery parseListQuery(std::string_view query) {
   return out;
 }
 
+/// healthz store probe: a round-trip write under the store dir. "none"
+/// when no store is configured, "unreachable" when the filesystem refuses
+/// the write (full disk, lost mount, permissions) — the signal a load
+/// balancer drains on.
+std::string storeHealth(const std::string& storeDir) {
+  if (storeDir.empty()) return "none";
+  const std::string probe =
+      (std::filesystem::path(storeDir) / ".healthz.probe").string();
+  {
+    std::ofstream out(probe, std::ios::trunc);
+    if (!out) return "unreachable";
+    out << "probe\n";
+    out.flush();
+    if (!out) return "unreachable";
+  }
+  std::error_code ec;
+  std::filesystem::remove(probe, ec);
+  return "ok";
+}
+
+std::string sweepStatusJson(const std::string& key,
+                            const CoordinatorSweepStatus& status) {
+  return "{\"key\": " + jsonQuote(key) +
+         ", \"total\": " + std::to_string(status.total) +
+         ", \"recorded\": " + std::to_string(status.recorded) +
+         ", \"leased\": " + std::to_string(status.leased) +
+         std::string(", \"done\": ") + (status.done ? "true" : "false") +
+         "}";
+}
+
+/// Coordinator errors: an unknown sweep key is a 404, every other
+/// std::invalid_argument (bad key, spec conflict, foreign fingerprint) is
+/// the client's 400.
+HttpResponse coordinatorError(const std::invalid_argument& e) {
+  const std::string what = e.what();
+  const int status = what.rfind("no such sweep", 0) == 0 ? 404 : 400;
+  return errorResponse(status, what);
+}
+
+HttpResponse routeSweeps(ServeRuntime& runtime,
+                         const HttpRequest& request) {
+  if (runtime.sweeps == nullptr) {
+    return errorResponse(
+        503, "no sweep store configured (start ides_serve with --store-dir)");
+  }
+  SweepCoordinator& sweeps = *runtime.sweeps;
+  const std::string& path = request.path;
+
+  if (path == "/sweeps") {
+    if (request.method != "GET") {
+      return errorResponse(405, "use GET on /sweeps (register with POST "
+                                "/sweeps/<key>)");
+    }
+    std::string body = "{\"sweeps\": [";
+    bool first = true;
+    for (const std::string& key : sweeps.keys()) {
+      body += first ? "\n  " : ",\n  ";
+      first = false;
+      body += sweepStatusJson(key, sweeps.status(key));
+    }
+    body += first ? "]}\n" : "\n]}\n";
+    return jsonResponse(200, std::move(body));
+  }
+
+  // /sweeps/<key>[/<action>]
+  std::string key = path.substr(8);
+  std::string action;
+  const std::size_t slash = key.find('/');
+  if (slash != std::string::npos) {
+    action = key.substr(slash + 1);
+    key.erase(slash);
+  }
+  if (!validSweepKey(key)) {
+    return errorResponse(400,
+                         "sweep key must be non-empty [A-Za-z0-9._-]+");
+  }
+
+  try {
+    if (action.empty()) {
+      if (request.method == "POST") {
+        const JsonValue spec = parseJson(request.body);
+        const std::string scale =
+            spec.find("scale") != nullptr ? spec.stringAt("scale")
+                                          : std::string("default");
+        sweeps.create(key, spec.stringAt("sweep"), scale);
+        return jsonResponse(
+            200, sweepStatusJson(key, sweeps.status(key)) + "\n");
+      }
+      if (request.method != "GET") {
+        return errorResponse(405, "use GET or POST on /sweeps/<key>");
+      }
+      return jsonResponse(200,
+                          sweepStatusJson(key, sweeps.status(key)) + "\n");
+    }
+
+    if (action == "manifest") {
+      if (request.method != "GET") {
+        return errorResponse(405, "use GET on /sweeps/<key>/manifest");
+      }
+      return jsonResponse(200, sweeps.manifestText(key));
+    }
+
+    if (action == "result") {
+      if (request.method != "GET") {
+        return errorResponse(405, "use GET on /sweeps/<key>/result");
+      }
+      const std::optional<std::string> result = sweeps.resultJson(key);
+      if (!result.has_value()) {
+        return errorResponse(409, "sweep " + key +
+                                      " is not complete yet; a result "
+                                      "exists once every record is in");
+      }
+      return jsonResponse(200, *result);
+    }
+
+    // The remaining actions are worker POSTs with JSON bodies.
+    if (request.method != "POST") {
+      return errorResponse(405, "use POST on /sweeps/<key>/" + action);
+    }
+    const JsonValue body = parseJson(request.body);
+
+    if (action == "claim") {
+      const double lease = body.find("lease_seconds") != nullptr
+                               ? body.numberAt("lease_seconds")
+                               : 600.0;
+      if (!(lease > 0.0)) {
+        return errorResponse(400, "lease_seconds must be > 0");
+      }
+      const CoordinatorClaim claim =
+          sweeps.claim(key, body.stringAt("worker"), lease);
+      switch (claim.kind) {
+        case CoordinatorClaim::Kind::Done:
+          return jsonResponse(200, "{\"done\": true}\n");
+        case CoordinatorClaim::Kind::Wait:
+          return jsonResponse(200, "{\"wait\": true}\n");
+        case CoordinatorClaim::Kind::Claimed:
+          break;
+      }
+      return jsonResponse(
+          200, "{\"claimed\": {\"index\": " +
+                   std::to_string(claim.item.index) +
+                   ", \"id\": " + jsonQuote(claim.item.id) +
+                   ", \"fingerprint\": " +
+                   jsonQuote(claim.item.fingerprint) + "}}\n");
+    }
+    if (action == "renew") {
+      const bool renewed = sweeps.renew(key, body.stringAt("worker"),
+                                        body.stringAt("fingerprint"));
+      return jsonResponse(200, std::string("{\"renewed\": ") +
+                                   (renewed ? "true" : "false") + "}\n");
+    }
+    if (action == "release") {
+      sweeps.release(key, body.stringAt("worker"),
+                     body.stringAt("fingerprint"));
+      return jsonResponse(200, "{\"released\": true}\n");
+    }
+    if (action == "complete") {
+      bool stored = false;
+      try {
+        stored = sweeps.complete(key, body.stringAt("worker"),
+                                 body.stringAt("fingerprint"),
+                                 body.stringAt("record"));
+      } catch (const std::runtime_error& e) {
+        return errorResponse(400, e.what());  // invalid record document
+      }
+      return jsonResponse(200, std::string("{\"stored\": ") +
+                                   (stored ? "true" : "false") + "}\n");
+    }
+    return errorResponse(404, "no such endpoint");
+  } catch (const std::invalid_argument& e) {
+    return coordinatorError(e);
+  } catch (const std::runtime_error& e) {
+    // parseJson and the typed accessors throw runtime_error on malformed
+    // request bodies — the client's fault, not ours.
+    return errorResponse(400, e.what());
+  }
+}
+
 }  // namespace
 
-HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request) {
+HttpResponse routeRequest(ServeRuntime& runtime,
+                          const HttpRequest& request) {
+  JobManager& jobs = runtime.jobs;
   const std::string& path = request.path;
 
   if (path == "/healthz") {
     if (request.method != "GET") {
       return errorResponse(405, "use GET on /healthz");
     }
-    std::string body = "{\"status\": \"ok\", \"queued\": " +
-                       std::to_string(jobs.queuedCount()) +
-                       ", \"running\": " +
-                       std::to_string(jobs.runningCount()) +
-                       ", \"finished\": " +
-                       std::to_string(jobs.finishedCount()) + "}\n";
-    return jsonResponse(200, std::move(body));
+    const std::string store = storeHealth(runtime.storeDir);
+    const bool sick = store == "unreachable";
+    const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - runtime.start);
+    std::string body =
+        std::string("{\"status\": ") + (sick ? "\"sick\"" : "\"ok\"") +
+        ", \"uptime_seconds\": " + std::to_string(uptime.count()) +
+        ", \"queued\": " + std::to_string(jobs.queuedCount()) +
+        ", \"running\": " + std::to_string(jobs.runningCount()) +
+        ", \"finished\": " + std::to_string(jobs.finishedCount()) +
+        ", \"store\": " + jsonQuote(store) + "}\n";
+    // 503 drains the instance at the load balancer while the process
+    // itself stays up to finish what it can.
+    return jsonResponse(sick ? 503 : 200, std::move(body));
+  }
+
+  if (path == "/sweeps" || path.rfind("/sweeps/", 0) == 0) {
+    return routeSweeps(runtime, request);
   }
 
   if (path == "/jobs") {
@@ -340,6 +531,11 @@ HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request) {
   }
 
   return errorResponse(404, "no such endpoint");
+}
+
+HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request) {
+  ServeRuntime runtime{jobs, nullptr, std::string()};
+  return routeRequest(runtime, request);
 }
 
 std::string requestLogLine(const RequestLogEntry& entry) {

@@ -9,20 +9,39 @@
 // ever opening a port; the binary only adds sockets and signals.
 //
 // Endpoints (all JSON):
-//   GET    /healthz           liveness + queue counters
+//   GET    /healthz           liveness, uptime, queue counters, store
+//                             reachability (503 when the store is sick,
+//                             so load balancers drain the instance)
 //   POST   /jobs              submit a design/sweep job spec -> 202 {id}
 //   GET    /jobs              job list; ?limit=N and ?after=job-<n>
 //                             paginate over the retained registry
 //   GET    /jobs/<id>         one job's status + progress
 //   GET    /jobs/<id>/result  terminal result payload (409 until done)
 //   DELETE /jobs/<id>         cooperative cancel
+//
+// Sweep-fabric endpoints (require --store-dir; 503 without one). The
+// daemon is the HTTP coordinator of serve/sweep_coordinator.h — workers
+// join with `ides_cli sweep --worker http://host:port/<key>`:
+//   POST   /sweeps/<key>          register {"sweep","scale"} under <key>
+//   GET    /sweeps                registered sweeps + status
+//   GET    /sweeps/<key>          one sweep's progress
+//   GET    /sweeps/<key>/manifest the work manifest (same bytes as the
+//                                 file transport's manifest.json)
+//   POST   /sweeps/<key>/claim    {"worker","lease_seconds"} ->
+//                                 {"claimed":{...}} | {"wait"} | {"done"}
+//   POST   /sweeps/<key>/renew    {"worker","fingerprint"} -> {"renewed"}
+//   POST   /sweeps/<key>/release  {"worker","fingerprint"}
+//   POST   /sweeps/<key>/complete {"worker","fingerprint","record"}
+//   GET    /sweeps/<key>/result   merged BENCH json (409 until done)
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <string_view>
 
 #include "serve/http_server.h"
 #include "serve/job_manager.h"
+#include "serve/sweep_coordinator.h"
 
 namespace ides {
 
@@ -59,8 +78,24 @@ const char* serveUsage();
 bool writePidFile(const std::string& path, std::string& error);
 void removePidFile(const std::string& path);
 
-/// The daemon's endpoint dispatch over a JobManager. Pure: no sockets,
-/// no global state — unit-testable by constructing HttpRequests directly.
+/// Everything the router dispatches over. `sweeps` is null without a
+/// --store-dir (the /sweeps surface then answers 503); `storeDir` backs
+/// the healthz reachability probe.
+struct ServeRuntime {
+  JobManager& jobs;
+  SweepCoordinator* sweeps = nullptr;
+  std::string storeDir;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};
+
+/// The daemon's endpoint dispatch. Pure over (runtime, request): no
+/// sockets, no global state — unit-testable by constructing HttpRequests
+/// directly.
+HttpResponse routeRequest(ServeRuntime& runtime, const HttpRequest& request);
+
+/// Back-compat convenience: jobs-only runtime (no sweep coordinator, no
+/// store probe).
 HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request);
 
 /// One structured request-log line: space-separated key=value fields

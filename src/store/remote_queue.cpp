@@ -1,0 +1,191 @@
+#include "store/remote_queue.h"
+
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "util/json_reader.h"
+
+namespace ides {
+
+namespace {
+
+/// The coordinator's {"error": "..."} body, or the raw body when it is not
+/// that shape (truncated, proxy-generated, ...).
+std::string serverError(const HttpClientResult& result) {
+  try {
+    return parseJson(result.body).stringAt("error");
+  } catch (const std::exception&) {
+    return result.body.empty() ? "(empty body)" : result.body;
+  }
+}
+
+}  // namespace
+
+RemoteWorkQueue::RemoteWorkQueue(const std::string& url, std::string workerId,
+                                 double leaseSeconds, BackoffPolicy policy,
+                                 HttpClientOptions options)
+    : workerId_(std::move(workerId)),
+      leaseSeconds_(leaseSeconds),
+      policy_(policy),
+      options_(options),
+      // Seeded per worker id: the backoff jitter is deterministic for a
+      // given worker but decorrelated across a fleet.
+      rng_(std::hash<std::string>{}(workerId_)) {
+  const std::optional<HttpUrl> parsed = parseHttpUrl(url);
+  if (!parsed.has_value()) {
+    throw std::invalid_argument("not an http://host:port/<key> url: " + url);
+  }
+  base_ = *parsed;
+  std::string key = base_.path;
+  while (!key.empty() && key.front() == '/') key.erase(0, 1);
+  if (key.rfind("sweeps/", 0) == 0) key.erase(0, 7);
+  while (!key.empty() && key.back() == '/') key.pop_back();
+  if (!validSweepKey(key)) {
+    throw std::invalid_argument(
+        "sweep key in url must be [A-Za-z0-9._-]+ (got \"" + key + "\")");
+  }
+  key_ = key;
+}
+
+std::string RemoteWorkQueue::target(const std::string& endpoint) const {
+  return "/sweeps/" + key_ + endpoint;
+}
+
+void RemoteWorkQueue::markFailed(const std::string& what,
+                                 const HttpClientResult& result) {
+  failed_ = true;
+  reason_ = "coordinator " + base_.host + ":" + std::to_string(base_.port) +
+            " unreachable during " + what + ": " +
+            (result.ok ? "HTTP " + std::to_string(result.status) + " " +
+                             serverError(result)
+                       : result.error);
+}
+
+HttpClientResult RemoteWorkQueue::call(const std::string& method,
+                                       const std::string& endpoint,
+                                       const std::string& body,
+                                       const StopToken* stop) {
+  return httpRequestWithRetry(base_, method, target(endpoint), body, policy_,
+                              rng_, stop, options_);
+}
+
+std::optional<SweepManifest> RemoteWorkQueue::fetchManifest(
+    double waitSeconds, const StopToken* stop) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(waitSeconds);
+  HttpClientResult last;
+  while (true) {
+    if (stop != nullptr && stop->stopRequested()) return std::nullopt;
+    // Single attempts inside our own poll loop: a 404 here means "not
+    // registered yet", which the backoff policy must not treat as fatal.
+    last = httpRequest(base_, "GET", target("/manifest"), "", options_);
+    if (last.ok && last.status == 200) {
+      SweepManifest manifest = parseManifestJson(last.body);
+      suiteName_ = manifest.suiteName;
+      manifest_ = manifest;
+      return manifest;
+    }
+    if (last.ok && last.status != 404 && last.status < 500) {
+      markFailed("manifest fetch", last);
+      return std::nullopt;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  markFailed("manifest fetch (is the sweep registered at the daemon?)",
+             last);
+  return std::nullopt;
+}
+
+std::optional<WorkItem> RemoteWorkQueue::claimNext() {
+  if (failed_) return std::nullopt;
+  const std::string body =
+      "{\"worker\": " + jsonQuote(workerId_) +
+      ", \"lease_seconds\": " + std::to_string(leaseSeconds_) + "}";
+  const HttpClientResult result = call("POST", "/claim", body, nullptr);
+  if (!result.ok || result.status != 200) {
+    markFailed("claim", result);
+    return std::nullopt;
+  }
+  try {
+    const JsonValue root = parseJson(result.body);
+    const JsonValue* claimed = root.find("claimed");
+    if (claimed == nullptr) return std::nullopt;  // wait or done
+    WorkItem item;
+    item.index = static_cast<std::size_t>(claimed->intAt("index"));
+    item.id = claimed->stringAt("id");
+    item.fingerprint = claimed->stringAt("fingerprint");
+    return item;
+  } catch (const std::exception& e) {
+    HttpClientResult bad = result;
+    bad.ok = false;
+    bad.error = std::string("malformed claim response: ") + e.what();
+    markFailed("claim", bad);
+    return std::nullopt;
+  }
+}
+
+bool RemoteWorkQueue::renew(const WorkItem& item) {
+  if (failed_) return false;
+  const std::string body = "{\"worker\": " + jsonQuote(workerId_) +
+                           ", \"fingerprint\": " +
+                           jsonQuote(item.fingerprint) + "}";
+  const HttpClientResult result = call("POST", "/renew", body, nullptr);
+  if (!result.ok || result.status != 200) {
+    // An unreachable coordinator means we can no longer prove ownership;
+    // losing cleanly (discarding the local result) is always safe — the
+    // instance re-runs to the identical record once the fabric heals.
+    markFailed("lease renewal", result);
+    return false;
+  }
+  try {
+    return parseJson(result.body).boolAt("renewed");
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void RemoteWorkQueue::release(const WorkItem& item) {
+  const std::string body = "{\"worker\": " + jsonQuote(workerId_) +
+                           ", \"fingerprint\": " +
+                           jsonQuote(item.fingerprint) + "}";
+  // Best effort: a failed release just waits out the lease on the
+  // coordinator. No retry storm on an already-failed transport.
+  if (failed_) return;
+  (void)call("POST", "/release", body, nullptr);
+}
+
+void RemoteWorkQueue::storeRecord(const WorkItem& item,
+                                  const InstanceOutcome& outcome) {
+  const std::string record =
+      renderSweepRecord(item.fingerprint, suiteName_, item.id, outcome);
+  const std::string body =
+      "{\"worker\": " + jsonQuote(workerId_) +
+      ", \"fingerprint\": " + jsonQuote(item.fingerprint) +
+      ", \"record\": " + jsonQuote(record) + "}";
+  const HttpClientResult result = call("POST", "/complete", body, nullptr);
+  if (result.ok && result.status == 200) return;
+  markFailed("record completion", result);
+  // Throwing here routes through the LeaseGuard (release, best effort)
+  // and surfaces the reason at the CLI — a lost record must be loud, even
+  // though a peer will eventually redo the instance.
+  throw std::runtime_error(reason_);
+}
+
+bool RemoteWorkQueue::allDone() {
+  if (failed_) return false;
+  const HttpClientResult result = call("GET", "", "", nullptr);
+  if (!result.ok || result.status != 200) {
+    markFailed("status poll", result);
+    return false;
+  }
+  try {
+    return parseJson(result.body).boolAt("done");
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace ides

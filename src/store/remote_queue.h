@@ -1,0 +1,88 @@
+// HTTP worker side of the sweep fabric (SweepParticipant over the
+// ides_serve coordinator).
+//
+// `ides_cli sweep --worker http://host:port/<key>` builds one of these
+// instead of a WorkQueue: claims, renewals, and completions are POSTs to
+// /sweeps/<key>/..., and the finished record is rendered LOCALLY (with
+// this worker's provenance) and shipped as a document for the coordinator
+// to validate and persist verbatim. Workers therefore need a TCP route to
+// the daemon, not a shared mount.
+//
+// Degradation when the coordinator vanishes: every request retries under a
+// capped-exponential-backoff policy with jitter; once retries are
+// exhausted the participant marks itself failed with a human-readable
+// reason, best-effort releases any held claim, and claimNext() returns
+// nullopt — the work loop unwinds and the CLI exits nonzero printing the
+// reason. Nothing half-done can leak: an unreported record is simply
+// re-run by a surviving worker after the lease expires, and a re-run
+// produces the identical record.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "store/work_queue.h"
+#include "util/http_client.h"
+#include "util/rng.h"
+
+namespace ides {
+
+class RemoteWorkQueue final : public SweepParticipant {
+ public:
+  /// `url` is http://host:port/<key> (an optional "sweeps/" path prefix is
+  /// accepted, so pasting the manifest URL minus "/manifest" also works).
+  /// Throws std::invalid_argument on an unparseable url or bad key.
+  RemoteWorkQueue(const std::string& url, std::string workerId,
+                  double leaseSeconds, BackoffPolicy policy = {},
+                  HttpClientOptions options = {});
+
+  [[nodiscard]] const std::string& workerId() const { return workerId_; }
+  [[nodiscard]] const std::string& key() const { return key_; }
+
+  /// Fetches and parses the sweep's manifest, waiting up to `waitSeconds`
+  /// for it to be registered (404 polls like the file worker polls for
+  /// manifest.json). nullopt + failed() on timeout or transport loss.
+  std::optional<SweepManifest> fetchManifest(double waitSeconds,
+                                             const StopToken* stop);
+
+  // SweepParticipant over the wire. storeRecord throws std::runtime_error
+  // when the coordinator is unreachable or rejects the record; the
+  // LeaseGuard unwinds the claim and the reason reaches the operator.
+  std::optional<WorkItem> claimNext() override;
+  bool renew(const WorkItem& item) override;
+  void release(const WorkItem& item) override;
+  void storeRecord(const WorkItem& item,
+                   const InstanceOutcome& outcome) override;
+  bool allDone() override;
+  bool stopRequested() override { return false; }
+  [[nodiscard]] double leaseSeconds() const override {
+    return leaseSeconds_;
+  }
+  [[nodiscard]] bool failed() const override { return failed_; }
+  [[nodiscard]] std::string failureReason() const override {
+    return reason_;
+  }
+
+ private:
+  /// One coordinator call with retry/backoff; on exhausted retries marks
+  /// the participant failed and returns the failing result.
+  HttpClientResult call(const std::string& method,
+                        const std::string& endpoint, const std::string& body,
+                        const StopToken* stop);
+  [[nodiscard]] std::string target(const std::string& endpoint) const;
+  void markFailed(const std::string& what, const HttpClientResult& result);
+
+  HttpUrl base_;
+  std::string key_;
+  std::string workerId_;
+  double leaseSeconds_;
+  BackoffPolicy policy_;
+  HttpClientOptions options_;
+  Rng rng_;
+  std::string suiteName_;  ///< from the fetched manifest (record rendering)
+  std::optional<SweepManifest> manifest_;
+  bool failed_ = false;
+  std::string reason_;
+};
+
+}  // namespace ides

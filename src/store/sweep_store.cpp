@@ -66,14 +66,22 @@ bool outcomeIsFinite(const InstanceOutcome& outcome) {
   return true;
 }
 
-std::string renderRecord(const std::string& fingerprint,
-                         const std::string& suiteName,
-                         const std::string& instanceId,
-                         const InstanceOutcome& outcome) {
+}  // namespace
+
+std::string renderSweepRecord(const std::string& fingerprint,
+                              const std::string& suiteName,
+                              const std::string& instanceId,
+                              const InstanceOutcome& outcome) {
   const Provenance& prov = buildProvenance();
   std::string out = "{\n";
   out += "  \"schema\": " + std::to_string(SweepStore::kSchemaVersion) +
          ",\n";
+  // The fingerprint epoch the record was produced under. Informational for
+  // readers (the fingerprint already folds it in, so an old-epoch record
+  // can never be LOADED against new code) — `store gc --epoch` uses it to
+  // find superseded records. Absent in pre-epoch-field records (= epoch
+  // numbers below the field's introduction).
+  out += "  \"epoch\": " + std::to_string(kSweepFingerprintEpoch) + ",\n";
   out += "  \"fingerprint\": " + jsonQuote(fingerprint) + ",\n";
   out += "  \"suite\": " + jsonQuote(suiteName) + ",\n";
   out += "  \"id\": " + jsonQuote(instanceId) + ",\n";
@@ -115,8 +123,6 @@ std::string renderRecord(const std::string& fingerprint,
   out += "}\n";
   return out;
 }
-
-}  // namespace
 
 InstanceOutcome parseSweepRecord(const JsonValue& root,
                                  const std::string& fingerprint) {
@@ -193,14 +199,11 @@ bool SweepStore::outcomeIsComplete(const InstanceOutcome& outcome) {
   return true;
 }
 
-bool SweepStore::store(const std::string& fingerprint,
-                       const std::string& suiteName,
-                       const std::string& instanceId,
-                       const InstanceOutcome& outcome) {
-  if (!outcomeIsComplete(outcome) || !outcomeIsFinite(outcome)) {
-    return false;
-  }
-  const std::string finalPath = recordPath(fingerprint);
+namespace {
+
+/// tmp+rename publish of a rendered record document; first writer wins.
+bool publishRecordText(const std::string& finalPath,
+                       const std::string& text) {
   std::error_code ec;
   if (fs::exists(finalPath, ec)) return false;
 
@@ -210,7 +213,7 @@ bool SweepStore::store(const std::string& fingerprint,
     if (!out) {
       throw std::runtime_error("SweepStore: cannot write " + tmpPath);
     }
-    out << renderRecord(fingerprint, suiteName, instanceId, outcome);
+    out << text;
     out.flush();
     if (!out) {
       throw std::runtime_error("SweepStore: short write to " + tmpPath);
@@ -230,6 +233,43 @@ bool SweepStore::store(const std::string& fingerprint,
     throw std::runtime_error("SweepStore: cannot rename into " + finalPath);
   }
   return true;
+}
+
+}  // namespace
+
+bool SweepStore::store(const std::string& fingerprint,
+                       const std::string& suiteName,
+                       const std::string& instanceId,
+                       const InstanceOutcome& outcome) {
+  if (!outcomeIsComplete(outcome) || !outcomeIsFinite(outcome)) {
+    return false;
+  }
+  return publishRecordText(
+      recordPath(fingerprint),
+      renderSweepRecord(fingerprint, suiteName, instanceId, outcome));
+}
+
+bool SweepStore::storeRecordText(const std::string& fingerprint,
+                                 const std::string& text) {
+  // Full validation before any byte hits the records directory: a remote
+  // worker's document goes through the same parser that load() trusts, so
+  // a malformed upload is rejected here instead of quarantined later.
+  InstanceOutcome outcome;
+  try {
+    outcome = parseSweepRecord(parseJson(text), fingerprint);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("SweepStore: invalid record: ") +
+                             e.what());
+  }
+  if (!outcomeIsComplete(outcome)) {
+    throw std::runtime_error(
+        "SweepStore: invalid record: partial (stopped) outcome refused");
+  }
+  if (!outcomeIsFinite(outcome)) {
+    throw std::runtime_error(
+        "SweepStore: invalid record: non-finite value refused");
+  }
+  return publishRecordText(recordPath(fingerprint), text);
 }
 
 std::optional<InstanceOutcome> SweepStore::load(

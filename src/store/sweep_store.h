@@ -53,6 +53,15 @@ class JsonValue;
 InstanceOutcome parseSweepRecord(const JsonValue& root,
                                  const std::string& fingerprint);
 
+/// Renders one record document (the inverse of parseSweepRecord, plus
+/// provenance fields). Exposed so an HTTP worker can render its result
+/// locally — keeping ITS provenance in the record — and ship the document
+/// to the coordinator for verbatim persistence (storeRecordText).
+std::string renderSweepRecord(const std::string& fingerprint,
+                              const std::string& suiteName,
+                              const std::string& instanceId,
+                              const InstanceOutcome& outcome);
+
 /// Thread-safe: the filesystem protocol carries all the coordination
 /// (atomic renames, first-writer-wins), so concurrent load/store calls on
 /// one object need no locking — the shard workers of a resumed runBatch
@@ -87,6 +96,15 @@ class SweepStore {
   /// on I/O failure.
   bool store(const std::string& fingerprint, const std::string& suiteName,
              const std::string& instanceId, const InstanceOutcome& outcome);
+
+  /// Persists a pre-rendered record document verbatim (atomic tmp+rename)
+  /// after validating it: parseable, schema + fingerprint match, complete
+  /// outcome. Throws std::runtime_error naming the problem on an invalid
+  /// document; returns false when a record already exists (idempotent
+  /// duplicate — first writer wins). Used by the HTTP coordinator, which
+  /// receives documents rendered by remote workers.
+  bool storeRecordText(const std::string& fingerprint,
+                       const std::string& text);
 
   /// Loads a record; nullopt when absent. A present-but-corrupt record
   /// (unparseable, wrong schema, fingerprint mismatch) is quarantined and

@@ -1,5 +1,7 @@
 #include "store/work_queue.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
@@ -7,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
 #include "util/json_reader.h"
 #include "util/provenance.h"
 
@@ -49,6 +52,17 @@ bool fileAgeSeconds(const std::string& path, const std::string& probePath,
 
 }  // namespace
 
+bool validSweepKey(std::string_view key) {
+  if (key.empty() || key.size() > 128) return false;
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 SweepManifest makeManifest(const std::string& sweepName,
                            const SweepScale& scale,
                            const InstanceSuite& suite) {
@@ -65,7 +79,7 @@ SweepManifest makeManifest(const std::string& sweepName,
   return manifest;
 }
 
-void writeManifest(const std::string& dir, const SweepManifest& manifest) {
+std::string manifestJson(const SweepManifest& manifest) {
   std::string out = "{\n";
   out += "  \"schema\": 1,\n";
   out += "  \"sweep\": " + jsonQuote(manifest.sweep) + ",\n";
@@ -91,7 +105,11 @@ void writeManifest(const std::string& dir, const SweepManifest& manifest) {
            ", \"fingerprint\": " + jsonQuote(item.fingerprint) + "}";
   }
   out += "\n  ]\n}\n";
+  return out;
+}
 
+void writeManifest(const std::string& dir, const SweepManifest& manifest) {
+  const std::string out = manifestJson(manifest);
   const std::string finalPath = manifestPath(dir);
   // Host+pid-unique tmp name: a second coordinator racing the publish must
   // not interleave writes into the same tmp file (the later rename still
@@ -122,14 +140,10 @@ void writeManifest(const std::string& dir, const SweepManifest& manifest) {
   }
 }
 
-std::optional<SweepManifest> readManifest(const std::string& dir) {
-  std::ifstream in(manifestPath(dir), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+SweepManifest parseManifestJson(const std::string& text) {
   JsonValue root;
   try {
-    root = parseJson(buffer.str());
+    root = parseJson(text);
   } catch (const std::exception& e) {
     throw std::runtime_error(std::string("work queue: bad manifest: ") +
                              e.what());
@@ -160,6 +174,14 @@ std::optional<SweepManifest> readManifest(const std::string& dir) {
     manifest.items.push_back(std::move(item));
   }
   return manifest;
+}
+
+std::optional<SweepManifest> readManifest(const std::string& dir) {
+  std::ifstream in(manifestPath(dir), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseManifestJson(buffer.str());
 }
 
 InstanceSuite suiteFromManifest(const SweepManifest& manifest) {
@@ -202,17 +224,52 @@ std::string WorkQueue::leasePath(const WorkItem& item) const {
       .string();
 }
 
+std::string WorkQueue::leaseContent() const {
+  return "{\"worker\": " + jsonQuote(workerId_) +
+         ", \"lease_seconds\": " + std::to_string(leaseSeconds_) + "}\n";
+}
+
 bool WorkQueue::tryClaimExclusive(const WorkItem& item) {
   // fopen "wx" = O_CREAT | O_EXCL: exactly one participant wins the create,
   // even over NFS-style shared directories with close-to-open consistency.
   std::FILE* file = std::fopen(leasePath(item).c_str(), "wx");
   if (file == nullptr) return false;
-  const std::string content =
-      "{\"worker\": " + jsonQuote(workerId_) +
-      ", \"lease_seconds\": " + std::to_string(leaseSeconds_) + "}\n";
-  std::fputs(content.c_str(), file);
+  std::fputs(leaseContent().c_str(), file);
   std::fclose(file);
   return true;
+}
+
+bool WorkQueue::renew(const WorkItem& item) {
+  const std::string path = leasePath(item);
+  const auto ownedByUs = [&] {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      return parseJson(buffer.str()).stringAt("worker") == workerId_;
+    } catch (const std::exception&) {
+      // Mid-write or corrupt: do not touch what we may not own.
+      return false;
+    }
+  };
+  if (!ownedByUs()) return false;
+  // "r+" (never create): a reclaimed lease must stay gone — recreating the
+  // file here would resurrect a claim a peer has already moved aside.
+  std::FILE* file = std::fopen(path.c_str(), "r+");
+  if (file == nullptr) return false;
+  const std::string content = leaseContent();
+  std::fputs(content.c_str(), file);
+  std::fflush(file);
+#if defined(__unix__) || defined(__APPLE__)
+  (void)::ftruncate(fileno(file), static_cast<off_t>(content.size()));
+#endif
+  std::fclose(file);
+  // Re-check after the rewrite: if a reclaim slipped between the ownership
+  // check and the write, report the loss now so the caller stops. (The
+  // narrower write-vs-reclaim tie that survives this check is benign — both
+  // runs produce the identical record and the store keeps exactly one.)
+  return ownedByUs();
 }
 
 bool WorkQueue::reclaimIfStale(const WorkItem& item, bool& probeFresh) {
@@ -314,34 +371,93 @@ void WorkQueue::clearStop() {
   fs::remove(stopPath(dir_), ec);
 }
 
-QueueRunStats runQueuedInstances(
-    const InstanceSuite& suite, const SweepManifest& manifest,
-    SweepStore& store, WorkQueue& queue, const StopToken* stop,
+LeaseGuard::LeaseGuard(SweepParticipant& participant, WorkItem item)
+    : participant_(participant), item_(std::move(item)) {
+  // Renew at a third of the lease so two consecutive missed heartbeats
+  // still leave the lease fresh; the floor keeps a deliberately tiny test
+  // lease from spinning the thread.
+  const double period = std::max(participant_.leaseSeconds() / 3.0, 0.05);
+  renewal_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopRenewal_) {
+      const bool stopping =
+          cv_.wait_for(lock, std::chrono::duration<double>(period),
+                       [this] { return stopRenewal_; });
+      if (stopping) break;
+      lock.unlock();
+      faultPoint("mid-renewal");
+      const bool renewed = participant_.renew(item_);
+      lock.lock();
+      if (!renewed) {
+        lost_.store(true);
+        break;  // we no longer own the claim; stop heartbeating
+      }
+    }
+  });
+}
+
+LeaseGuard::~LeaseGuard() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopRenewal_ = true;
+  }
+  cv_.notify_all();
+  if (renewal_.joinable()) renewal_.join();
+  // A lost claim belongs to its reclaimer now — releasing would delete the
+  // PEER's live lease.
+  if (!completed_.load() && !lost_.load()) participant_.release(item_);
+}
+
+QueueRunStats runSweepParticipant(
+    const InstanceSuite& suite, SweepParticipant& participant,
+    const StopToken* stop,
     const std::function<void(const WorkItem&, const InstanceOutcome&)>&
         onDone) {
   QueueRunStats stats;
   while (true) {
     if ((stop != nullptr && stop->stopRequested()) ||
-        queue.stopRequested()) {
+        participant.stopRequested()) {
       stats.stopped = true;
       return stats;
     }
-    std::optional<WorkItem> item = queue.claim(store, manifest);
-    if (!item.has_value()) return stats;
+    std::optional<WorkItem> item = participant.claimNext();
+    if (!item.has_value()) {
+      if (participant.failed()) {
+        stats.failed = true;
+        stats.error = participant.failureReason();
+      }
+      return stats;
+    }
     const BatchInstance& instance = suite.instances()[item->index];
+    // Everything from here to markCompleted() is covered by the guard: a
+    // throw from the instance run or the store releases the lease instead
+    // of leaving it to dangle until the stale timeout.
+    LeaseGuard guard(participant, *item);
+    faultPoint("post-claim");
     InstanceOutcome outcome = runBatchInstance(instance, stop);
     if (!SweepStore::outcomeIsComplete(outcome)) {
       // Cut short mid-instance: the partial result must not enter the
-      // store. Release the claim so a peer (or a resume) redoes it.
-      queue.release(*item);
+      // store. The guard releases the claim so a peer (or a resume)
+      // redoes it.
       stats.stopped = true;
       return stats;
     }
-    store.store(item->fingerprint, suite.name(), instance.id, outcome);
-    queue.complete(*item);
+    if (guard.renewalLost()) continue;  // the reclaimer publishes it
+    faultPoint("pre-complete");
+    participant.storeRecord(*item, outcome);
+    guard.markCompleted();
     ++stats.executed;
     if (onDone) onDone(*item, outcome);
   }
+}
+
+QueueRunStats runQueuedInstances(
+    const InstanceSuite& suite, const SweepManifest& manifest,
+    SweepStore& store, WorkQueue& queue, const StopToken* stop,
+    const std::function<void(const WorkItem&, const InstanceOutcome&)>&
+        onDone) {
+  FileSweepParticipant participant(suite, manifest, store, queue);
+  return runSweepParticipant(suite, participant, stop, onDone);
 }
 
 BatchReport reportFromStore(const InstanceSuite& suite, SweepStore& store) {

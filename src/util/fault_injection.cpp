@@ -1,0 +1,154 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace ides {
+
+namespace {
+
+double parseArg(std::string_view entry, std::string_view text,
+                double fallback) {
+  if (text.empty()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(text), &used);
+    if (used != text.size() || value < 0.0) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("IDES_FAULT: bad argument in \"" +
+                                std::string(entry) + "\"");
+  }
+}
+
+}  // namespace
+
+std::vector<FaultSpec> parseFaultSpec(std::string_view text) {
+  std::vector<FaultSpec> specs;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string_view entry = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw std::invalid_argument(
+          "IDES_FAULT: expected \"point:action[:arg]\", got \"" +
+          std::string(entry) + "\"");
+    }
+    FaultSpec spec;
+    spec.point = std::string(entry.substr(0, colon));
+    std::string_view rest = entry.substr(colon + 1);
+    const std::size_t argColon = rest.find(':');
+    const std::string_view action = rest.substr(0, argColon);
+    const std::string_view arg = argColon == std::string_view::npos
+                                     ? std::string_view{}
+                                     : rest.substr(argColon + 1);
+    if (action == "crash") {
+      if (!arg.empty()) {
+        throw std::invalid_argument("IDES_FAULT: crash takes no argument (\"" +
+                                    std::string(entry) + "\")");
+      }
+      spec.action = FaultSpec::Action::Crash;
+    } else if (action == "exit") {
+      spec.action = FaultSpec::Action::Exit;
+      spec.arg = parseArg(entry, arg, 70.0);
+      if (spec.arg != static_cast<double>(static_cast<int>(spec.arg)) ||
+          spec.arg > 255.0) {
+        throw std::invalid_argument(
+            "IDES_FAULT: exit code must be an integer in [0, 255] (\"" +
+            std::string(entry) + "\")");
+      }
+    } else if (action == "stall") {
+      spec.action = FaultSpec::Action::Stall;
+      spec.arg = parseArg(entry, arg, 1.0);
+    } else {
+      throw std::invalid_argument("IDES_FAULT: unknown action \"" +
+                                  std::string(action) +
+                                  "\" (available: crash, exit, stall)");
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::optional<FaultSpec> findFault(const std::vector<FaultSpec>& specs,
+                                   std::string_view point) {
+  for (const FaultSpec& spec : specs) {
+    if (spec.point == point) return spec;
+  }
+  return std::nullopt;
+}
+
+void executeFault(const FaultSpec& spec) {
+  switch (spec.action) {
+    case FaultSpec::Action::Crash:
+      // SIGKILL cannot be caught or unwound — peers observe exactly what a
+      // kernel kill looks like: a held lease and silence.
+      std::fprintf(stderr, "IDES_FAULT: crash at %s\n", spec.point.c_str());
+      std::fflush(stderr);
+#if defined(__unix__) || defined(__APPLE__)
+      (void)::raise(SIGKILL);
+#endif
+      std::abort();  // unreachable on POSIX; a hard stop elsewhere
+    case FaultSpec::Action::Exit:
+      std::fprintf(stderr, "IDES_FAULT: exit %d at %s\n",
+                   static_cast<int>(spec.arg), spec.point.c_str());
+      std::fflush(stderr);
+#if defined(__unix__) || defined(__APPLE__)
+      ::_exit(static_cast<int>(spec.arg));
+#else
+      std::_Exit(static_cast<int>(spec.arg));
+#endif
+    case FaultSpec::Action::Stall:
+      std::fprintf(stderr, "IDES_FAULT: stall %.3fs at %s\n", spec.arg,
+                   spec.point.c_str());
+      std::fflush(stderr);
+      std::this_thread::sleep_for(std::chrono::duration<double>(spec.arg));
+      return;
+  }
+}
+
+namespace {
+
+const std::vector<FaultSpec>& processFaults() {
+  // Parsed once; a malformed spec must abort the process loudly, not
+  // silently disable the fault a robustness test depends on.
+  static const std::vector<FaultSpec> specs = [] {
+    const char* env = std::getenv("IDES_FAULT");
+    if (env == nullptr || env[0] == '\0') return std::vector<FaultSpec>{};
+    try {
+      return parseFaultSpec(env);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::fflush(stderr);
+      std::abort();
+    }
+  }();
+  return specs;
+}
+
+}  // namespace
+
+void faultPoint(std::string_view point) {
+  const std::vector<FaultSpec>& specs = processFaults();
+  if (specs.empty()) return;  // the common (production) path: one branch
+  const std::optional<FaultSpec> spec = findFault(specs, point);
+  if (spec.has_value()) executeFault(*spec);
+}
+
+bool faultInjectionActive() { return !processFaults().empty(); }
+
+}  // namespace ides

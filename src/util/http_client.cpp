@@ -1,0 +1,346 @@
+#include "util/http_client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ides {
+
+std::optional<HttpUrl> parseHttpUrl(std::string_view url) {
+  constexpr std::string_view scheme = "http://";
+  if (url.substr(0, scheme.size()) != scheme) return std::nullopt;
+  std::string_view rest = url.substr(scheme.size());
+
+  HttpUrl out;
+  const std::size_t slash = rest.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  out.path = slash == std::string_view::npos ? "/"
+                                             : std::string(rest.substr(slash));
+  if (authority.empty()) return std::nullopt;
+
+  const std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view portText = authority.substr(colon + 1);
+    if (portText.empty()) return std::nullopt;
+    int port = 0;
+    for (char c : portText) {
+      if (c < '0' || c > '9') return std::nullopt;
+      port = port * 10 + (c - '0');
+      if (port > 65535) return std::nullopt;
+    }
+    if (port == 0) return std::nullopt;
+    out.port = port;
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  out.host = std::string(authority);
+  return out;
+}
+
+namespace {
+
+struct SocketGuard {
+  int fd = -1;
+  ~SocketGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+HttpClientResult transportError(std::string reason) {
+  HttpClientResult result;
+  result.error = std::move(reason);
+  return result;
+}
+
+/// Connects with an explicit timeout via a non-blocking connect + poll.
+int connectWithTimeout(const HttpUrl& url, double timeoutSeconds,
+                       std::string& error) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+
+  const std::string portText = std::to_string(url.port);
+  struct addrinfo* infos = nullptr;
+  const int rc = ::getaddrinfo(url.host.c_str(), portText.c_str(), &hints,
+                               &infos);
+  if (rc != 0 || infos == nullptr) {
+    error = "resolve " + url.host + ": " + ::gai_strerror(rc);
+    return -1;
+  }
+
+  int fd = -1;
+  error = "no usable address for " + url.host;
+  for (struct addrinfo* info = infos; info != nullptr; info = info->ai_next) {
+    fd = ::socket(info->ai_family, info->ai_socktype, info->ai_protocol);
+    if (fd < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    if (::connect(fd, info->ai_addr, info->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int timeoutMs =
+          static_cast<int>(std::max(0.0, timeoutSeconds) * 1000.0);
+      const int ready = ::poll(&pfd, 1, timeoutMs);
+      if (ready > 0) {
+        int soError = 0;
+        socklen_t len = sizeof(soError);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) == 0 &&
+            soError == 0) {
+          break;  // connected
+        }
+        error = std::string("connect ") + url.host + ":" + portText + ": " +
+                std::strerror(soError != 0 ? soError : ECONNREFUSED);
+      } else if (ready == 0) {
+        error = "connect " + url.host + ":" + portText + ": timed out";
+      } else {
+        error = std::string("poll: ") + std::strerror(errno);
+      }
+    } else {
+      error = std::string("connect ") + url.host + ":" + portText + ": " +
+              std::strerror(errno);
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(infos);
+  if (fd >= 0) {
+    // Back to blocking for the request/response exchange; per-call timeouts
+    // come from SO_SNDTIMEO/SO_RCVTIMEO set by the caller.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+  return fd;
+}
+
+void setSocketTimeout(int fd, int option, double seconds) {
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) *
+                                        1000000.0);
+  (void)::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+bool sendAll(int fd, const std::string& data, std::string& error) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool caseInsensitiveEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClientResult httpRequest(const HttpUrl& url, const std::string& method,
+                             const std::string& target,
+                             const std::string& body,
+                             const HttpClientOptions& options) {
+  std::string connectError;
+  SocketGuard socket;
+  socket.fd = connectWithTimeout(url, options.connectTimeoutSeconds,
+                                 connectError);
+  if (socket.fd < 0) return transportError(connectError);
+  setSocketTimeout(socket.fd, SO_SNDTIMEO, options.readTimeoutSeconds);
+  setSocketTimeout(socket.fd, SO_RCVTIMEO, options.readTimeoutSeconds);
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + url.host + ":" + std::to_string(url.port) + "\r\n";
+  request += "Connection: close\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "Content-Type: application/json\r\n";
+  }
+  request += "\r\n";
+  request += body;
+
+  std::string sendError;
+  if (!sendAll(socket.fd, request, sendError)) {
+    return transportError(std::move(sendError));
+  }
+
+  // Read the response under an overall deadline: SO_RCVTIMEO bounds each
+  // recv, the deadline bounds the sum, so a drip-feeding peer cannot hold
+  // the worker past readTimeoutSeconds.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options.readTimeoutSeconds);
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return transportError("read: timed out");
+    }
+    const ssize_t n = ::recv(socket.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      raw.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // orderly close — full response received
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return transportError("read: timed out");
+    }
+    return transportError(std::string("recv: ") + std::strerror(errno));
+  }
+
+  const std::size_t headerEnd = raw.find("\r\n\r\n");
+  if (headerEnd == std::string::npos) {
+    return transportError("malformed response: no header terminator");
+  }
+  const std::string_view head = std::string_view(raw).substr(0, headerEnd);
+  const std::size_t lineEnd = head.find("\r\n");
+  const std::string_view statusLine =
+      lineEnd == std::string_view::npos ? head : head.substr(0, lineEnd);
+  // "HTTP/1.1 200 OK"
+  const std::size_t firstSpace = statusLine.find(' ');
+  if (firstSpace == std::string_view::npos ||
+      statusLine.substr(0, 5) != "HTTP/") {
+    return transportError("malformed response: bad status line");
+  }
+  std::string_view statusText = statusLine.substr(firstSpace + 1);
+  const std::size_t secondSpace = statusText.find(' ');
+  if (secondSpace != std::string_view::npos) {
+    statusText = statusText.substr(0, secondSpace);
+  }
+  int status = 0;
+  for (char c : statusText) {
+    if (c < '0' || c > '9') return transportError("malformed status code");
+    status = status * 10 + (c - '0');
+  }
+  if (status < 100 || status > 599) {
+    return transportError("malformed status code");
+  }
+
+  // Content-Length, when present, guards against a truncated body; the
+  // server closes after each response so read-to-EOF is the fallback.
+  std::size_t contentLength = std::string::npos;
+  std::string_view headers =
+      lineEnd == std::string_view::npos ? std::string_view{}
+                                        : head.substr(lineEnd + 2);
+  while (!headers.empty()) {
+    const std::size_t eol = headers.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? headers : headers.substr(0, eol);
+    headers = eol == std::string_view::npos ? std::string_view{}
+                                            : headers.substr(eol + 2);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (!caseInsensitiveEquals(line.substr(0, colon), "content-length")) {
+      continue;
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    std::size_t length = 0;
+    bool valid = !value.empty();
+    for (char c : value) {
+      if (c < '0' || c > '9') {
+        valid = false;
+        break;
+      }
+      length = length * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (valid) contentLength = length;
+  }
+
+  HttpClientResult result;
+  result.body = raw.substr(headerEnd + 4);
+  if (contentLength != std::string::npos) {
+    if (result.body.size() < contentLength) {
+      return transportError("truncated body");
+    }
+    result.body.resize(contentLength);
+  }
+  result.ok = true;
+  result.status = status;
+  return result;
+}
+
+double backoffDelaySeconds(const BackoffPolicy& policy, int attempt,
+                           Rng& rng) {
+  double delay = policy.initialSeconds;
+  for (int i = 0; i < attempt && delay < policy.maxSeconds; ++i) {
+    delay *= policy.multiplier;
+  }
+  delay = std::min(delay, policy.maxSeconds);
+  if (policy.jitter > 0.0) {
+    const double factor =
+        rng.uniformReal(1.0 - policy.jitter, 1.0 + policy.jitter);
+    delay *= factor;
+  }
+  return delay;
+}
+
+HttpClientResult httpRequestWithRetry(const HttpUrl& url,
+                                      const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      const BackoffPolicy& policy, Rng& rng,
+                                      const StopToken* stop,
+                                      const HttpClientOptions& options) {
+  HttpClientResult last;
+  const int attempts = std::max(1, policy.maxAttempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (stop != nullptr && stop->stopRequested()) {
+      last.ok = false;
+      last.error = "stopped";
+      return last;
+    }
+    last = httpRequest(url, method, target, body, options);
+    const bool retryable = !last.ok || last.status >= 500;
+    if (!retryable || attempt + 1 == attempts) return last;
+
+    // Sleep in short slices so a stop request interrupts the backoff.
+    double remaining = backoffDelaySeconds(policy, attempt, rng);
+    while (remaining > 0.0) {
+      if (stop != nullptr && stop->stopRequested()) {
+        last.ok = false;
+        last.error = "stopped";
+        return last;
+      }
+      const double slice = std::min(remaining, 0.05);
+      std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+      remaining -= slice;
+    }
+  }
+  return last;
+}
+
+}  // namespace ides

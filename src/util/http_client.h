@@ -1,0 +1,89 @@
+// Minimal dependency-free HTTP/1.1 client for the sweep fabric.
+//
+// The counterpart of serve/http_server.h: plain POSIX sockets, one request
+// per connection (the server answers Connection: close anyway), explicit
+// connect and read timeouts so a vanished coordinator costs a bounded wait
+// instead of a hung worker, and a capped exponential backoff policy with
+// deterministic jitter for the retry loops around it.
+//
+// Transport failures (refused, timed out, short response) and HTTP status
+// codes are reported separately: `ok` says "a complete HTTP response came
+// back", `status` says what the server answered. Retry loops treat
+// transport failures and 5xx as retryable; 4xx are the caller's bug and
+// surface immediately.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/stop_token.h"
+
+namespace ides {
+
+/// Parsed http:// URL. Only the scheme the fabric speaks; https is out of
+/// scope for a LAN coordinator (put a terminating proxy in front if the
+/// path crosses trust boundaries).
+struct HttpUrl {
+  std::string host;
+  int port = 80;
+  std::string path = "/";  ///< always starts with '/'
+};
+
+/// Parses "http://host[:port][/path]". nullopt on anything else (https,
+/// missing host, junk port).
+std::optional<HttpUrl> parseHttpUrl(std::string_view url);
+
+struct HttpClientOptions {
+  double connectTimeoutSeconds = 5.0;
+  /// Budget for the whole response read, not per-chunk — a coordinator
+  /// that stops mid-response is as gone as one that never accepted.
+  double readTimeoutSeconds = 30.0;
+};
+
+struct HttpClientResult {
+  bool ok = false;    ///< a complete HTTP response was received
+  int status = 0;     ///< HTTP status when ok
+  std::string body;
+  std::string error;  ///< transport-level reason when !ok
+};
+
+/// One blocking request. `target` is the request target ("/path?query"),
+/// `body` non-empty implies a Content-Length body (method chosen by the
+/// caller). Never throws; failures come back in the result.
+HttpClientResult httpRequest(const HttpUrl& url, const std::string& method,
+                             const std::string& target,
+                             const std::string& body,
+                             const HttpClientOptions& options = {});
+
+/// Capped exponential backoff with jitter. Delay for attempt k (0-based)
+/// is min(initial * multiplier^k, max), scaled by a uniform factor in
+/// [1 - jitter, 1 + jitter] — jitter decorrelates a worker fleet that lost
+/// its coordinator at the same instant, so the comeback is not a stampede.
+struct BackoffPolicy {
+  double initialSeconds = 0.25;
+  double maxSeconds = 5.0;
+  double multiplier = 2.0;
+  double jitter = 0.25;  ///< fraction of the delay; must be in [0, 1)
+  int maxAttempts = 6;   ///< total tries (first attempt included)
+};
+
+/// The delay to sleep after failed attempt `attempt` (0-based). Pure given
+/// the rng state — unit-testable and deterministic per worker seed.
+double backoffDelaySeconds(const BackoffPolicy& policy, int attempt,
+                           Rng& rng);
+
+/// httpRequest with retries under `policy`: transport failures and 5xx
+/// responses retry (sleeping the backoff delay between attempts, leaving
+/// early when `stop` fires); anything else returns immediately. The final
+/// failure carries the last error/status seen.
+HttpClientResult httpRequestWithRetry(const HttpUrl& url,
+                                      const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      const BackoffPolicy& policy, Rng& rng,
+                                      const StopToken* stop = nullptr,
+                                      const HttpClientOptions& options = {});
+
+}  // namespace ides

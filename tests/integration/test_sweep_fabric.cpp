@@ -1,0 +1,155 @@
+// Sweep fabric end-to-end (slow suite): racing workers over the HTTP
+// coordinator — first against the SweepCoordinator API directly, then
+// through the full daemon stack (HttpServer + routeRequest +
+// RemoteWorkQueue over real sockets) — must leave a merged result
+// byte-identical (timing off) to the single-process runBatch path. The
+// crash/stall process-kill variants of this invariant live in the
+// sweep-fault CI job, which SIGKILLs real worker processes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_runner.h"
+#include "core/batch_suites.h"
+#include "serve/daemon.h"
+#include "serve/http_server.h"
+#include "serve/sweep_coordinator.h"
+#include "store/remote_queue.h"
+#include "store/sweep_store.h"
+#include "store/work_queue.h"
+#include "util/http_client.h"
+#include "util/stop_token.h"
+
+namespace ides {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ides_fabric_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string referenceJson(const InstanceSuite& suite,
+                          const SweepScale& scale) {
+  BatchJsonOptions json;
+  json.scale = scale.name;
+  json.timing = false;
+  return batchReportJson("sweep_quality", runBatch(suite, {}), json);
+}
+
+TEST(SweepFabricTest, CoordinatorWorkersMatchSingleProcessByteIdentical) {
+  const SweepScale scale = sweepScaleNamed("smoke");
+  const InstanceSuite suite = namedSweep("quality", scale);
+  const std::string reference = referenceJson(suite, scale);
+
+  SweepCoordinator coordinator(freshDir("api"));
+  coordinator.create("k", "quality", "smoke");
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      const std::string worker = "worker-" + std::to_string(w);
+      // Rebuild the suite from the published manifest, exactly like a
+      // remote process would.
+      const InstanceSuite local = suiteFromManifest(
+          parseManifestJson(coordinator.manifestText("k")));
+      for (;;) {
+        const CoordinatorClaim claim =
+            coordinator.claim("k", worker, 600.0);
+        if (claim.kind == CoordinatorClaim::Kind::Done) break;
+        if (claim.kind == CoordinatorClaim::Kind::Wait) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;
+        }
+        const InstanceOutcome outcome = runBatchInstance(
+            local.instances()[claim.item.index], nullptr);
+        (void)coordinator.complete(
+            "k", worker, claim.item.fingerprint,
+            renderSweepRecord(claim.item.fingerprint, local.name(),
+                              claim.item.id, outcome));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_TRUE(coordinator.status("k").done);
+  const std::optional<std::string> result = coordinator.resultJson("k");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, reference);
+}
+
+TEST(SweepFabricTest, HttpTransportMatchesSingleProcessByteIdentical) {
+  const SweepScale scale = sweepScaleNamed("smoke");
+  const InstanceSuite suite = namedSweep("quality", scale);
+  const std::string reference = referenceJson(suite, scale);
+
+  // The daemon, in-process: real sockets, the production router.
+  const std::string storeDir = freshDir("http");
+  JobManagerOptions jobOptions;
+  jobOptions.workers = 1;
+  JobManager jobs(jobOptions);
+  SweepCoordinator coordinator(storeDir);
+  ServeRuntime runtime{jobs, &coordinator, storeDir};
+  HttpServer server("127.0.0.1", 0);
+  StopToken serverStop;
+  std::thread serving([&] {
+    server.serve(
+        [&](const HttpRequest& request) {
+          return routeRequest(runtime, request);
+        },
+        &serverStop);
+  });
+  const std::string base =
+      "http://127.0.0.1:" + std::to_string(server.port());
+
+  HttpUrl url = *parseHttpUrl(base);
+  const HttpClientResult created = httpRequest(
+      url, "POST", "/sweeps/e2e",
+      "{\"sweep\": \"quality\", \"scale\": \"smoke\"}");
+  ASSERT_TRUE(created.ok) << created.error;
+  ASSERT_EQ(created.status, 200) << created.body;
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      RemoteWorkQueue remote(base + "/e2e",
+                             "worker-" + std::to_string(w), 600.0);
+      const std::optional<SweepManifest> manifest =
+          remote.fetchManifest(10.0, nullptr);
+      ASSERT_TRUE(manifest.has_value()) << remote.failureReason();
+      const InstanceSuite local = suiteFromManifest(*manifest);
+      while (!remote.allDone()) {
+        const QueueRunStats stats =
+            runSweepParticipant(local, remote, nullptr);
+        ASSERT_FALSE(stats.failed) << remote.failureReason();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const HttpClientResult result =
+      httpRequest(url, "GET", "/sweeps/e2e/result", "");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.status, 200) << result.body;
+  EXPECT_EQ(result.body, reference);
+
+  // While we have a live daemon with a store: healthz reports it healthy.
+  const HttpClientResult health = httpRequest(url, "GET", "/healthz", "");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"store\": \"ok\""), std::string::npos);
+
+  serverStop.requestStop();
+  serving.join();
+}
+
+}  // namespace
+}  // namespace ides

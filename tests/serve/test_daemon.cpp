@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/json_reader.h"
+
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -194,6 +196,148 @@ TEST(RouteRequest, FullQueueAnswers503) {
   EXPECT_EQ(rejected.status, 503);
   EXPECT_NE(rejected.body.find("full"), std::string::npos);
   jobs.drain();
+}
+
+TEST(RouteRequest, HealthzReportsUptimeAndStoreHealth) {
+  JobManager jobs(JobManagerOptions{});
+  const std::string storeDir = ::testing::TempDir() + "ides_healthz_store";
+  std::filesystem::create_directories(storeDir);
+
+  ServeRuntime healthy{jobs, nullptr, storeDir};
+  const HttpResponse ok =
+      routeRequest(healthy, makeRequest("GET", "/healthz"));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(ok.body.find("\"uptime_seconds\": "), std::string::npos);
+  EXPECT_NE(ok.body.find("\"store\": \"ok\""), std::string::npos);
+
+  // No store configured: reported, but not sick.
+  ServeRuntime storeless{jobs, nullptr, std::string()};
+  const HttpResponse none =
+      routeRequest(storeless, makeRequest("GET", "/healthz"));
+  EXPECT_EQ(none.status, 200);
+  EXPECT_NE(none.body.find("\"store\": \"none\""), std::string::npos);
+
+  // An unreachable store dir (lost mount, full disk) answers 503 so a
+  // load balancer drains the instance.
+  ServeRuntime sick{jobs, nullptr, "/nonexistent/ides/store"};
+  const HttpResponse drained =
+      routeRequest(sick, makeRequest("GET", "/healthz"));
+  EXPECT_EQ(drained.status, 503);
+  EXPECT_NE(drained.body.find("\"status\": \"sick\""), std::string::npos);
+  EXPECT_NE(drained.body.find("\"store\": \"unreachable\""),
+            std::string::npos);
+}
+
+TEST(RouteRequest, SweepsWithoutStoreAnswer503) {
+  JobManager jobs(JobManagerOptions{});
+  // The back-compat entry point (no runtime): no coordinator wired in.
+  const HttpResponse response =
+      routeRequest(jobs, makeRequest("GET", "/sweeps"));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("--store-dir"), std::string::npos);
+}
+
+TEST(RouteRequest, SweepLifecycleOverHttpRoutes) {
+  JobManager jobs(JobManagerOptions{});
+  const std::string storeDir =
+      ::testing::TempDir() + "ides_daemon_sweeps_store";
+  std::filesystem::remove_all(storeDir);
+  SweepCoordinator coordinator(storeDir);
+  ServeRuntime runtime{jobs, &coordinator, storeDir};
+
+  // Empty listing before anything is registered.
+  const HttpResponse empty =
+      routeRequest(runtime, makeRequest("GET", "/sweeps"));
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_NE(empty.body.find("\"sweeps\": []"), std::string::npos);
+
+  // Register (default scale comes from the body being allowed to omit it).
+  const HttpResponse created = routeRequest(
+      runtime, makeRequest("POST", "/sweeps/nightly",
+                           "{\"sweep\": \"quality\", \"scale\": \"smoke\"}"));
+  EXPECT_EQ(created.status, 200) << created.body;
+  EXPECT_NE(created.body.find("\"key\": \"nightly\""), std::string::npos);
+  EXPECT_NE(created.body.find("\"done\": false"), std::string::npos);
+
+  const HttpResponse listed =
+      routeRequest(runtime, makeRequest("GET", "/sweeps"));
+  EXPECT_NE(listed.body.find("\"key\": \"nightly\""), std::string::npos);
+
+  // The manifest endpoint serves the canonical document.
+  const HttpResponse manifest = routeRequest(
+      runtime, makeRequest("GET", "/sweeps/nightly/manifest"));
+  EXPECT_EQ(manifest.status, 200);
+  EXPECT_NE(manifest.body.find("\"sweep\": \"quality\""),
+            std::string::npos);
+
+  // Claim, renew, release round trip.
+  const HttpResponse claimed = routeRequest(
+      runtime, makeRequest("POST", "/sweeps/nightly/claim",
+                           "{\"worker\": \"w1\", \"lease_seconds\": 60}"));
+  EXPECT_EQ(claimed.status, 200);
+  ASSERT_NE(claimed.body.find("\"claimed\""), std::string::npos);
+  const JsonValue claim = parseJson(claimed.body);
+  const std::string fingerprint =
+      claim.at("claimed").stringAt("fingerprint");
+
+  const HttpResponse renewed = routeRequest(
+      runtime, makeRequest("POST", "/sweeps/nightly/renew",
+                           "{\"worker\": \"w1\", \"fingerprint\": " +
+                               jsonQuote(fingerprint) + "}"));
+  EXPECT_NE(renewed.body.find("\"renewed\": true"), std::string::npos);
+  const HttpResponse stolen = routeRequest(
+      runtime, makeRequest("POST", "/sweeps/nightly/renew",
+                           "{\"worker\": \"w2\", \"fingerprint\": " +
+                               jsonQuote(fingerprint) + "}"));
+  EXPECT_NE(stolen.body.find("\"renewed\": false"), std::string::npos);
+  const HttpResponse released = routeRequest(
+      runtime, makeRequest("POST", "/sweeps/nightly/release",
+                           "{\"worker\": \"w1\", \"fingerprint\": " +
+                               jsonQuote(fingerprint) + "}"));
+  EXPECT_NE(released.body.find("\"released\": true"), std::string::npos);
+
+  // Error surface: the matrix clients actually hit.
+  EXPECT_EQ(routeRequest(runtime, makeRequest("GET", "/sweeps/nope"))
+                .status,
+            404);
+  EXPECT_EQ(routeRequest(runtime, makeRequest("GET", "/sweeps/bad!key"))
+                .status,
+            400);
+  EXPECT_EQ(routeRequest(runtime, makeRequest("PUT", "/sweeps/nightly"))
+                .status,
+            405);
+  EXPECT_EQ(routeRequest(runtime,
+                         makeRequest("POST", "/sweeps/nightly/claim",
+                                     "{\"worker\": \"w\", "
+                                     "\"lease_seconds\": 0}"))
+                .status,
+            400);
+  EXPECT_EQ(routeRequest(runtime, makeRequest("POST", "/sweeps/nightly/claim",
+                                              "not json"))
+                .status,
+            400);
+  // Conflicting re-registration of a live key.
+  EXPECT_EQ(routeRequest(runtime,
+                         makeRequest("POST", "/sweeps/nightly",
+                                     "{\"sweep\": \"quality\", "
+                                     "\"scale\": \"full\"}"))
+                .status,
+            400);
+  // A garbage record is refused at the completion boundary.
+  EXPECT_EQ(routeRequest(runtime,
+                         makeRequest("POST", "/sweeps/nightly/complete",
+                                     "{\"worker\": \"w1\", "
+                                     "\"fingerprint\": " +
+                                         jsonQuote(fingerprint) +
+                                         ", \"record\": \"junk\"}"))
+                .status,
+            400);
+  // No result until every record is in.
+  EXPECT_EQ(
+      routeRequest(runtime, makeRequest("GET", "/sweeps/nightly/result"))
+          .status,
+      409);
 }
 
 TEST(ServeConfig, ParsesKeysCommentsAndBlanks) {

@@ -1,0 +1,169 @@
+// SweepCoordinator: the single-arbiter lease protocol behind the HTTP
+// transport. Registration (idempotent, spec-conflict-checked), claim /
+// renew / release / complete lifecycle, steady-clock lease expiry, record
+// validation at the completion boundary, and — the invariant everything
+// else exists for — a manifest byte-identical to the file transport's and
+// a merged result byte-identical to the single-process run.
+#include "serve/sweep_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_runner.h"
+#include "core/batch_suites.h"
+#include "store/sweep_store.h"
+#include "store/work_queue.h"
+
+namespace ides {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ides_coord_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// A synthetic complete record for a manifest item — the coordinator
+/// validates documents, it does not re-run instances, so protocol tests
+/// need no optimizer work.
+std::string syntheticRecord(const SweepManifest& manifest,
+                            std::size_t index) {
+  InstanceOutcome outcome;
+  outcome.hasReport = false;
+  outcome.extras.add("echo", static_cast<double>(index));
+  return renderSweepRecord(manifest.items[index].fingerprint,
+                           manifest.suiteName, manifest.items[index].id,
+                           outcome);
+}
+
+TEST(SweepCoordinatorTest, CreateValidatesRegistersAndIsIdempotent) {
+  SweepCoordinator coordinator(freshDir("create"));
+  EXPECT_THROW(coordinator.create("bad key!", "quality", "smoke"),
+               std::invalid_argument);
+  EXPECT_THROW(coordinator.create("k", "mystery", "smoke"),
+               std::invalid_argument);
+  EXPECT_THROW(coordinator.create("k", "quality", "galactic"),
+               std::invalid_argument);
+  EXPECT_FALSE(coordinator.exists("k"));
+
+  coordinator.create("k", "quality", "smoke");
+  EXPECT_TRUE(coordinator.exists("k"));
+  coordinator.create("k", "quality", "smoke");  // same spec: a no-op
+  EXPECT_THROW(coordinator.create("k", "quality", "full"),
+               std::invalid_argument);  // same key, different spec
+  EXPECT_THROW((void)coordinator.status("other"), std::invalid_argument);
+  ASSERT_EQ(coordinator.keys().size(), 1u);
+  EXPECT_EQ(coordinator.keys()[0], "k");
+}
+
+TEST(SweepCoordinatorTest, ManifestIsByteIdenticalToFileTransport) {
+  SweepCoordinator coordinator(freshDir("manifest"));
+  coordinator.create("k", "quality", "smoke");
+
+  const SweepScale scale = sweepScaleNamed("smoke");
+  const InstanceSuite suite = namedSweep("quality", scale);
+  const std::string reference =
+      manifestJson(makeManifest("quality", scale, suite));
+  EXPECT_EQ(coordinator.manifestText("k"), reference);
+  // And it round-trips through the parser a worker uses.
+  const SweepManifest parsed = parseManifestJson(coordinator.manifestText("k"));
+  EXPECT_EQ(parsed.sweep, "quality");
+  EXPECT_FALSE(parsed.items.empty());
+}
+
+TEST(SweepCoordinatorTest, ClaimLifecycleIsExclusivePerFingerprint) {
+  SweepCoordinator coordinator(freshDir("lifecycle"));
+  coordinator.create("k", "quality", "smoke");
+  const SweepManifest manifest =
+      parseManifestJson(coordinator.manifestText("k"));
+
+  const CoordinatorClaim first = coordinator.claim("k", "w1", 600.0);
+  ASSERT_EQ(first.kind, CoordinatorClaim::Kind::Claimed);
+  EXPECT_EQ(first.item.fingerprint, manifest.items[0].fingerprint);
+
+  const CoordinatorClaim second = coordinator.claim("k", "w2", 600.0);
+  ASSERT_EQ(second.kind, CoordinatorClaim::Kind::Claimed);
+  EXPECT_NE(second.item.fingerprint, first.item.fingerprint);
+
+  // Renewal is owner-only; release by a non-holder is a no-op.
+  EXPECT_TRUE(coordinator.renew("k", "w1", first.item.fingerprint));
+  EXPECT_FALSE(coordinator.renew("k", "w2", first.item.fingerprint));
+  coordinator.release("k", "w2", first.item.fingerprint);
+  EXPECT_TRUE(coordinator.renew("k", "w1", first.item.fingerprint));
+
+  // A real release frees the item for the next claimer.
+  coordinator.release("k", "w1", first.item.fingerprint);
+  const CoordinatorClaim retaken = coordinator.claim("k", "w3", 600.0);
+  ASSERT_EQ(retaken.kind, CoordinatorClaim::Kind::Claimed);
+  EXPECT_EQ(retaken.item.fingerprint, first.item.fingerprint);
+
+  CoordinatorSweepStatus status = coordinator.status("k");
+  EXPECT_EQ(status.total, manifest.items.size());
+  EXPECT_EQ(status.recorded, 0u);
+  EXPECT_EQ(status.leased, 2u);
+  EXPECT_FALSE(status.done);
+}
+
+TEST(SweepCoordinatorTest, ExpiredLeasesAreReassignedAndRenewalLoses) {
+  SweepCoordinator coordinator(freshDir("expiry"));
+  coordinator.create("k", "quality", "smoke");
+
+  const CoordinatorClaim doomed = coordinator.claim("k", "w1", 0.05);
+  ASSERT_EQ(doomed.kind, CoordinatorClaim::Kind::Claimed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  // The arbiter reclaims on the next scan; w1's later renewal must lose
+  // cleanly rather than stealing the item back from w2.
+  const CoordinatorClaim retaken = coordinator.claim("k", "w2", 600.0);
+  ASSERT_EQ(retaken.kind, CoordinatorClaim::Kind::Claimed);
+  EXPECT_EQ(retaken.item.fingerprint, doomed.item.fingerprint);
+  EXPECT_FALSE(coordinator.renew("k", "w1", doomed.item.fingerprint));
+  EXPECT_TRUE(coordinator.renew("k", "w2", doomed.item.fingerprint));
+}
+
+TEST(SweepCoordinatorTest, CompleteValidatesStoresAndClearsTheLease) {
+  SweepCoordinator coordinator(freshDir("complete"));
+  coordinator.create("k", "quality", "smoke");
+  const SweepManifest manifest =
+      parseManifestJson(coordinator.manifestText("k"));
+
+  const CoordinatorClaim claim = coordinator.claim("k", "w1", 600.0);
+  ASSERT_EQ(claim.kind, CoordinatorClaim::Kind::Claimed);
+  const std::string record = syntheticRecord(manifest, claim.item.index);
+
+  // Garbage and foreign fingerprints are refused before anything lands.
+  EXPECT_THROW((void)coordinator.complete("k", "w1", claim.item.fingerprint,
+                                          "not a record"),
+               std::runtime_error);
+  EXPECT_THROW((void)coordinator.complete("k", "w1", "feedface", record),
+               std::invalid_argument);
+
+  EXPECT_TRUE(
+      coordinator.complete("k", "w1", claim.item.fingerprint, record));
+  // Duplicate completion (a tied re-run) is idempotent, not an error.
+  EXPECT_FALSE(
+      coordinator.complete("k", "w2", claim.item.fingerprint, record));
+
+  CoordinatorSweepStatus status = coordinator.status("k");
+  EXPECT_EQ(status.recorded, 1u);
+  EXPECT_EQ(status.leased, 0u);  // completion cleared the lease
+
+  // A recorded instance is never handed out again.
+  const CoordinatorClaim next = coordinator.claim("k", "w1", 600.0);
+  ASSERT_EQ(next.kind, CoordinatorClaim::Kind::Claimed);
+  EXPECT_NE(next.item.fingerprint, claim.item.fingerprint);
+
+  EXPECT_FALSE(coordinator.resultJson("k").has_value());  // not done yet
+}
+
+}  // namespace
+}  // namespace ides

@@ -11,6 +11,9 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -166,6 +169,124 @@ TEST(WorkQueueTest, StaleLeaseIsReclaimedLiveLeaseIsNot) {
   const auto reclaimed = live.claim(store, manifest);
   ASSERT_TRUE(reclaimed.has_value());
   EXPECT_EQ(reclaimed->index, claimed->index);
+}
+
+TEST(WorkQueueTest, RenewRefreshesOwnLeaseAgainstReclaim) {
+  const std::string dir = freshDir("renew");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue slow(dir, "slow", /*leaseSeconds=*/5.0);
+  WorkQueue peer(dir, "peer", /*leaseSeconds=*/600.0);
+
+  const auto claimed = slow.claim(store, manifest);
+  ASSERT_TRUE(claimed.has_value());
+
+  // Backdate the lease past its declared duration — reclaimable — then
+  // renew: the rewrite restamps the mtime, so the next claimer must go
+  // elsewhere instead of reclaiming.
+  const std::string lease =
+      (fs::path(dir) / "claims" / (claimed->fingerprint + ".lease"))
+          .string();
+  fs::last_write_time(lease, fs::file_time_type::clock::now() -
+                                 std::chrono::seconds(60));
+  EXPECT_TRUE(slow.renew(*claimed));
+  const auto other = peer.claim(store, manifest);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(other->index, claimed->index);
+}
+
+TEST(WorkQueueTest, RenewLosesCleanlyAfterReclaim) {
+  const std::string dir = freshDir("renew_lost");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue dead(dir, "dead", /*leaseSeconds=*/5.0);
+  WorkQueue live(dir, "live", /*leaseSeconds=*/600.0);
+
+  // Renewing an item we never claimed is a clean loss, not an error.
+  EXPECT_FALSE(dead.renew({0, manifest.items[0].id,
+                           manifest.items[0].fingerprint}));
+
+  const auto claimed = dead.claim(store, manifest);
+  ASSERT_TRUE(claimed.has_value());
+  const std::string lease =
+      (fs::path(dir) / "claims" / (claimed->fingerprint + ".lease"))
+          .string();
+  fs::last_write_time(lease, fs::file_time_type::clock::now() -
+                                 std::chrono::seconds(60));
+  const auto reclaimed = live.claim(store, manifest);
+  ASSERT_TRUE(reclaimed.has_value());
+  ASSERT_EQ(reclaimed->index, claimed->index);
+
+  // The original owner wakes up: its renewal must lose — and must not
+  // clobber or resurrect the reclaimer's lease on the way out.
+  EXPECT_FALSE(dead.renew(*claimed));
+  std::ifstream in(lease);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"live\""), std::string::npos);
+  EXPECT_TRUE(live.renew(*reclaimed));
+}
+
+TEST(WorkQueueTest, LeaseGuardReleasesLeaseWhenJobThrows) {
+  const std::string dir = freshDir("throwing");
+  InstanceSuite suite("unit-queue");
+  BatchInstance instance;
+  instance.id = "boom/s0/none";
+  instance.group = "boom";
+  instance.job = [](const BatchInstance&,
+                    const StopToken*) -> InstanceOutcome {
+    throw std::runtime_error("instance exploded");
+  };
+  suite.add(std::move(instance));
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue queue(dir, "w");
+
+  EXPECT_THROW(runQueuedInstances(suite, manifest, store, queue, nullptr),
+               std::runtime_error);
+
+  // The regression this guards: before LeaseGuard, the throw leaked the
+  // claim and peers had to wait out the stale-lease timeout. Now the lease
+  // is released on the unwind path and the instance is immediately
+  // claimable again.
+  EXPECT_FALSE(
+      fs::exists(fs::path(dir) / "claims" /
+                 (manifest.items[0].fingerprint + ".lease")));
+  const auto again = queue.claim(store, manifest);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->index, 0u);
+}
+
+TEST(WorkQueueTest, LeaseGuardHeartbeatOutlivesDeclaredLease) {
+  const std::string dir = freshDir("heartbeat");
+  const InstanceSuite suite = smallSuite();
+  const SweepManifest manifest = makeManifest("custom", {}, suite);
+  SweepStore store(dir);
+  WorkQueue slow(dir, "slow", /*leaseSeconds=*/2.0);
+  WorkQueue peer(dir, "peer", /*leaseSeconds=*/600.0);
+  FileSweepParticipant participant(suite, manifest, store, slow);
+
+  const auto claimed = participant.claimNext();
+  ASSERT_TRUE(claimed.has_value());
+  {
+    // Hold the claim well past its 2s declared lease. The guard's renewal
+    // thread (period leaseSeconds/3) keeps the mtime fresh, so the peer
+    // never reclaims from a merely-slow owner.
+    LeaseGuard guard(participant, *claimed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3200));
+    const auto other = peer.claim(store, manifest);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_NE(other->index, claimed->index);
+    EXPECT_FALSE(guard.renewalLost());
+    peer.release(*other);
+  }
+  // Guard destroyed without markCompleted: the lease is released and the
+  // instance goes back to the pool.
+  const auto after = peer.claim(store, manifest);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->index, claimed->index);
 }
 
 TEST(WorkQueueTest, StopSentinelCrossesQueues) {

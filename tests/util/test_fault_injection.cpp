@@ -1,0 +1,98 @@
+// Fault injection: spec grammar (parse matrix, defaults, loud rejection
+// of malformed entries), point lookup, and the stall action's timing.
+// The lethal actions (crash, exit) terminate the process by design — they
+// are exercised by the sweep-fault CI job against real worker processes,
+// not here.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ides {
+namespace {
+
+TEST(FaultSpecTest, ParsesSingleAndMultipleEntries) {
+  const auto single = parseFaultSpec("post-claim:crash");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].point, "post-claim");
+  EXPECT_EQ(single[0].action, FaultSpec::Action::Crash);
+
+  const auto multi =
+      parseFaultSpec("post-claim:exit:3,mid-renewal:stall:0.5");
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_EQ(multi[0].action, FaultSpec::Action::Exit);
+  EXPECT_DOUBLE_EQ(multi[0].arg, 3.0);
+  EXPECT_EQ(multi[1].point, "mid-renewal");
+  EXPECT_EQ(multi[1].action, FaultSpec::Action::Stall);
+  EXPECT_DOUBLE_EQ(multi[1].arg, 0.5);
+}
+
+TEST(FaultSpecTest, AppliesDefaultsAndSkipsEmptyEntries) {
+  const auto exitDefault = parseFaultSpec("p:exit");
+  ASSERT_EQ(exitDefault.size(), 1u);
+  EXPECT_DOUBLE_EQ(exitDefault[0].arg, 70.0);
+
+  const auto stallDefault = parseFaultSpec("p:stall");
+  ASSERT_EQ(stallDefault.size(), 1u);
+  EXPECT_DOUBLE_EQ(stallDefault[0].arg, 1.0);
+
+  EXPECT_TRUE(parseFaultSpec("").empty());
+  EXPECT_EQ(parseFaultSpec("a:crash,,b:stall:2,").size(), 2u);
+}
+
+TEST(FaultSpecTest, MalformedSpecsThrowNamingTheEntry) {
+  EXPECT_THROW((void)parseFaultSpec("naked"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec(":crash"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec("p:frobnicate"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec("p:crash:1"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec("p:stall:soon"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec("p:stall:-1"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec("p:exit:3.5"), std::invalid_argument);
+  EXPECT_THROW((void)parseFaultSpec("p:exit:300"), std::invalid_argument);
+  bool threw = false;
+  try {
+    (void)parseFaultSpec("good:crash,bad:frob");
+  } catch (const std::invalid_argument& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("frob"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(FaultSpecTest, FindFaultMatchesByPoint) {
+  const auto specs = parseFaultSpec("a:crash,b:stall:2");
+  ASSERT_TRUE(findFault(specs, "b").has_value());
+  EXPECT_EQ(findFault(specs, "b")->action, FaultSpec::Action::Stall);
+  EXPECT_FALSE(findFault(specs, "c").has_value());
+}
+
+TEST(FaultInjectionTest, StallSleepsThenReturns) {
+  FaultSpec spec;
+  spec.point = "test";
+  spec.action = FaultSpec::Action::Stall;
+  spec.arg = 0.05;
+  const auto before = std::chrono::steady_clock::now();
+  executeFault(spec);  // returns, unlike crash/exit
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    before)
+          .count();
+  EXPECT_GE(elapsed, 0.04);
+}
+
+TEST(FaultInjectionTest, InertWithoutEnvironmentVariable) {
+  // This must run before anything else in the process touches faultPoint:
+  // the spec parses once. No other test in this binary sets IDES_FAULT, so
+  // clearing it here pins the production (inert) path.
+  ::unsetenv("IDES_FAULT");
+  EXPECT_FALSE(faultInjectionActive());
+  faultPoint("post-claim");  // still alive == the hook is a no-op
+  faultPoint("no-such-point");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ides

@@ -1,0 +1,230 @@
+// HTTP client: URL parsing matrix, backoff arithmetic (deterministic,
+// capped, jitter-bounded), and real socket round trips against an
+// in-process HttpServer — including the retry policy's split between
+// transient failures (transport errors, 5xx: retry) and client errors
+// (4xx: surface immediately).
+#include "util/http_client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "serve/http_server.h"
+#include "util/rng.h"
+#include "util/stop_token.h"
+
+namespace ides {
+namespace {
+
+TEST(ParseHttpUrlTest, AcceptsHostPortAndPath) {
+  const auto full = parseHttpUrl("http://coordinator:8080/sweeps/nightly");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->host, "coordinator");
+  EXPECT_EQ(full->port, 8080);
+  EXPECT_EQ(full->path, "/sweeps/nightly");
+
+  const auto bare = parseHttpUrl("http://10.0.0.7");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->host, "10.0.0.7");
+  EXPECT_EQ(bare->port, 80);  // scheme default
+  EXPECT_EQ(bare->path, "/");
+
+  const auto rooted = parseHttpUrl("http://h:90/");
+  ASSERT_TRUE(rooted.has_value());
+  EXPECT_EQ(rooted->port, 90);
+  EXPECT_EQ(rooted->path, "/");
+}
+
+TEST(ParseHttpUrlTest, RejectsWrongSchemeAndBadAuthorities) {
+  EXPECT_FALSE(parseHttpUrl("https://h/x").has_value());
+  EXPECT_FALSE(parseHttpUrl("host:80/x").has_value());
+  EXPECT_FALSE(parseHttpUrl("http://").has_value());
+  EXPECT_FALSE(parseHttpUrl("http:///x").has_value());
+  EXPECT_FALSE(parseHttpUrl("http://:8080/x").has_value());
+  EXPECT_FALSE(parseHttpUrl("http://h:").has_value());
+  EXPECT_FALSE(parseHttpUrl("http://h:0").has_value());
+  EXPECT_FALSE(parseHttpUrl("http://h:65536").has_value());
+  EXPECT_FALSE(parseHttpUrl("http://h:8x80").has_value());
+}
+
+TEST(BackoffTest, GeometricGrowthCapsAtMaxWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initialSeconds = 1.0;
+  policy.maxSeconds = 8.0;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(policy, 9, rng), 8.0);  // capped
+}
+
+TEST(BackoffTest, JitterIsBoundedAndSeedDeterministic) {
+  BackoffPolicy policy;  // defaults: 0.25s base, x2, 25% jitter, 5s cap
+  Rng a(42);
+  Rng b(42);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double delayA = backoffDelaySeconds(policy, attempt, a);
+    const double delayB = backoffDelaySeconds(policy, attempt, b);
+    EXPECT_DOUBLE_EQ(delayA, delayB);  // same seed, same schedule
+    const double base =
+        std::min(policy.initialSeconds *
+                     std::pow(policy.multiplier, static_cast<double>(attempt)),
+                 policy.maxSeconds);
+    EXPECT_GE(delayA, base * (1.0 - policy.jitter));
+    EXPECT_LE(delayA, base * (1.0 + policy.jitter));
+  }
+}
+
+/// Runs an in-process HttpServer on an ephemeral port for one test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(HttpServer::Handler handler)
+      : server_("127.0.0.1", 0),
+        thread_([this, handler = std::move(handler)] {
+          server_.serve(handler, &stop_);
+        }) {}
+
+  ~ServerFixture() {
+    stop_.requestStop();
+    thread_.join();
+  }
+
+  [[nodiscard]] HttpUrl url() const {
+    HttpUrl url;
+    url.host = "127.0.0.1";
+    url.port = server_.port();
+    return url;
+  }
+
+ private:
+  HttpServer server_;
+  StopToken stop_;
+  std::thread thread_;
+};
+
+TEST(HttpClientTest, RoundTripsMethodTargetAndBody) {
+  ServerFixture server([](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.path == "/missing") {
+      response.status = 404;
+      response.body = "{\"error\": \"nope\"}";
+      return response;
+    }
+    response.body =
+        request.method + " " + request.target + " [" + request.body + "]";
+    return response;
+  });
+
+  const HttpClientResult get =
+      httpRequest(server.url(), "GET", "/sweeps/k/manifest", "");
+  ASSERT_TRUE(get.ok) << get.error;
+  EXPECT_EQ(get.status, 200);
+  EXPECT_EQ(get.body, "GET /sweeps/k/manifest []");
+
+  const HttpClientResult post = httpRequest(
+      server.url(), "POST", "/sweeps/k/claim", "{\"worker\": \"w1\"}");
+  ASSERT_TRUE(post.ok) << post.error;
+  EXPECT_EQ(post.body, "POST /sweeps/k/claim [{\"worker\": \"w1\"}]");
+
+  // A 4xx is a successful transport exchange, not an error.
+  const HttpClientResult missing =
+      httpRequest(server.url(), "GET", "/missing", "");
+  ASSERT_TRUE(missing.ok) << missing.error;
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(missing.body, "{\"error\": \"nope\"}");
+}
+
+BackoffPolicy fastPolicy(int attempts) {
+  BackoffPolicy policy;
+  policy.initialSeconds = 0.01;
+  policy.maxSeconds = 0.02;
+  policy.jitter = 0.0;
+  policy.maxAttempts = attempts;
+  return policy;
+}
+
+TEST(HttpClientTest, RetriesServerErrorsUntilRecovery) {
+  std::atomic<int> hits{0};
+  ServerFixture server([&hits](const HttpRequest&) {
+    HttpResponse response;
+    if (hits.fetch_add(1) < 2) {
+      response.status = 500;
+      response.body = "{\"error\": \"warming up\"}";
+    } else {
+      response.body = "{\"ready\": true}";
+    }
+    return response;
+  });
+
+  Rng rng(1);
+  const HttpClientResult result = httpRequestWithRetry(
+      server.url(), "GET", "/", "", fastPolicy(5), rng);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(hits.load(), 3);  // two 500s, then success
+}
+
+TEST(HttpClientTest, ClientErrorsAreNotRetried) {
+  std::atomic<int> hits{0};
+  ServerFixture server([&hits](const HttpRequest&) {
+    hits.fetch_add(1);
+    HttpResponse response;
+    response.status = 404;
+    response.body = "{\"error\": \"no such sweep\"}";
+    return response;
+  });
+
+  Rng rng(1);
+  const HttpClientResult result = httpRequestWithRetry(
+      server.url(), "GET", "/sweeps/nope", "", fastPolicy(5), rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 404);
+  EXPECT_EQ(hits.load(), 1);  // 4xx surfaces immediately
+}
+
+TEST(HttpClientTest, ConnectionRefusedIsATransportError) {
+  // Bind an ephemeral port, then shut the server down: the port is known
+  // dead, connects are refused fast.
+  int deadPort = 0;
+  {
+    HttpServer server("127.0.0.1", 0);
+    deadPort = server.port();
+  }
+  HttpUrl url;
+  url.host = "127.0.0.1";
+  url.port = deadPort;
+
+  HttpClientOptions options;
+  options.connectTimeoutSeconds = 2.0;
+  const HttpClientResult direct = httpRequest(url, "GET", "/", "", options);
+  EXPECT_FALSE(direct.ok);
+  EXPECT_NE(direct.error.find("connect"), std::string::npos);
+
+  Rng rng(1);
+  const HttpClientResult retried = httpRequestWithRetry(
+      url, "GET", "/", "", fastPolicy(3), rng, nullptr, options);
+  EXPECT_FALSE(retried.ok);
+}
+
+TEST(HttpClientTest, StopTokenShortCircuitsRetryLoop) {
+  HttpUrl url;
+  url.host = "127.0.0.1";
+  url.port = 9;  // discard port; never served in the test environment
+  StopToken stop;
+  stop.requestStop();
+  Rng rng(1);
+  const HttpClientResult result = httpRequestWithRetry(
+      url, "GET", "/", "", fastPolicy(3), rng, &stop);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "stopped");
+}
+
+}  // namespace
+}  // namespace ides
