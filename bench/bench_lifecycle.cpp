@@ -1,0 +1,115 @@
+// Lifecycle replay — warm vs cold start over a long-horizon scenario.
+//
+// The paper optimizes one design step; a product lives through hundreds.
+// This bench replays the default lifecycle scenario (50 events: graphs
+// added, removed, re-specified, deadlines tightened, platform perturbed)
+// under both start policies across a deterministic iteration-budget
+// ladder, answering the question the lifecycle subsystem exists for: at a
+// fixed per-step budget, how much quality does warm-starting from the
+// previous step's committed placements buy over a cold Initial Mapping?
+//
+// Quality is the median final cost over feasible steps (lower is better);
+// the per-step latency median tracks what a budget costs in wall clock.
+// Budgets are SA iterations, not wall-clock deadlines, so every reported
+// cost is deterministic — rerun the bench and the quality columns diff
+// clean (only the *_seconds fields move).
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+#include "lifecycle/lifecycle_runner.h"
+
+namespace {
+
+using namespace ides;
+
+double medianSeconds(const std::vector<LifecycleStep>& steps) {
+  std::vector<double> seconds;
+  seconds.reserve(steps.size());
+  for (const LifecycleStep& s : steps) seconds.push_back(s.seconds);
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const std::size_t mid = seconds.size() / 2;
+  return seconds.size() % 2 == 1
+             ? seconds[mid]
+             : 0.5 * (seconds[mid - 1] + seconds[mid]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ides::bench;
+
+  const BenchScale scale = benchScale();
+  const std::vector<int> budgets = scale.name == "smoke"
+                                       ? std::vector<int>{25, 100}
+                                   : scale.name == "full"
+                                       ? std::vector<int>{25, 100, 400, 1600}
+                                       : std::vector<int>{25, 100, 400};
+  printHeader(
+      "Lifecycle replay — warm vs cold start",
+      "median quality at a fixed per-step budget over a 50-event lifetime",
+      scale);
+
+  ScenarioConfig config;  // the default 50-step scenario, seed 1
+  const LifecycleScenario scenario = generateScenario(config);
+  std::printf("scenario: %d events, %zu-node platform, budgets per step: ",
+              config.steps, config.nodeCount);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    std::printf("%s%d", i == 0 ? "" : ", ", budgets[i]);
+  }
+  std::printf(" SA iterations\n\n");
+
+  CsvTable table({"iters_per_step", "policy", "feasible_steps",
+                  "warm_starts", "median_cost", "median_step_ms",
+                  "total_seconds"});
+  BenchJson json("lifecycle", scale.name);
+
+  bool warmDominates = true;
+  for (const int budget : budgets) {
+    double medians[2] = {0.0, 0.0};
+    for (const StartPolicy policy : {StartPolicy::Warm, StartPolicy::Cold}) {
+      LifecycleOptions options;
+      options.strategy = "SA";
+      options.policy = policy;
+      options.designer.sa.iterations = budget;
+      const LifecycleReport report = runLifecycle(scenario, options);
+
+      const double stepMs = medianSeconds(report.steps) * 1000.0;
+      medians[policy == StartPolicy::Cold] = report.medianCost;
+      table.addRow({CsvTable::num(static_cast<long long>(budget)),
+                    toString(policy),
+                    CsvTable::num(
+                        static_cast<long long>(report.feasibleSteps)),
+                    CsvTable::num(static_cast<long long>(report.warmStarts)),
+                    CsvTable::num(report.medianCost, 4),
+                    CsvTable::num(stepMs, 3),
+                    CsvTable::num(report.totalSeconds, 3)});
+      json.beginRecord()
+          .field("iters_per_step", static_cast<long long>(budget))
+          .field("policy", std::string(toString(policy)))
+          .field("steps", static_cast<long long>(report.steps.size()))
+          .field("feasible_steps",
+                 static_cast<long long>(report.feasibleSteps))
+          .field("warm_starts", static_cast<long long>(report.warmStarts))
+          .field("median_cost", report.medianCost)
+          .field("median_step_seconds", stepMs / 1000.0)
+          .field("total_seconds", report.totalSeconds);
+      std::printf("  [iters=%d %s] feasible %zu/%zu, median C=%.4f, "
+                  "step median %.3fms\n",
+                  budget, toString(policy), report.feasibleSteps,
+                  report.steps.size(), report.medianCost, stepMs);
+    }
+    if (!(medians[0] < medians[1])) warmDominates = false;
+    std::printf("      warm vs cold at %d iters: %.4f vs %.4f (%s)\n",
+                budget, medians[0], medians[1],
+                medians[0] < medians[1] ? "warm wins" : "cold wins");
+  }
+
+  std::printf("\n");
+  printTableAndCsv(table);
+  json.write();
+  std::printf("\nwarm %s cold across every budget on this scenario.\n",
+              warmDominates ? "strictly dominates" : "does NOT dominate");
+  return warmDominates ? 0 : 1;
+}

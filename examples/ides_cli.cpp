@@ -38,6 +38,16 @@
 //            an epoch bump or older than AGE (s/m/h/d suffix); dry run
 //            unless --apply; never touches records named by a live
 //            manifest.json in the store
+//   lifecycle (--scenario FILE | --gen [--seed N] [--steps K])
+//            [--policy warm|cold] [--strategy NAME] [--sa-iters N]
+//            [--step-deadline S] [--scenario-out FILE] [--json]
+//            [--no-timing] [--out FILE]
+//            replay a lifecycle scenario (long-horizon stream of add /
+//            remove / re-spec / perturb events), re-optimizing after every
+//            event under the chosen start policy; --gen generates the
+//            scenario from --seed/--steps, --scenario-out saves it for
+//            sharing, --json prints the report JSON (deterministic with
+//            --no-timing and no --step-deadline)
 //   list-strategies
 //            print the registered optimizer names (also --list-strategies)
 //
@@ -50,6 +60,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include <chrono>
@@ -58,6 +69,7 @@
 #include "core/batch_runner.h"
 #include "core/batch_suites.h"
 #include "core/incremental_designer.h"
+#include "lifecycle/lifecycle_runner.h"
 #include "model/dot_export.h"
 #include "model/model_io.h"
 #include "model/system_stats.h"
@@ -111,6 +123,12 @@ struct CliArgs {
   std::string olderThan;       // store gc: age threshold ("3600", "2h", ...)
   bool apply = false;          // store gc: actually delete (else dry run)
   int cancelAfter = 0;     // testing aid: request stop after N instances
+  bool genScenario = false;      // lifecycle: generate instead of loading
+  std::string scenarioFile;      // lifecycle: scenario JSON to replay
+  std::string scenarioOut;       // lifecycle: save the scenario JSON here
+  int steps = 0;                 // lifecycle --gen: events (0 = default 50)
+  double stepDeadlineSeconds = 0.0;  // lifecycle: per-step budget (0 = off)
+  std::string policyName = "warm";   // lifecycle: warm | cold
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
   Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
@@ -120,7 +138,7 @@ struct CliArgs {
 
 void usage() {
   std::puts(
-      "usage: ides_cli <stats|design|schedule|dot|sweep|store|"
+      "usage: ides_cli <stats|design|schedule|dot|sweep|store|lifecycle|"
       "list-strategies> [options]\n"
       "  --nodes N      architecture size        (default 10)\n"
       "  --existing E   existing processes       (default 400)\n"
@@ -163,6 +181,14 @@ void usage() {
       "                 (byte-identical across runs/workers/resume)\n"
       "  --cancel-after N  request stop after N completed instances\n"
       "                 (deterministic cancellation for resume tests)\n"
+      "  --scenario F   lifecycle: replay the scenario JSON in file F\n"
+      "  --gen          lifecycle: generate the scenario from --seed and\n"
+      "                 --steps instead of loading one\n"
+      "  --steps K      lifecycle --gen: number of events (default 50)\n"
+      "  --policy P     lifecycle start policy: warm | cold (default warm)\n"
+      "  --step-deadline S  lifecycle: per-step wall-clock budget in\n"
+      "                 seconds (0 = off; non-deterministic when it fires)\n"
+      "  --scenario-out F  lifecycle: also write the scenario JSON to F\n"
       "  --list-strategies  print the registered strategy names\n"
       "  --out FILE     write schedule to FILE   (schedule command)\n"
       "  --model FILE   load an 'ides model v1' file instead of generating\n"
@@ -203,6 +229,11 @@ bool parse(int argc, char** argv, CliArgs& args) {
     }
     if (flag == "--apply") {
       args.apply = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--gen") {
+      args.genScenario = true;
       ++i;
       continue;
     }
@@ -254,6 +285,16 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.olderThan = value;
     } else if (flag == "--deadline") {
       args.deadlineSeconds = std::stod(value);
+    } else if (flag == "--scenario") {
+      args.scenarioFile = value;
+    } else if (flag == "--scenario-out") {
+      args.scenarioOut = value;
+    } else if (flag == "--steps") {
+      args.steps = std::stoi(value);
+    } else if (flag == "--policy") {
+      args.policyName = value;
+    } else if (flag == "--step-deadline") {
+      args.stepDeadlineSeconds = std::stod(value);
     } else if (flag == "--out") {
       args.outFile = value;
     } else if (flag == "--model") {
@@ -503,6 +544,88 @@ int cmdStore(const CliArgs& args) {
   std::fputs(storeVerifyText(report).c_str(), stdout);
   // verify is the CI-able health check: anything bad fails the command.
   return report.badCount == 0 ? 0 : 1;
+}
+
+/// lifecycle: replay a scenario (loaded or generated), re-optimizing after
+/// every event under the chosen start policy. Deterministic whenever the
+/// per-step deadline is off and --no-timing renders the JSON.
+int cmdLifecycle(const CliArgs& args) {
+  if (args.scenarioFile.empty() == !args.genScenario) {
+    std::fprintf(stderr,
+                 "lifecycle needs exactly one of --scenario FILE or --gen\n");
+    return 2;
+  }
+
+  LifecycleScenario scenario;
+  if (!args.scenarioFile.empty()) {
+    std::ifstream in(args.scenarioFile, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.scenarioFile.c_str());
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    scenario = parseScenario(text);
+  } else {
+    ScenarioConfig config;
+    config.seed = args.seed;
+    if (args.steps > 0) config.steps = args.steps;
+    scenario = generateScenario(config);
+  }
+  if (!args.scenarioOut.empty()) {
+    std::ofstream out(args.scenarioOut, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.scenarioOut.c_str());
+      return 1;
+    }
+    out << scenarioJson(scenario);
+    std::fprintf(stderr, "scenario written to %s\n",
+                 args.scenarioOut.c_str());
+  }
+
+  LifecycleOptions options;
+  options.strategy = args.strategy;
+  options.policy = startPolicyFromString(args.policyName);
+  options.designer = designerOptions(args);
+  options.stepDeadlineSeconds = args.stepDeadlineSeconds;
+  StopToken stop;
+  if (args.deadlineSeconds > 0.0) {
+    stop.setTimeout(args.deadlineSeconds);
+    options.stop = &stop;
+  }
+
+  std::fprintf(stderr, "lifecycle: %d events, strategy=%s, policy=%s\n",
+               scenario.config.steps, options.strategy.c_str(),
+               toString(options.policy));
+  const LifecycleReport report = runLifecycle(scenario, options);
+
+  const std::string json = lifecycleReportJson(report, !args.noTiming);
+  if (args.jsonOutput) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    for (const LifecycleStep& step : report.steps) {
+      std::printf("  [%3d] %-16s live=%zu/%zu %s C=%.2f%s\n", step.step,
+                  toString(step.event), step.liveGraphs, step.liveProcesses,
+                  step.warmStart ? "warm" : "cold",
+                  step.cost, step.feasible ? "" : " [infeasible]");
+    }
+    std::printf(
+        "steps: %zu  feasible: %zu  warm starts: %zu  median C: %.2f  "
+        "runtime: %.3fs%s\n",
+        report.steps.size(), report.feasibleSteps, report.warmStarts,
+        report.medianCost, report.totalSeconds,
+        report.stopped ? " (stopped)" : "");
+  }
+  if (!args.outFile.empty()) {
+    std::ofstream out(args.outFile, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.outFile.c_str());
+      return 1;
+    }
+    out << json;
+    std::fprintf(stderr, "report written to %s\n", args.outFile.c_str());
+  }
+  return report.feasibleSteps > 0 ? 0 : 1;
 }
 
 /// This process's participant name in lease files: host + pid.
@@ -806,6 +929,7 @@ int main(int argc, char** argv) {
     if (args.command == "schedule") return cmdSchedule(args);
     if (args.command == "dot") return cmdDot(args);
     if (args.command == "store") return cmdStore(args);
+    if (args.command == "lifecycle") return cmdLifecycle(args);
     if (args.command == "sweep") {
       if (args.workerDir.rfind("http://", 0) == 0) {
         return cmdSweepWorkerHttp(args);

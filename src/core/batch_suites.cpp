@@ -287,10 +287,16 @@ void hashDesignerOptions(Fnv1aHasher& h, const DesignerOptions& opts) {
   h.f64(opts.sa.probProcessHint);
   h.i64(opts.psa.restarts);
   h.i64(opts.psa.perChainIterations);
+  h.u64(opts.tabu.seed);
+  h.i64(opts.tabu.iterations);
+  h.i64(opts.tabu.candidates);
+  h.i64(opts.tabu.tenure);
+  h.f64(opts.tabu.probRemap);
+  h.f64(opts.tabu.probProcessHint);
   // Excluded by design (bit-identical results across all values, asserted
   // by the optimizer/speculation test suites): sa.incrementalEval,
   // sa.recordCostTrace, sa.speculation.*, psa.threads,
-  // psa.speculativeWorkers, and the stop token.
+  // psa.speculativeWorkers, tabu.incrementalEval, and the stop tokens.
 }
 
 }  // namespace

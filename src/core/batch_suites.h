@@ -74,7 +74,9 @@ InstanceSuite namedSweep(const std::string& name, const SweepScale& scale);
 /// semantics, a different SA move kernel, or changed metric definitions.
 /// The epoch is part of every instance fingerprint, so bumping it makes
 /// the sweep store treat all old records as different content.
-inline constexpr std::uint64_t kSweepFingerprintEpoch = 1;
+/// History: 2 — DesignerOptions grew the tabu field set (every fingerprint
+/// hashes more fields, so epoch-1 records describe a narrower key).
+inline constexpr std::uint64_t kSweepFingerprintEpoch = 2;
 
 /// Stable 128-bit content fingerprint (32 hex chars) of one sweep
 /// instance: suite name, instance identity, the full generator config and

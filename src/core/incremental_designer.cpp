@@ -77,6 +77,20 @@ DesignResult IncrementalDesigner::run(const Optimizer& optimizer,
   return toDesignResult(optimizer.run(*evaluator_, context));
 }
 
+DesignResult IncrementalDesigner::run(const std::string& strategyName,
+                                      RunContext& context,
+                                      const MappingSolution* warmStart) {
+  const std::unique_ptr<Optimizer> optimizer =
+      StrategyRegistry::builtin().create(strategyName, options_);
+  return run(*optimizer, context, warmStart);
+}
+
+DesignResult IncrementalDesigner::run(const Optimizer& optimizer,
+                                      RunContext& context,
+                                      const MappingSolution* warmStart) {
+  return toDesignResult(optimizer.run(*evaluator_, context, warmStart));
+}
+
 DesignResult IncrementalDesigner::run(Strategy strategy) {
   return run(std::string(toString(strategy)));
 }

@@ -87,6 +87,14 @@ class IncrementalDesigner {
   /// Run a caller-constructed optimizer (e.g. one with bespoke typed
   /// options that differ from this designer's DesignerOptions).
   DesignResult run(const Optimizer& optimizer, RunContext& context);
+  /// Warm-started runs (lifecycle replay): improvement starts from
+  /// `warmStart` when it is non-null and still evaluates feasibly; an
+  /// infeasible or null seed falls back to the fresh-IM path, so the same
+  /// call site serves both policies. See Optimizer::run's warm overload.
+  DesignResult run(const std::string& strategyName, RunContext& context,
+                   const MappingSolution* warmStart);
+  DesignResult run(const Optimizer& optimizer, RunContext& context,
+                   const MappingSolution* warmStart);
   /// Deprecated shim: enum-based dispatch, forwards to run(toString(s)).
   DesignResult run(Strategy strategy);
 

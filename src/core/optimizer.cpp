@@ -20,6 +20,7 @@ void validateOptions(const DesignerOptions& options) {
   }
   validateOptions(options.mh);
   validateOptions(options.sa);
+  validateOptions(options.tabu);
   // PSA runs with psa.base replaced by `sa`, so validate that combination
   // (psa.base itself is documented as ignored).
   ParallelSaOptions psa = options.psa;
@@ -68,6 +69,56 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
 
   // Final full evaluation through the leased context (bit-identical to the
   // stateless pass; re-uses whatever checkpoints the improvement left).
+  EvalContext& final = context.leasePool(evaluator, 1)[0];
+  ScheduleOutcome outcome;
+  const EvalResult eval = final.evaluate(solution, &outcome, nullptr);
+  ++report.evaluations;
+  context.report(
+      {report.strategy, "final", report.evaluations, 0, eval.cost});
+
+  report.feasible = eval.feasible;
+  report.mapping = std::move(solution);
+  report.schedule = std::move(outcome.schedule);
+  report.metrics = eval.metrics;
+  report.objective = eval.cost;
+  report.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+RunReport Optimizer::run(const SolutionEvaluator& evaluator,
+                         RunContext& context,
+                         const MappingSolution* warmStart) const {
+  if (warmStart == nullptr) return run(evaluator, context);
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  // Validate the seed before committing to it: warm starts can be stale
+  // (the platform or the application set changed since the placements were
+  // committed), and improve() requires a feasible entry solution.
+  EvalContext& probe = context.leasePool(evaluator, 1)[0];
+  const EvalResult seed = probe.evaluate(*warmStart);
+  if (!seed.feasible) {
+    RunReport cold = run(evaluator, context);
+    ++cold.evaluations;  // the rejected seed's validation pass
+    cold.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return cold;
+  }
+
+  RunReport report;
+  report.strategy = name();
+  report.evaluations = 1;
+  context.report({report.strategy, "warm-start", 0, 0, seed.cost});
+
+  MappingSolution solution = *warmStart;
+  if (context.stopRequested()) {
+    report.stopped = true;
+  } else {
+    report.evaluations += improve(evaluator, solution, context, report);
+  }
+
   EvalContext& final = context.leasePool(evaluator, 1)[0];
   ScheduleOutcome outcome;
   const EvalResult eval = final.evaluate(solution, &outcome, nullptr);
@@ -154,6 +205,29 @@ std::size_t ParallelAnnealingOptimizer::improve(
   return psa.evaluations;
 }
 
+TabuSearchOptimizer::TabuSearchOptimizer(TabuOptions options)
+    : options_(options) {
+  validateOptions(options_);
+}
+
+std::size_t TabuSearchOptimizer::improve(const SolutionEvaluator& evaluator,
+                                         MappingSolution& solution,
+                                         RunContext& context,
+                                         RunReport& report) const {
+  TabuOptions options = options_;
+  if (options.stop == nullptr) options.stop = context.stop;
+  EvalContext* scratch = options.incrementalEval
+                             ? &context.leasePool(evaluator, 1)[0]
+                             : nullptr;
+  TabuResult tabu = runTabuSearch(evaluator, solution, options, scratch);
+  solution = std::move(tabu.solution);
+  report.stopped = tabu.stopped;
+  report.proposals = tabu.proposals;
+  report.accepted = tabu.accepted;
+  context.report({"tabu", "improve", tabu.evaluations, 0, tabu.eval.cost});
+  return tabu.evaluations;
+}
+
 // ---- registry -------------------------------------------------------------
 
 void StrategyRegistry::add(std::string name, Factory factory) {
@@ -212,6 +286,9 @@ const StrategyRegistry& StrategyRegistry::builtin() {
       ParallelSaOptions psa = o.psa;
       psa.base = o.sa;
       return std::make_unique<ParallelAnnealingOptimizer>(psa);
+    });
+    r.add("tabu", [](const DesignerOptions& o) {
+      return std::make_unique<TabuSearchOptimizer>(o.tabu);
     });
     return r;
   }();

@@ -38,6 +38,7 @@
 #include "core/metrics.h"
 #include "core/parallel_annealing.h"
 #include "core/simulated_annealing.h"
+#include "core/tabu_search.h"
 #include "sched/schedule.h"
 #include "util/stop_token.h"
 
@@ -55,6 +56,8 @@ struct DesignerOptions {
   /// PSA ensemble shape (threads/restarts/perChainIterations); `psa.base`
   /// is ignored here — see `sa`.
   ParallelSaOptions psa;
+  /// Tabu-search budget and memory shape (the "tabu" registry entry).
+  TabuOptions tabu;
 };
 
 /// Range-checks the weights and every embedded strategy option set; throws
@@ -150,6 +153,18 @@ class Optimizer {
   [[nodiscard]] RunReport run(const SolutionEvaluator& evaluator,
                               RunContext& context) const;
 
+  /// Warm-started run: when `warmStart` is non-null and evaluates feasibly
+  /// on this evaluator, improvement starts from it instead of the Initial
+  /// Mapping (progress phase "warm-start" instead of "initial-mapping").
+  /// An infeasible seed — e.g. lifecycle placements gone stale after a
+  /// platform perturbation — falls back to the cold run above; the seed's
+  /// one validation evaluation is still accounted in the report. A null
+  /// seed is exactly the cold run, so callers can thread an optional seed
+  /// through unconditionally.
+  [[nodiscard]] RunReport run(const SolutionEvaluator& evaluator,
+                              RunContext& context,
+                              const MappingSolution* warmStart) const;
+
  protected:
   /// Strategy hook: improve `solution` (feasible on entry) in place and
   /// return the number of schedule evaluations consumed. Sets
@@ -224,7 +239,26 @@ class ParallelAnnealingOptimizer final : public Optimizer {
   ParallelSaOptions options_;
 };
 
-/// Name -> optimizer factory. The built-in registry (AH, MH, SA, PSA) is
+/// tabu — best-admissible local search with recency memory over the SA move
+/// kernel (core/tabu_search.h); the registry's proof that a strategy is one
+/// subclass plus one entry.
+class TabuSearchOptimizer final : public Optimizer {
+ public:
+  explicit TabuSearchOptimizer(TabuOptions options = {});
+  [[nodiscard]] std::string name() const override { return "tabu"; }
+  [[nodiscard]] const TabuOptions& options() const { return options_; }
+
+ protected:
+  std::size_t improve(const SolutionEvaluator& evaluator,
+                      MappingSolution& solution, RunContext& context,
+                      RunReport& report) const override;
+
+ private:
+  TabuOptions options_;
+};
+
+/// Name -> optimizer factory. The built-in registry (AH, MH, SA, PSA, tabu)
+/// is
 /// what the CLI, the batch runner and the designer facade resolve against;
 /// extensions register additional factories on their own instance or on a
 /// copy of the built-in one.
@@ -247,7 +281,7 @@ class StrategyRegistry {
   [[nodiscard]] std::unique_ptr<Optimizer> create(
       const std::string& name, const DesignerOptions& options = {}) const;
 
-  /// The built-in registry with AH, MH, SA and PSA registered. The
+  /// The built-in registry with AH, MH, SA, PSA and tabu registered. The
   /// returned reference is to a process-wide constant; copy it to extend.
   static const StrategyRegistry& builtin();
 

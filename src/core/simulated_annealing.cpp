@@ -224,7 +224,13 @@ bool ZeroDeltaFilter::zeroDelta(const SaMove& move,
 
 SaSchedule saSchedule(const SaOptions& options, double initialCost) {
   SaSchedule s;
-  s.t0 = std::max(1.0, options.initialTempFactor * initialCost);
+  // Proportional to the starting cost, floored at finalTemp (never a
+  // heating schedule). An absolute floor of 1.0 here used to make the
+  // start infinitely hot for sub-unit objectives — small instances and
+  // lifecycle steps — where it erased any good starting solution before
+  // the chain cooled into the exploitation regime.
+  s.t0 = std::max(options.finalTemp,
+                  options.initialTempFactor * initialCost);
   s.alpha = options.iterations > 1
                 ? std::pow(options.finalTemp / s.t0,
                            1.0 / static_cast<double>(options.iterations - 1))

@@ -1,0 +1,190 @@
+// Lifecycle scenarios: long-horizon streams of design-lifecycle events.
+//
+// The paper's premise is that a product evolves for years — applications are
+// added, removed and re-specified on a mostly-frozen platform — yet a sweep
+// exercises exactly one design step. A LifecycleScenario is the missing
+// workload: a seeded, deterministic stream of typed events (add graph,
+// remove graph, spec change, deadline tightening, platform perturbation)
+// over a "living design" of graph specs plus per-node speed percentages.
+//
+// Scenarios are durable, shareable artifacts like sweep manifests: fully
+// JSON-serializable (scenarioJson / parseScenario round-trip byte-identical,
+// doubles rendered %.17g) and regenerable — generateScenario(config) of a
+// parsed scenario's config reproduces the parsed event stream exactly.
+//
+// The event stream is valid by construction: the generator simulates the
+// living design as it emits events, so every target uid exists, the live
+// graph count stays within [minLiveGraphs, maxLiveGraphs], deadlines never
+// drop below the configured floor and perturbed node speeds stay within
+// bounds. applyEvent re-validates on replay and throws on a corrupt stream.
+//
+// Determinism contract: each graph spec carries its own generation seed
+// (derived from the scenario seed and the uid, not from the event-draw
+// stream), so a graph's structure depends only on its spec — unchanged
+// graphs rebuild identically no matter which siblings come and go, and a
+// spec change that only scales WCET/message ranges preserves the topology
+// (the generator's draw count per process/edge is range-independent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tgen/graph_gen.h"
+#include "util/time.h"
+
+namespace ides {
+
+/// One living graph: everything needed to regenerate it deterministically.
+struct LifecycleGraphSpec {
+  std::uint64_t uid = 0;   ///< stable identity across the stream (never 0)
+  std::uint64_t seed = 0;  ///< generation seed (graph-local RNG)
+  std::size_t processCount = 0;
+  Time period = 0;
+  Time deadline = 0;  ///< offset + deadline <= period
+  Time offset = 0;
+  /// Spec-change knobs: percentage scaling of the base WCET / message-size
+  /// ranges (100 = the config's graphGen ranges unchanged). Scaling the
+  /// ranges preserves the RNG draw pattern, so topology is invariant.
+  int wcetScalePercent = 100;
+  int msgScalePercent = 100;
+
+  friend bool operator==(const LifecycleGraphSpec&,
+                         const LifecycleGraphSpec&) = default;
+};
+
+enum class LifecycleEventKind : std::uint8_t {
+  AddGraph,         ///< a new application graph ships
+  RemoveGraph,      ///< a feature is retired
+  SpecChange,       ///< process WCETs / message sizes re-measured
+  DeadlineTighten,  ///< a graph's deadline contractually tightened
+  PlatformPerturb,  ///< one node's speed class changes
+};
+
+[[nodiscard]] const char* toString(LifecycleEventKind kind);
+/// Inverse of toString; throws std::invalid_argument on an unknown name.
+[[nodiscard]] LifecycleEventKind lifecycleEventKindFromString(
+    std::string_view name);
+
+/// One typed lifecycle event. Only the fields of the event's kind are
+/// meaningful (and serialized): AddGraph carries `add`; RemoveGraph /
+/// SpecChange / DeadlineTighten target `uid` (with the new percents /
+/// deadline); PlatformPerturb carries `node` + `speedPercent`.
+struct LifecycleEvent {
+  LifecycleEventKind kind = LifecycleEventKind::AddGraph;
+  std::uint64_t uid = 0;
+  LifecycleGraphSpec add;
+  int wcetScalePercent = 100;  ///< SpecChange: new absolute percent
+  int msgScalePercent = 100;   ///< SpecChange: new absolute percent
+  Time deadline = 0;           ///< DeadlineTighten: new absolute deadline
+  std::size_t node = 0;        ///< PlatformPerturb target
+  int speedPercent = 100;      ///< PlatformPerturb: new absolute percent
+
+  friend bool operator==(const LifecycleEvent&,
+                         const LifecycleEvent&) = default;
+};
+
+/// Generator configuration — the whole scenario is a pure function of this.
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  int steps = 50;  ///< events emitted (= optimization steps when replayed)
+
+  // Platform (lifecycle models a mostly-frozen architecture; only speed
+  // classes drift, via PlatformPerturb).
+  std::size_t nodeCount = 8;
+  /// Initial per-node speed percents, cycled over the nodes (100 = 1.0x).
+  std::vector<int> speedPercents = {100, 100, 80, 125};
+  Time slotLength = 20;
+  std::int64_t bytesPerTick = 1;
+
+  // Timing universe. Graph periods are basePeriod / d for d drawn from
+  // periodDivisors, which must form a divisibility chain (every divisor
+  // divides the next) so the hyperperiod of ANY live set is a basePeriod /
+  // d itself and one snapped TDMA round divides them all.
+  Time basePeriod = 16000;
+  std::vector<Time> periodDivisors = {1, 2};
+
+  // Future profile of the objective (core/future_profile.h): the periodic
+  // needs the design is optimized to leave room for.
+  Time tmin = 4000;
+  Time tneed = 800;
+  std::int64_t bneedBytes = 64;
+
+  // Design shape.
+  std::size_t initialGraphs = 3;  ///< unconditional AddGraph prefix
+  std::size_t minLiveGraphs = 2;  ///< >= 1; RemoveGraph keeps live > this-1
+  std::size_t maxLiveGraphs = 7;
+  std::size_t graphProcessesMin = 10;
+  std::size_t graphProcessesMax = 24;
+
+  // Event mix after the initial prefix (AddGraph takes the remainder).
+  double probRemove = 0.15;
+  double probSpecChange = 0.25;
+  double probDeadlineTighten = 0.10;
+  double probPlatformPerturb = 0.10;
+
+  // Perturbation bounds (all percents, all > 0).
+  int wcetScaleMinPercent = 85;
+  int wcetScaleMaxPercent = 115;
+  int msgScaleMinPercent = 75;
+  int msgScaleMaxPercent = 150;
+  int speedMinPercent = 80;
+  int speedMaxPercent = 125;
+  /// DeadlineTighten multiplies the current deadline by this percent...
+  int deadlineTightenPercent = 95;
+  /// ...floored at this fraction of the period (keeps scenarios feasible).
+  int minDeadlinePercent = 75;
+
+  /// Base graph shape; processCount is overridden per spec, wcet/msg ranges
+  /// scaled by the spec's percents.
+  GraphGenConfig graphGen;
+
+  friend bool operator==(const ScenarioConfig&,
+                         const ScenarioConfig&) = default;
+};
+
+/// Range-checks every knob (probabilities, bounds ordering, the divisor
+/// chain, tmin divides every reachable hyperperiod); throws
+/// std::invalid_argument naming the offending field.
+void validateScenarioConfig(const ScenarioConfig& config);
+
+struct LifecycleScenario {
+  ScenarioConfig config;
+  std::vector<LifecycleEvent> events;
+
+  friend bool operator==(const LifecycleScenario&,
+                         const LifecycleScenario&) = default;
+};
+
+/// The living design a scenario's events evolve: the ordered graph specs
+/// (add order, which is also the deterministic scheduling order on replay)
+/// and the current per-node speed percents.
+struct LivingDesign {
+  std::vector<LifecycleGraphSpec> graphs;
+  std::vector<int> speedPercents;
+
+  [[nodiscard]] const LifecycleGraphSpec* find(std::uint64_t uid) const;
+  [[nodiscard]] std::size_t totalProcesses() const;
+};
+
+/// Pre-stream state: configured node speeds (cycled), no graphs.
+[[nodiscard]] LivingDesign initialDesign(const ScenarioConfig& config);
+
+/// Applies one event; throws std::invalid_argument when the event is
+/// invalid against this state (unknown/duplicate uid, bad bounds).
+void applyEvent(LivingDesign& design, const LifecycleEvent& event);
+
+/// Generates the deterministic event stream for `config` (validated first).
+[[nodiscard]] LifecycleScenario generateScenario(const ScenarioConfig& config);
+
+/// Deterministic JSON rendering (doubles %.17g, round-trips exactly).
+[[nodiscard]] std::string scenarioJson(const LifecycleScenario& scenario);
+
+/// Strict parse + validation of scenarioJson output; throws
+/// std::runtime_error / std::invalid_argument naming the problem. The
+/// parsed event stream is replayed through applyEvent, so a hand-edited
+/// scenario that breaks the living-design invariants is rejected here.
+[[nodiscard]] LifecycleScenario parseScenario(std::string_view text);
+
+}  // namespace ides

@@ -4,6 +4,7 @@
 
 #include "sched/validate.h"
 #include "tgen/benchmark_suite.h"
+#include "util/hashing.h"
 #include "util/json_reader.h"
 
 namespace ides {
@@ -28,6 +29,27 @@ DesignerOptions designJobOptions(const DesignJobSpec& spec) {
   if (spec.specDepth > 0) opts.sa.speculation.maxDepth = spec.specDepth;
   opts.psa.speculativeWorkers = spec.specWorkers;
   return opts;
+}
+
+std::string designJobFingerprint(const DesignJobSpec& spec) {
+  // Two independently-seeded FNV lanes over the same field stream, the
+  // sweep-store convention (see instanceFingerprint). threads, specWorkers
+  // and specDepth are deliberately absent: they reshape the search's
+  // parallelism, never its result.
+  Fnv1aHasher lanes[2] = {Fnv1aHasher(Fnv1aHasher::kDefaultBasis),
+                          Fnv1aHasher(0x9e3779b97f4a7c15ULL)};
+  for (Fnv1aHasher& h : lanes) {
+    h.u64(kDesignFingerprintEpoch);
+    h.str("design");
+    h.u64(spec.nodes);
+    h.u64(spec.existing);
+    h.u64(spec.current);
+    h.u64(spec.seed);
+    h.str(spec.strategy);
+    h.i64(spec.saIterations);
+    h.i64(spec.restarts);
+  }
+  return hashHex(lanes[0].value(), lanes[1].value());
 }
 
 DesignJobResult runDesignJob(const DesignJobSpec& spec,

@@ -34,6 +34,19 @@ struct DesignJobSpec {
 /// DesignerOptions derivation, identical to the CLI's flag mapping.
 DesignerOptions designJobOptions(const DesignJobSpec& spec);
 
+/// Bump when a change makes previously cached design results stale even
+/// though the spec fields hash the same (generator semantics, strategy
+/// kernels, metric definitions). Independent of kSweepFingerprintEpoch:
+/// the two caches key different payloads.
+inline constexpr std::uint64_t kDesignFingerprintEpoch = 1;
+
+/// Stable 128-bit content fingerprint (32 hex chars) of one design job:
+/// every result-relevant spec field plus kDesignFingerprintEpoch, hashed
+/// the same two-lane FNV way as sweep instances. Deliberately EXCLUDED are
+/// the result-neutral knobs the test suite defends — threads, specWorkers,
+/// specDepth — so a result computed at any parallelism serves every other.
+std::string designJobFingerprint(const DesignJobSpec& spec);
+
 struct DesignJobResult {
   DesignResult result;
   /// validateSchedule over frozen + current schedules, like `cli design`.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/batch_runner.h"
@@ -18,6 +21,64 @@ std::string num(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   return buf;
+}
+
+// ---- design result cache ---------------------------------------------------
+//
+// A flat file per fingerprint under <storeDir>/design, holding exactly the
+// deterministic result JSON a fresh run would return — so a cache hit is
+// byte-identical to the run it replaces, which is the whole contract.
+
+/// Stored result if the file exists and still parses as a design result;
+/// a corrupt file is removed (best effort) so the rerun can replace it.
+std::optional<std::string> loadDesignCache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  try {
+    const JsonValue root = parseJson(text);
+    if (!root.isObject() || root.find("strategy") == nullptr ||
+        root.find("objective") == nullptr) {
+      throw std::invalid_argument("not a design result");
+    }
+  } catch (const std::exception&) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  }
+  return text;
+}
+
+/// tmp+rename publish, first writer wins (a concurrent worker finishing
+/// the same fingerprint wrote equivalent bytes). Cache trouble must never
+/// fail the job that just computed a perfectly good result, so IO errors
+/// are swallowed here.
+void publishDesignCache(const std::string& path, const std::string& text) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::exists(path, ec)) return;
+  const std::string tmpPath =
+      path + ".tmp." +
+      std::to_string(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  {
+    std::ofstream out(tmpPath, std::ios::binary);
+    if (!out) return;
+    out << text;
+    out.flush();
+    if (!out) {
+      fs::remove(tmpPath, ec);
+      return;
+    }
+  }
+  if (fs::exists(path, ec)) {
+    fs::remove(tmpPath, ec);
+    return;
+  }
+  fs::rename(tmpPath, path, ec);
+  if (ec) fs::remove(tmpPath, ec);
 }
 
 /// Typed field extraction with "which key, what went wrong" messages —
@@ -205,6 +266,7 @@ struct JobManager::Job {
   std::chrono::steady_clock::time_point startedAt{};
   double runtimeSeconds = 0.0;
   bool stopped = false;              ///< a StopToken ended the run early
+  bool cached = false;               ///< design: result served from store
   std::size_t cacheHits = 0;         ///< sweep: instances from the store
   std::size_t executed = 0;          ///< sweep: instances optimized fresh
   std::string result;                ///< terminal payload (Done/Cancelled)
@@ -218,6 +280,11 @@ JobManager::JobManager(JobManagerOptions options)
   }
   if (!options_.storeDir.empty()) {
     store_ = std::make_unique<SweepStore>(options_.storeDir);
+    designCacheDir_ =
+        (std::filesystem::path(options_.storeDir) / "design").string();
+    std::error_code ec;
+    std::filesystem::create_directories(designCacheDir_, ec);
+    if (ec) designCacheDir_.clear();  // degrade to uncached design jobs
   }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
@@ -273,6 +340,9 @@ std::string JobManager::statusJsonLocked(const Job& job) const {
   if (job.spec.kind == JobSpec::Kind::Sweep) {
     out += "  \"cache_hits\": " + std::to_string(job.cacheHits) + ",\n";
     out += "  \"executed\": " + std::to_string(job.executed) + ",\n";
+  } else {
+    out += std::string("  \"cached\": ") + (job.cached ? "true" : "false") +
+           ",\n";
   }
   out += std::string("  \"stopped\": ") + (job.stopped ? "true" : "false");
   if (job.state != JobState::Queued) {
@@ -478,6 +548,19 @@ void JobManager::workerLoop() {
 
 std::string JobManager::execute(Job& job) {
   if (job.spec.kind == JobSpec::Kind::Design) {
+    std::string cachePath;
+    if (!designCacheDir_.empty()) {
+      cachePath = designCacheDir_ + "/" +
+                  designJobFingerprint(job.spec.design) + ".json";
+      if (std::optional<std::string> hit = loadDesignCache(cachePath)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.cached = true;
+        job.phase = "cached";
+        job.cost = parseJson(*hit).numberAt("objective");
+        return *std::move(hit);
+      }
+    }
+
     RunContext context;
     context.stop = &job.stop;
     context.progress = [this, &job](const ProgressEvent& event) {
@@ -488,12 +571,18 @@ std::string JobManager::execute(Job& job) {
       job.cost = event.cost;
     };
     const DesignJobResult result = runDesignJob(job.spec.design, context);
+    bool writeThrough = !cachePath.empty();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job.stopped = result.result.stopped;
       job.cost = result.result.objective;
+      // Never cache a truncated run: a deadline/cancel result would shadow
+      // the full-budget one for every future identical submit.
+      if (result.result.stopped || job.cancelRequested) writeThrough = false;
     }
-    return designResultJson(result, /*timing=*/false);
+    std::string rendered = designResultJson(result, /*timing=*/false);
+    if (writeThrough) publishDesignCache(cachePath, rendered);
+    return rendered;
   }
 
   // Sweep job: named suite through the batch runner, store-cached.

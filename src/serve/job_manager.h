@@ -14,7 +14,11 @@
 // resubmitted identical sweep is answered from records with no
 // re-optimization (the job status reports cache_hits vs executed), and
 // completed instances always write through — the daemon doubles as the
-// network-facing front of the sweep fabric.
+// network-facing front of the sweep fabric. Design jobs get the same
+// treatment through a flat per-fingerprint cache under <storeDir>/design:
+// an identical resubmit is served the stored result bytes verbatim and its
+// status reports cached:true. Runs a StopToken ended early (deadline or
+// cancel) are never cached — a partial result must not shadow the full one.
 //
 // Results are rendered deterministically (timing off): a design job's
 // result JSON is byte-identical to `ides_cli design --json` for the same
@@ -71,8 +75,11 @@ struct JobManagerOptions {
   /// Admission limit on WAITING jobs (running jobs do not count): a full
   /// queue rejects the submit (the daemon answers 503).
   std::size_t maxQueued = 32;
-  /// Sweep-store directory for the result cache; empty = sweep jobs run
-  /// uncached (design jobs never touch the store).
+  /// Store directory for the result caches; empty = every job runs
+  /// uncached. Sweep jobs share the SweepStore records; design jobs keep
+  /// their own flat cache under <storeDir>/design, keyed by
+  /// designJobFingerprint (status reports cached:true on a hit, and the
+  /// result bytes are the stored run's, verbatim).
   std::string storeDir;
   /// Retention cap on TERMINAL jobs (done/failed/cancelled): whenever a
   /// job reaches a terminal state and the cap is exceeded, the oldest
@@ -154,6 +161,7 @@ class JobManager {
 
   JobManagerOptions options_;
   std::unique_ptr<SweepStore> store_;  ///< null when storeDir is empty
+  std::string designCacheDir_;         ///< empty when storeDir is empty
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;

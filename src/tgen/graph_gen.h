@@ -34,6 +34,9 @@ struct GraphGenConfig {
   /// Message payload range in bytes.
   std::int64_t msgMin = 2;
   std::int64_t msgMax = 8;
+
+  friend bool operator==(const GraphGenConfig&,
+                         const GraphGenConfig&) = default;
 };
 
 /// Generate one process graph into `sys` (which must not be finalized).

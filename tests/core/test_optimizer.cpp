@@ -46,7 +46,8 @@ class OptimizerTest : public ::testing::Test {
 
 TEST_F(OptimizerTest, BuiltinRegistryListsThePaperStrategies) {
   const StrategyRegistry& registry = StrategyRegistry::builtin();
-  const std::vector<std::string> expected = {"AH", "MH", "SA", "PSA"};
+  const std::vector<std::string> expected = {"AH", "MH", "SA", "PSA",
+                                             "tabu"};
   EXPECT_EQ(registry.names(), expected);
   for (const std::string& name : expected) {
     EXPECT_TRUE(registry.contains(name)) << name;

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
@@ -366,6 +368,161 @@ TEST(JobManagerTest, RetentionCapNeverEvictsQueuedOrRunningJobs) {
       waitFor([&] { return !jobs.state(running.id).has_value(); }));
   EXPECT_EQ(jobs.state(queued2.id), JobState::Cancelled);
   EXPECT_EQ(jobs.evictedCount(), 2u);
+}
+
+// ---- design-job result cache ----------------------------------------------
+
+std::string freshCacheDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "ides_jobcache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(DesignJobFingerprint, IsStableAndIgnoresResultNeutralKnobs) {
+  DesignJobSpec spec;
+  const std::string fp = designJobFingerprint(spec);
+  EXPECT_EQ(fp.size(), 32u);
+  EXPECT_EQ(designJobFingerprint(spec), fp);
+
+  // threads / specWorkers / specDepth change how fast a job runs, never
+  // what it returns — identical fingerprint, shared cache slot.
+  DesignJobSpec tuned = spec;
+  tuned.threads = 8;
+  tuned.specWorkers = 4;
+  tuned.specDepth = 3;
+  EXPECT_EQ(designJobFingerprint(tuned), fp);
+
+  DesignJobSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_NE(designJobFingerprint(other), fp);
+  other = spec;
+  other.strategy = "SA";
+  EXPECT_NE(designJobFingerprint(other), fp);
+  other = spec;
+  other.current += 1;
+  EXPECT_NE(designJobFingerprint(other), fp);
+}
+
+TEST(JobManagerTest, ResubmittedDesignJobIsServedFromTheCache) {
+  JobManagerOptions options;
+  options.workers = 1;
+  options.storeDir = freshCacheDir("resubmit");
+  JobManager jobs(options);
+
+  const auto first = jobs.submit(fastJob());
+  ASSERT_TRUE(first.accepted);
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(first.id) == JobState::Done; }));
+  const auto firstStatus = jobs.statusJson(first.id);
+  ASSERT_TRUE(firstStatus.has_value());
+  EXPECT_NE(firstStatus->find("\"cached\": false"), std::string::npos);
+
+  const auto second = jobs.submit(fastJob());
+  ASSERT_TRUE(second.accepted);
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(second.id) == JobState::Done; }));
+  const auto secondStatus = jobs.statusJson(second.id);
+  ASSERT_TRUE(secondStatus.has_value());
+  EXPECT_NE(secondStatus->find("\"cached\": true"), std::string::npos);
+  EXPECT_NE(secondStatus->find("\"phase\": \"cached\""), std::string::npos);
+
+  // The headline contract: a hit returns the exact bytes of a fresh run.
+  const auto firstResult = jobs.resultJson(first.id);
+  const auto secondResult = jobs.resultJson(second.id);
+  ASSERT_TRUE(firstResult.has_value());
+  ASSERT_TRUE(secondResult.has_value());
+  EXPECT_EQ(*secondResult, *firstResult);
+}
+
+TEST(JobManagerTest, CacheSurvivesAcrossManagerInstances) {
+  const std::string dir = freshCacheDir("restart");
+  std::string firstResult;
+  {
+    JobManagerOptions options;
+    options.storeDir = dir;
+    JobManager jobs(options);
+    const auto submission = jobs.submit(fastJob());
+    ASSERT_TRUE(waitFor(
+        [&] { return jobs.state(submission.id) == JobState::Done; }));
+    firstResult = *jobs.resultJson(submission.id);
+  }
+  JobManagerOptions options;
+  options.storeDir = dir;
+  JobManager jobs(options);
+  const auto again = jobs.submit(fastJob());
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(again.id) == JobState::Done; }));
+  EXPECT_NE(jobs.statusJson(again.id)->find("\"cached\": true"),
+            std::string::npos);
+  EXPECT_EQ(*jobs.resultJson(again.id), firstResult);
+}
+
+TEST(JobManagerTest, DifferentSpecsNeverShareACacheSlot) {
+  JobManagerOptions options;
+  options.storeDir = freshCacheDir("distinct");
+  JobManager jobs(options);
+
+  const auto first = jobs.submit(fastJob());
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(first.id) == JobState::Done; }));
+
+  JobSpec other = fastJob();
+  other.design.seed += 1;
+  const auto second = jobs.submit(other);
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(second.id) == JobState::Done; }));
+  EXPECT_NE(jobs.statusJson(second.id)->find("\"cached\": false"),
+            std::string::npos);
+  EXPECT_NE(*jobs.resultJson(first.id), *jobs.resultJson(second.id));
+}
+
+TEST(JobManagerTest, DeadlineStoppedRunsAreNeverCached) {
+  JobManagerOptions options;
+  options.storeDir = freshCacheDir("stopped");
+  JobManager jobs(options);
+
+  JobSpec spec = longJob();
+  spec.deadlineSeconds = 0.2;
+  const auto first = jobs.submit(spec);
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(first.id) == JobState::Done; }));
+  ASSERT_NE(jobs.resultJson(first.id)->find("\"stopped\": true"),
+            std::string::npos);
+
+  // A partial result must not shadow the full one: the resubmit runs.
+  const auto second = jobs.submit(spec);
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(second.id) == JobState::Done; }));
+  EXPECT_NE(jobs.statusJson(second.id)->find("\"cached\": false"),
+            std::string::npos);
+}
+
+TEST(JobManagerTest, CorruptCacheFilesAreIgnoredAndReplaced) {
+  const std::string dir = freshCacheDir("corrupt");
+  const std::string path =
+      dir + "/design/" + designJobFingerprint(fastJob().design) + ".json";
+  {
+    JobManagerOptions options;
+    options.storeDir = dir;
+    JobManager jobs(options);  // creates <storeDir>/design
+    std::ofstream(path) << "{\"not\": \"a result\"";
+  }
+  JobManagerOptions options;
+  options.storeDir = dir;
+  JobManager jobs(options);
+  const auto submission = jobs.submit(fastJob());
+  ASSERT_TRUE(waitFor(
+      [&] { return jobs.state(submission.id) == JobState::Done; }));
+  EXPECT_NE(jobs.statusJson(submission.id)->find("\"cached\": false"),
+            std::string::npos);
+
+  // The fresh run replaced the corrupt file; the next submit hits.
+  const auto again = jobs.submit(fastJob());
+  ASSERT_TRUE(
+      waitFor([&] { return jobs.state(again.id) == JobState::Done; }));
+  EXPECT_NE(jobs.statusJson(again.id)->find("\"cached\": true"),
+            std::string::npos);
+  EXPECT_EQ(*jobs.resultJson(again.id), *jobs.resultJson(submission.id));
 }
 
 TEST(JobManagerTest, ListJsonCoversEveryJobInSubmissionOrder) {
