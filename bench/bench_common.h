@@ -21,6 +21,7 @@
 #include "core/batch_runner.h"
 #include "core/batch_suites.h"
 #include "core/incremental_designer.h"
+#include "obs/telemetry.h"
 #include "store/sweep_store.h"
 #include "tgen/benchmark_suite.h"
 #include "util/ascii_chart.h"
@@ -150,7 +151,9 @@ inline double extraValue(const InstanceResult& r, const std::string& key,
 /// Machine-readable bench results: BENCH_<name>.json, one flat record per
 /// instance, written to IDES_BENCH_JSON_DIR (default: the working
 /// directory). The files are what tracks the perf trajectory across PRs —
-/// deterministic content, no timestamps, so two runs diff cleanly.
+/// the result records are deterministic, no timestamps. (The "telemetry"
+/// header is the one wall-clock-bearing block; diff "results", not the
+/// whole file.)
 class BenchJson {
  public:
   explicit BenchJson(std::string name, std::string scale)
@@ -198,6 +201,10 @@ class BenchJson {
         << ",\n  \"hostname\": " << jsonQuote(prov.hostname)
         << ",\n  \"hardware_concurrency\": " << prov.hardwareConcurrency
         << ",\n  \"compiler\": " << jsonQuote(prov.compiler)
+        // Telemetry snapshot of the whole bench process so far (empty
+        // object when IDES_TELEMETRY=off). Counters here are observability
+        // only — the deterministic result records never read them.
+        << ",\n  \"telemetry\": " << telemetry().jsonSnapshot()
         << ",\n  \"results\": [";
     for (std::size_t r = 0; r < records_.size(); ++r) {
       out << (r == 0 ? "" : ",") << "\n    {";

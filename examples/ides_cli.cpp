@@ -73,6 +73,7 @@
 #include "model/dot_export.h"
 #include "model/model_io.h"
 #include "model/system_stats.h"
+#include "obs/telemetry.h"
 #include "sched/schedule_io.h"
 #include "sched/validate.h"
 #include "serve/design_job.h"
@@ -83,6 +84,7 @@
 #include "store/work_queue.h"
 #include "tgen/benchmark_suite.h"
 #include "tgen/profile_presets.h"
+#include "util/log.h"
 #include "util/provenance.h"
 #include "util/stop_token.h"
 
@@ -129,6 +131,8 @@ struct CliArgs {
   int steps = 0;                 // lifecycle --gen: events (0 = default 50)
   double stepDeadlineSeconds = 0.0;  // lifecycle: per-step budget (0 = off)
   std::string policyName = "warm";   // lifecycle: warm | cold
+  bool telemetryDump = false;  // print the telemetry snapshot to stderr
+  std::string logLevel;        // log threshold flag; wins over IDES_LOG
   std::string outFile;
   std::string modelFile;  // load a hand-written model instead of generating
   Time tmin = 0;          // profile for --model runs (0 = hyperperiod / 4)
@@ -190,6 +194,11 @@ void usage() {
       "                 seconds (0 = off; non-deterministic when it fires)\n"
       "  --scenario-out F  lifecycle: also write the scenario JSON to F\n"
       "  --list-strategies  print the registered strategy names\n"
+      "  --log-level L  log threshold debug|info|warn|error|off (wins\n"
+      "                 over the IDES_LOG environment variable)\n"
+      "  --telemetry-dump  after the command, print the process telemetry\n"
+      "                 snapshot (JSON) to stderr; counters never affect\n"
+      "                 results\n"
       "  --out FILE     write schedule to FILE   (schedule command)\n"
       "  --model FILE   load an 'ides model v1' file instead of generating\n"
       "  --tmin T --tneed T --bneed B  future profile for --model runs");
@@ -234,6 +243,11 @@ bool parse(int argc, char** argv, CliArgs& args) {
     }
     if (flag == "--gen") {
       args.genScenario = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--telemetry-dump") {
+      args.telemetryDump = true;
       ++i;
       continue;
     }
@@ -293,6 +307,15 @@ bool parse(int argc, char** argv, CliArgs& args) {
       args.steps = std::stoi(value);
     } else if (flag == "--policy") {
       args.policyName = value;
+    } else if (flag == "--log-level") {
+      if (parseLogLevel(value, LogLevel::Off) == LogLevel::Off &&
+          value != "off") {
+        std::fprintf(stderr,
+                     "--log-level %s: expected debug|info|warn|error|off\n",
+                     value.c_str());
+        return false;
+      }
+      args.logLevel = value;
     } else if (flag == "--step-deadline") {
       args.stepDeadlineSeconds = std::stod(value);
     } else if (flag == "--out") {
@@ -914,6 +937,32 @@ int cmdSweepWorker(const CliArgs& args) {
 
 }  // namespace
 
+namespace {
+
+int dispatch(const CliArgs& args) {
+  if (args.listStrategies || args.command == "list-strategies") {
+    return cmdListStrategies();
+  }
+  if (args.command == "stats") return cmdStats(args);
+  if (args.command == "design") return cmdDesign(args);
+  if (args.command == "schedule") return cmdSchedule(args);
+  if (args.command == "dot") return cmdDot(args);
+  if (args.command == "store") return cmdStore(args);
+  if (args.command == "lifecycle") return cmdLifecycle(args);
+  if (args.command == "sweep") {
+    if (args.workerDir.rfind("http://", 0) == 0) {
+      return cmdSweepWorkerHttp(args);
+    }
+    if (!args.workerDir.empty()) return cmdSweepWorker(args);
+    if (!args.serveDir.empty()) return cmdSweepServe(args);
+    return cmdSweep(args);
+  }
+  usage();
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliArgs args;
   try {
@@ -921,25 +970,16 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    if (args.listStrategies || args.command == "list-strategies") {
-      return cmdListStrategies();
+    // The flag wins over IDES_LOG (the threshold's env default).
+    if (!args.logLevel.empty()) {
+      setLogThreshold(parseLogLevel(args.logLevel, LogLevel::Warn));
     }
-    if (args.command == "stats") return cmdStats(args);
-    if (args.command == "design") return cmdDesign(args);
-    if (args.command == "schedule") return cmdSchedule(args);
-    if (args.command == "dot") return cmdDot(args);
-    if (args.command == "store") return cmdStore(args);
-    if (args.command == "lifecycle") return cmdLifecycle(args);
-    if (args.command == "sweep") {
-      if (args.workerDir.rfind("http://", 0) == 0) {
-        return cmdSweepWorkerHttp(args);
-      }
-      if (!args.workerDir.empty()) return cmdSweepWorker(args);
-      if (!args.serveDir.empty()) return cmdSweepServe(args);
-      return cmdSweep(args);
+    const int rc = dispatch(args);
+    // To stderr so it composes with --json (results stay alone on stdout).
+    if (args.telemetryDump) {
+      std::fprintf(stderr, "%s\n", telemetry().jsonSnapshot().c_str());
     }
-    usage();
-    return 2;
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -21,6 +21,7 @@
 #include "serve/http_server.h"
 #include "serve/job_manager.h"
 #include "serve/sweep_coordinator.h"
+#include "util/log.h"
 #include "util/stop_token.h"
 
 namespace {
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
   if (helpRequested) {
     std::fputs(serveUsage(), stdout);
     return 0;
+  }
+  // The flag wins over IDES_LOG (the threshold's env default).
+  if (!options.logLevel.empty()) {
+    setLogThreshold(parseLogLevel(options.logLevel, LogLevel::Warn));
   }
 
   std::FILE* log = stderr;
@@ -107,6 +112,7 @@ int main(int argc, char** argv) {
         },
         &g_stop,
         [&logLine](const RequestLogEntry& entry) {
+          recordRequestTelemetry(entry);
           logLine(requestLogLine(entry));
         });
 

@@ -4,10 +4,44 @@
 
 #include "model/graph_algos.h"
 #include "model/system_model.h"
+#include "obs/telemetry.h"
 
 namespace ides {
 
 namespace {
+
+/// Handles cached once per process: EvalContext::run is the hottest path
+/// in the system, so each evaluation pays exactly one classification add
+/// (plus the evaluation counter) — a relaxed fetch_add on a sharded cell.
+/// Strictly write-only: no decision ever reads these back.
+struct EvalTelemetry {
+  Counter& evaluations;
+  Counter& zeroDelta;
+  Counter& midGraph;
+  Counter& graphStart;
+  Counter& journalReplays;
+};
+
+EvalTelemetry& evalTelemetry() {
+  static EvalTelemetry handles{
+      telemetry().counter("ides_eval_evaluations_total",
+                          "Delta-aware schedule evaluations"),
+      telemetry().counter(
+          "ides_eval_rewind_depth_total",
+          "Evaluations by rewind depth: zero_delta served from the "
+          "journal, mid_graph resumed at a fine checkpoint, graph_start "
+          "re-scheduled from a whole-graph checkpoint",
+          {{"depth", "zero_delta"}}),
+      telemetry().counter("ides_eval_rewind_depth_total", "",
+                          {{"depth", "mid_graph"}}),
+      telemetry().counter("ides_eval_rewind_depth_total", "",
+                          {{"depth", "graph_start"}}),
+      telemetry().counter(
+          "ides_eval_journal_replays_total",
+          "Downstream-tail journal replays during zero-delta serves"),
+  };
+  return handles;
+}
 
 /// Shared result assembly: the penalty ladder of the paper's objective.
 EvalResult makeResult(bool placed, int deadlineMisses, Time lateness) {
@@ -309,12 +343,14 @@ EvalResult EvalContext::run(const MappingSolution& solution,
   const std::vector<GraphId>& graphs = ev_->currentGraphs();
   const std::size_t n = graphs.size();
   ++evaluations_;
+  evalTelemetry().evaluations.add();
 
   firstGraph = std::min(firstGraph, validGraphs_);
 
   if (firstGraph == n && resultValid_) {
     // Re-reading the solution already committed: the state, the log and the
     // cached result all describe it verbatim.
+    evalTelemetry().zeroDelta.add();
     graphsReused_ += n;
     lastRestartGraph_ = n;
     lastRestartPos_ = 0;
@@ -463,6 +499,7 @@ EvalResult EvalContext::run(const MappingSolution& solution,
           // goes through the normal occupy paths, so the journal regrows by
           // byte-identical records: every downstream checkpoint, fine mark
           // and the final tally checkpoint stay valid as-is.
+          evalTelemetry().journalReplays.add();
           state_.replay(tailJournal_.data(),
                         tailJournal_.data() + tailJournal_.size());
           processes_.insert(processes_.end(), tailProcs_.begin(),
@@ -475,6 +512,7 @@ EvalResult EvalContext::run(const MappingSolution& solution,
           validGraphs_ = n;
         }
         ++zeroDeltaServes_;
+        evalTelemetry().zeroDelta.add();
         reference_ = solution;
         hasReference_ = true;
         return result_;
@@ -487,6 +525,11 @@ EvalResult EvalContext::run(const MappingSolution& solution,
   }
   reference_ = solution;
   hasReference_ = true;
+  if (lastRestartPos_ > 0) {
+    evalTelemetry().midGraph.add();
+  } else {
+    evalTelemetry().graphStart.add();
+  }
 
   EvalResult result = makeResult(placed, misses, lateness);
   // Keep the metrics snapshot aligned on every evaluation once it exists —

@@ -8,8 +8,43 @@
 
 #include "core/initial_mapping.h"
 #include "model/system_model.h"
+#include "obs/telemetry.h"
 
 namespace ides {
+
+namespace {
+
+/// Per-strategy run telemetry, recorded once per completed run from the
+/// report's own counters — the sums the strategy engines already track, so
+/// the inner loops pay nothing extra. Write-only by design: nothing here
+/// is ever read back into a decision (result neutrality).
+void recordRunTelemetry(const RunReport& report) {
+  if (!telemetryEnabled()) return;
+  TelemetryRegistry& reg = telemetry();
+  const MetricLabels labels = {{"strategy", report.strategy}};
+  reg.counter("ides_opt_runs_total", "Completed optimizer runs", labels)
+      .add();
+  reg.counter("ides_opt_evaluations_total",
+              "Schedule evaluations consumed by optimizer runs", labels)
+      .add(report.evaluations);
+  reg.counter("ides_opt_proposals_total",
+              "Moves proposed by annealing/tabu inner loops", labels)
+      .add(report.proposals);
+  reg.counter("ides_opt_accepted_total",
+              "Proposed moves accepted by the strategy", labels)
+      .add(report.accepted);
+  reg.counter("ides_opt_zero_delta_skips_total",
+              "Proposals replayed by the zero-delta filter without "
+              "evaluation",
+              labels)
+      .add(report.zeroDeltaSkips);
+  reg.histogram("ides_opt_run_seconds",
+                "Wall-clock seconds per optimizer run",
+                {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0}, labels)
+      .observe(report.seconds);
+}
+
+}  // namespace
 
 void validateOptions(const DesignerOptions& options) {
   const auto weightOk = [](double w) { return std::isfinite(w) && w >= 0.0; };
@@ -46,6 +81,7 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
 
   RunReport report;
   report.strategy = name();
+  const TraceSpan span("optimizer:" + report.strategy, "core");
 
   // Every strategy starts from the same Initial Mapping on the frozen
   // baseline — exactly the legacy IncrementalDesigner::run flow, so
@@ -57,6 +93,7 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
   if (!im.feasible) {
     report.seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
+    recordRunTelemetry(report);
     return report;
   }
 
@@ -83,6 +120,7 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
   report.objective = eval.cost;
   report.seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  recordRunTelemetry(report);
   return report;
 }
 
@@ -93,6 +131,7 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
+  const TraceSpan span("optimizer:" + name() + ":warm", "core");
 
   // Validate the seed before committing to it: warm starts can be stale
   // (the platform or the application set changed since the placements were
@@ -133,6 +172,7 @@ RunReport Optimizer::run(const SolutionEvaluator& evaluator,
   report.objective = eval.cost;
   report.seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  recordRunTelemetry(report);
   return report;
 }
 

@@ -39,6 +39,7 @@
 #include "core/parallel_annealing.h"
 #include "core/simulated_annealing.h"
 #include "core/tabu_search.h"
+#include "obs/trace.h"
 #include "sched/schedule.h"
 #include "util/stop_token.h"
 
@@ -95,6 +96,11 @@ class RunContext {
     return stop != nullptr && stop->stopRequested();
   }
   void report(const ProgressEvent& event) const {
+    if (traceEnabled()) {
+      traceInstant(
+          std::string(event.optimizer) + ":" + std::string(event.phase),
+          "progress");
+    }
     if (progress) progress(event);
   }
 

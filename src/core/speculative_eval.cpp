@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "util/log.h"
 
 namespace ides {
@@ -305,6 +306,13 @@ SaResult runSpeculativeAnnealing(const SolutionEvaluator& evaluator,
     }
     pool.evaluate(items.data(), static_cast<std::size_t>(generated));
     ++result.speculativeBatches;
+    // Batch shape telemetry (write-only; the adaptive depth below never
+    // reads it): how deep the speculation window actually ran.
+    static Histogram& batchDepth = telemetry().histogram(
+        "ides_sa_speculation_batch_depth",
+        "Moves dispatched per speculative evaluation batch",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    batchDepth.observe(static_cast<double>(generated));
 
     // Replay the Metropolis decisions in chain order. Identical draw
     // consumption and floating-point sequence as the sequential path.

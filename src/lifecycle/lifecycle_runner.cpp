@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "sched/list_scheduler.h"
 #include "sched/platform_state.h"
 #include "tgen/graph_gen.h"
@@ -220,6 +222,9 @@ LifecycleReport runLifecycle(const LifecycleScenario& scenario,
     }
 
     const auto stepStart = Clock::now();
+    const TraceSpan stepSpan(
+        "lifecycle:step" + std::to_string(s) + ":" + toString(event.kind),
+        "lifecycle");
     const BuiltDesign built = buildDesignModel(scenario.config, living);
     const SystemModel& sys = built.system;
 
@@ -274,6 +279,13 @@ LifecycleReport runLifecycle(const LifecycleScenario& scenario,
     step.stopped = run.stopped;
     step.seconds =
         std::chrono::duration<double>(Clock::now() - stepStart).count();
+    if (telemetryEnabled()) {
+      telemetry()
+          .histogram("ides_lifecycle_step_seconds",
+                     "Wall time of one lifecycle event's re-optimization",
+                     {0.01, 0.05, 0.2, 1.0, 5.0, 30.0, 120.0})
+          .observe(step.seconds);
+    }
     report.steps.push_back(step);
 
     if (warmAccepted) ++report.warmStarts;

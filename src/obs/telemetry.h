@@ -1,0 +1,177 @@
+#pragma once
+
+/// Process-wide, result-neutral telemetry: named counters, gauges and
+/// fixed-bucket histograms behind a single registry, rendered on demand as
+/// Prometheus text exposition or a deterministic JSON snapshot.
+///
+/// Design constraints, in order:
+///   1. Result-neutral. Nothing in here is ever read back by optimization
+///      code; the registry is write-only for the hot paths and read-only
+///      for scrapes. Bit-identity suites must pass with telemetry on, off
+///      or traced.
+///   2. Cheap when on. Counters and histograms are sharded across
+///      cache-line-aligned cells; a hot-path add is one relaxed fetch_add
+///      on the calling thread's shard. Aggregation happens at scrape time.
+///   3. Free when off. `IDES_TELEMETRY=off` (checked once per process,
+///      cached in an atomic) turns every add/observe into a load+branch.
+///
+/// Call sites cache the returned reference in a function-local static so
+/// the registry lookup (mutex + map) is paid once per site, not per event:
+///
+///   static Counter& hits = telemetry().counter(
+///       "ides_store_sweep_cache_total", "Sweep cache lookups",
+///       {{"result", "hit"}});
+///   hits.add();
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ides {
+
+/// Whether telemetry collection is active. Initialized once per process
+/// from `IDES_TELEMETRY` (anything but "off"/"0"/"false" means on), then
+/// cached; `setTelemetryEnabled` overrides it (tests, neutrality checks).
+bool telemetryEnabled();
+void setTelemetryEnabled(bool enabled);
+
+/// Sorted at registration; order in the pair list does not matter.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+namespace obs_detail {
+
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index in [0, kShards).
+std::size_t threadShardIndex();
+
+/// Relaxed CAS add — C++20 atomic<double>::fetch_add portability shim.
+void addDouble(std::atomic<double>& target, double delta);
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace obs_detail
+
+/// Monotonic event count. add() is the hot-path entry point.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!telemetryEnabled()) return;
+    cells_[obs_detail::threadShardIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  obs_detail::CounterCell cells_[obs_detail::kShards];
+};
+
+/// Point-in-time level (queue depths). Single cell: gauges move at
+/// bookkeeping frequency, not inner-loop frequency.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!telemetryEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n = 1) {
+    if (!telemetryEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) { add(-n); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: upper bounds chosen at registration, an
+/// implicit +Inf bucket on top. Cumulative counts are computed at scrape.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    if (!telemetryEnabled()) return;
+    Shard& shard = shards_[obs_detail::threadShardIndex()];
+    shard.buckets[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    obs_detail::addDouble(shard.sum, v);
+  }
+
+  struct Snapshot {
+    std::vector<std::uint64_t> bucketCounts;  ///< per bound, +Inf last
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::size_t bucketIndex(double v) const;
+
+  std::vector<double> bounds_;  ///< ascending upper bounds, +Inf implicit
+  Shard shards_[obs_detail::kShards];
+};
+
+/// The process-wide registry. Metric identity is (name, sorted labels);
+/// the first registration of a name fixes its kind, help text and (for
+/// histograms) bucket bounds — re-registering an existing series returns
+/// the same instance, so references handed out stay valid forever.
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry();
+  ~TelemetryRegistry();
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view help,
+                   MetricLabels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               MetricLabels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds, MetricLabels labels = {});
+
+  /// Prometheus text exposition format 0.0.4 (# HELP / # TYPE, cumulative
+  /// `_bucket{le=...}` / `_sum` / `_count` for histograms). Families and
+  /// series are emitted in lexicographic order — two scrapes of the same
+  /// state render the same bytes.
+  std::string prometheusText() const;
+
+  /// The same state as a JSON object keyed by family name, deterministic
+  /// ordering. This is what BENCH headers and --telemetry-dump embed.
+  std::string jsonSnapshot() const;
+
+  /// Distinct family names currently registered.
+  std::size_t familyCount() const;
+
+  /// Zero every cell, keeping registrations (and handed-out references)
+  /// intact. Test hook.
+  void resetAll();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide instance (never destroyed before exit handlers run).
+TelemetryRegistry& telemetry();
+
+}  // namespace ides

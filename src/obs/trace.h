@@ -1,0 +1,61 @@
+#pragma once
+
+/// Lightweight span tracer: phase/step spans recorded in memory and written
+/// as Chrome trace-event JSON (the `traceEvents` array format), viewable in
+/// Perfetto or chrome://tracing.
+///
+/// Off by default; enabled by `IDES_TRACE=<path>` (checked once per
+/// process) or explicitly via `traceConfigure`. When off, constructing a
+/// TraceSpan is a load+branch — no clock read, no allocation, no lock.
+/// Like the metrics registry, the tracer is strictly result-neutral:
+/// nothing reads the recorded events back during a run.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ides {
+
+/// Whether span recording is active.
+bool traceEnabled();
+
+/// Enable recording and set the output path ("" keeps events in memory
+/// only — test hook). Safe to call at any time; events recorded so far are
+/// kept.
+void traceConfigure(std::string path);
+
+/// Drop recorded events and disable recording. Test hook.
+void traceDisable();
+
+/// Write the recorded events as Chrome trace JSON to the configured path.
+/// Called automatically at process exit when tracing was enabled with a
+/// path; safe to call repeatedly (each call rewrites the file).
+void traceFlush();
+
+/// Events recorded so far (tests).
+std::size_t traceEventCount();
+
+/// Serialize the recorded events to a JSON string (what traceFlush writes).
+std::string traceJson();
+
+/// Record a zero-duration instant event (phase boundaries from
+/// ProgressSink land here).
+void traceInstant(std::string_view name, const char* category);
+
+/// RAII span: records a complete ("X") event covering construction to
+/// destruction on the current thread.
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, const char* category);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_ = "";
+  std::uint64_t startUs_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace ides

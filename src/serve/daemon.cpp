@@ -1,12 +1,15 @@
 #include "serve/daemon.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
 #include "util/json_reader.h"
+#include "util/log.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -53,6 +56,14 @@ bool applyOption(std::string_view key, const std::string& value,
       options.pidFile = value;
     } else if (key == "log") {
       options.logFile = value;
+    } else if (key == "log-level") {
+      if (parseLogLevel(value, LogLevel::Off) == LogLevel::Off &&
+          value != "off") {
+        error = "log-level must be debug|info|warn|error|off, got \"" +
+                value + "\"";
+        return false;
+      }
+      options.logLevel = value;
     } else {
       error = "unknown option \"" + std::string(key) + "\"";
       return false;
@@ -115,6 +126,8 @@ const char* serveUsage() {
       "                   (identical sweep jobs answer from records)\n"
       "  --pidfile FILE   write the pid; refuses an existing file\n"
       "  --log FILE       request/event log          (default stderr)\n"
+      "  --log-level L    debug|info|warn|error|off; wins over IDES_LOG\n"
+      "                   (default: IDES_LOG, else warn)\n"
       "  --config FILE    `key value` per line, keys = flag names\n"
       "                   without --; explicit flags override it\n"
       "  --help           this text\n"
@@ -253,24 +266,41 @@ ListQuery parseListQuery(std::string_view query) {
   return out;
 }
 
-/// healthz store probe: a round-trip write under the store dir. "none"
-/// when no store is configured, "unreachable" when the filesystem refuses
-/// the write (full disk, lost mount, permissions) — the signal a load
-/// balancer drains on.
-std::string storeHealth(const std::string& storeDir) {
+/// healthz store probe: a full write-read round-trip under the store dir.
+/// "none" when no store is configured, "unreachable" when the filesystem
+/// refuses the write or reads back the wrong bytes (full disk, lost mount,
+/// permissions, silent corruption) — the signal a load balancer drains on.
+/// The probe file is removed on every path, success or failure, so a sick
+/// round-trip never leaves `.healthz.probe` debris; `probeMs` reports the
+/// round-trip latency for the healthz JSON.
+std::string storeHealth(const std::string& storeDir, double& probeMs) {
+  probeMs = 0.0;
   if (storeDir.empty()) return "none";
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point begin = Clock::now();
   const std::string probe =
       (std::filesystem::path(storeDir) / ".healthz.probe").string();
+  bool healthy = false;
   {
-    std::ofstream out(probe, std::ios::trunc);
-    if (!out) return "unreachable";
-    out << "probe\n";
-    out.flush();
-    if (!out) return "unreachable";
+    std::ofstream out(probe, std::ios::trunc | std::ios::binary);
+    if (out) {
+      out << "probe\n";
+      out.flush();
+      healthy = static_cast<bool>(out);
+    }
+  }
+  if (healthy) {
+    std::ifstream in(probe, std::ios::binary);
+    std::string readBack;
+    healthy = static_cast<bool>(in) &&
+              static_cast<bool>(std::getline(in, readBack)) &&
+              readBack == "probe";
   }
   std::error_code ec;
   std::filesystem::remove(probe, ec);
-  return "ok";
+  probeMs = std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                .count();
+  return healthy ? "ok" : "unreachable";
 }
 
 std::string sweepStatusJson(const std::string& key,
@@ -442,20 +472,32 @@ HttpResponse routeRequest(ServeRuntime& runtime,
     if (request.method != "GET") {
       return errorResponse(405, "use GET on /healthz");
     }
-    const std::string store = storeHealth(runtime.storeDir);
+    double probeMs = 0.0;
+    const std::string store = storeHealth(runtime.storeDir, probeMs);
     const bool sick = store == "unreachable";
     const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
         std::chrono::steady_clock::now() - runtime.start);
+    char probeBuf[32];
+    std::snprintf(probeBuf, sizeof(probeBuf), "%.3f", probeMs);
     std::string body =
         std::string("{\"status\": ") + (sick ? "\"sick\"" : "\"ok\"") +
         ", \"uptime_seconds\": " + std::to_string(uptime.count()) +
         ", \"queued\": " + std::to_string(jobs.queuedCount()) +
         ", \"running\": " + std::to_string(jobs.runningCount()) +
         ", \"finished\": " + std::to_string(jobs.finishedCount()) +
-        ", \"store\": " + jsonQuote(store) + "}\n";
+        ", \"store\": " + jsonQuote(store) +
+        ", \"store_probe_ms\": " + probeBuf + "}\n";
     // 503 drains the instance at the load balancer while the process
     // itself stays up to finish what it can.
     return jsonResponse(sick ? 503 : 200, std::move(body));
+  }
+
+  if (path == "/metrics") {
+    if (request.method != "GET") {
+      return errorResponse(405, "use GET on /metrics");
+    }
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        telemetry().prometheusText()};
   }
 
   if (path == "/sweeps" || path.rfind("/sweeps/", 0) == 0) {
@@ -556,6 +598,59 @@ std::string requestLogLine(const RequestLogEntry& entry) {
   out += " ms=";
   out += buf;
   return out;
+}
+
+namespace {
+
+/// Collapses a request target onto the fixed endpoint surface so metric
+/// cardinality stays bounded no matter what clients send: ids and sweep
+/// keys become placeholders, unknown paths become "other".
+std::string normalizeEndpoint(std::string_view target) {
+  const std::size_t question = target.find('?');
+  if (question != std::string_view::npos) target = target.substr(0, question);
+
+  if (target == "/healthz" || target == "/metrics" || target == "/jobs" ||
+      target == "/sweeps") {
+    return std::string(target);
+  }
+  if (target.rfind("/jobs/", 0) == 0) {
+    std::string_view rest = target.substr(6);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return "/jobs/{id}";
+    if (rest.substr(slash) == "/result") return "/jobs/{id}/result";
+    return "other";
+  }
+  if (target.rfind("/sweeps/", 0) == 0) {
+    std::string_view rest = target.substr(8);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return "/sweeps/{key}";
+    const std::string_view action = rest.substr(slash + 1);
+    if (action == "manifest" || action == "result" || action == "claim" ||
+        action == "renew" || action == "release" || action == "complete") {
+      return "/sweeps/{key}/" + std::string(action);
+    }
+    return "other";
+  }
+  return "other";
+}
+
+}  // namespace
+
+void recordRequestTelemetry(const RequestLogEntry& entry) {
+  if (!telemetryEnabled()) return;
+  const std::string endpoint = normalizeEndpoint(entry.target);
+  telemetry()
+      .counter("ides_serve_requests_total", "HTTP requests served",
+               {{"endpoint", endpoint},
+                {"method", entry.method},
+                {"status", std::to_string(entry.status)}})
+      .add();
+  telemetry()
+      .histogram("ides_serve_request_seconds",
+                 "HTTP request latency in seconds",
+                 {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0},
+                 {{"endpoint", endpoint}})
+      .observe(entry.milliseconds / 1000.0);
 }
 
 }  // namespace ides

@@ -8,10 +8,13 @@
 // (JobManager, HttpRequest) — the endpoint surface is unit-tested without
 // ever opening a port; the binary only adds sockets and signals.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //   GET    /healthz           liveness, uptime, queue counters, store
-//                             reachability (503 when the store is sick,
-//                             so load balancers drain the instance)
+//                             reachability + probe latency (503 when the
+//                             store is sick, so load balancers drain the
+//                             instance)
+//   GET    /metrics           process telemetry registry in Prometheus
+//                             text exposition format (text/plain)
 //   POST   /jobs              submit a design/sweep job spec -> 202 {id}
 //   GET    /jobs              job list; ?limit=N and ?after=job-<n>
 //                             paginate over the retained registry
@@ -54,6 +57,10 @@ struct ServeOptions {
   std::string storeDir;     ///< sweep result cache; empty = uncached
   std::string pidFile;      ///< empty = no pidfile
   std::string logFile;      ///< request/event log; empty = stderr
+  /// Log threshold (debug|info|warn|error|off); empty = inherit IDES_LOG.
+  /// Validated at parse time, applied by the binary — the flag wins over
+  /// the environment.
+  std::string logLevel;
 };
 
 /// Parses one config file body: `key value` (or `key=value`) per line,
@@ -101,5 +108,12 @@ HttpResponse routeRequest(JobManager& jobs, const HttpRequest& request);
 /// One structured request-log line: space-separated key=value fields
 /// (peer, method, target, status, bytes in/out, duration).
 std::string requestLogLine(const RequestLogEntry& entry);
+
+/// Feeds one served request into the telemetry registry: a request counter
+/// labelled by normalized endpoint ("/jobs/{id}", "/sweeps/{key}/claim",
+/// ...), method and status, plus a per-endpoint latency histogram. Called
+/// by the binary's request-log sink alongside requestLogLine, and directly
+/// by tests.
+void recordRequestTelemetry(const RequestLogEntry& entry);
 
 }  // namespace ides

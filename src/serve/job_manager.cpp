@@ -11,11 +11,30 @@
 #include "core/batch_runner.h"
 #include "core/batch_suites.h"
 #include "core/optimizer.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/json_reader.h"
 
 namespace ides {
 
 namespace {
+
+// Job lifecycle telemetry. The gauge tracks the live queue depth; the
+// counter counts state transitions (queued at submit, running at pickup,
+// done/failed/cancelled at the terminal edge), so rates and in-flight
+// levels are both scrapeable.
+Gauge& queueDepthGauge() {
+  static Gauge& gauge = telemetry().gauge(
+      "ides_serve_queue_depth", "Jobs currently waiting in the submit queue");
+  return gauge;
+}
+
+void countJobState(const char* state) {
+  telemetry()
+      .counter("ides_serve_jobs_total", "Job state transitions",
+               {{"state", state}})
+      .add();
+}
 
 std::string num(double value) {
   char buf[64];
@@ -315,6 +334,8 @@ JobManager::Submission JobManager::submit(JobSpec spec) {
   byId_.emplace(job->id, job);
   submission.accepted = true;
   submission.id = job->id;
+  countJobState("queued");
+  queueDepthGauge().set(static_cast<std::int64_t>(queue_.size()));
   wake_.notify_one();
   return submission;
 }
@@ -421,6 +442,8 @@ bool JobManager::cancel(const std::string& id) {
                  queue_.end());
     job.state = JobState::Cancelled;
     job.cancelRequested = true;
+    countJobState("cancelled");
+    queueDepthGauge().set(static_cast<std::int64_t>(queue_.size()));
     gcLocked();
     return true;
   }
@@ -443,8 +466,10 @@ void JobManager::drain() {
     for (const auto& job : queue_) {
       job->state = JobState::Cancelled;
       job->cancelRequested = true;
+      countJobState("cancelled");
     }
     queue_.clear();
+    queueDepthGauge().set(0);
     gcLocked();
     for (const auto& job : jobs_) {
       if (job->state == JobState::Running) job->stop.requestStop();
@@ -513,6 +538,8 @@ void JobManager::workerLoop() {
       job = queue_.front();
       queue_.pop_front();
       job->state = JobState::Running;
+      countJobState("running");
+      queueDepthGauge().set(static_cast<std::int64_t>(queue_.size()));
       job->startedAt = std::chrono::steady_clock::now();
       // The deadline is a RUN budget: armed when execution starts, not at
       // submission — a job must not burn its budget waiting in the queue.
@@ -523,10 +550,17 @@ void JobManager::workerLoop() {
 
     std::string result;
     std::string error;
-    try {
-      result = execute(*job);
-    } catch (const std::exception& e) {
-      error = e.what();
+    {
+      const TraceSpan span(
+          "job:" + job->id +
+              (job->spec.kind == JobSpec::Kind::Design ? ":design"
+                                                       : ":sweep"),
+          "serve");
+      try {
+        result = execute(*job);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
     }
 
     std::lock_guard<std::mutex> lock(mutex_);
@@ -542,6 +576,12 @@ void JobManager::workerLoop() {
           job->cancelRequested ? JobState::Cancelled : JobState::Done;
       job->result = std::move(result);
     }
+    countJobState(toString(job->state));
+    telemetry()
+        .histogram("ides_serve_job_seconds",
+                   "Job wall-time from pickup to terminal state",
+                   {0.01, 0.05, 0.2, 1.0, 5.0, 30.0, 120.0, 600.0})
+        .observe(job->runtimeSeconds);
     gcLocked();
   }
 }
@@ -553,12 +593,20 @@ std::string JobManager::execute(Job& job) {
       cachePath = designCacheDir_ + "/" +
                   designJobFingerprint(job.spec.design) + ".json";
       if (std::optional<std::string> hit = loadDesignCache(cachePath)) {
+        telemetry()
+            .counter("ides_serve_design_cache_total",
+                     "Design-job result cache lookups", {{"result", "hit"}})
+            .add();
         std::lock_guard<std::mutex> lock(mutex_);
         job.cached = true;
         job.phase = "cached";
         job.cost = parseJson(*hit).numberAt("objective");
         return *std::move(hit);
       }
+      telemetry()
+          .counter("ides_serve_design_cache_total",
+                   "Design-job result cache lookups", {{"result", "miss"}})
+          .add();
     }
 
     RunContext context;

@@ -1,10 +1,30 @@
 #include "serve/sweep_coordinator.h"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "core/batch_suites.h"
+#include "obs/telemetry.h"
 
 namespace ides {
+
+namespace {
+
+/// One HTTP-transport lease lifecycle event; the file transport feeds the
+/// same family with transport="file" from store/work_queue.cpp. The
+/// sweep-fault CI leg asserts a "reclaim" shows up on the coordinator's
+/// /metrics after a worker is SIGKILLed mid-claim.
+void leaseEvent(const char* event, std::uint64_t n = 1) {
+  if (!telemetryEnabled() || n == 0) return;
+  telemetry()
+      .counter("ides_sweep_lease_events_total",
+               "Sweep lease lifecycle events (claim, renew, reclaim, lost) "
+               "by transport",
+               {{"event", event}, {"transport", "http"}})
+      .add(n);
+}
+
+}  // namespace
 
 SweepCoordinator::SweepCoordinator(std::string storeDir)
     : store_(std::move(storeDir)) {}
@@ -80,13 +100,16 @@ std::string SweepCoordinator::manifestText(const std::string& key) const {
 
 void SweepCoordinator::expireLeasesLocked(Sweep& sweep) const {
   const auto now = std::chrono::steady_clock::now();
+  std::uint64_t reclaimed = 0;
   for (auto it = sweep.leases.begin(); it != sweep.leases.end();) {
     if (it->second.expiry <= now) {
       it = sweep.leases.erase(it);  // the arbiter's stale-lease reclaim
+      ++reclaimed;
     } else {
       ++it;
     }
   }
+  leaseEvent("reclaim", reclaimed);
 }
 
 CoordinatorClaim SweepCoordinator::claim(const std::string& key,
@@ -110,6 +133,7 @@ CoordinatorClaim SweepCoordinator::claim(const std::string& key,
                        std::chrono::steady_clock::duration>(
                        std::chrono::duration<double>(leaseSeconds));
     sweep.leases[item.fingerprint] = std::move(lease);
+    leaseEvent("claim");
     out.kind = CoordinatorClaim::Kind::Claimed;
     out.item = item;
     return out;
@@ -128,11 +152,15 @@ bool SweepCoordinator::renew(const std::string& key,
   const auto it = sweep.leases.find(fingerprint);
   // An expired or re-assigned lease renews as false: the worker loses
   // cleanly and discards its in-flight result.
-  if (it == sweep.leases.end() || it->second.worker != worker) return false;
+  if (it == sweep.leases.end() || it->second.worker != worker) {
+    leaseEvent("lost");
+    return false;
+  }
   it->second.expiry = std::chrono::steady_clock::now() +
                       std::chrono::duration_cast<
                           std::chrono::steady_clock::duration>(
                           std::chrono::duration<double>(it->second.seconds));
+  leaseEvent("renew");
   return true;
 }
 

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/batch_suites.h"
+#include "obs/telemetry.h"
 #include "util/json_reader.h"
 #include "util/provenance.h"
 
@@ -232,6 +233,10 @@ bool publishRecordText(const std::string& finalPath,
     fs::remove(tmpPath, ec);
     throw std::runtime_error("SweepStore: cannot rename into " + finalPath);
   }
+  telemetry()
+      .counter("ides_store_records_written_total",
+               "Sweep records published into the store")
+      .add();
   return true;
 }
 
@@ -282,7 +287,12 @@ std::optional<InstanceOutcome> SweepStore::load(
   const std::string text = buffer.str();
   in.close();
   try {
-    return parseSweepRecord(parseJson(text), fingerprint);
+    InstanceOutcome outcome = parseSweepRecord(parseJson(text), fingerprint);
+    telemetry()
+        .counter("ides_store_records_read_total",
+                 "Sweep records loaded from the store")
+        .add();
+    return outcome;
   } catch (const std::exception&) {
     quarantine(fingerprint);
     return std::nullopt;
@@ -298,6 +308,10 @@ void SweepStore::quarantine(const std::string& fingerprint) {
   std::error_code ec;
   fs::rename(from, to, ec);  // best effort; a lost race just means a peer
   ++quarantined_;            // quarantined the same corrupt file first
+  telemetry()
+      .counter("ides_store_quarantined_total",
+               "Corrupt sweep records moved to quarantine")
+      .add();
 }
 
 SweepStoreCache::SweepStoreCache(SweepStore& store, std::string suiteName,
@@ -309,6 +323,11 @@ bool SweepStoreCache::lookup(const BatchInstance& instance,
   if (!reuse_) return false;
   std::optional<InstanceOutcome> loaded =
       store_.load(instanceFingerprint(suiteName_, instance));
+  telemetry()
+      .counter("ides_store_sweep_cache_total",
+               "Sweep-instance cache lookups against the store",
+               {{"result", loaded.has_value() ? "hit" : "miss"}})
+      .add();
   if (!loaded.has_value()) return false;
   outcome = std::move(*loaded);
   hits_.fetch_add(1, std::memory_order_relaxed);

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/telemetry.h"
 #include "util/fault_injection.h"
 #include "util/json_reader.h"
 #include "util/provenance.h"
@@ -48,6 +49,19 @@ bool fileAgeSeconds(const std::string& path, const std::string& probePath,
   if (::stat(probePath.c_str(), &probeSt) != 0) return false;
   ageSeconds = std::difftime(probeSt.st_mtime, st.st_mtime);
   return true;
+}
+
+/// One file-transport lease lifecycle event. The same family (with
+/// transport="http") is fed by serve/sweep_coordinator.cpp, so a mixed
+/// deployment's lease churn reads off one metric.
+void leaseEvent(const char* event) {
+  if (!telemetryEnabled()) return;
+  telemetry()
+      .counter("ides_sweep_lease_events_total",
+               "Sweep lease lifecycle events (claim, renew, reclaim, lost) "
+               "by transport",
+               {{"event", event}, {"transport", "file"}})
+      .add();
 }
 
 }  // namespace
@@ -236,6 +250,7 @@ bool WorkQueue::tryClaimExclusive(const WorkItem& item) {
   if (file == nullptr) return false;
   std::fputs(leaseContent().c_str(), file);
   std::fclose(file);
+  leaseEvent("claim");
   return true;
 }
 
@@ -253,11 +268,17 @@ bool WorkQueue::renew(const WorkItem& item) {
       return false;
     }
   };
-  if (!ownedByUs()) return false;
+  if (!ownedByUs()) {
+    leaseEvent("lost");
+    return false;
+  }
   // "r+" (never create): a reclaimed lease must stay gone — recreating the
   // file here would resurrect a claim a peer has already moved aside.
   std::FILE* file = std::fopen(path.c_str(), "r+");
-  if (file == nullptr) return false;
+  if (file == nullptr) {
+    leaseEvent("lost");
+    return false;
+  }
   const std::string content = leaseContent();
   std::fputs(content.c_str(), file);
   std::fflush(file);
@@ -269,7 +290,12 @@ bool WorkQueue::renew(const WorkItem& item) {
   // check and the write, report the loss now so the caller stops. (The
   // narrower write-vs-reclaim tie that survives this check is benign — both
   // runs produce the identical record and the store keeps exactly one.)
-  return ownedByUs();
+  if (!ownedByUs()) {
+    leaseEvent("lost");
+    return false;
+  }
+  leaseEvent("renew");
+  return true;
 }
 
 bool WorkQueue::reclaimIfStale(const WorkItem& item, bool& probeFresh) {
@@ -312,6 +338,7 @@ bool WorkQueue::reclaimIfStale(const WorkItem& item, bool& probeFresh) {
   fs::rename(path, aside, ec);
   if (ec) return false;
   fs::remove(aside, ec);
+  leaseEvent("reclaim");
   return true;
 }
 

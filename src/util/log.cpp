@@ -11,13 +11,7 @@ namespace {
 LogLevel parseEnv() {
   const char* env = std::getenv("IDES_LOG");
   if (env == nullptr) return LogLevel::Warn;
-  const std::string v(env);
-  if (v == "debug") return LogLevel::Debug;
-  if (v == "info") return LogLevel::Info;
-  if (v == "warn") return LogLevel::Warn;
-  if (v == "error") return LogLevel::Error;
-  if (v == "off") return LogLevel::Off;
-  return LogLevel::Warn;
+  return parseLogLevel(env, LogLevel::Warn);
 }
 
 std::atomic<LogLevel> g_threshold{parseEnv()};
@@ -34,6 +28,15 @@ const char* levelName(LogLevel level) {
 }
 
 }  // namespace
+
+LogLevel parseLogLevel(std::string_view name, LogLevel fallback) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  return fallback;
+}
 
 LogLevel logThreshold() { return g_threshold.load(std::memory_order_relaxed); }
 

@@ -7,10 +7,16 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ides {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Parses a level name (debug|info|warn|error|off); anything else —
+/// including garbage and the empty string — yields `fallback`. This is the
+/// one parser behind IDES_LOG and the --log-level flags.
+LogLevel parseLogLevel(std::string_view name, LogLevel fallback);
 
 /// Global threshold. Initialized from the IDES_LOG environment variable
 /// (debug|info|warn|error|off); defaults to Warn.

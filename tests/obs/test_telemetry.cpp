@@ -1,0 +1,172 @@
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ides {
+namespace {
+
+/// Every test runs against its own registry (the process-wide one is
+/// shared with whatever the rest of the binary recorded) and with
+/// telemetry forced on, restoring the enable flag afterwards.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wasEnabled_ = telemetryEnabled();
+    setTelemetryEnabled(true);
+  }
+  void TearDown() override { setTelemetryEnabled(wasEnabled_); }
+
+  TelemetryRegistry registry;
+
+ private:
+  bool wasEnabled_ = true;
+};
+
+TEST_F(TelemetryTest, CounterAccumulatesAcrossThreads) {
+  Counter& hits = registry.counter("ides_test_hits_total", "hits");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hits] {
+      for (int i = 0; i < kAddsPerThread; ++i) hits.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The shards must aggregate losslessly no matter how threads landed on
+  // them.
+  EXPECT_EQ(hits.value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(TelemetryTest, ReRegistrationReturnsTheSameInstance) {
+  Counter& a = registry.counter("ides_test_total", "help", {{"k", "v"}});
+  Counter& b = registry.counter("ides_test_total", "help", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Label order must not matter for identity.
+  Counter& c = registry.counter("ides_test_two_total", "help",
+                                {{"b", "2"}, {"a", "1"}});
+  Counter& d = registry.counter("ides_test_two_total", "help",
+                                {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&c, &d);
+}
+
+TEST_F(TelemetryTest, KindMismatchThrows) {
+  registry.counter("ides_test_kind_total", "help");
+  EXPECT_THROW(registry.gauge("ides_test_kind_total", "help"),
+               std::logic_error);
+  EXPECT_THROW(registry.histogram("ides_test_kind_total", "help", {1.0}),
+               std::logic_error);
+}
+
+TEST_F(TelemetryTest, GaugeSetAddSub) {
+  Gauge& depth = registry.gauge("ides_test_depth", "queue depth");
+  depth.set(5);
+  depth.add(2);
+  depth.sub(4);
+  EXPECT_EQ(depth.value(), 3);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAreCumulativeAtScrape) {
+  Histogram& h = registry.histogram("ides_test_seconds", "latency",
+                                    {0.1, 1.0, 10.0});
+  h.observe(0.05);   // <= 0.1
+  h.observe(0.5);    // <= 1.0
+  h.observe(0.5);    // <= 1.0
+  h.observe(100.0);  // +Inf
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bucketCounts.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(snap.bucketCounts[0], 1u);
+  EXPECT_EQ(snap.bucketCounts[1], 2u);
+  EXPECT_EQ(snap.bucketCounts[2], 0u);
+  EXPECT_EQ(snap.bucketCounts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 101.05);
+
+  const std::string text = registry.prometheusText();
+  // Cumulative counts: le="1" covers the le="0.1" observations too.
+  EXPECT_NE(text.find("ides_test_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ides_test_seconds_bucket{le=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ides_test_seconds_bucket{le=\"10\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ides_test_seconds_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("ides_test_seconds_count 4"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, PrometheusTextHasHelpAndType) {
+  registry.counter("ides_test_a_total", "what a counts").add(7);
+  registry.gauge("ides_test_b", "a level").set(-2);
+  const std::string text = registry.prometheusText();
+  EXPECT_NE(text.find("# HELP ides_test_a_total what a counts"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ides_test_a_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ides_test_a_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ides_test_b gauge"), std::string::npos);
+  EXPECT_NE(text.find("ides_test_b -2"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, LabeledSeriesRenderSortedAndEscaped) {
+  registry.counter("ides_test_l_total", "h", {{"z", "1"}, {"a", "x\"y"}})
+      .add();
+  const std::string text = registry.prometheusText();
+  // Labels sorted by key; the quote escaped.
+  EXPECT_NE(text.find("ides_test_l_total{a=\"x\\\"y\",z=\"1\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, ScrapesAreDeterministic) {
+  registry.counter("ides_test_b_total", "b").add(2);
+  registry.counter("ides_test_a_total", "a").add(1);
+  EXPECT_EQ(registry.prometheusText(), registry.prometheusText());
+  EXPECT_EQ(registry.jsonSnapshot(), registry.jsonSnapshot());
+}
+
+TEST_F(TelemetryTest, JsonSnapshotCarriesValues) {
+  registry.counter("ides_test_j_total", "j", {{"k", "v"}}).add(9);
+  registry.histogram("ides_test_j_seconds", "js", {1.0}).observe(0.5);
+  const std::string json = registry.jsonSnapshot();
+  EXPECT_NE(json.find("\"ides_test_j_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\": \"v\""), std::string::npos);
+  EXPECT_NE(json.find("9"), std::string::npos);
+  EXPECT_NE(json.find("\"ides_test_j_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, DisabledAddsAreDropped) {
+  Counter& c = registry.counter("ides_test_off_total", "off");
+  setTelemetryEnabled(false);
+  c.add(5);
+  setTelemetryEnabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(TelemetryTest, ResetAllZeroesButKeepsReferences) {
+  Counter& c = registry.counter("ides_test_r_total", "r");
+  Histogram& h = registry.histogram("ides_test_r_seconds", "rs", {1.0});
+  c.add(4);
+  h.observe(0.5);
+  registry.resetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add(2);  // the handed-out reference must still be live
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(registry.familyCount(), 2u);
+}
+
+TEST_F(TelemetryTest, ProcessRegistryIsASingleton) {
+  EXPECT_EQ(&telemetry(), &telemetry());
+}
+
+}  // namespace
+}  // namespace ides

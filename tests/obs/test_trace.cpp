@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ides {
+namespace {
+
+/// The tracer is process-global; every test starts from a clean disabled
+/// state and leaves one behind.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { traceDisable(); }
+  void TearDown() override { traceDisable(); }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  EXPECT_FALSE(traceEnabled());
+  {
+    TraceSpan span("ignored", "test");
+  }
+  traceInstant("ignored", "test");
+  EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanAndInstantAreRecordedWhenEnabled) {
+  traceConfigure("");  // in-memory only
+  EXPECT_TRUE(traceEnabled());
+  {
+    TraceSpan span("optimizer:PSA", "core");
+  }
+  traceInstant("PSA:chain-done", "progress");
+  EXPECT_EQ(traceEventCount(), 2u);
+
+  const std::string json = traceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"optimizer:PSA\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"PSA:chain-done\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"core\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"progress\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DisableDropsRecordedEvents) {
+  traceConfigure("");
+  traceInstant("one", "test");
+  EXPECT_EQ(traceEventCount(), 1u);
+  traceDisable();
+  EXPECT_FALSE(traceEnabled());
+  EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpanStartedBeforeDisableDoesNotRecordAfterIt) {
+  traceConfigure("");
+  {
+    TraceSpan span("straddler", "test");
+    traceDisable();
+  }  // destructor runs with tracing off
+  EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, FlushWritesTheConfiguredFile) {
+  const std::string path =
+      ::testing::TempDir() + "/ides_trace_test_flush.json";
+  std::remove(path.c_str());
+  traceConfigure(path);
+  {
+    TraceSpan span("flushed", "test");
+  }
+  traceFlush();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"flushed\""), std::string::npos);
+  traceDisable();
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, NameEscaping) {
+  traceConfigure("");
+  traceInstant("quote\"back\\slash", "test");
+  const std::string json = traceJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ides

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.h"
 #include "util/json_reader.h"
 
 #include <chrono>
@@ -464,6 +465,80 @@ TEST(RequestLogTest, RendersKeyValueFields) {
   EXPECT_EQ(requestLogLine(entry),
             "peer=127.0.0.1:52114 method=POST target=/jobs status=202 "
             "in=96 out=54 ms=1.5");
+}
+
+TEST(RouteRequest, HealthzReportsProbeLatencyAndLeavesNoDebris) {
+  JobManager jobs(JobManagerOptions{});
+  const std::string storeDir = ::testing::TempDir() + "ides_healthz_probe";
+  std::filesystem::create_directories(storeDir);
+  const std::filesystem::path probe =
+      std::filesystem::path(storeDir) / ".healthz.probe";
+
+  ServeRuntime healthy{jobs, nullptr, storeDir};
+  const HttpResponse ok =
+      routeRequest(healthy, makeRequest("GET", "/healthz"));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("\"store_probe_ms\": "), std::string::npos);
+  // The round-trip must clean its probe file up behind itself.
+  EXPECT_FALSE(std::filesystem::exists(probe));
+
+  // Sabotage the round-trip: a directory squatting on the probe path makes
+  // the write fail. The probe must answer "unreachable" AND still remove
+  // the debris (the empty directory) on the failure path.
+  std::filesystem::create_directory(probe);
+  const HttpResponse sick =
+      routeRequest(healthy, makeRequest("GET", "/healthz"));
+  EXPECT_EQ(sick.status, 503);
+  EXPECT_NE(sick.body.find("\"store\": \"unreachable\""),
+            std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(probe));
+}
+
+TEST(RouteRequest, MetricsServesPrometheusExposition) {
+  const bool wasEnabled = telemetryEnabled();
+  setTelemetryEnabled(true);
+  JobManager jobs(JobManagerOptions{});
+
+  // Run one fast design job through the router so the core and serve
+  // instrumentation has something to show.
+  ASSERT_EQ(routeRequest(jobs, makeRequest("POST", "/jobs", kFastJob))
+                .status,
+            202);
+  ASSERT_TRUE(waitFor([&] {
+    return routeRequest(jobs, makeRequest("GET", "/jobs/job-1"))
+               .body.find("\"state\": \"done\"") != std::string::npos;
+  }));
+
+  // Feed a request-log entry the way the binary's log sink does.
+  RequestLogEntry entry;
+  entry.method = "POST";
+  entry.target = "/jobs";
+  entry.status = 202;
+  entry.milliseconds = 0.4;
+  recordRequestTelemetry(entry);
+
+  const HttpResponse metrics =
+      routeRequest(jobs, makeRequest("GET", "/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.contentType, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(routeRequest(jobs, makeRequest("POST", "/metrics")).status, 405);
+
+  const std::string& text = metrics.body;
+  for (const char* name :
+       {"ides_opt_runs_total", "ides_opt_evaluations_total",
+        "ides_eval_evaluations_total", "ides_eval_rewind_depth_total",
+        "ides_serve_requests_total", "ides_serve_request_seconds",
+        "ides_serve_jobs_total", "ides_serve_queue_depth",
+        "ides_serve_job_seconds"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + name), std::string::npos)
+        << "missing metric family " << name;
+  }
+  EXPECT_NE(text.find("ides_serve_requests_total{endpoint=\"/jobs\","
+                      "method=\"POST\",status=\"202\"}"),
+            std::string::npos);
+  // The queue drained: the depth gauge must read 0.
+  EXPECT_NE(text.find("ides_serve_queue_depth 0"), std::string::npos);
+  setTelemetryEnabled(wasEnabled);
 }
 
 }  // namespace

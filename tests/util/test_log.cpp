@@ -1,0 +1,83 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ides {
+namespace {
+
+/// Restores the process-wide threshold so these tests compose with any
+/// IDES_LOG the suite was launched under.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = logThreshold(); }
+  void TearDown() override { setLogThreshold(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, ParseLogLevelAcceptsEveryLevelName) {
+  EXPECT_EQ(parseLogLevel("debug", LogLevel::Off), LogLevel::Debug);
+  EXPECT_EQ(parseLogLevel("info", LogLevel::Off), LogLevel::Info);
+  EXPECT_EQ(parseLogLevel("warn", LogLevel::Off), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("error", LogLevel::Off), LogLevel::Error);
+  EXPECT_EQ(parseLogLevel("off", LogLevel::Debug), LogLevel::Off);
+}
+
+TEST_F(LogTest, ParseLogLevelFallsBackOnGarbage) {
+  // IDES_LOG semantics: unknown values degrade to the default threshold
+  // instead of erroring — the env var must never break a run.
+  EXPECT_EQ(parseLogLevel("verbose", LogLevel::Warn), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("", LogLevel::Warn), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("DEBUG", LogLevel::Error), LogLevel::Error);
+  EXPECT_EQ(parseLogLevel("warn ", LogLevel::Info), LogLevel::Info);
+}
+
+TEST_F(LogTest, SetThresholdRoundTrips) {
+  for (const LogLevel level :
+       {LogLevel::Debug, LogLevel::Info, LogLevel::Warn, LogLevel::Error,
+        LogLevel::Off}) {
+    setLogThreshold(level);
+    EXPECT_EQ(logThreshold(), level);
+  }
+}
+
+TEST_F(LogTest, SuppressedLevelShortCircuitsArgumentEvaluation) {
+  setLogThreshold(LogLevel::Error);
+  int evaluated = 0;
+  const auto touch = [&evaluated] {
+    ++evaluated;
+    return "expensive";
+  };
+  IDES_LOG_AT(LogLevel::Debug) << touch();
+  IDES_LOG_AT(LogLevel::Info) << touch();
+  IDES_LOG_AT(LogLevel::Warn) << touch();
+  // Below the threshold the macro's dead branch must not build the line —
+  // that is what makes debug logging free in release runs.
+  EXPECT_EQ(evaluated, 0);
+}
+
+TEST_F(LogTest, EnabledLevelEvaluatesAndEmits) {
+  setLogThreshold(LogLevel::Debug);
+  int evaluated = 0;
+  const auto touch = [&evaluated] {
+    ++evaluated;
+    return "line";
+  };
+  IDES_LOG_AT(LogLevel::Debug) << touch();
+  IDES_LOG_AT(LogLevel::Error) << touch();
+  EXPECT_EQ(evaluated, 2);
+}
+
+TEST_F(LogTest, OffSilencesEvenErrors) {
+  setLogThreshold(LogLevel::Off);
+  int evaluated = 0;
+  IDES_LOG_AT(LogLevel::Error) << [&evaluated] {
+    ++evaluated;
+    return "";
+  }();
+  EXPECT_EQ(evaluated, 0);
+}
+
+}  // namespace
+}  // namespace ides
